@@ -1,0 +1,90 @@
+// Design-choice ablations (DESIGN.md §6), one sweep per knob on a shared
+// moderate workload:
+//   1. DP beam width (include/exclude branching vs pure greedy);
+//   2. task-level type mixing on/off (the headline capability);
+//   3. allocation stickiness (incremental updates vs full recompute);
+//   4. communication-cost weight;
+//   5. price-function eta;
+//   6. exponential (Eq. 5) price curve vs a near-flat one (eta -> huge).
+// Also reports the empirical competitive ratio (Theorem 2 companion).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/competitive.hpp"
+#include "core/hadar_scheduler.hpp"
+
+using namespace hadar;
+
+namespace {
+
+sim::SimResult run(const runner::ExperimentConfig& cfg, const core::HadarConfig& hc) {
+  sim::Simulator sim(cfg.sim);
+  core::HadarScheduler sched(hc);
+  return sim.run(cfg.spec, cfg.trace, sched);
+}
+
+}  // namespace
+
+int main() {
+  const auto cfg = runner::paper_static(bench::bench_jobs(120), 42);
+  bench::print_header("Ablations", "Hadar design choices (static trace)", cfg);
+
+  common::AsciiTable t("Design ablations",
+                       {"configuration", "avg JCT", "makespan", "avg FTF", "job util",
+                        "realloc rounds", "emp. ratio"});
+  auto add = [&](const std::string& label, const core::HadarConfig& hc) {
+    const auto r = run(cfg, hc);
+    const auto rep = core::analyze_competitiveness(cfg.spec, cfg.trace, r, hc.utility,
+                                                   hc.pricing);
+    t.add_row({label, common::AsciiTable::duration(r.avg_jct),
+               common::AsciiTable::duration(r.makespan),
+               common::AsciiTable::num(r.avg_ftf, 3),
+               common::AsciiTable::percent(r.avg_job_utilization),
+               common::AsciiTable::percent(r.realloc_round_fraction),
+               common::AsciiTable::num(rep.empirical_ratio, 2)});
+  };
+
+  core::HadarConfig base;
+  add("baseline (defaults)", base);
+
+  for (int beam : {1, 8, 256}) {
+    core::HadarConfig hc = base;
+    hc.dp.beam_width = beam;
+    add("beam width " + std::to_string(beam), hc);
+  }
+  {
+    core::HadarConfig hc = base;
+    hc.dp.find_alloc.allow_mixed_types = false;
+    add("no type mixing (job-level)", hc);
+  }
+  // (A "no multi-node placements" row is deliberately absent: the workload's
+  // 8-16 worker gangs cannot fit any single 4-GPU node, so that restriction
+  // leaves jobs permanently unschedulable rather than merely slower.)
+  {
+    core::HadarConfig hc = base;
+    hc.sticky = false;
+    add("full recompute every round", hc);
+  }
+  {
+    core::HadarConfig hc = base;
+    hc.full_recompute_period = 20;
+    add("recompute every 20 rounds", hc);
+  }
+  for (double w : {0.0, 2.0}) {
+    core::HadarConfig hc = base;
+    hc.dp.find_alloc.comm_cost_weight = w;
+    add("comm-cost weight " + common::AsciiTable::num(w, 1), hc);
+  }
+  for (double eta : {0.25, 4.0, 1e6}) {
+    core::HadarConfig hc = base;
+    hc.pricing.eta = eta;
+    add(eta >= 1e5 ? "near-flat prices (eta=1e6)" : "eta " + common::AsciiTable::num(eta, 2),
+        hc);
+  }
+
+  std::printf("%s\n", t.render().c_str());
+  std::printf("Reading: mixing and the DP branching should pay for themselves on JCT;\n"
+              "stickiness trades a little JCT for far fewer reallocation rounds; the\n"
+              "empirical ratio stays within the 2*alpha guarantee everywhere.\n");
+  return 0;
+}

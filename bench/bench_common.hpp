@@ -1,0 +1,52 @@
+// Shared plumbing for the figure/table benches: workload sizing via
+// environment override and uniform comparison-table printing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "runner/scenarios.hpp"
+
+namespace hadar::bench {
+
+/// Job count for the trace-driven figures. The paper uses 480; override with
+/// HADAR_BENCH_JOBS to trade fidelity for wall-clock.
+inline int bench_jobs(int def) {
+  if (const char* env = std::getenv("HADAR_BENCH_JOBS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return def;
+}
+
+inline void print_header(const char* fig, const char* what,
+                         const runner::ExperimentConfig& cfg) {
+  std::printf("%s — %s\n", fig, what);
+  std::printf("cluster: %s | jobs: %zu | total load: %.0f GPU-hours | round: %.0f s\n\n",
+              cfg.spec.summary().c_str(), cfg.trace.jobs.size(),
+              cfg.trace.total_gpu_hours(), cfg.sim.round_length);
+}
+
+/// Standard per-scheduler metric rows used by several figures.
+inline void print_comparison(const std::string& title,
+                             const std::vector<runner::SchedulerRun>& runs) {
+  common::AsciiTable t(title, {"scheduler", "avg JCT", "median JCT", "p95 JCT", "makespan",
+                               "queueing", "job util", "avg FTF", "realloc rounds"});
+  for (const auto& run : runs) {
+    const auto& r = run.result;
+    t.add_row({run.scheduler, common::AsciiTable::duration(r.avg_jct),
+               common::AsciiTable::duration(r.median_jct),
+               common::AsciiTable::duration(r.p95_jct),
+               common::AsciiTable::duration(r.makespan),
+               common::AsciiTable::duration(r.avg_queueing_delay),
+               common::AsciiTable::percent(r.avg_job_utilization),
+               common::AsciiTable::num(r.avg_ftf, 3),
+               common::AsciiTable::percent(r.realloc_round_fraction)});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+}  // namespace hadar::bench

@@ -1,0 +1,29 @@
+// Fig. 4 — cluster-wide GPU utilization of the four schedulers on the
+// simulated cluster: the percentage of a job's run-time during which its
+// GPUs are actually computing. Paper shape: YARN-CS highest (non-preemptive),
+// Hadar close behind, Gavel and Tiresias below.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace hadar;
+
+int main() {
+  const auto cfg = runner::paper_static(bench::bench_jobs(240), 42);
+  bench::print_header("Fig. 4", "GPU utilization (static trace)", cfg);
+  const auto runs = runner::compare(cfg, runner::kPaperSchedulers);
+
+  common::AsciiTable t("GPU utilization",
+                       {"scheduler", "job-level util (Fig. 4)", "cluster-wide util",
+                        "preemptions", "reallocations"});
+  for (const auto& run : runs) {
+    const auto& r = run.result;
+    t.add_row({run.scheduler, common::AsciiTable::percent(r.avg_job_utilization),
+               common::AsciiTable::percent(r.gpu_utilization),
+               common::AsciiTable::integer(r.total_preemptions),
+               common::AsciiTable::integer(r.total_reallocations)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("Paper shape: YARN-CS > Hadar >> Gavel ~ Tiresias on job-level utilization.\n");
+  return 0;
+}

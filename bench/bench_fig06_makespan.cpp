@@ -1,0 +1,31 @@
+// Fig. 6 — makespan comparison with Hadar's scheduling policy flexibly
+// switched to makespan minimization (the generality claim of Sec. III-A).
+// Paper: Hadar ~1.5x shorter than Gavel, ~2x shorter than Tiresias.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace hadar;
+
+int main() {
+  const auto cfg = runner::paper_static(bench::bench_jobs(240), 42);
+  bench::print_header("Fig. 6", "makespan with the min-makespan policy (static trace)", cfg);
+  const auto runs = runner::compare(cfg, {"hadar-makespan", "gavel", "gavel-makespan", "tiresias"});
+
+  common::AsciiTable t("Makespan", {"scheduler", "makespan", "avg JCT", "job util"});
+  for (const auto& run : runs) {
+    t.add_row({&run == &runs[0] ? "Hadar (makespan policy)"
+               : (&run == &runs[2] ? "Gavel (makespan policy)" : run.scheduler),
+               common::AsciiTable::duration(run.result.makespan),
+               common::AsciiTable::duration(run.result.avg_jct),
+               common::AsciiTable::percent(run.result.avg_job_utilization)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  const double hadar = runs[0].result.makespan;
+  std::printf("Hadar makespan improvement: %.2fx vs Gavel (paper ~1.5x), %.2fx vs"
+              " Gavel-makespan, %.2fx vs Tiresias (paper ~2x)\n",
+              runs[1].result.makespan / hadar, runs[2].result.makespan / hadar,
+              runs[3].result.makespan / hadar);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fig. 10 — cluster-wide GPU utilization on the (simulated) physical
+// prototype: the 8-GPU AWS cluster of Sec. IV-B running the 10-job Table II
+// mix, with testbed noise and the Table IV per-model checkpoint costs.
+// Paper shape: Hadar > Gavel > Tiresias.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace hadar;
+
+int main() {
+  const auto cfg = runner::prototype(/*testbed_noise=*/true);
+  bench::print_header("Fig. 10", "GPU utilization on the prototype cluster", cfg);
+  const auto runs = runner::compare(cfg, runner::kPreemptiveSchedulers);
+
+  common::AsciiTable t("Prototype GPU utilization",
+                       {"scheduler", "job-level util", "cluster-wide util", "avg JCT",
+                        "makespan"});
+  for (const auto& run : runs) {
+    const auto& r = run.result;
+    t.add_row({run.scheduler, common::AsciiTable::percent(r.avg_job_utilization),
+               common::AsciiTable::percent(r.gpu_utilization),
+               common::AsciiTable::duration(r.avg_jct),
+               common::AsciiTable::duration(r.makespan)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("Paper shape: Hadar achieves the best utilization among the preemptive\n"
+              "schedulers by mixing heterogeneous GPUs across a job's tasks.\n");
+  return 0;
+}

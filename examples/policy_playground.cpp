@@ -1,0 +1,55 @@
+// The generality claim (Sec. III-A): the same Hadar optimization framework
+// expresses different objectives by swapping the utility function. Runs one
+// workload under the three built-in policies plus the design ablations and
+// shows how each policy wins its own metric.
+//
+//   ./policy_playground [num_jobs] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hpp"
+#include "runner/scenarios.hpp"
+
+using namespace hadar;
+
+int main(int argc, char** argv) {
+  const int num_jobs = argc > 1 ? std::atoi(argv[1]) : 120;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;
+  if (num_jobs <= 0) {
+    std::fprintf(stderr, "usage: %s [num_jobs] [seed]\n", argv[0]);
+    return 1;
+  }
+
+  const auto cfg = runner::paper_static(num_jobs, seed);
+  std::printf("Policy playground: %s, %d jobs (static)\n\n", cfg.spec.summary().c_str(),
+              num_jobs);
+
+  const std::vector<std::pair<std::string, std::string>> entries = {
+      {"hadar", "avg-JCT policy (default)"},
+      {"hadar-makespan", "min-makespan policy"},
+      {"hadar-ftf", "finish-time-fairness policy"},
+      {"hadar-nomix", "ablation: homogeneous gangs only"},
+      {"hadar-greedy", "ablation: greedy (beam width 1)"},
+      {"srtf", "reference: SRTF"},
+  };
+  std::vector<std::string> names;
+  for (const auto& [n, d] : entries) names.push_back(n);
+  const auto runs = runner::compare(cfg, names);
+
+  common::AsciiTable t("One framework, many objectives",
+                       {"configuration", "avg JCT", "makespan", "avg FTF", "max FTF",
+                        "job util"});
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i].result;
+    t.add_row({entries[i].second, common::AsciiTable::duration(r.avg_jct),
+               common::AsciiTable::duration(r.makespan),
+               common::AsciiTable::num(r.avg_ftf, 3), common::AsciiTable::num(r.max_ftf, 2),
+               common::AsciiTable::percent(r.avg_job_utilization)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Expected: the default policy minimizes avg JCT; the makespan policy\n"
+      "wins makespan; the FTF policy pushes max FTF down; removing task-level\n"
+      "mixing (nomix) or the DP branching (greedy) costs performance.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: generate a synthetic deep-learning workload, run it through
+// Hadar and the three baseline schedulers on the paper's 15-node / 60-GPU
+// heterogeneous cluster, and compare the headline metrics.
+//
+//   ./quickstart [num_jobs] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hpp"
+#include "runner/scenarios.hpp"
+
+int main(int argc, char** argv) {
+  const int num_jobs = argc > 1 ? std::atoi(argv[1]) : 60;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  if (num_jobs <= 0) {
+    std::fprintf(stderr, "usage: %s [num_jobs] [seed]\n", argv[0]);
+    return 1;
+  }
+
+  using namespace hadar;
+
+  runner::ExperimentConfig exp = runner::paper_static(num_jobs, seed);
+  std::printf("Cluster : %s\n", exp.spec.summary().c_str());
+  std::printf("Workload: %d jobs, %.1f GPU-hours total, static arrivals\n\n", num_jobs,
+              exp.trace.total_gpu_hours());
+
+  const auto runs = runner::compare(exp, runner::kPaperSchedulers);
+
+  common::AsciiTable table("Scheduler comparison",
+                           {"scheduler", "avg JCT", "median JCT", "makespan", "job util",
+                            "avg FTF", "preempts"});
+  for (const auto& run : runs) {
+    const auto& r = run.result;
+    table.add_row({run.scheduler, common::AsciiTable::duration(r.avg_jct),
+                   common::AsciiTable::duration(r.median_jct),
+                   common::AsciiTable::duration(r.makespan),
+                   common::AsciiTable::percent(r.avg_job_utilization),
+                   common::AsciiTable::num(r.avg_ftf, 2),
+                   common::AsciiTable::integer(r.total_preemptions)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Speedups vs Hadar (first row).
+  const double hadar_jct = runs.front().result.avg_jct;
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    std::printf("Hadar avg-JCT speedup vs %-9s: %.2fx\n", runs[i].scheduler.c_str(),
+                runs[i].result.avg_jct / hadar_jct);
+  }
+  return 0;
+}

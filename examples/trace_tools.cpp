@@ -1,0 +1,118 @@
+// Workload tooling: generate a synthetic Philly-style trace to CSV, inspect
+// a saved trace, or replay one under a chosen scheduler with a Gantt
+// timeline and per-job CSV export.
+//
+//   ./trace_tools gen <out.csv> [num_jobs] [jobs_per_hour (0=static)] [seed]
+//   ./trace_tools info <trace.csv>
+//   ./trace_tools replay <trace.csv> [scheduler] [gantt_jobs]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include "analysis/report.hpp"
+#include "analysis/timeline.hpp"
+#include "runner/experiment.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/trace_gen.hpp"
+#include "workload/trace_io.hpp"
+
+using namespace hadar;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s gen <out.csv> [num_jobs] [jobs_per_hour (0=static)] [seed]\n"
+               "  %s info <trace.csv>\n"
+               "  %s replay <trace.csv> [scheduler] [gantt_jobs]\n",
+               argv0, argv0, argv0);
+  return 1;
+}
+
+int cmd_gen(int argc, char** argv) {
+  const char* path = argv[2];
+  const auto spec = cluster::ClusterSpec::simulation_default();
+  const auto zoo = workload::ModelZoo::paper_default();
+  workload::TraceGenerator gen(&zoo, &spec.types());
+  workload::TraceGenConfig cfg;
+  cfg.num_jobs = argc > 3 ? std::atoi(argv[3]) : 480;
+  const double rate = argc > 4 ? std::atof(argv[4]) : 0.0;
+  if (rate > 0.0) {
+    cfg.arrivals = workload::ArrivalPattern::kContinuous;
+    cfg.jobs_per_hour = rate;
+  }
+  cfg.seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 42;
+  const auto trace = gen.generate(cfg);
+  if (!workload::write_trace_file(path, trace, spec.types())) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::printf("wrote %zu jobs (%.0f GPU-hours) to %s\n", trace.jobs.size(),
+              trace.total_gpu_hours(), path);
+  return 0;
+}
+
+int cmd_info(char** argv) {
+  const auto spec = cluster::ClusterSpec::simulation_default();
+  const auto trace = workload::read_trace_file(argv[2], spec.types());
+  std::printf("%s: %zu jobs, %.0f GPU-hours\n", argv[2], trace.jobs.size(),
+              trace.total_gpu_hours());
+  std::map<std::string, int> by_model;
+  std::map<workload::SizeClass, int> by_class;
+  std::map<int, int> by_workers;
+  for (const auto& j : trace.jobs) {
+    ++by_model[j.model];
+    ++by_class[j.size_class];
+    ++by_workers[j.num_workers];
+  }
+  std::printf("models:");
+  for (const auto& [m, n] : by_model) std::printf(" %s=%d", m.c_str(), n);
+  std::printf("\nsize classes:");
+  for (const auto& [c, n] : by_class) std::printf(" %s=%d", to_string(c), n);
+  std::printf("\ngang sizes:");
+  for (const auto& [w, n] : by_workers) std::printf(" %dx%d", w, n);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_replay(int argc, char** argv) {
+  const auto spec = cluster::ClusterSpec::simulation_default();
+  const auto trace = workload::read_trace_file(argv[2], spec.types());
+  const std::string sched_name = argc > 3 ? argv[3] : "hadar";
+  const int gantt_jobs = argc > 4 ? std::atoi(argv[4]) : 24;
+
+  sim::SimConfig cfg;
+  cfg.enable_event_log = true;
+  sim::Simulator sim(cfg);
+  auto sched = runner::make_scheduler(sched_name);
+  const auto result = sim.run(spec, trace, *sched);
+
+  std::printf("%s on %zu jobs: avg JCT %.2f h, makespan %.2f h, job util %.1f%%\n\n",
+              sched->name().c_str(), trace.jobs.size(), result.avg_jct / 3600.0,
+              result.makespan / 3600.0, result.avg_job_utilization * 100.0);
+  analysis::GanttOptions opts;
+  opts.max_jobs = gantt_jobs;
+  std::printf("%s\n", analysis::ascii_gantt(sim.event_log(), trace, opts).c_str());
+
+  const std::string out = std::string(argv[2]) + "." + sched_name + ".jobs.csv";
+  FILE* f = std::fopen(out.c_str(), "wb");
+  if (f != nullptr) {
+    const std::string csv = analysis::per_job_csv(result);
+    std::fwrite(csv.data(), 1, csv.size(), f);
+    std::fclose(f);
+    std::printf("per-job outcomes written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  if (std::strcmp(argv[1], "gen") == 0) return cmd_gen(argc, argv);
+  if (std::strcmp(argv[1], "info") == 0) return cmd_info(argv);
+  if (std::strcmp(argv[1], "replay") == 0) return cmd_replay(argc, argv);
+  return usage(argv[0]);
+}

@@ -1,0 +1,81 @@
+#include "analysis/report.hpp"
+
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace hadar::analysis {
+namespace {
+
+using common::CsvWriter;
+
+const std::vector<std::string> kMetricHeader = {
+    "scheduler",     "avg_jct_s",  "median_jct_s",    "p95_jct_s",
+    "makespan_s",    "avg_queueing_s", "gpu_utilization", "avg_job_utilization",
+    "avg_ftf",       "max_ftf",    "preemptions",     "reallocations",
+    "realloc_round_fraction"};
+
+std::vector<std::string> metric_row(const NamedResult& run) {
+  if (run.result == nullptr) throw std::invalid_argument("NamedResult: null result");
+  const auto& r = *run.result;
+  return {run.name,
+          CsvWriter::field(r.avg_jct),
+          CsvWriter::field(r.median_jct),
+          CsvWriter::field(r.p95_jct),
+          CsvWriter::field(r.makespan),
+          CsvWriter::field(r.avg_queueing_delay),
+          CsvWriter::field(r.gpu_utilization),
+          CsvWriter::field(r.avg_job_utilization),
+          CsvWriter::field(r.avg_ftf),
+          CsvWriter::field(r.max_ftf),
+          CsvWriter::field(static_cast<long long>(r.total_preemptions)),
+          CsvWriter::field(static_cast<long long>(r.total_reallocations)),
+          CsvWriter::field(r.realloc_round_fraction)};
+}
+
+}  // namespace
+
+std::string comparison_csv(const std::vector<NamedResult>& runs) {
+  CsvWriter w(kMetricHeader);
+  for (const auto& run : runs) w.add_row(metric_row(run));
+  return w.to_string();
+}
+
+std::string comparison_markdown(const std::vector<NamedResult>& runs) {
+  std::string out = "| ";
+  for (std::size_t c = 0; c < kMetricHeader.size(); ++c) {
+    out += kMetricHeader[c] + " | ";
+  }
+  out += "\n|";
+  for (std::size_t c = 0; c < kMetricHeader.size(); ++c) out += "---|";
+  out += "\n";
+  for (const auto& run : runs) {
+    out += "| ";
+    for (const auto& cell : metric_row(run)) out += cell + " | ";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string per_job_csv(const sim::SimResult& result) {
+  CsvWriter w({"job", "arrival_s", "first_start_s", "finish_s", "jct_s", "queueing_s",
+               "gpu_seconds", "compute_gpu_seconds", "rounds_run", "preemptions",
+               "reallocations", "ftf"});
+  for (const auto& j : result.jobs) {
+    w.add_row({CsvWriter::field(static_cast<long long>(j.id)),
+               CsvWriter::field(j.arrival),
+               CsvWriter::field(j.first_start),
+               CsvWriter::field(j.finish),
+               CsvWriter::field(j.finished() ? j.jct() : -1.0),
+               CsvWriter::field(j.first_start >= 0.0 ? j.queueing_delay() : -1.0),
+               CsvWriter::field(j.gpu_seconds),
+               CsvWriter::field(j.compute_gpu_seconds),
+               CsvWriter::field(static_cast<long long>(j.rounds_run)),
+               CsvWriter::field(static_cast<long long>(j.preemptions)),
+               CsvWriter::field(static_cast<long long>(j.reallocations)),
+               CsvWriter::field(j.ftf)});
+  }
+  return w.to_string();
+}
+
+}  // namespace hadar::analysis

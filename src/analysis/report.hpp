@@ -1,0 +1,30 @@
+// Result exporters: CSV and Markdown renditions of scheduler comparisons and
+// per-job outcome dumps, so experiment outputs can feed plots or notebooks
+// without re-running simulations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace hadar::analysis {
+
+/// One scheduler's result under a shared workload.
+struct NamedResult {
+  std::string name;
+  const sim::SimResult* result = nullptr;
+};
+
+/// CSV with one row per scheduler and the headline metrics
+/// (avg/median/p95 JCT, makespan, utilizations, FTF, churn).
+std::string comparison_csv(const std::vector<NamedResult>& runs);
+
+/// The same comparison as a GitHub-flavored Markdown table.
+std::string comparison_markdown(const std::vector<NamedResult>& runs);
+
+/// CSV with one row per job of a single run: arrival, start, finish, jct,
+/// queueing delay, gpu seconds, preemptions, reallocations, ftf.
+std::string per_job_csv(const sim::SimResult& result);
+
+}  // namespace hadar::analysis

@@ -1,0 +1,101 @@
+#include "analysis/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+namespace hadar::analysis {
+namespace {
+
+enum class Phase { kNotArrived, kQueued, kRunning, kPaused, kDone };
+
+struct Change {
+  Seconds time;
+  Phase phase;
+  bool realloc_mark = false;
+};
+
+}  // namespace
+
+std::string ascii_gantt(const sim::EventLog& log, const workload::Trace& trace,
+                        const GanttOptions& opts) {
+  if (opts.width <= 0) return {};
+
+  // Phase-change list per job, from the event stream.
+  std::map<JobId, std::vector<Change>> changes;
+  Seconds horizon = 0.0;
+  for (const auto& e : log.events()) {
+    horizon = std::max(horizon, e.time);
+    switch (e.kind) {
+      case sim::EventKind::kArrival:
+        changes[e.job].push_back({e.time, Phase::kQueued});
+        break;
+      case sim::EventKind::kStart:
+        changes[e.job].push_back({e.time, Phase::kRunning});
+        break;
+      case sim::EventKind::kReallocate:
+        changes[e.job].push_back({e.time, Phase::kRunning, /*realloc=*/true});
+        break;
+      case sim::EventKind::kPreempt:
+        changes[e.job].push_back({e.time, Phase::kPaused});
+        break;
+      case sim::EventKind::kFinish:
+        changes[e.job].push_back({e.time, Phase::kDone});
+        break;
+      case sim::EventKind::kStraggler:
+        break;  // not a phase change
+    }
+  }
+  if (horizon <= 0.0) return "(empty event log)\n";
+
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "time: 0 .. %.1f h, one cell = %.1f min\n",
+                horizon / 3600.0, horizon / opts.width / 60.0);
+  out += buf;
+
+  int rows = 0;
+  for (const auto& job : trace.jobs) {
+    if (rows++ >= opts.max_jobs) {
+      out += "... (" + std::to_string(trace.jobs.size() - static_cast<std::size_t>(opts.max_jobs)) +
+             " more jobs)\n";
+      break;
+    }
+    const auto it = changes.find(job.id);
+    std::snprintf(buf, sizeof(buf), "J%-4d W=%-2d |", job.id, job.num_workers);
+    out += buf;
+
+    std::string row(static_cast<std::size_t>(opts.width), opts.done);
+    Phase phase = Phase::kNotArrived;
+    std::size_t next_change = 0;
+    const auto& ch = it != changes.end() ? it->second : std::vector<Change>{};
+    for (int c = 0; c < opts.width; ++c) {
+      const Seconds cell_start = horizon * c / opts.width;
+      const Seconds cell_end = horizon * (c + 1) / opts.width;
+      bool realloc_here = false;
+      while (next_change < ch.size() && ch[next_change].time < cell_end) {
+        phase = ch[next_change].phase;
+        realloc_here |= ch[next_change].realloc_mark && ch[next_change].time >= cell_start;
+        ++next_change;
+      }
+      char glyph = opts.done;
+      switch (phase) {
+        case Phase::kNotArrived: glyph = ' '; break;
+        case Phase::kQueued: glyph = opts.queued; break;
+        case Phase::kRunning: glyph = realloc_here ? opts.realloc : opts.running; break;
+        case Phase::kPaused: glyph = opts.paused; break;
+        case Phase::kDone: glyph = opts.done; break;
+      }
+      row[static_cast<std::size_t>(c)] = glyph;
+    }
+    out += row;
+    out += "|\n";
+  }
+  out += "legend: '" + std::string(1, opts.queued) + "' queued  '" +
+         std::string(1, opts.running) + "' running  '" + std::string(1, opts.realloc) +
+         "' reallocated  '" + std::string(1, opts.paused) + "' preempted\n";
+  return out;
+}
+
+}  // namespace hadar::analysis

@@ -1,0 +1,29 @@
+// ASCII Gantt rendering of a simulation's event log: one row per job, time
+// bucketed into fixed-width cells, showing queued / running / paused phases
+// and reallocation points. Used by examples and handy when debugging
+// scheduler behavior.
+#pragma once
+
+#include <string>
+
+#include "sim/event_log.hpp"
+#include "workload/job.hpp"
+
+namespace hadar::analysis {
+
+struct GanttOptions {
+  int width = 72;        ///< time cells per row
+  int max_jobs = 40;     ///< rows rendered (first N jobs by id)
+  char queued = '.';     ///< arrived, never started yet
+  char running = '#';    ///< holding an allocation
+  char paused = '-';     ///< preempted
+  char realloc = '+';    ///< round where the placement changed
+  char done = ' ';       ///< after completion
+};
+
+/// Renders the log of one finished run. Requires the simulation to have
+/// been run with `enable_event_log`.
+std::string ascii_gantt(const sim::EventLog& log, const workload::Trace& trace,
+                        const GanttOptions& opts = {});
+
+}  // namespace hadar::analysis

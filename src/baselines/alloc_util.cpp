@@ -1,0 +1,86 @@
+#include "baselines/alloc_util.hpp"
+
+#include <algorithm>
+
+namespace hadar::baselines {
+
+std::optional<cluster::JobAllocation> take_homogeneous(const cluster::ClusterState& state,
+                                                       GpuTypeId r, int workers) {
+  const auto& spec = state.spec();
+  if (r < 0 || r >= spec.num_types() || workers <= 0) return std::nullopt;
+  if (state.total_free_of_type(r) < workers) return std::nullopt;
+
+  std::vector<std::pair<int, NodeId>> nodes;  // (free, node), consolidation-first
+  for (NodeId h = 0; h < spec.num_nodes(); ++h) {
+    const int f = state.free_count(h, r);
+    if (f > 0) nodes.emplace_back(f, h);
+  }
+  std::sort(nodes.begin(), nodes.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+
+  std::vector<cluster::TaskPlacement> pl;
+  int need = workers;
+  for (const auto& [free, h] : nodes) {
+    if (need == 0) break;
+    const int take = std::min(need, free);
+    pl.push_back({h, r, take});
+    need -= take;
+  }
+  if (need != 0) return std::nullopt;
+  return cluster::JobAllocation(std::move(pl));
+}
+
+std::optional<cluster::JobAllocation> take_in_type_order(
+    const cluster::ClusterState& state, const std::vector<GpuTypeId>& type_order,
+    int workers) {
+  const auto& spec = state.spec();
+  if (workers <= 0) return std::nullopt;
+
+  int total_free = 0;
+  for (GpuTypeId r : type_order) total_free += state.total_free_of_type(r);
+  if (total_free < workers) return std::nullopt;
+
+  std::vector<cluster::TaskPlacement> pl;
+  int need = workers;
+  for (GpuTypeId r : type_order) {
+    if (need == 0) break;
+    std::vector<std::pair<int, NodeId>> nodes;
+    for (NodeId h = 0; h < spec.num_nodes(); ++h) {
+      const int f = state.free_count(h, r);
+      if (f > 0) nodes.emplace_back(f, h);
+    }
+    std::sort(nodes.begin(), nodes.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    for (const auto& [free, h] : nodes) {
+      if (need == 0) break;
+      const int take = std::min(need, free);
+      pl.push_back({h, r, take});
+      need -= take;
+    }
+  }
+  if (need != 0) return std::nullopt;
+  return cluster::JobAllocation(std::move(pl));
+}
+
+std::optional<cluster::JobAllocation> take_unaware(const cluster::ClusterState& state,
+                                                   const std::vector<GpuTypeId>& usable,
+                                                   int workers) {
+  // Single pool first: usable types by descending free count.
+  std::vector<std::pair<int, GpuTypeId>> by_free;
+  for (GpuTypeId r : usable) by_free.emplace_back(state.total_free_of_type(r), r);
+  std::sort(by_free.begin(), by_free.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  for (const auto& [free, r] : by_free) {
+    if (free < workers) break;
+    if (auto alloc = take_homogeneous(state, r, workers)) return alloc;
+  }
+  // No single pool fits: mix, most-free pools first.
+  std::vector<GpuTypeId> order;
+  for (const auto& [free, r] : by_free) order.push_back(r);
+  return take_in_type_order(state, order, workers);
+}
+
+}  // namespace hadar::baselines

@@ -1,0 +1,119 @@
+#include "baselines/gavel.hpp"
+
+#include <algorithm>
+
+#include "baselines/alloc_util.hpp"
+
+namespace hadar::baselines {
+
+const char* to_string(GavelPolicy p) {
+  switch (p) {
+    case GavelPolicy::kMaxMinFairness: return "max-min-fairness";
+    case GavelPolicy::kMaxSumThroughput: return "max-sum-throughput";
+    case GavelPolicy::kMinMakespan: return "min-makespan";
+  }
+  return "?";
+}
+
+GavelScheduler::GavelScheduler(GavelConfig cfg) : cfg_(cfg) {}
+
+std::string GavelScheduler::name() const { return "Gavel"; }
+
+void GavelScheduler::reset() {
+  active_set_.clear();
+  y_.clear();
+}
+
+std::vector<double> GavelScheduler::allocation_row(JobId id) const {
+  const auto it = y_.find(id);
+  return it != y_.end() ? it->second : std::vector<double>{};
+}
+
+void GavelScheduler::recompute_allocation(const sim::SchedulerContext& ctx) {
+  const int R = ctx.spec->num_types();
+  solver::MaxMinProblem p;
+  p.cap.resize(static_cast<std::size_t>(R));
+  for (GpuTypeId r = 0; r < R; ++r) {
+    p.cap[static_cast<std::size_t>(r)] = ctx.spec->total_of_type(r);
+  }
+  p.rate.reserve(ctx.jobs.size());
+  for (const auto& job : ctx.jobs) {
+    std::vector<double> row(static_cast<std::size_t>(R), 0.0);
+    for (GpuTypeId r = 0; r < R; ++r) {
+      row[static_cast<std::size_t>(r)] = job.throughput_on(r) * job.spec->num_workers;
+    }
+    p.rate.push_back(std::move(row));
+    p.demand.push_back(job.spec->num_workers);
+    if (cfg_.policy == GavelPolicy::kMinMakespan) {
+      // Normalize by remaining work: equalizing work-normalized throughput
+      // aligns completion times, which is what minimizes the makespan.
+      p.scale.push_back(std::max(1.0, job.remaining_iterations()));
+    } else {
+      // Normalize by the job's ideal (fastest-type) aggregate throughput so
+      // the objective compares *relative* progress across jobs.
+      p.scale.push_back(std::max(1e-9, job.max_throughput() * job.spec->num_workers));
+    }
+  }
+
+  const solver::MaxMinSolution sol = cfg_.policy == GavelPolicy::kMaxSumThroughput
+                                         ? solver::solve_max_sum(p, cfg_.solver)
+                                         : solver::solve_max_min(p, cfg_.solver);
+  y_.clear();
+  for (std::size_t i = 0; i < ctx.jobs.size(); ++i) {
+    y_[ctx.jobs[i].id()] = sol.feasible ? sol.y[i] : std::vector<double>(static_cast<std::size_t>(R), 0.0);
+  }
+}
+
+cluster::AllocationMap GavelScheduler::schedule(const sim::SchedulerContext& ctx) {
+  const int R = ctx.spec->num_types();
+
+  // Refresh Y on job arrival/completion events only.
+  std::set<JobId> ids;
+  for (const auto& j : ctx.jobs) ids.insert(j.id());
+  if (ids != active_set_) {
+    recompute_allocation(ctx);
+    active_set_ = std::move(ids);
+  }
+
+  // Priority list over (job, type): Y / (rounds received on that type).
+  struct Entry {
+    const sim::JobView* job;
+    GpuTypeId type;
+    double priority;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(ctx.jobs.size() * static_cast<std::size_t>(R));
+  for (const auto& job : ctx.jobs) {
+    const auto it = y_.find(job.id());
+    if (it == y_.end()) continue;
+    for (GpuTypeId r = 0; r < R; ++r) {
+      if (job.throughput_on(r) <= 0.0) continue;
+      const double y = it->second[static_cast<std::size_t>(r)];
+      const double rounds = job.rounds_on_type.empty()
+                                ? 0.0
+                                : job.rounds_on_type[static_cast<std::size_t>(r)];
+      // Tiny floor keeps zero-Y rows schedulable when capacity would
+      // otherwise idle (Gavel breaks ties the same way via water-filling).
+      const double pr = std::max(y, 1e-6) / (rounds + cfg_.rounds_epsilon);
+      entries.push_back({&job, r, pr});
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    if (a.job->id() != b.job->id()) return a.job->id() < b.job->id();
+    return a.type < b.type;
+  });
+
+  cluster::ClusterState state(ctx.spec);
+  cluster::AllocationMap result;
+  for (const Entry& e : entries) {
+    if (result.count(e.job->id())) continue;  // one type per job per round
+    auto alloc = take_homogeneous(state, e.type, e.job->spec->num_workers);
+    if (!alloc) continue;  // job-level all-or-nothing on this type
+    state.allocate(*alloc);
+    result.emplace(e.job->id(), std::move(*alloc));
+  }
+  return result;
+}
+
+}  // namespace hadar::baselines

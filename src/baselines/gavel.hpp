@@ -1,0 +1,64 @@
+// Gavel [1] baseline: job-level heterogeneity-aware scheduling.
+//
+// Gavel computes an optimal time-fraction matrix Y[j][r] (the share of
+// wall-clock time job j should spend on GPU type r) by solving a max-min
+// fairness program over normalized effective throughputs, then realizes Y
+// with round-based priority scheduling: priority(j, r) = Y[j][r] divided by
+// the rounds job j has already received on type r. Within a round every job
+// runs on ONE device type (job-level homogeneity) — the limitation Hadar's
+// task-level mixing removes.
+//
+// The Y matrix is recomputed only when the active job set changes (Gavel's
+// event-driven refresh); small instances use the exact LP, larger ones the
+// progressive-filling solver.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "solver/maxmin.hpp"
+
+namespace hadar::baselines {
+
+/// Gavel's pluggable optimization objectives (its generality claim):
+enum class GavelPolicy {
+  /// max-min fairness over normalized effective throughput (Gavel default)
+  kMaxMinFairness,
+  /// maximize the sum of normalized throughputs (cluster efficiency)
+  kMaxSumThroughput,
+  /// minimize makespan: max-min over throughput normalized by *remaining*
+  /// work, which equalizes completion times
+  kMinMakespan,
+};
+
+const char* to_string(GavelPolicy p);
+
+struct GavelConfig {
+  GavelPolicy policy = GavelPolicy::kMaxMinFairness;
+  solver::MaxMinOptions solver;
+  /// Priority denominator smoothing: priority = Y / (rounds_on_type + eps).
+  double rounds_epsilon = 1.0;
+};
+
+class GavelScheduler : public sim::IScheduler {
+ public:
+  explicit GavelScheduler(GavelConfig cfg = {});
+
+  std::string name() const override;
+  cluster::AllocationMap schedule(const sim::SchedulerContext& ctx) override;
+  void reset() override;
+
+  /// Last computed Y row for a job (tests/introspection); empty if unknown.
+  std::vector<double> allocation_row(JobId id) const;
+
+ private:
+  void recompute_allocation(const sim::SchedulerContext& ctx);
+
+  GavelConfig cfg_;
+  std::set<JobId> active_set_;               // signature of the last LP solve
+  std::map<JobId, std::vector<double>> y_;   // time-fraction rows
+};
+
+}  // namespace hadar::baselines

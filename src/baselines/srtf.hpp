@@ -1,0 +1,19 @@
+// Shortest-Remaining-Time-First: an extra preemptive baseline (not in the
+// paper's comparison set) used by tests and ablations as a simple
+// heterogeneity-aware reference point. Jobs are ordered by their remaining
+// runtime on their fastest device type; gangs are filled fastest-types-first.
+#pragma once
+
+#include "sim/scheduler.hpp"
+
+namespace hadar::baselines {
+
+class SrtfScheduler : public sim::IScheduler {
+ public:
+  SrtfScheduler() = default;
+
+  std::string name() const override;
+  cluster::AllocationMap schedule(const sim::SchedulerContext& ctx) override;
+};
+
+}  // namespace hadar::baselines

@@ -1,0 +1,71 @@
+#include "baselines/tiresias.hpp"
+
+#include <algorithm>
+
+#include "baselines/alloc_util.hpp"
+
+namespace hadar::baselines {
+
+TiresiasScheduler::TiresiasScheduler(TiresiasConfig cfg) : cfg_(cfg) {}
+
+std::string TiresiasScheduler::name() const { return "Tiresias"; }
+
+void TiresiasScheduler::reset() {
+  demoted_.clear();
+  promoted_.clear();
+  starved_rounds_.clear();
+}
+
+cluster::AllocationMap TiresiasScheduler::schedule(const sim::SchedulerContext& ctx) {
+  for (const auto& job : ctx.jobs) {
+    // PromoteKnob (disabled by default, as in the paper's evaluation):
+    // a demoted job starved of service long enough is promoted back and
+    // shielded from re-demotion until it actually runs again.
+    auto& starved = starved_rounds_[job.id()];
+    if (!job.current_allocation.empty()) {
+      starved = 0;
+      promoted_.erase(job.id());  // served again: normal demotion rules apply
+    } else {
+      ++starved;
+    }
+    if (cfg_.promote_after_starved_rounds > 0 && demoted_.count(job.id()) &&
+        starved >= cfg_.promote_after_starved_rounds) {
+      demoted_.erase(job.id());
+      promoted_.insert(job.id());
+      starved = 0;
+    }
+    if (!promoted_.count(job.id()) && job.attained_service >= cfg_.queue_threshold) {
+      demoted_.insert(job.id());
+    }
+  }
+
+  // Priority: high queue first, FIFO (arrival == id order) within a queue.
+  std::vector<const sim::JobView*> order;
+  order.reserve(ctx.jobs.size());
+  for (const auto& job : ctx.jobs) order.push_back(&job);
+  std::stable_sort(order.begin(), order.end(),
+                   [this](const sim::JobView* a, const sim::JobView* b) {
+                     const bool da = demoted_.count(a->id()) > 0;
+                     const bool db = demoted_.count(b->id()) > 0;
+                     if (da != db) return !da;  // high queue before low queue
+                     return a->id() < b->id();  // FIFO
+                   });
+
+  cluster::ClusterState state(ctx.spec);
+  cluster::AllocationMap result;
+  for (const sim::JobView* job : order) {
+    // Restrict to types the job can actually run on (rate > 0); a zero-rate
+    // device would stall the gang's synchronization barrier forever.
+    std::vector<GpuTypeId> usable;
+    for (GpuTypeId r = 0; r < ctx.spec->num_types(); ++r) {
+      if (job->throughput_on(r) > 0.0) usable.push_back(r);
+    }
+    auto alloc = take_unaware(state, usable, job->spec->num_workers);
+    if (!alloc) continue;
+    state.allocate(*alloc);
+    result.emplace(job->id(), std::move(*alloc));
+  }
+  return result;
+}
+
+}  // namespace hadar::baselines

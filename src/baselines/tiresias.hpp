@@ -1,0 +1,46 @@
+// Tiresias [4] baseline: two-queue Discretized 2D-LAS, configured as in the
+// paper's evaluation (two priority queues, PromoteKnob disabled — demoted
+// jobs never return to the high queue).
+//
+// A job's priority attribute is its attained service (GPU-seconds). Jobs
+// below `queue_threshold` sit in the high-priority queue; above it they are
+// demoted. Within a queue order is FIFO by arrival. Tiresias is
+// heterogeneity-UNAWARE: it fills a gang from whatever devices are free in
+// a fixed node/type order, never consulting throughput.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "sim/scheduler.hpp"
+
+namespace hadar::baselines {
+
+struct TiresiasConfig {
+  /// Attained-service demotion threshold in GPU-seconds (default 1 GPU-hour).
+  double queue_threshold = 3600.0;
+  /// The PromoteKnob: when > 0, a demoted job that has been STARVED (held no
+  /// allocation) for this many consecutive rounds is promoted back to the
+  /// high-priority queue. The paper's evaluation disables it (0).
+  int promote_after_starved_rounds = 0;
+};
+
+class TiresiasScheduler : public sim::IScheduler {
+ public:
+  explicit TiresiasScheduler(TiresiasConfig cfg = {});
+
+  std::string name() const override;
+  cluster::AllocationMap schedule(const sim::SchedulerContext& ctx) override;
+  void reset() override;
+
+  /// Introspection for tests.
+  bool demoted(JobId id) const { return demoted_.count(id) > 0; }
+
+ private:
+  TiresiasConfig cfg_;
+  std::set<JobId> demoted_;
+  std::set<JobId> promoted_;             // shielded until served again
+  std::map<JobId, int> starved_rounds_;  // consecutive rounds without a gang
+};
+
+}  // namespace hadar::baselines

@@ -1,0 +1,49 @@
+#include "baselines/yarn_cs.hpp"
+
+#include "baselines/alloc_util.hpp"
+
+namespace hadar::baselines {
+
+YarnCsScheduler::YarnCsScheduler(YarnConfig cfg) : cfg_(cfg) {}
+
+std::string YarnCsScheduler::name() const { return "YARN-CS"; }
+
+void YarnCsScheduler::reset() { running_.clear(); }
+
+cluster::AllocationMap YarnCsScheduler::schedule(const sim::SchedulerContext& ctx) {
+  // Drop finished jobs (present in running_, absent from the context).
+  for (auto it = running_.begin(); it != running_.end();) {
+    if (ctx.find(it->first) == nullptr) {
+      it = running_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  cluster::ClusterState state(ctx.spec);
+  cluster::AllocationMap result;
+  for (const auto& [id, alloc] : running_) {
+    state.allocate(alloc);  // running jobs are never disturbed
+    result.emplace(id, alloc);
+  }
+
+  // Strict FIFO admission with head-of-line blocking.
+  for (const auto& job : ctx.jobs) {  // ctx.jobs is arrival-ordered
+    if (running_.count(job.id())) continue;
+    std::vector<GpuTypeId> usable;
+    for (GpuTypeId r = 0; r < ctx.spec->num_types(); ++r) {
+      if (job.throughput_on(r) > 0.0) usable.push_back(r);
+    }
+    auto alloc = take_unaware(state, usable, job.spec->num_workers);
+    if (!alloc) {
+      if (!cfg_.backfill) break;  // the queue head waits; nobody jumps it
+      continue;                   // backfill: later jobs may slot in
+    }
+    state.allocate(*alloc);
+    running_.emplace(job.id(), *alloc);
+    result.emplace(job.id(), std::move(*alloc));
+  }
+  return result;
+}
+
+}  // namespace hadar::baselines

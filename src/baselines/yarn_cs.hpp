@@ -1,0 +1,34 @@
+// YARN capacity scheduler (YARN-CS [6]) baseline as configured in the paper:
+// a single-queue FIFO, NON-preemptive scheduler. A job admitted to the
+// cluster keeps exactly the same devices until it finishes; the queue head
+// blocks until its full gang fits (head-of-line blocking), which is what
+// costs YARN-CS its 7-15x JCT gap despite near-perfect GPU utilization.
+#pragma once
+
+#include <map>
+
+#include "sim/scheduler.hpp"
+
+namespace hadar::baselines {
+
+struct YarnConfig {
+  /// Strict FIFO (paper configuration): the queue head blocks everyone
+  /// behind it. With backfill enabled, later jobs that fit may be admitted
+  /// while the head waits — the common production tuning knob.
+  bool backfill = false;
+};
+
+class YarnCsScheduler : public sim::IScheduler {
+ public:
+  explicit YarnCsScheduler(YarnConfig cfg = {});
+
+  std::string name() const override;
+  cluster::AllocationMap schedule(const sim::SchedulerContext& ctx) override;
+  void reset() override;
+
+ private:
+  YarnConfig cfg_;
+  std::map<JobId, cluster::JobAllocation> running_;
+};
+
+}  // namespace hadar::baselines

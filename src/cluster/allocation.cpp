@@ -1,0 +1,144 @@
+#include "cluster/allocation.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+namespace hadar::cluster {
+
+JobAllocation::JobAllocation(std::vector<TaskPlacement> placements)
+    : placements_(std::move(placements)) {
+  for (const auto& p : placements_) {
+    if (p.count <= 0) throw std::invalid_argument("JobAllocation: non-positive worker count");
+    if (p.node < 0 || p.type < 0) throw std::invalid_argument("JobAllocation: invalid ids");
+  }
+  normalize();
+}
+
+int JobAllocation::total_workers() const {
+  int n = 0;
+  for (const auto& p : placements_) n += p.count;
+  return n;
+}
+
+int JobAllocation::nodes_used() const {
+  std::set<NodeId> nodes;
+  for (const auto& p : placements_) nodes.insert(p.node);
+  return static_cast<int>(nodes.size());
+}
+
+int JobAllocation::types_used() const {
+  std::set<GpuTypeId> types;
+  for (const auto& p : placements_) types.insert(p.type);
+  return static_cast<int>(types.size());
+}
+
+int JobAllocation::workers_of_type(GpuTypeId r) const {
+  int n = 0;
+  for (const auto& p : placements_) {
+    if (p.type == r) n += p.count;
+  }
+  return n;
+}
+
+double JobAllocation::bottleneck_throughput(const std::vector<double>& xs) const {
+  if (placements_.empty()) return 0.0;
+  double x = std::numeric_limits<double>::infinity();
+  for (const auto& p : placements_) {
+    const auto r = static_cast<std::size_t>(p.type);
+    const double v = r < xs.size() ? xs[r] : 0.0;
+    x = std::min(x, v);
+  }
+  return x;
+}
+
+void JobAllocation::normalize() {
+  std::sort(placements_.begin(), placements_.end(),
+            [](const TaskPlacement& a, const TaskPlacement& b) {
+              return a.node != b.node ? a.node < b.node : a.type < b.type;
+            });
+  // Merge adjacent placements on the same (node, type).
+  std::vector<TaskPlacement> merged;
+  for (const auto& p : placements_) {
+    if (!merged.empty() && merged.back().node == p.node && merged.back().type == p.type) {
+      merged.back().count += p.count;
+    } else {
+      merged.push_back(p);
+    }
+  }
+  placements_ = std::move(merged);
+}
+
+std::string JobAllocation::to_string(const ClusterSpec& spec) const {
+  if (placements_.empty()) return "(paused)";
+  std::string s;
+  for (std::size_t i = 0; i < placements_.size(); ++i) {
+    if (i) s += " + ";
+    const auto& p = placements_[i];
+    s += 'n';
+    s += std::to_string(p.node);
+    s += ':';
+    s += spec.types().name(p.type);
+    s += 'x';
+    s += std::to_string(p.count);
+  }
+  return s;
+}
+
+namespace {
+
+// used[h][r] accumulated across an allocation map.
+std::vector<std::vector<int>> usage(const ClusterSpec& spec, const AllocationMap& allocs) {
+  std::vector<std::vector<int>> used(
+      static_cast<std::size_t>(spec.num_nodes()),
+      std::vector<int>(static_cast<std::size_t>(spec.num_types()), 0));
+  for (const auto& [job, alloc] : allocs) {
+    (void)job;
+    for (const auto& p : alloc.placements()) {
+      used.at(static_cast<std::size_t>(p.node)).at(static_cast<std::size_t>(p.type)) += p.count;
+    }
+  }
+  return used;
+}
+
+}  // namespace
+
+bool fits(const ClusterSpec& spec, const AllocationMap& taken, const JobAllocation& alloc) {
+  auto used = usage(spec, taken);
+  for (const auto& p : alloc.placements()) {
+    if (p.node < 0 || p.node >= spec.num_nodes()) return false;
+    if (p.type < 0 || p.type >= spec.num_types()) return false;
+    auto& u = used[static_cast<std::size_t>(p.node)][static_cast<std::size_t>(p.type)];
+    u += p.count;
+    if (u > spec.node(p.node).capacity(p.type)) return false;
+  }
+  return true;
+}
+
+std::string validate(const ClusterSpec& spec, const AllocationMap& allocs) {
+  for (const auto& [job, alloc] : allocs) {
+    for (const auto& p : alloc.placements()) {
+      if (p.node < 0 || p.node >= spec.num_nodes()) {
+        return "job " + std::to_string(job) + ": invalid node " + std::to_string(p.node);
+      }
+      if (p.type < 0 || p.type >= spec.num_types()) {
+        return "job " + std::to_string(job) + ": invalid type " + std::to_string(p.type);
+      }
+    }
+  }
+  const auto used = usage(spec, allocs);
+  for (NodeId h = 0; h < spec.num_nodes(); ++h) {
+    for (GpuTypeId r = 0; r < spec.num_types(); ++r) {
+      const int u = used[static_cast<std::size_t>(h)][static_cast<std::size_t>(r)];
+      const int c = spec.node(h).capacity(r);
+      if (u > c) {
+        return "node " + std::to_string(h) + " type " + spec.types().name(r) +
+               ": used " + std::to_string(u) + " > capacity " + std::to_string(c);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace hadar::cluster

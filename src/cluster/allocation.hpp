@@ -1,0 +1,76 @@
+// Task-level allocations: which (node, GPU-type) slots a job's workers
+// occupy in a round. This is the paper's w_jh^r(t), the unit every
+// scheduler trades in.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_spec.hpp"
+#include "common/types.hpp"
+
+namespace hadar::cluster {
+
+/// `count` workers of one job on type-`type` GPUs of node `node`.
+struct TaskPlacement {
+  NodeId node = kInvalidNode;
+  GpuTypeId type = kInvalidGpuType;
+  int count = 0;
+
+  friend bool operator==(const TaskPlacement&, const TaskPlacement&) = default;
+};
+
+/// A job's full placement for one round (possibly spanning nodes and types —
+/// Hadar's task-level flexibility). Empty == job not scheduled this round.
+class JobAllocation {
+ public:
+  JobAllocation() = default;
+  explicit JobAllocation(std::vector<TaskPlacement> placements);
+
+  bool empty() const { return placements_.empty(); }
+  const std::vector<TaskPlacement>& placements() const { return placements_; }
+
+  /// Total workers across placements (must equal W_j under gang scheduling).
+  int total_workers() const;
+
+  /// Number of distinct nodes used (>1 means a non-consolidated placement
+  /// paying communication cost).
+  int nodes_used() const;
+
+  /// Number of distinct GPU types used (>1 is Hadar-only mixing).
+  int types_used() const;
+
+  /// Workers of type r across all nodes.
+  int workers_of_type(GpuTypeId r) const;
+
+  /// The bottleneck per-worker throughput x_j(t) = min over used types of
+  /// xs[type] (constraint 1b). Returns 0 for an empty allocation.
+  double bottleneck_throughput(const std::vector<double>& per_type_throughput) const;
+
+  /// Canonical ordering (sorted by node, then type) so allocations compare
+  /// structurally; equality is "same multiset of placements".
+  void normalize();
+  friend bool operator==(const JobAllocation&, const JobAllocation&) = default;
+
+  /// "n0:V100x2 + n3:K80x1"-style rendering.
+  std::string to_string(const ClusterSpec& spec) const;
+
+ private:
+  std::vector<TaskPlacement> placements_;
+};
+
+/// Round decision: allocations keyed by job. Jobs absent from the map (or
+/// mapped to an empty allocation) are paused/queued this round.
+using AllocationMap = std::map<JobId, JobAllocation>;
+
+/// True when `alloc` fits within the free capacity of `spec` considering all
+/// allocations already present in `taken`.
+bool fits(const ClusterSpec& spec, const AllocationMap& taken, const JobAllocation& alloc);
+
+/// Validates an entire allocation map against cluster capacity; returns an
+/// empty string when valid, else a human-readable violation description.
+std::string validate(const ClusterSpec& spec, const AllocationMap& allocs);
+
+}  // namespace hadar::cluster

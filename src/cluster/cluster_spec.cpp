@@ -1,0 +1,107 @@
+#include "cluster/cluster_spec.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace hadar::cluster {
+
+int NodeSpec::total_gpus() const {
+  return std::accumulate(gpu_capacity.begin(), gpu_capacity.end(), 0);
+}
+
+ClusterSpec::ClusterSpec(GpuTypeRegistry types, std::vector<NodeSpec> nodes)
+    : types_(std::move(types)), nodes_(std::move(nodes)) {
+  totals_.assign(static_cast<std::size_t>(types_.size()), 0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    NodeSpec& n = nodes_[i];
+    if (n.id != static_cast<NodeId>(i)) {
+      throw std::invalid_argument("ClusterSpec: node ids must be dense and in order");
+    }
+    if (n.gpu_capacity.size() != static_cast<std::size_t>(types_.size())) {
+      throw std::invalid_argument("ClusterSpec: capacity vector arity mismatch");
+    }
+    for (int r = 0; r < types_.size(); ++r) {
+      const int c = n.gpu_capacity[static_cast<std::size_t>(r)];
+      if (c < 0) throw std::invalid_argument("ClusterSpec: negative capacity");
+      totals_[static_cast<std::size_t>(r)] += c;
+    }
+  }
+}
+
+const NodeSpec& ClusterSpec::node(NodeId h) const {
+  if (h < 0 || h >= num_nodes()) throw std::out_of_range("ClusterSpec::node: bad id");
+  return nodes_[static_cast<std::size_t>(h)];
+}
+
+int ClusterSpec::total_of_type(GpuTypeId r) const {
+  if (r < 0 || r >= num_types()) return 0;
+  return totals_[static_cast<std::size_t>(r)];
+}
+
+int ClusterSpec::total_gpus() const {
+  return std::accumulate(totals_.begin(), totals_.end(), 0);
+}
+
+std::string ClusterSpec::summary() const {
+  std::string s = std::to_string(num_nodes()) + " nodes, " + std::to_string(total_gpus()) +
+                  " GPUs (";
+  for (int r = 0; r < num_types(); ++r) {
+    if (r) s += ", ";
+    s += types_.name(r) + ":" + std::to_string(total_of_type(r));
+  }
+  s += ")";
+  return s;
+}
+
+ClusterSpec ClusterSpec::from_counts(GpuTypeRegistry types,
+                                     const std::vector<std::vector<int>>& counts_per_node) {
+  std::vector<NodeSpec> nodes;
+  nodes.reserve(counts_per_node.size());
+  for (std::size_t i = 0; i < counts_per_node.size(); ++i) {
+    nodes.push_back(NodeSpec{static_cast<NodeId>(i), counts_per_node[i]});
+  }
+  return ClusterSpec(std::move(types), std::move(nodes));
+}
+
+ClusterSpec ClusterSpec::simulation_default() {
+  // 15 nodes / 60 GPUs: five 4-GPU nodes per type (V100, P100, K80).
+  std::vector<std::vector<int>> counts;
+  for (int r = 0; r < 3; ++r) {
+    for (int i = 0; i < 5; ++i) {
+      std::vector<int> c(3, 0);
+      c[static_cast<std::size_t>(r)] = 4;
+      counts.push_back(std::move(c));
+    }
+  }
+  return from_counts(GpuTypeRegistry::simulation_default(), counts);
+}
+
+ClusterSpec ClusterSpec::aws_prototype() {
+  // Types: V100, T4, K80, K520 — two single-GPU instances of each.
+  std::vector<std::vector<int>> counts;
+  for (int r = 0; r < 4; ++r) {
+    for (int i = 0; i < 2; ++i) {
+      std::vector<int> c(4, 0);
+      c[static_cast<std::size_t>(r)] = 1;
+      counts.push_back(std::move(c));
+    }
+  }
+  return from_counts(GpuTypeRegistry::aws_prototype(), counts);
+}
+
+ClusterSpec ClusterSpec::scaled(int nodes_per_type, int gpus_per_node) {
+  if (nodes_per_type <= 0 || gpus_per_node <= 0) {
+    throw std::invalid_argument("ClusterSpec::scaled: non-positive size");
+  }
+  std::vector<std::vector<int>> counts;
+  for (int r = 0; r < 3; ++r) {
+    for (int i = 0; i < nodes_per_type; ++i) {
+      std::vector<int> c(3, 0);
+      c[static_cast<std::size_t>(r)] = gpus_per_node;
+      counts.push_back(std::move(c));
+    }
+  }
+  return from_counts(GpuTypeRegistry::simulation_default(), counts);
+}
+
+}  // namespace hadar::cluster

@@ -1,0 +1,69 @@
+// Static description of a heterogeneous cluster: which machines exist and
+// how many accelerators of each type they carry (the paper's c_h^r).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/gpu_type.hpp"
+#include "common/types.hpp"
+
+namespace hadar::cluster {
+
+/// One machine. gpu_capacity[r] == number of type-r devices on this node.
+struct NodeSpec {
+  NodeId id = kInvalidNode;
+  std::vector<int> gpu_capacity;
+
+  int capacity(GpuTypeId r) const {
+    return (r >= 0 && static_cast<std::size_t>(r) < gpu_capacity.size())
+               ? gpu_capacity[static_cast<std::size_t>(r)]
+               : 0;
+  }
+  int total_gpus() const;
+};
+
+/// Immutable cluster description shared by schedulers and the simulator.
+class ClusterSpec {
+ public:
+  ClusterSpec() = default;
+  ClusterSpec(GpuTypeRegistry types, std::vector<NodeSpec> nodes);
+
+  const GpuTypeRegistry& types() const { return types_; }
+  int num_types() const { return types_.size(); }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const NodeSpec& node(NodeId h) const;
+  const std::vector<NodeSpec>& nodes() const { return nodes_; }
+
+  /// Cluster-wide device count of type r.
+  int total_of_type(GpuTypeId r) const;
+  /// Cluster-wide device count across all types.
+  int total_gpus() const;
+
+  /// Human-readable one-line summary, e.g. "15 nodes, 60 GPUs (V100:20 ...)".
+  std::string summary() const;
+
+  /// Builder: `counts_per_node[i][r]` gives node i's type-r capacity.
+  static ClusterSpec from_counts(GpuTypeRegistry types,
+                                 const std::vector<std::vector<int>>& counts_per_node);
+
+  /// The paper's simulated cluster (Sec. IV-A): 15 nodes, 20 GPUs of each of
+  /// V100/P100/K80 (60 total). Nodes carry 4 GPUs each; five nodes per type.
+  static ClusterSpec simulation_default();
+
+  /// The paper's AWS prototype (Sec. IV-B): 8 nodes, 8 GPUs — two nodes of
+  /// each of V100 (p3.2xlarge), T4 (g4dn.xlarge), K80 (p2.xlarge), and
+  /// K520 (g2dn.2xlarge), one GPU per node.
+  static ClusterSpec aws_prototype();
+
+  /// A scaled heterogeneous cluster for scalability studies: `scale` nodes
+  /// per type, 4 GPUs per node, using the simulation type registry.
+  static ClusterSpec scaled(int nodes_per_type, int gpus_per_node = 4);
+
+ private:
+  GpuTypeRegistry types_;
+  std::vector<NodeSpec> nodes_;
+  std::vector<int> totals_;
+};
+
+}  // namespace hadar::cluster

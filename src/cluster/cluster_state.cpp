@@ -1,0 +1,80 @@
+#include "cluster/cluster_state.hpp"
+
+#include <stdexcept>
+
+namespace hadar::cluster {
+
+ClusterState::ClusterState(const ClusterSpec* spec) : spec_(spec) {
+  if (spec_ == nullptr) throw std::invalid_argument("ClusterState: null spec");
+  used_.assign(static_cast<std::size_t>(spec_->num_nodes()) *
+                   static_cast<std::size_t>(spec_->num_types()),
+               0);
+}
+
+std::size_t ClusterState::index(NodeId h, GpuTypeId r) const {
+  if (h < 0 || h >= spec_->num_nodes() || r < 0 || r >= spec_->num_types()) {
+    throw std::out_of_range("ClusterState: bad (node, type)");
+  }
+  return static_cast<std::size_t>(h) * static_cast<std::size_t>(spec_->num_types()) +
+         static_cast<std::size_t>(r);
+}
+
+int ClusterState::free_count(NodeId h, GpuTypeId r) const {
+  return spec_->node(h).capacity(r) - used_[index(h, r)];
+}
+
+int ClusterState::used_count(NodeId h, GpuTypeId r) const { return used_[index(h, r)]; }
+
+int ClusterState::total_free_of_type(GpuTypeId r) const {
+  int n = 0;
+  for (NodeId h = 0; h < spec_->num_nodes(); ++h) n += free_count(h, r);
+  return n;
+}
+
+int ClusterState::total_free() const {
+  int n = 0;
+  for (GpuTypeId r = 0; r < spec_->num_types(); ++r) n += total_free_of_type(r);
+  return n;
+}
+
+void ClusterState::allocate(const JobAllocation& alloc) {
+  if (!can_allocate(alloc)) throw std::runtime_error("ClusterState::allocate: over capacity");
+  for (const auto& p : alloc.placements()) used_[index(p.node, p.type)] += p.count;
+}
+
+void ClusterState::release(const JobAllocation& alloc) {
+  for (const auto& p : alloc.placements()) {
+    auto& u = used_[index(p.node, p.type)];
+    if (u < p.count) throw std::runtime_error("ClusterState::release: underflow");
+    u -= p.count;
+  }
+}
+
+bool ClusterState::can_allocate(const JobAllocation& alloc) const {
+  // Placements are normalized (one entry per (node, type)), so a per-entry
+  // check is exact.
+  for (const auto& p : alloc.placements()) {
+    if (p.node < 0 || p.node >= spec_->num_nodes()) return false;
+    if (p.type < 0 || p.type >= spec_->num_types()) return false;
+    if (free_count(p.node, p.type) < p.count) return false;
+  }
+  return true;
+}
+
+void ClusterState::clear() { std::fill(used_.begin(), used_.end(), 0); }
+
+void ClusterState::restore(const Snapshot& snap) {
+  if (snap.size() != used_.size()) throw std::invalid_argument("ClusterState::restore: arity");
+  used_ = snap;
+}
+
+std::uint64_t ClusterState::hash() const {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (int u : used_) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(u));
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace hadar::cluster

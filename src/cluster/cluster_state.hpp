@@ -1,0 +1,61 @@
+// Mutable view of free/used devices during a scheduling decision. The Hadar
+// DP mutates and rolls back this state along include/exclude branches, so it
+// supports cheap snapshot/restore and a stable hash for memoization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/allocation.hpp"
+#include "cluster/cluster_spec.hpp"
+
+namespace hadar::cluster {
+
+/// Free-capacity tracker over a ClusterSpec. Not thread-safe by design: a
+/// scheduling decision is a single-threaded search.
+class ClusterState {
+ public:
+  explicit ClusterState(const ClusterSpec* spec);
+
+  const ClusterSpec& spec() const { return *spec_; }
+
+  int free_count(NodeId h, GpuTypeId r) const;
+  int used_count(NodeId h, GpuTypeId r) const;
+
+  /// Cluster-wide free devices of type r.
+  int total_free_of_type(GpuTypeId r) const;
+  /// Cluster-wide free devices across all types.
+  int total_free() const;
+  /// The paper's gamma_h^r(t): allocated count on (h, r).
+  int gamma(NodeId h, GpuTypeId r) const { return used_count(h, r); }
+
+  bool is_full() const { return total_free() == 0; }
+
+  /// Claims the placements of `alloc`. Throws std::runtime_error when
+  /// capacity would be exceeded (callers must check with can_allocate()).
+  void allocate(const JobAllocation& alloc);
+
+  /// Releases the placements of `alloc` (exact inverse of allocate()).
+  void release(const JobAllocation& alloc);
+
+  bool can_allocate(const JobAllocation& alloc) const;
+
+  /// Resets to all-free.
+  void clear();
+
+  /// Snapshot/restore for search rollback; snapshots are value types.
+  using Snapshot = std::vector<int>;
+  Snapshot snapshot() const { return used_; }
+  void restore(const Snapshot& snap);
+
+  /// FNV-1a hash of the usage vector; memoization key for the DP.
+  std::uint64_t hash() const;
+
+ private:
+  std::size_t index(NodeId h, GpuTypeId r) const;
+
+  const ClusterSpec* spec_;
+  std::vector<int> used_;  // dense [node][type]
+};
+
+}  // namespace hadar::cluster

@@ -1,0 +1,59 @@
+#include "cluster/gpu_type.hpp"
+
+#include <stdexcept>
+
+namespace hadar::cluster {
+
+GpuTypeRegistry::GpuTypeRegistry(std::vector<GpuTypeInfo> types) : types_(std::move(types)) {
+  if (types_.empty()) throw std::invalid_argument("GpuTypeRegistry: no types");
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    if (types_[i].name.empty()) throw std::invalid_argument("GpuTypeRegistry: empty type name");
+    if (types_[i].relative_speed <= 0.0) {
+      throw std::invalid_argument("GpuTypeRegistry: non-positive relative speed");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (types_[j].name == types_[i].name) {
+        throw std::invalid_argument("GpuTypeRegistry: duplicate type " + types_[i].name);
+      }
+    }
+  }
+}
+
+const GpuTypeInfo& GpuTypeRegistry::info(GpuTypeId id) const {
+  if (id < 0 || id >= size()) throw std::out_of_range("GpuTypeRegistry::info: bad id");
+  return types_[static_cast<std::size_t>(id)];
+}
+
+GpuTypeId GpuTypeRegistry::find(const std::string& name) const {
+  for (int i = 0; i < size(); ++i) {
+    if (types_[static_cast<std::size_t>(i)].name == name) return i;
+  }
+  return kInvalidGpuType;
+}
+
+GpuTypeId GpuTypeRegistry::at(const std::string& name) const {
+  const GpuTypeId id = find(name);
+  if (id == kInvalidGpuType) throw std::out_of_range("GpuTypeRegistry::at: unknown type " + name);
+  return id;
+}
+
+bool GpuTypeRegistry::operator==(const GpuTypeRegistry& other) const {
+  if (size() != other.size()) return false;
+  for (int i = 0; i < size(); ++i) {
+    if (types_[static_cast<std::size_t>(i)].name !=
+        other.types_[static_cast<std::size_t>(i)].name) {
+      return false;
+    }
+  }
+  return true;
+}
+
+GpuTypeRegistry GpuTypeRegistry::simulation_default() {
+  return GpuTypeRegistry({{"V100", 10.0}, {"P100", 4.0}, {"K80", 1.0}});
+}
+
+GpuTypeRegistry GpuTypeRegistry::aws_prototype() {
+  return GpuTypeRegistry({{"V100", 10.0}, {"T4", 5.0}, {"K80", 1.0}, {"K520", 0.8}});
+}
+
+}  // namespace hadar::cluster

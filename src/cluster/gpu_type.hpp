@@ -1,0 +1,51 @@
+// GPU/accelerator type registry: maps device-type names ("V100", "K80", ...)
+// to dense ids used everywhere else. Registries are immutable after
+// construction so the id <-> name mapping can never shift under a running
+// experiment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hadar::cluster {
+
+/// Static metadata for one accelerator type.
+struct GpuTypeInfo {
+  std::string name;       ///< e.g. "V100"
+  double relative_speed;  ///< nominal speed vs the slowest type (display only)
+};
+
+/// Immutable, ordered set of accelerator types in a cluster.
+class GpuTypeRegistry {
+ public:
+  GpuTypeRegistry() = default;
+  explicit GpuTypeRegistry(std::vector<GpuTypeInfo> types);
+
+  /// Number of registered types (R in the paper).
+  int size() const { return static_cast<int>(types_.size()); }
+
+  const GpuTypeInfo& info(GpuTypeId id) const;
+  const std::string& name(GpuTypeId id) const { return info(id).name; }
+
+  /// Id for a type name, or kInvalidGpuType when unknown.
+  GpuTypeId find(const std::string& name) const;
+
+  /// Id for a type name; throws std::out_of_range when unknown.
+  GpuTypeId at(const std::string& name) const;
+
+  bool operator==(const GpuTypeRegistry& other) const;
+
+  /// The registry used by the paper's simulations: V100, P100, K80
+  /// (fastest first).
+  static GpuTypeRegistry simulation_default();
+
+  /// The registry of the paper's AWS prototype: V100, T4, K80, K520.
+  static GpuTypeRegistry aws_prototype();
+
+ private:
+  std::vector<GpuTypeInfo> types_;
+};
+
+}  // namespace hadar::cluster

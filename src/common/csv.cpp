@@ -1,0 +1,148 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hadar::common {
+namespace {
+
+bool needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& s) {
+  if (!needs_quoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void append_row(std::string& out, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out += ',';
+    out += quote(row[i]);
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("CsvWriter: empty header");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("CsvWriter: row arity does not match header");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::field(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string CsvWriter::field(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string CsvWriter::to_string() const {
+  std::string out;
+  append_row(out, header_);
+  for (const auto& r : rows_) append_row(out, r);
+  return out;
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << to_string();
+  return static_cast<bool>(f);
+}
+
+int CsvDocument::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+CsvDocument parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    if (field_started || !record.empty() || !field.empty()) {
+      end_field();
+      records.push_back(std::move(record));
+      record.clear();
+    }
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      if (!field.empty()) throw std::runtime_error("parse_csv: quote inside unquoted field");
+      in_quotes = true;
+      field_started = true;
+    } else if (c == ',') {
+      end_field();
+      field_started = true;  // a comma implies the next field exists
+    } else if (c == '\n') {
+      end_record();
+    } else if (c == '\r') {
+      // swallow; \r\n handled by the \n branch
+    } else {
+      field += c;
+      field_started = true;
+    }
+  }
+  if (in_quotes) throw std::runtime_error("parse_csv: unterminated quoted field");
+  end_record();
+
+  CsvDocument doc;
+  if (records.empty()) return doc;
+  doc.header = std::move(records.front());
+  doc.rows.assign(std::make_move_iterator(records.begin() + 1),
+                  std::make_move_iterator(records.end()));
+  return doc;
+}
+
+CsvDocument read_csv_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("read_csv_file: cannot open " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse_csv(ss.str());
+}
+
+}  // namespace hadar::common

@@ -1,0 +1,52 @@
+// Minimal CSV reader/writer for trace files and experiment outputs.
+// RFC-4180 quoting for fields containing commas/quotes/newlines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hadar::common {
+
+/// Builds CSV text in memory; write_file() persists it.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends one row. Must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with %.6g and ints with %lld.
+  static std::string field(double v);
+  static std::string field(long long v);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders header + rows as CSV text.
+  std::string to_string() const;
+
+  /// Writes to disk. Returns false (and leaves no partial file behind is NOT
+  /// guaranteed) on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parsed CSV document: header + data rows.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Column index by name, or -1 when absent.
+  int column(const std::string& name) const;
+};
+
+/// Parses CSV text (first line is the header). Handles quoted fields and
+/// embedded newlines; throws std::runtime_error on malformed quoting.
+CsvDocument parse_csv(const std::string& text);
+
+/// Reads and parses a CSV file. Throws std::runtime_error when unreadable.
+CsvDocument read_csv_file(const std::string& path);
+
+}  // namespace hadar::common

@@ -1,0 +1,24 @@
+// Tiny leveled logger. The simulator is hot-path sensitive: logging below
+// the active level costs one branch and no formatting.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace hadar::common {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-global minimum level (default kWarn: library stays quiet).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging to stderr with a level prefix.
+void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define HADAR_LOG_DEBUG(...) ::hadar::common::logf(::hadar::common::LogLevel::kDebug, __VA_ARGS__)
+#define HADAR_LOG_INFO(...) ::hadar::common::logf(::hadar::common::LogLevel::kInfo, __VA_ARGS__)
+#define HADAR_LOG_WARN(...) ::hadar::common::logf(::hadar::common::LogLevel::kWarn, __VA_ARGS__)
+#define HADAR_LOG_ERROR(...) ::hadar::common::logf(::hadar::common::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace hadar::common

@@ -1,0 +1,80 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace hadar::common {
+
+std::uint64_t Rng::next_u64() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Modulo bias is < 2^-40 for the spans we use (< 2^24); acceptable.
+  return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+double Rng::exponential(double rate) {
+  if (rate <= 0.0) throw std::invalid_argument("Rng::exponential: rate <= 0");
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);  // guard log(0)
+  return -std::log(u) / rate;
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) throw std::invalid_argument("Rng::weighted_index: no positive weight");
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (x < w) return i;
+    x -= w;
+  }
+  // Floating point slack: return the last positively weighted index.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(p[i - 1], p[j]);
+  }
+  return p;
+}
+
+Rng Rng::fork() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace hadar::common

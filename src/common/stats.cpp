@@ -1,0 +1,80 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hadar::common {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double min_of(const std::vector<double>& xs) {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(const std::vector<double>& xs) {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); }
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs, std::size_t points) {
+  std::vector<CdfPoint> curve;
+  if (xs.empty() || points == 0) return curve;
+  std::sort(xs.begin(), xs.end());
+  const double xmax = xs.back();
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        points == 1 ? xmax : xmax * static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+    const double frac =
+        static_cast<double>(it - xs.begin()) / static_cast<double>(xs.size());
+    curve.push_back({x, frac});
+  }
+  return curve;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace hadar::common

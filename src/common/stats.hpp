@@ -1,0 +1,56 @@
+// Descriptive statistics used by the metric pipeline: means, percentiles,
+// CDF sampling, and a streaming (Welford) accumulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hadar::common {
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(const std::vector<double>& xs);
+
+/// Population standard deviation; 0 for fewer than two samples.
+double stddev(const std::vector<double>& xs);
+
+/// Minimum / maximum; 0 for an empty sample.
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+
+/// p-th percentile (p in [0,100]) with linear interpolation between order
+/// statistics; 0 for an empty sample. Does not mutate the input.
+double percentile(std::vector<double> xs, double p);
+
+/// Median == percentile(xs, 50).
+double median(std::vector<double> xs);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double x;         ///< value (e.g. time in seconds)
+  double fraction;  ///< fraction of samples <= x, in [0,1]
+};
+
+/// Empirical CDF of `xs` sampled at `points` evenly spaced x-values spanning
+/// [0, max(xs)]. Empty input yields an empty curve.
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs, std::size_t points = 50);
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hadar::common

@@ -1,0 +1,89 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hadar::common {
+
+AsciiTable::AsciiTable(std::string title, std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("AsciiTable: empty header");
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());  // pad short rows with empty cells
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::num(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string AsciiTable::integer(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string AsciiTable::speedup(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*fx", precision, v);
+  return buf;
+}
+
+std::string AsciiTable::percent(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+  return buf;
+}
+
+std::string AsciiTable::duration(double seconds) {
+  char buf[48];
+  if (seconds >= 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f h", seconds / 3600.0);
+  } else if (seconds >= 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+  }
+  return buf;
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (auto w : width) s += std::string(w + 2, '-') + "+";
+    s += '\n';
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      s += ' ' + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += "== " + title_ + " ==\n";
+  out += rule();
+  out += line(header_);
+  out += rule();
+  for (const auto& row : rows_) out += line(row);
+  out += rule();
+  if (!footnote_.empty()) out += footnote_ + '\n';
+  return out;
+}
+
+}  // namespace hadar::common

@@ -1,0 +1,39 @@
+// ASCII table rendering for the benchmark harness: every bench binary prints
+// the rows/series of its paper figure or table through this formatter so the
+// outputs are uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hadar::common {
+
+/// Column-aligned ASCII table with a title and optional footnote.
+class AsciiTable {
+ public:
+  AsciiTable(std::string title, std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Formatting helpers mirroring CsvWriter.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+  /// "3.4x" style speedup cell.
+  static std::string speedup(double v, int precision = 1);
+  /// "87.2%" style percentage cell (v in [0,1]).
+  static std::string percent(double v, int precision = 1);
+  /// Seconds rendered as "1.23 h" / "4.5 min" / "32 s" as appropriate.
+  static std::string duration(double seconds);
+
+  std::string render() const;
+
+  void set_footnote(std::string note) { footnote_ = std::move(note); }
+
+ private:
+  std::string title_;
+  std::string footnote_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hadar::common

@@ -1,0 +1,24 @@
+// Core identifier and time types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hadar {
+
+/// Identifier of a job within a trace. Dense, assigned in arrival order.
+using JobId = std::int32_t;
+/// Identifier of a machine (server) in the cluster. Dense.
+using NodeId = std::int32_t;
+/// Identifier of a GPU/accelerator type (index into GpuTypeRegistry). Dense.
+using GpuTypeId = std::int32_t;
+
+/// Simulated wall-clock time and durations, in seconds.
+using Seconds = double;
+
+inline constexpr JobId kInvalidJob = -1;
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr GpuTypeId kInvalidGpuType = -1;
+inline constexpr Seconds kInfiniteTime = std::numeric_limits<Seconds>::infinity();
+
+}  // namespace hadar

@@ -1,0 +1,47 @@
+#include "core/competitive.hpp"
+
+#include <algorithm>
+
+namespace hadar::core {
+
+CompetitiveReport analyze_competitiveness(const cluster::ClusterSpec& spec,
+                                          const workload::Trace& trace,
+                                          const sim::SimResult& result,
+                                          UtilityKind utility_kind,
+                                          PricingConfig pricing) {
+  CompetitiveReport rep;
+  const UtilityFunction utility(utility_kind, static_cast<double>(trace.jobs.size()));
+
+  // Fresh job views (no progress): U is evaluated on the whole job.
+  sim::SchedulerContext ctx;
+  ctx.spec = &spec;
+  ctx.now = 0.0;
+  for (const auto& j : trace.jobs) {
+    sim::JobView v;
+    v.spec = &j;
+    v.throughput = j.throughput;
+    ctx.jobs.push_back(std::move(v));
+  }
+
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    const auto& view = ctx.jobs[i];
+    const Seconds ideal = ideal_total_runtime(view);
+    if (ideal == kInfiniteTime) continue;
+    rep.utility_upper_bound += utility(view, std::max<Seconds>(ideal, 1e-6), 0.0);
+    const auto& outcome = result.jobs.at(i);
+    if (outcome.finished()) {
+      rep.achieved_utility += utility(view, std::max<Seconds>(outcome.jct(), 1e-6), 0.0);
+    }
+  }
+
+  PriceBook book(spec.num_types(), pricing);
+  book.compute_bounds(ctx, utility);
+  rep.alpha = book.alpha();
+  rep.guaranteed_ratio = 2.0 * rep.alpha;
+  rep.empirical_ratio = rep.achieved_utility > 0.0
+                            ? rep.utility_upper_bound / rep.achieved_utility
+                            : rep.guaranteed_ratio;
+  return rep;
+}
+
+}  // namespace hadar::core

@@ -1,0 +1,44 @@
+// Empirical companion to Theorem 2 (the 2*alpha competitive ratio): given a
+// finished simulation, evaluate the total utility the scheduler actually
+// realized, compare it against the offline utility UPPER bound (every job
+// completing at its physically fastest), and report the guaranteed bound
+// 2*alpha computed from the Eq. 6-7 price limits over the initial queue.
+//
+// Because the upper bound dominates the offline optimum, observing
+//   achieved * guaranteed_ratio >= upper_bound        (i.e. ratio <= 2*alpha)
+// is a sound empirical check of the theorem on any workload.
+#pragma once
+
+#include "core/pricing.hpp"
+#include "sim/metrics.hpp"
+#include "workload/job.hpp"
+
+namespace hadar::core {
+
+struct CompetitiveReport {
+  /// sum_j U_j(f_j - a_j) realized by the schedule (finished jobs only).
+  double achieved_utility = 0.0;
+  /// sum_j U_j(t_j^min): the unreachable all-ideal completion bound, which
+  /// upper-bounds the offline optimum OPT.
+  double utility_upper_bound = 0.0;
+  /// upper_bound / achieved (>= 1). An upper bound on the true competitive
+  /// ratio OPT / achieved.
+  double empirical_ratio = 0.0;
+  /// alpha = max_r max(1, ln(Umax^r / Umin^r)) over the initial queue.
+  double alpha = 1.0;
+  /// Theorem 2's guarantee: 2 * alpha.
+  double guaranteed_ratio = 2.0;
+  /// True when the run satisfies the bound (empirical <= guaranteed).
+  bool within_guarantee() const { return empirical_ratio <= guaranteed_ratio + 1e-9; }
+};
+
+/// Analyzes one finished run. `spec` provides the GPU types used to compute
+/// the price-bound alpha; `utility_kind` must match the scheduler's policy.
+CompetitiveReport analyze_competitiveness(const cluster::ClusterSpec& spec,
+                                          const workload::Trace& trace,
+                                          const sim::SimResult& result,
+                                          UtilityKind utility_kind =
+                                              UtilityKind::kEffectiveThroughput,
+                                          PricingConfig pricing = {});
+
+}  // namespace hadar::core

@@ -1,0 +1,108 @@
+#include "core/dp_allocation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hadar::core {
+namespace {
+
+// One partial decision over the queue prefix.
+struct BeamState {
+  cluster::ClusterState::Snapshot usage;
+  double payoff = 0.0;
+  int jobs = 0;
+  std::vector<std::pair<JobId, cluster::JobAllocation>> chosen;
+};
+
+}  // namespace
+
+DpResult dp_allocation(const std::vector<const sim::JobView*>& queue,
+                       cluster::ClusterState& state, const PriceBook& prices,
+                       const UtilityFunction& utility, Seconds now,
+                       const sim::NetworkModel& network,
+                       const DpConfig& cfg) {
+  if (cfg.beam_width < 1) throw std::invalid_argument("DpConfig: beam_width < 1");
+  if (cfg.queue_window < 0) throw std::invalid_argument("DpConfig: queue_window < 0");
+
+  DpResult result;
+  const auto base = state.snapshot();
+
+  const int window =
+      std::min<int>(cfg.queue_window, static_cast<int>(queue.size()));
+
+  // ---- beam DP over the branching window ----
+  std::vector<BeamState> beam;
+  beam.push_back(BeamState{base, 0.0, 0, {}});
+
+  for (int idx = 0; idx < window; ++idx) {
+    const sim::JobView& job = *queue[static_cast<std::size_t>(idx)];
+    std::vector<BeamState> next;
+    next.reserve(beam.size() * 2);
+    for (auto& bs : beam) {
+      // Exclude branch: state unchanged.
+      next.push_back(bs);
+
+      // Include branch: price the job against this partial state.
+      state.restore(bs.usage);
+      if (state.is_full()) continue;
+      const auto cand =
+          find_alloc(job, state, prices, utility, now, network, cfg.find_alloc);
+      ++result.stats.states_explored;
+      if (!cand || cand->payoff <= 0.0) continue;  // admission filter (line 30)
+      state.allocate(cand->alloc);
+      BeamState inc;
+      inc.usage = state.snapshot();
+      inc.payoff = bs.payoff + cand->payoff;
+      inc.jobs = bs.jobs + 1;
+      inc.chosen = bs.chosen;
+      inc.chosen.emplace_back(job.id(), cand->alloc);
+      next.push_back(std::move(inc));
+    }
+
+    // Deduplicate identical cluster states, keeping the better payoff
+    // (the memoization of Algorithm 2 lines 16-21).
+    std::sort(next.begin(), next.end(), [](const BeamState& a, const BeamState& b) {
+      if (a.payoff != b.payoff) return a.payoff > b.payoff;
+      return a.jobs > b.jobs;
+    });
+    std::vector<BeamState> dedup;
+    std::unordered_set<std::uint64_t> seen;
+    for (auto& bs : next) {
+      state.restore(bs.usage);
+      const auto h = state.hash();
+      if (seen.insert(h).second) {
+        dedup.push_back(std::move(bs));
+        if (static_cast<int>(dedup.size()) >= cfg.beam_width) break;
+      }
+    }
+    beam = std::move(dedup);
+  }
+
+  // Best full-window state (beam is sorted best-first).
+  BeamState best = std::move(beam.front());
+
+  // ---- greedy tail beyond the window ----
+  state.restore(best.usage);
+  for (std::size_t idx = static_cast<std::size_t>(window); idx < queue.size(); ++idx) {
+    if (state.is_full()) break;
+    const sim::JobView& job = *queue[idx];
+    const auto cand =
+        find_alloc(job, state, prices, utility, now, network, cfg.find_alloc);
+    ++result.stats.greedy_tail_jobs;
+    if (!cand || cand->payoff <= 0.0) continue;
+    state.allocate(cand->alloc);
+    best.payoff += cand->payoff;
+    best.jobs += 1;
+    best.chosen.emplace_back(job.id(), cand->alloc);
+  }
+
+  state.restore(base);  // leave caller's state untouched
+
+  result.total_payoff = best.payoff;
+  result.jobs_scheduled = best.jobs;
+  for (auto& [id, alloc] : best.chosen) result.allocs.emplace(id, std::move(alloc));
+  return result;
+}
+
+}  // namespace hadar::core

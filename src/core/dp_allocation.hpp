@@ -1,0 +1,53 @@
+// DP_allocation (Algorithm 2): decide which queued jobs to admit this round
+// and with which task-level placements, maximizing total payoff under the
+// dual prices.
+//
+// The paper's recursion branches on "schedule job idx" vs "skip job idx"
+// (lines 14-15), memoizing per (job index, server state) so subproblems are
+// not recomputed. We realize the same structure as a deterministic
+// beam-bounded DP: a bounded set of partial states advances job by job,
+// each state forking into exclude/include children, deduplicated by cluster
+// -state hash and pruned to the `beam_width` best payoffs. With beam_width=1
+// this degenerates to the pure greedy include-first pass; the cap is what
+// keeps the round decision polynomial — O(|Q| * beam * H R log H) — matching
+// the paper's claimed complexity class (Theorem 1).
+//
+// Jobs beyond `queue_window` (already priority-ordered by the caller) skip
+// the branching and are admitted greedily, which bounds work under the very
+// long queues of the scalability study (Fig. 7).
+#pragma once
+
+#include <vector>
+
+#include "core/find_alloc.hpp"
+
+namespace hadar::core {
+
+struct DpConfig {
+  int queue_window = 48;  ///< jobs covered by the include/exclude branching
+  int beam_width = 64;    ///< partial states kept per step (>=1)
+  FindAllocConfig find_alloc;
+};
+
+struct DpStats {
+  int states_explored = 0;
+  int greedy_tail_jobs = 0;
+};
+
+struct DpResult {
+  cluster::AllocationMap allocs;
+  double total_payoff = 0.0;
+  int jobs_scheduled = 0;
+  DpStats stats;
+};
+
+/// Runs the allocation decision over `queue` (highest priority first).
+/// `state` carries pre-existing allocations (pinned running jobs) and is
+/// left unchanged on return.
+DpResult dp_allocation(const std::vector<const sim::JobView*>& queue,
+                       cluster::ClusterState& state, const PriceBook& prices,
+                       const UtilityFunction& utility, Seconds now,
+                       const sim::NetworkModel& network,
+                       const DpConfig& cfg = {});
+
+}  // namespace hadar::core

@@ -1,0 +1,167 @@
+#include "core/find_alloc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hadar::core {
+namespace {
+
+// Evaluates a concrete placement into a candidate (cost, utility, payoff).
+AllocCandidate evaluate(const sim::JobView& job, cluster::JobAllocation alloc,
+                        const cluster::ClusterState& state, const PriceBook& prices,
+                        const UtilityFunction& utility, Seconds now,
+                        const sim::NetworkModel& network,
+                        const FindAllocConfig& cfg) {
+  AllocCandidate cand;
+  cand.alloc = std::move(alloc);
+
+  const int workers = cand.alloc.total_workers();
+  const int extra_nodes = cand.alloc.nodes_used() - 1;
+  const double x = network.effective_rate(cand.alloc.bottleneck_throughput(job.throughput),
+                                          cand.alloc.nodes_used(), job.spec->model_size_mb);
+
+  const double rate = x * workers;
+  cand.est_duration = rate > 0.0 ? job.remaining_iterations() / rate : kInfiniteTime;
+  cand.utility = rate > 0.0 ? utility(job, cand.est_duration, now) : 0.0;
+
+  cand.cost = prices.allocation_cost(state, cand.alloc);
+  if (extra_nodes > 0 && workers > 0) {
+    // Explicit communication surcharge (Algorithm 2 line 27): a fraction of
+    // the mean per-device price, per extra node spanned, per worker.
+    const double mean_price = cand.cost / workers;
+    cand.cost += cfg.comm_cost_weight * mean_price * extra_nodes * workers;
+  }
+  cand.payoff = cand.utility - cand.cost;
+  return cand;
+}
+
+// One free device pool a job could draw from.
+struct Slot {
+  NodeId node;
+  GpuTypeId type;
+  int free;
+  double rate;   // X_j^r
+  double price;  // marginal price of the first device in the pool
+};
+
+// Fill a gang of `workers` from `pool`. The bottleneck throughput is fixed
+// by the slowest eligible type, so the efficient fill draws the SLOWEST
+// types first — faster devices add nothing to this gang and are left free
+// for jobs that can actually exploit them. Within a rate, denser pools come
+// first (fewer nodes spanned), then cheaper, then stable ids.
+std::optional<cluster::JobAllocation> fill(std::vector<const Slot*> pool, int workers,
+                                           bool allow_mixed_types) {
+  int total = 0;
+  for (const Slot* s : pool) total += s->free;
+  if (total < workers) return std::nullopt;
+
+  std::sort(pool.begin(), pool.end(), [](const Slot* a, const Slot* b) {
+    if (a->rate != b->rate) return a->rate < b->rate;  // slowest eligible first
+    if (a->free != b->free) return a->free > b->free;  // consolidate
+    if (a->price != b->price) return a->price < b->price;
+    return a->node != b->node ? a->node < b->node : a->type < b->type;
+  });
+
+  std::vector<cluster::TaskPlacement> pl;
+  int need = workers;
+  std::vector<GpuTypeId> types_seen;
+  for (const Slot* s : pool) {
+    if (need == 0) break;
+    const int take = std::min(need, s->free);
+    pl.push_back({s->node, s->type, take});
+    need -= take;
+    if (std::find(types_seen.begin(), types_seen.end(), s->type) == types_seen.end()) {
+      types_seen.push_back(s->type);
+    }
+  }
+  if (need != 0) return std::nullopt;
+  if (!allow_mixed_types && types_seen.size() > 1) return std::nullopt;
+  return cluster::JobAllocation(std::move(pl));
+}
+
+void consider(std::optional<AllocCandidate>& best, AllocCandidate cand) {
+  if (!best || cand.payoff > best->payoff + 1e-12 ||
+      (cand.payoff > best->payoff - 1e-12 && cand.cost < best->cost)) {
+    best = std::move(cand);
+  }
+}
+
+}  // namespace
+
+std::optional<AllocCandidate> find_alloc(const sim::JobView& job,
+                                         const cluster::ClusterState& state,
+                                         const PriceBook& prices,
+                                         const UtilityFunction& utility, Seconds now,
+                                         const sim::NetworkModel& network,
+                                         const FindAllocConfig& cfg) {
+  const cluster::ClusterSpec& spec = state.spec();
+  const int H = spec.num_nodes();
+  const int R = spec.num_types();
+  const int W = job.spec->num_workers;
+
+  // Free pools usable by this job.
+  std::vector<Slot> slots;
+  slots.reserve(static_cast<std::size_t>(H) * static_cast<std::size_t>(R));
+  for (NodeId h = 0; h < H; ++h) {
+    for (GpuTypeId r = 0; r < R; ++r) {
+      const int free = state.free_count(h, r);
+      const double rate = job.throughput_on(r);
+      if (free > 0 && rate > 0.0) {
+        slots.push_back(Slot{h, r, free, rate, prices.marginal_price(state, h, r)});
+      }
+    }
+  }
+  if (slots.empty()) return std::nullopt;
+
+  // Distinct usable rates, fastest first: each defines a bottleneck level k
+  // (Algorithm 2 line 23's descending-throughput sweep).
+  std::vector<double> thresholds;
+  for (GpuTypeId r = 0; r < R; ++r) {
+    const double x = job.throughput_on(r);
+    if (x > 0.0) thresholds.push_back(x);
+  }
+  std::sort(thresholds.begin(), thresholds.end(), std::greater<>());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()), thresholds.end());
+
+  std::optional<AllocCandidate> best;
+  auto try_pool = [&](const std::vector<const Slot*>& pool) {
+    auto alloc = fill(pool, W, cfg.allow_mixed_types);
+    if (!alloc) return;
+    consider(best, evaluate(job, std::move(*alloc), state, prices, utility, now,
+                            network, cfg));
+  };
+
+  // ---- consolidated candidates: all W workers on one node (line 24),
+  // one candidate per (node, bottleneck level) ----
+  for (NodeId h = 0; h < H; ++h) {
+    for (double threshold : thresholds) {
+      std::vector<const Slot*> pool;
+      for (const auto& s : slots) {
+        if (s.node == h && s.rate >= threshold) pool.push_back(&s);
+      }
+      if (!pool.empty()) try_pool(pool);
+    }
+  }
+
+  // ---- cluster-wide candidates per bottleneck level (line 25) ----
+  if (cfg.allow_multi_node) {
+    for (double threshold : thresholds) {
+      std::vector<const Slot*> pool;
+      for (const auto& s : slots) {
+        if (s.rate >= threshold) pool.push_back(&s);
+      }
+      if (!pool.empty()) try_pool(pool);
+    }
+  }
+
+  // ---- the job's current placement, if it still fits ----
+  if (!job.current_allocation.empty() && state.can_allocate(job.current_allocation)) {
+    consider(best, evaluate(job, job.current_allocation, state, prices, utility, now,
+                            network, cfg));
+  }
+
+  return best;
+}
+
+}  // namespace hadar::core

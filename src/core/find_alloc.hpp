@@ -1,0 +1,59 @@
+// FIND_ALLOC (Algorithm 2, lines 22-34): the cheapest feasible task-level
+// placement for one job under the current dual prices.
+//
+// Candidates generated, all gang-sized (exactly W_j workers):
+//   * consolidated — all workers on a single node, fastest types first
+//     (line 24);
+//   * non-consolidated — cluster-wide, restricted to the k fastest usable
+//     types for every k (line 25): sweeping k trades a faster bottleneck
+//     against availability, which is exactly Hadar's task-level flexibility;
+//   * the job's current allocation (so continuing in place is always
+//     considered and priced).
+// Non-consolidated candidates pay communication cost (lines 26-27) twice
+// over: their bottleneck throughput is reduced by the network penalty (which
+// lengthens the estimated completion and thus lowers utility), and an
+// explicit priced surcharge is added per extra node spanned.
+// The best candidate maximizes the payoff mu_j = U_j - cost (line 29); a
+// job whose best payoff is non-positive is filtered out (lines 30-33).
+#pragma once
+
+#include <optional>
+
+#include "cluster/cluster_state.hpp"
+#include "core/pricing.hpp"
+#include "core/utility.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hadar::core {
+
+struct FindAllocConfig {
+  /// Extra priced cost per node beyond the first: this fraction of the
+  /// placement's mean per-device price, per extra node, per worker.
+  double comm_cost_weight = 0.5;
+  /// Allow placements mixing GPU types (Hadar's defining capability).
+  /// Disabled => job-level homogeneous placements only (Gavel-like).
+  bool allow_mixed_types = true;
+  /// Allow placements spanning several nodes.
+  bool allow_multi_node = true;
+};
+
+/// One feasible priced placement.
+struct AllocCandidate {
+  cluster::JobAllocation alloc;
+  double cost = 0.0;        ///< priced device cost + communication surcharge
+  double utility = 0.0;     ///< U_j at the estimated completion
+  double payoff = 0.0;         ///< utility - cost (the dual mu_j)
+  Seconds est_duration = 0.0;  ///< estimated f_j - now under this placement
+};
+
+/// Returns the max-payoff candidate for `job` against `state`, or nullopt
+/// when no gang-sized placement fits. Does not apply the payoff>0 admission
+/// filter — the DP layer decides admission.
+std::optional<AllocCandidate> find_alloc(const sim::JobView& job,
+                                         const cluster::ClusterState& state,
+                                         const PriceBook& prices,
+                                         const UtilityFunction& utility, Seconds now,
+                                         const sim::NetworkModel& network,
+                                         const FindAllocConfig& cfg = {});
+
+}  // namespace hadar::core

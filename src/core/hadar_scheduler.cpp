@@ -1,0 +1,94 @@
+#include "core/hadar_scheduler.hpp"
+
+#include <algorithm>
+
+namespace hadar::core {
+
+HadarScheduler::HadarScheduler(HadarConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.full_recompute_period < 1) cfg_.full_recompute_period = 1;
+}
+
+std::string HadarScheduler::name() const { return "Hadar"; }
+
+void HadarScheduler::reset() {
+  prices_ = PriceBook();
+  estimator_.reset();
+  estimator_bound_ = false;
+  round_ = 0;
+  last_stats_ = DpStats{};
+}
+
+cluster::AllocationMap HadarScheduler::schedule(const sim::SchedulerContext& ctx) {
+  ++round_;
+  const int R = ctx.spec->num_types();
+
+  // Optionally swap in profiled throughput estimates.
+  std::vector<sim::JobView> jobs = ctx.jobs;
+  if (cfg_.use_estimator) {
+    if (!estimator_bound_) {
+      estimator_ = ThroughputEstimator(&ctx.spec->types(), cfg_.estimator);
+      estimator_bound_ = true;
+    }
+    estimator_.observe(ctx);
+    for (auto& j : jobs) j.throughput = estimator_.estimate(j);
+  }
+
+  const UtilityFunction utility(cfg_.utility, static_cast<double>(jobs.size()));
+
+  // Recompute the dual price bounds from the live queue (Eqs. 6-8).
+  sim::SchedulerContext view = ctx;
+  view.jobs = jobs;
+  if (!prices_.ready()) prices_ = PriceBook(R, cfg_.pricing);
+  prices_.compute_bounds(view, utility);
+
+  cluster::ClusterState state(ctx.spec);
+  cluster::AllocationMap result;
+
+  // ---- incremental update: pin running jobs between full recomputes ----
+  const bool full_recompute = !cfg_.sticky || (round_ % cfg_.full_recompute_period == 0);
+  std::vector<const sim::JobView*> queue;
+  queue.reserve(jobs.size());
+  for (const auto& j : jobs) {
+    if (!full_recompute && !j.current_allocation.empty() &&
+        state.can_allocate(j.current_allocation)) {
+      state.allocate(j.current_allocation);
+      result.emplace(j.id(), j.current_allocation);
+    } else {
+      queue.push_back(&j);
+    }
+  }
+
+  // ---- objective-specific priority order (see UtilityFunction::priority) --
+  std::sort(queue.begin(), queue.end(), [&](const sim::JobView* a, const sim::JobView* b) {
+    const double pa = utility.priority(*a, ctx.now);
+    const double pb = utility.priority(*b, ctx.now);
+    if (pa != pb) return pa > pb;
+    return a->id() < b->id();
+  });
+
+  // ---- DP over the queue (Algorithm 2) ----
+  DpResult dp = dp_allocation(queue, state, prices_, utility, ctx.now,
+                              ctx.network, cfg_.dp);
+  last_stats_ = dp.stats;
+  for (auto& [id, alloc] : dp.allocs) {
+    state.allocate(alloc);
+    result.emplace(id, std::move(alloc));
+  }
+
+  // ---- liveness guard ----
+  if (cfg_.ensure_progress && result.empty() && !queue.empty()) {
+    for (const sim::JobView* j : queue) {
+      const auto cand = find_alloc(*j, state, prices_, utility, ctx.now,
+                                   ctx.network, cfg_.dp.find_alloc);
+      if (cand) {
+        state.allocate(cand->alloc);
+        result.emplace(j->id(), cand->alloc);
+        break;
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace hadar::core

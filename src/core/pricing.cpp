@@ -1,0 +1,141 @@
+#include "core/pricing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hadar::core {
+
+PriceBook::PriceBook(int num_types, PricingConfig cfg) : cfg_(cfg) {
+  if (num_types <= 0) throw std::invalid_argument("PriceBook: num_types <= 0");
+  if (cfg_.eta <= 0.0) throw std::invalid_argument("PriceBook: eta <= 0");
+  u_max_.assign(static_cast<std::size_t>(num_types), 1.0);
+  u_min_.assign(static_cast<std::size_t>(num_types), cfg_.min_price);
+}
+
+void PriceBook::compute_bounds(const sim::SchedulerContext& ctx,
+                               const UtilityFunction& utility) {
+  const int R = ctx.spec->num_types();
+  if (static_cast<std::size_t>(R) != u_max_.size()) {
+    u_max_.assign(static_cast<std::size_t>(R), 1.0);
+    u_min_.assign(static_cast<std::size_t>(R), cfg_.min_price);
+  }
+
+  // Horizon proxy for Eq. 7's T: serial worst-case drain time of the queue.
+  Seconds horizon = 0.0;
+  for (const auto& job : ctx.jobs) {
+    const double x_min = job.spec->min_throughput();
+    if (x_min > 0.0) {
+      horizon += job.remaining_iterations() / (x_min * job.spec->num_workers);
+    }
+  }
+  horizon = std::max(horizon, ctx.round_length);
+
+  for (GpuTypeId r = 0; r < R; ++r) {
+    double umax = 0.0;
+    double umin = std::numeric_limits<double>::infinity();
+    for (const auto& job : ctx.jobs) {
+      if (job.throughput_on(r) <= 0.0) continue;  // job cannot use type r
+      const double w = job.spec->num_workers;
+      // Per-unit-resource utility *on type r*: the job's value scaled by how
+      // well this type drives it. This differentiates prices across types —
+      // V100s are expensive precisely when the queue holds jobs that are far
+      // faster on them.
+      const double type_value = job.throughput_on(r) / job.max_throughput();
+
+      // Eq. 6: max_j U_j(t_min) / W_j.
+      umax = std::max(umax, type_value * utility.best_case(job, ctx.now) / w);
+
+      // Eq. 7: (1/4 eta) * min_j U_j(T - a_j) / (t_max * sum_r w_j^r).
+      const double x_min = job.spec->min_throughput();
+      if (x_min > 0.0) {
+        const Seconds t_max = job.remaining_iterations() / (x_min * w);
+        const double u_worst = type_value * utility.worst_case(job, ctx.now, horizon);
+        umin = std::min(umin, u_worst / (4.0 * cfg_.eta * std::max<Seconds>(t_max, 1.0) * w));
+      }
+    }
+    if (umax <= 0.0) umax = 1.0;  // no eligible job: any positive price blocks nothing
+    if (!std::isfinite(umin) || umin <= 0.0) umin = cfg_.min_price;
+    umin = std::max(umin, cfg_.min_price);
+    // Keep the exponential curve well-formed (Umin strictly below Umax).
+    if (umin >= umax) umin = umax / std::exp(1.0);
+    u_max_[static_cast<std::size_t>(r)] = umax;
+    u_min_[static_cast<std::size_t>(r)] = std::max(umin, cfg_.min_price);
+  }
+}
+
+double PriceBook::price_at_fraction(GpuTypeId r, double frac) const {
+  if (r < 0 || static_cast<std::size_t>(r) >= u_max_.size()) {
+    throw std::out_of_range("PriceBook::price: bad type");
+  }
+  const double umin = u_min_[static_cast<std::size_t>(r)];
+  const double umax = u_max_[static_cast<std::size_t>(r)];
+  return umin * std::pow(umax / umin, std::clamp(frac, 0.0, 1.0));
+}
+
+double PriceBook::price(GpuTypeId r, int gamma, int capacity) const {
+  if (capacity <= 0) {
+    if (r < 0 || static_cast<std::size_t>(r) >= u_max_.size()) {
+      throw std::out_of_range("PriceBook::price: bad type");
+    }
+    return std::numeric_limits<double>::infinity();
+  }
+  return price_at_fraction(r, static_cast<double>(gamma) / capacity);
+}
+
+namespace {
+
+// Utilization fraction driving Eq. 5: the tighter of the node-local pool and
+// the cluster-wide pool of that type. The cluster-wide component makes a
+// scarce type expensive everywhere, not just on nearly-full nodes.
+double blended_fraction(const cluster::ClusterState& state, NodeId h, GpuTypeId r,
+                        int extra_node, int extra_cluster) {
+  const int node_cap = state.spec().node(h).capacity(r);
+  if (node_cap <= 0) return 2.0;  // nonexistent pool => beyond-full
+  const double node_frac =
+      static_cast<double>(state.used_count(h, r) + extra_node) / node_cap;
+  const int cluster_cap = state.spec().total_of_type(r);
+  const int cluster_used = cluster_cap - state.total_free_of_type(r);
+  const double cluster_frac =
+      cluster_cap > 0
+          ? static_cast<double>(cluster_used + extra_cluster) / cluster_cap
+          : 1.0;
+  return std::max(node_frac, cluster_frac);
+}
+
+}  // namespace
+
+double PriceBook::marginal_price(const cluster::ClusterState& state, NodeId h,
+                                 GpuTypeId r) const {
+  if (state.spec().node(h).capacity(r) <= 0) return std::numeric_limits<double>::infinity();
+  return price_at_fraction(r, blended_fraction(state, h, r, 0, 0));
+}
+
+double PriceBook::allocation_cost(const cluster::ClusterState& state,
+                                  const cluster::JobAllocation& alloc) const {
+  double cost = 0.0;
+  std::vector<int> extra_of_type(u_max_.size(), 0);
+  for (const auto& p : alloc.placements()) {
+    if (state.spec().node(p.node).capacity(p.type) <= 0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    auto& extra = extra_of_type[static_cast<std::size_t>(p.type)];
+    // Devices are claimed one at a time along the rising curve.
+    for (int i = 0; i < p.count; ++i) {
+      cost += price_at_fraction(p.type, blended_fraction(state, p.node, p.type, i, extra));
+      ++extra;
+    }
+  }
+  return cost;
+}
+
+double PriceBook::alpha() const {
+  double a = 1.0;
+  for (std::size_t r = 0; r < u_max_.size(); ++r) {
+    if (u_min_[r] > 0.0) a = std::max(a, std::log(u_max_[r] / u_min_[r]));
+  }
+  return a;
+}
+
+}  // namespace hadar::core

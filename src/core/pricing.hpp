@@ -1,0 +1,65 @@
+// The primal-dual resource price (Sec. III-B). Each (machine h, type r) pair
+// carries a dual price k_h^r that rises exponentially with its utilization
+// (Eq. 5), between per-type bounds U_min^r (Eq. 7) and U_max^r (Eq. 6)
+// recomputed from the live queue at every scheduling event. A job is
+// admitted only when its utility exceeds the priced cost of its placement —
+// this is what yields the 2*alpha competitive ratio (Theorem 2).
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster_state.hpp"
+#include "core/utility.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hadar::core {
+
+struct PricingConfig {
+  /// Eq. 7 scaling factor eta (>0). Larger eta lowers the admission floor.
+  double eta = 1.0;
+  /// Floor applied to U_min (numerical guard; prices must stay positive).
+  double min_price = 1e-9;
+};
+
+/// Per-type price bounds + the Eq. 5 price curve over a ClusterState.
+class PriceBook {
+ public:
+  PriceBook() = default;
+  PriceBook(int num_types, PricingConfig cfg);
+
+  /// Recomputes U_max^r / U_min^r (Eqs. 6-8) from the current queue. The
+  /// horizon proxy for "ends at T" is now + the queue's serial worst-case
+  /// runtime (an online stand-in for the offline T).
+  void compute_bounds(const sim::SchedulerContext& ctx, const UtilityFunction& utility);
+
+  /// Eq. 5: k_h^r given the allocated count gamma and the capacity c of the
+  /// (h, r) pool. For c == 0 the pool does not exist => +inf.
+  double price(GpuTypeId r, int gamma, int capacity) const;
+
+  /// Eq. 5 evaluated directly at a utilization fraction in [0,1].
+  double price_at_fraction(GpuTypeId r, double frac) const;
+
+  /// Price of one *additional* device on (h, r) given current state: the
+  /// marginal Eq. 5 price evaluated at the pre-allocation gamma.
+  double marginal_price(const cluster::ClusterState& state, NodeId h, GpuTypeId r) const;
+
+  /// Total priced cost of an allocation against `state` (devices priced at
+  /// the marginal rate as they are claimed one by one).
+  double allocation_cost(const cluster::ClusterState& state,
+                         const cluster::JobAllocation& alloc) const;
+
+  double u_max(GpuTypeId r) const { return u_max_.at(static_cast<std::size_t>(r)); }
+  double u_min(GpuTypeId r) const { return u_min_.at(static_cast<std::size_t>(r)); }
+
+  /// alpha = max_r max(1, ln(Umax/Umin)) — the competitive-ratio factor.
+  double alpha() const;
+
+  bool ready() const { return !u_max_.empty(); }
+
+ private:
+  PricingConfig cfg_;
+  std::vector<double> u_max_;
+  std::vector<double> u_min_;
+};
+
+}  // namespace hadar::core

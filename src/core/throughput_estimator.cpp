@@ -1,0 +1,106 @@
+#include "core/throughput_estimator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hadar::core {
+
+ThroughputEstimator::ThroughputEstimator(const cluster::GpuTypeRegistry* registry,
+                                         EstimatorConfig cfg)
+    : registry_(registry), cfg_(cfg) {
+  if (registry_ == nullptr) throw std::invalid_argument("ThroughputEstimator: null registry");
+  if (cfg_.blend <= 0.0 || cfg_.blend > 1.0) {
+    throw std::invalid_argument("ThroughputEstimator: blend must be in (0,1]");
+  }
+}
+
+void ThroughputEstimator::reset() { tracks_.clear(); }
+
+void ThroughputEstimator::observe(const sim::SchedulerContext& ctx) {
+  if (registry_ == nullptr) return;
+  const int R = registry_->size();
+  for (const auto& job : ctx.jobs) {
+    auto [it, inserted] = tracks_.try_emplace(job.id());
+    Track& tr = it->second;
+    if (inserted) {
+      tr.measured.assign(static_cast<std::size_t>(R), 0.0);
+      tr.last_iterations = job.iterations_done;
+      tr.last_alloc = job.current_allocation;
+      continue;
+    }
+
+    // The job ran the previous round under tr.last_alloc (==
+    // job.current_allocation); its progress since then measures the
+    // placement's bottleneck rate.
+    if (!job.current_allocation.empty() && job.current_allocation == tr.last_alloc) {
+      const double delta = job.iterations_done - tr.last_iterations;
+      const int workers = job.current_allocation.total_workers();
+      if (delta > 0.0 && workers > 0 && ctx.round_length > 0.0) {
+        const double per_worker = delta / (ctx.round_length * workers);
+        // Attribute to the slowest used type: the bottleneck (1b). With our
+        // current estimates, that is the used type with minimum estimate.
+        GpuTypeId bottleneck = kInvalidGpuType;
+        double best = 0.0;
+        const auto est = estimate(job);
+        for (const auto& p : job.current_allocation.placements()) {
+          const double e = est[static_cast<std::size_t>(p.type)];
+          if (bottleneck == kInvalidGpuType || e < best) {
+            bottleneck = p.type;
+            best = e;
+          }
+        }
+        if (bottleneck != kInvalidGpuType) {
+          auto& m = tr.measured[static_cast<std::size_t>(bottleneck)];
+          m = m > 0.0 ? cfg_.blend * per_worker + (1.0 - cfg_.blend) * m : per_worker;
+        }
+      }
+    }
+    tr.last_iterations = job.iterations_done;
+    tr.last_alloc = job.current_allocation;
+  }
+}
+
+std::vector<double> ThroughputEstimator::estimate(const sim::JobView& job) const {
+  const int R = registry_ ? registry_->size() : static_cast<int>(job.throughput.size());
+  std::vector<double> est(static_cast<std::size_t>(R), 0.0);
+  const auto it = tracks_.find(job.id());
+
+  // Reference point: the fastest profiled type, if any.
+  int ref = -1;
+  if (it != tracks_.end()) {
+    for (int r = 0; r < R; ++r) {
+      if (it->second.measured[static_cast<std::size_t>(r)] > 0.0 &&
+          (ref < 0 || it->second.measured[static_cast<std::size_t>(r)] >
+                          it->second.measured[static_cast<std::size_t>(ref)])) {
+        ref = r;
+      }
+    }
+  }
+
+  for (int r = 0; r < R; ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    if (it != tracks_.end() && it->second.measured[ri] > 0.0) {
+      est[ri] = it->second.measured[ri];
+    } else if (ref >= 0) {
+      // Scale the best measurement by nominal relative speeds.
+      const double scale = registry_->info(r).relative_speed /
+                           registry_->info(ref).relative_speed;
+      est[ri] = it->second.measured[static_cast<std::size_t>(ref)] * scale;
+    } else {
+      // Never profiled: optimistic nominal prior so the job gets tried.
+      est[ri] = cfg_.initial_rate * registry_->info(r).relative_speed;
+    }
+  }
+  return est;
+}
+
+bool ThroughputEstimator::profiled(JobId id) const {
+  const auto it = tracks_.find(id);
+  if (it == tracks_.end()) return false;
+  for (double m : it->second.measured) {
+    if (m > 0.0) return true;
+  }
+  return false;
+}
+
+}  // namespace hadar::core

@@ -1,0 +1,53 @@
+// Throughput estimator (Fig. 2): when jobs arrive without trusted
+// performance numbers, Hadar profiles them during their first rounds of
+// execution. Each round the estimator compares a job's realized progress
+// against the round length, attributes the measured per-worker rate to the
+// placement's bottleneck type, and blends it into its estimate (EWMA).
+// Types never profiled are extrapolated from profiled ones via the type
+// registry's nominal relative speeds.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "cluster/gpu_type.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hadar::core {
+
+struct EstimatorConfig {
+  double blend = 0.5;        ///< EWMA weight of the newest measurement
+  double initial_rate = 1.0; ///< prior per-worker rate on the slowest type
+};
+
+class ThroughputEstimator {
+ public:
+  ThroughputEstimator() = default;
+  ThroughputEstimator(const cluster::GpuTypeRegistry* registry, EstimatorConfig cfg = {});
+
+  void reset();
+
+  /// Ingests the new round's context: measures the realized rate of every
+  /// job that ran last round and updates its per-type estimates.
+  void observe(const sim::SchedulerContext& ctx);
+
+  /// Estimated per-worker rates for `job` (profiled measurements where
+  /// available, registry-scaled extrapolations elsewhere).
+  std::vector<double> estimate(const sim::JobView& job) const;
+
+  /// True once at least one type of this job has a real measurement.
+  bool profiled(JobId id) const;
+
+ private:
+  struct Track {
+    double last_iterations = 0.0;
+    cluster::JobAllocation last_alloc;
+    std::vector<double> measured;   // 0 = no measurement yet
+  };
+
+  const cluster::GpuTypeRegistry* registry_ = nullptr;
+  EstimatorConfig cfg_;
+  std::map<JobId, Track> tracks_;
+};
+
+}  // namespace hadar::core

@@ -1,0 +1,105 @@
+#include "core/utility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hadar::core {
+
+const char* to_string(UtilityKind k) {
+  switch (k) {
+    case UtilityKind::kEffectiveThroughput: return "effective-throughput";
+    case UtilityKind::kMinMakespan: return "min-makespan";
+    case UtilityKind::kFinishTimeFairness: return "finish-time-fairness";
+  }
+  return "?";
+}
+
+Seconds ideal_remaining_runtime(const sim::JobView& job) {
+  const double x = job.max_throughput();
+  if (x <= 0.0 || job.spec->num_workers <= 0) return kInfiniteTime;
+  return job.remaining_iterations() / (x * job.spec->num_workers);
+}
+
+Seconds ideal_total_runtime(const sim::JobView& job) {
+  const double x = job.max_throughput();
+  if (x <= 0.0 || job.spec->num_workers <= 0) return kInfiniteTime;
+  return job.spec->total_iterations() / (x * job.spec->num_workers);
+}
+
+UtilityFunction::UtilityFunction(UtilityKind kind, double total_jobs_hint)
+    : kind_(kind), total_jobs_hint_(std::max(1.0, total_jobs_hint)) {}
+
+double UtilityFunction::projected_rho(const sim::JobView& job, Seconds duration) const {
+  const Seconds ideal = ideal_total_runtime(job);
+  if (ideal == kInfiniteTime || ideal <= 0.0) return 0.0;
+  // Themis: JCT over the runtime with an exclusive 1/n cluster share.
+  return duration / (ideal * total_jobs_hint_);
+}
+
+double UtilityFunction::operator()(const sim::JobView& job, Seconds remaining_duration,
+                                   Seconds now) const {
+  if (remaining_duration <= 0.0) remaining_duration = 1e-6;
+  const Seconds ideal_rem = ideal_remaining_runtime(job);
+  if (ideal_rem == kInfiniteTime) return 0.0;
+  // Inverse stretch of the work to go, scaled by the gang size: the paper's
+  // effective-throughput utility is proportional to the job's aggregate
+  // rate W_j * X_j, so a W-worker job carries W times the value of a
+  // 1-worker job at the same stretch — without this, payoff-per-device
+  // systematically starves large gangs.
+  const double inv_stretch = static_cast<double>(job.spec->num_workers) *
+                             std::max<Seconds>(ideal_rem, 1e-6) / remaining_duration;
+  switch (kind_) {
+    case UtilityKind::kEffectiveThroughput:
+    case UtilityKind::kMinMakespan:
+      // The two objectives price placements identically; they differ in the
+      // queue order (SJF-flavored response ratio vs LPT), see priority().
+      return inv_stretch;
+    case UtilityKind::kFinishTimeFairness: {
+      // Weight by the rho the job is heading toward: the further past its
+      // fair share, the more valuable serving it becomes.
+      const Seconds total_duration = (now - job.spec->arrival) + remaining_duration;
+      const double weight = std::max(1.0, projected_rho(job, total_duration));
+      return weight * inv_stretch;
+    }
+  }
+  return 0.0;
+}
+
+double UtilityFunction::priority(const sim::JobView& job, Seconds now) const {
+  const Seconds age = std::max<Seconds>(0.0, now - job.spec->arrival);
+  switch (kind_) {
+    case UtilityKind::kEffectiveThroughput: {
+      // Highest-response-ratio-next over remaining runtime: SJF-flavored
+      // (short jobs rank first even when fresh, thanks to the constant
+      // offset) yet starvation-free (every job's ratio rises without bound
+      // while it waits).
+      const Seconds rem = ideal_remaining_runtime(job);
+      if (rem == kInfiniteTime) return 0.0;
+      return (age + 3600.0) / std::max<Seconds>(rem, 1.0);
+    }
+    case UtilityKind::kMinMakespan: {
+      // LPT: longest remaining runtime first.
+      const Seconds rem = ideal_remaining_runtime(job);
+      return rem == kInfiniteTime ? 0.0 : rem;
+    }
+    case UtilityKind::kFinishTimeFairness: {
+      // Worst-off first by projected rho.
+      const Seconds heading = age + ideal_remaining_runtime(job);
+      return projected_rho(job, heading);
+    }
+  }
+  return 0.0;
+}
+
+double UtilityFunction::best_case(const sim::JobView& job, Seconds now) const {
+  const Seconds rem = ideal_remaining_runtime(job);
+  if (rem == kInfiniteTime) return 0.0;
+  return (*this)(job, std::max<Seconds>(rem, 1e-6), now);
+}
+
+double UtilityFunction::worst_case(const sim::JobView& job, Seconds now,
+                                   Seconds horizon) const {
+  return (*this)(job, std::max<Seconds>(horizon, 1.0), now);
+}
+
+}  // namespace hadar::core

@@ -1,0 +1,77 @@
+// Job utility functions U_j(.) (Sec. III-A). The optimization framework is
+// generic over the utility, which is how Hadar expresses different
+// scheduling objectives: average-JCT minimization, makespan minimization,
+// and finish-time fairness.
+//
+// All utilities are normalized to be UNITLESS so they are comparable across
+// models whose raw iteration rates differ by orders of magnitude: the base
+// quantity is the job's inverse stretch, ideal_runtime / (f_j - a_j), where
+// ideal_runtime = E N / (W * max_r X^r) is the job's isolated best-case
+// runtime. A job finishing as fast as physically possible has utility ~1.
+#pragma once
+
+#include "sim/scheduler.hpp"
+
+namespace hadar::core {
+
+enum class UtilityKind {
+  /// U_j(d) = ideal_runtime / d (inverse stretch): the effective-throughput
+  /// special case of the paper, normalized per job. Queue order is SRPT on
+  /// remaining GPU-time with mild aging (drives average JCT down). Default.
+  kEffectiveThroughput,
+  /// U_j(d) = remaining_ideal_runtime / d: longer-remaining jobs carry more
+  /// utility, and queue order is longest-remaining-first (LPT), which keeps
+  /// the tail of the schedule flat — the makespan objective.
+  kMinMakespan,
+  /// Inverse stretch weighted by the job's projected Themis rho; queue order
+  /// is worst-rho-first — the finish-time-fairness objective.
+  kFinishTimeFairness,
+};
+
+const char* to_string(UtilityKind k);
+
+/// The job's isolated best-case runtime for its remaining work:
+/// remaining_iterations / (W_j * max_r X_j^r). +inf if it cannot run.
+Seconds ideal_remaining_runtime(const sim::JobView& job);
+/// Same for the total work E_j N_j.
+Seconds ideal_total_runtime(const sim::JobView& job);
+
+/// Evaluates the online value-to-go of a job and supplies the
+/// queue-ordering priority for Algorithm 1.
+class UtilityFunction {
+ public:
+  explicit UtilityFunction(UtilityKind kind = UtilityKind::kEffectiveThroughput,
+                           double total_jobs_hint = 1.0);
+
+  UtilityKind kind() const { return kind_; }
+
+  /// The online reading of U_j(f_j - a_j): the value still obtainable from
+  /// job j if its remaining work completes `remaining_duration` seconds from
+  /// `now`. Non-negative, decreasing in remaining_duration, ~1 for a job
+  /// driven at its physically best rate.
+  double operator()(const sim::JobView& job, Seconds remaining_duration,
+                    Seconds now) const;
+
+  /// Queue-ordering key (higher = scheduled earlier). See UtilityKind docs.
+  double priority(const sim::JobView& job, Seconds now) const;
+
+  /// Utility at the job's fastest possible completion from `now`
+  /// (Eq. 6 numerator).
+  double best_case(const sim::JobView& job, Seconds now) const;
+
+  /// Utility at a pessimistic completion bound (Eq. 7 numerator): finishing
+  /// only after `horizon` more seconds.
+  double worst_case(const sim::JobView& job, Seconds now, Seconds horizon) const;
+
+  /// Projected Themis rho if the job finished after `duration` total.
+  double projected_rho(const sim::JobView& job, Seconds duration) const;
+
+ private:
+  UtilityKind kind_;
+  double total_jobs_hint_;  ///< n for the fairness rho normalization
+
+  /// SRPT aging horizon: a job waiting this long doubles its priority.
+  static constexpr Seconds kAgingTau = 24.0 * 3600.0;
+};
+
+}  // namespace hadar::core

@@ -1,0 +1,88 @@
+#include "runner/experiment.hpp"
+
+#include <stdexcept>
+
+#include "baselines/gavel.hpp"
+#include "baselines/srtf.hpp"
+#include "baselines/tiresias.hpp"
+#include "baselines/yarn_cs.hpp"
+#include "core/hadar_scheduler.hpp"
+
+namespace hadar::runner {
+
+const std::vector<std::string> kPaperSchedulers = {"hadar", "gavel", "tiresias", "yarn"};
+const std::vector<std::string> kPreemptiveSchedulers = {"hadar", "gavel", "tiresias"};
+
+sim::SchedulerPtr make_scheduler(const std::string& name) {
+  using core::HadarConfig;
+  using core::HadarScheduler;
+  using core::UtilityKind;
+
+  if (name == "hadar") {
+    return std::make_unique<HadarScheduler>();
+  }
+  if (name == "hadar-makespan") {
+    HadarConfig cfg;
+    cfg.utility = UtilityKind::kMinMakespan;
+    return std::make_unique<HadarScheduler>(cfg);
+  }
+  if (name == "hadar-ftf") {
+    HadarConfig cfg;
+    cfg.utility = UtilityKind::kFinishTimeFairness;
+    return std::make_unique<HadarScheduler>(cfg);
+  }
+  if (name == "hadar-nomix") {
+    HadarConfig cfg;
+    cfg.dp.find_alloc.allow_mixed_types = false;
+    return std::make_unique<HadarScheduler>(cfg);
+  }
+  if (name == "hadar-greedy") {
+    HadarConfig cfg;
+    cfg.dp.beam_width = 1;
+    return std::make_unique<HadarScheduler>(cfg);
+  }
+  if (name == "hadar-estimator") {
+    HadarConfig cfg;
+    cfg.use_estimator = true;
+    return std::make_unique<HadarScheduler>(cfg);
+  }
+  if (name == "gavel") return std::make_unique<baselines::GavelScheduler>();
+  if (name == "gavel-maxsum") {
+    baselines::GavelConfig cfg;
+    cfg.policy = baselines::GavelPolicy::kMaxSumThroughput;
+    return std::make_unique<baselines::GavelScheduler>(cfg);
+  }
+  if (name == "gavel-makespan") {
+    baselines::GavelConfig cfg;
+    cfg.policy = baselines::GavelPolicy::kMinMakespan;
+    return std::make_unique<baselines::GavelScheduler>(cfg);
+  }
+  if (name == "tiresias") return std::make_unique<baselines::TiresiasScheduler>();
+  if (name == "tiresias-promote") {
+    baselines::TiresiasConfig cfg;
+    cfg.promote_after_starved_rounds = 10;
+    return std::make_unique<baselines::TiresiasScheduler>(cfg);
+  }
+  if (name == "yarn") return std::make_unique<baselines::YarnCsScheduler>();
+  if (name == "yarn-backfill") {
+    baselines::YarnConfig cfg;
+    cfg.backfill = true;
+    return std::make_unique<baselines::YarnCsScheduler>(cfg);
+  }
+  if (name == "srtf") return std::make_unique<baselines::SrtfScheduler>();
+  throw std::invalid_argument("make_scheduler: unknown scheduler '" + name + "'");
+}
+
+std::vector<SchedulerRun> compare(const ExperimentConfig& cfg,
+                                  const std::vector<std::string>& schedulers) {
+  std::vector<SchedulerRun> runs;
+  runs.reserve(schedulers.size());
+  for (const auto& name : schedulers) {
+    sim::Simulator simulator(cfg.sim);
+    auto sched = make_scheduler(name);
+    runs.push_back(SchedulerRun{sched->name(), simulator.run(cfg.spec, cfg.trace, *sched)});
+  }
+  return runs;
+}
+
+}  // namespace hadar::runner

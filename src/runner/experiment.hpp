@@ -1,0 +1,51 @@
+// Experiment harness shared by the bench binaries and examples: a scheduler
+// factory keyed by name and a one-call comparison runner that executes the
+// same (cluster, trace, sim-config) under several schedulers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_spec.hpp"
+#include "sim/simulator.hpp"
+#include "workload/job.hpp"
+
+namespace hadar::runner {
+
+/// One reproducible experiment setup.
+struct ExperimentConfig {
+  cluster::ClusterSpec spec;
+  workload::Trace trace;
+  sim::SimConfig sim;
+};
+
+/// Builds a scheduler by name:
+///   "hadar"            Hadar, default (effective-throughput utility)
+///   "hadar-makespan"   Hadar with the min-makespan utility
+///   "hadar-ftf"        Hadar with the finish-time-fairness utility
+///   "hadar-nomix"      Hadar restricted to homogeneous placements (ablation)
+///   "hadar-greedy"     Hadar with beam_width 1 (pure greedy, ablation)
+///   "hadar-estimator"  Hadar driven by the profiling throughput estimator
+///   "gavel" | "gavel-maxsum" | "gavel-makespan"   Gavel policy variants
+///   "tiresias" | "tiresias-promote"               PromoteKnob off / on
+///   "yarn" | "yarn-backfill"                      strict FIFO / backfill
+///   "srtf"
+/// Throws std::invalid_argument for unknown names.
+sim::SchedulerPtr make_scheduler(const std::string& name);
+
+/// Result of running one scheduler on an experiment.
+struct SchedulerRun {
+  std::string scheduler;
+  sim::SimResult result;
+};
+
+/// Runs each named scheduler over the experiment (fresh simulator each).
+std::vector<SchedulerRun> compare(const ExperimentConfig& cfg,
+                                  const std::vector<std::string>& schedulers);
+
+/// The paper's four-way comparison set.
+extern const std::vector<std::string> kPaperSchedulers;  // hadar gavel tiresias yarn
+/// The preemptive-only subset used by the FTF/makespan figures.
+extern const std::vector<std::string> kPreemptiveSchedulers;  // hadar gavel tiresias
+
+}  // namespace hadar::runner

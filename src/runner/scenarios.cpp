@@ -1,0 +1,60 @@
+#include "runner/scenarios.hpp"
+
+#include "workload/model_zoo.hpp"
+
+namespace hadar::runner {
+namespace {
+
+workload::Trace make_trace(const cluster::ClusterSpec& spec, const workload::TraceGenConfig& cfg) {
+  static const workload::ModelZoo zoo = workload::ModelZoo::paper_default();
+  workload::TraceGenerator gen(&zoo, &spec.types());
+  return gen.generate(cfg);
+}
+
+}  // namespace
+
+ExperimentConfig paper_static(int num_jobs, std::uint64_t seed) {
+  ExperimentConfig e;
+  e.spec = cluster::ClusterSpec::simulation_default();
+  workload::TraceGenConfig t;
+  t.num_jobs = num_jobs;
+  t.arrivals = workload::ArrivalPattern::kStatic;
+  t.seed = seed;
+  e.trace = make_trace(e.spec, t);
+  e.sim.round_length = 360.0;
+  e.sim.flat_reallocation_penalty = 10.0;
+  e.sim.seed = seed;
+  return e;
+}
+
+ExperimentConfig paper_continuous(double jobs_per_hour, int num_jobs, std::uint64_t seed) {
+  ExperimentConfig e;
+  e.spec = cluster::ClusterSpec::simulation_default();
+  workload::TraceGenConfig t;
+  t.num_jobs = num_jobs;
+  t.arrivals = workload::ArrivalPattern::kContinuous;
+  t.jobs_per_hour = jobs_per_hour;
+  t.seed = seed;
+  e.trace = make_trace(e.spec, t);
+  e.sim.round_length = 360.0;
+  e.sim.flat_reallocation_penalty = 10.0;
+  e.sim.seed = seed;
+  return e;
+}
+
+ExperimentConfig prototype(bool testbed_noise, std::uint64_t seed) {
+  ExperimentConfig e;
+  e.spec = cluster::ClusterSpec::aws_prototype();
+  static const workload::ModelZoo zoo = workload::ModelZoo::paper_default();
+  workload::TraceGenerator gen(&zoo, &e.spec.types());
+  e.trace = gen.prototype_workload(seed);
+  e.sim.round_length = 360.0;
+  e.sim.seed = seed;
+  // Table IV per-model checkpoint costs instead of the flat 10 s.
+  e.sim.use_flat_reallocation_penalty = false;
+  e.sim.charge_periodic_save = true;
+  if (testbed_noise) e.sim.throughput_jitter = 0.08;
+  return e;
+}
+
+}  // namespace hadar::runner

@@ -1,0 +1,24 @@
+// Canonical experiment setups matching the paper's evaluation section; every
+// bench binary obtains its workload here so figures stay mutually
+// consistent.
+#pragma once
+
+#include "runner/experiment.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace hadar::runner {
+
+/// Sec. IV-A static trace: 15-node / 60-GPU cluster, `num_jobs` jobs all
+/// present at t=0, 6-minute rounds, flat 10 s reallocation penalty.
+ExperimentConfig paper_static(int num_jobs = 480, std::uint64_t seed = 42);
+
+/// Sec. IV-A continuous trace: Poisson arrivals at `jobs_per_hour`.
+ExperimentConfig paper_continuous(double jobs_per_hour, int num_jobs = 480,
+                                  std::uint64_t seed = 42);
+
+/// Sec. IV-B prototype: 8-GPU AWS cluster, the 10-job Table II mix.
+/// `testbed_noise` > 0 adds per-round throughput jitter + per-model Table IV
+/// checkpoint costs, standing in for the physical testbed.
+ExperimentConfig prototype(bool testbed_noise, std::uint64_t seed = 7);
+
+}  // namespace hadar::runner

@@ -1,0 +1,48 @@
+#include "sim/event_log.hpp"
+
+#include <cstdio>
+
+namespace hadar::sim {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kArrival: return "arrival";
+    case EventKind::kStart: return "start";
+    case EventKind::kReallocate: return "realloc";
+    case EventKind::kPreempt: return "preempt";
+    case EventKind::kFinish: return "finish";
+    case EventKind::kStraggler: return "straggler";
+  }
+  return "?";
+}
+
+void EventLog::record(Seconds time, EventKind kind, JobId job, std::string detail) {
+  if (!enabled_) return;
+  events_.push_back(Event{time, kind, job, std::move(detail)});
+}
+
+std::vector<Event> EventLog::of_kind(EventKind k) const {
+  std::vector<Event> out;
+  for (const auto& e : events_) {
+    if (e.kind == k) out.push_back(e);
+  }
+  return out;
+}
+
+std::string EventLog::to_string() const {
+  std::string out;
+  char buf[64];
+  for (const auto& e : events_) {
+    std::snprintf(buf, sizeof(buf), "[t=%.1fs] %s job %d", e.time, sim::to_string(e.kind), e.job);
+    out += buf;
+    if (!e.detail.empty()) {
+      out += " (";
+      out += e.detail;
+      out += ")";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hadar::sim

@@ -1,0 +1,42 @@
+// Optional structured log of simulation events, for debugging, tests, and
+// the example programs' narratives. Disabled by default (zero overhead).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hadar::sim {
+
+enum class EventKind { kArrival, kStart, kReallocate, kPreempt, kFinish, kStraggler };
+
+const char* to_string(EventKind k);
+
+struct Event {
+  Seconds time = 0.0;
+  EventKind kind = EventKind::kArrival;
+  JobId job = kInvalidJob;
+  std::string detail;  ///< e.g. the allocation string
+};
+
+class EventLog {
+ public:
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(Seconds time, EventKind kind, JobId job, std::string detail = {});
+
+  const std::vector<Event>& events() const { return events_; }
+  std::vector<Event> of_kind(EventKind k) const;
+  void clear() { events_.clear(); }
+
+  /// One line per event, "[t=1234.0s] finish job 7 (...)".
+  std::string to_string() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<Event> events_;
+};
+
+}  // namespace hadar::sim

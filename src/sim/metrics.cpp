@@ -1,0 +1,34 @@
+#include "sim/metrics.hpp"
+
+namespace hadar::sim {
+
+std::vector<double> SimResult::finish_times() const {
+  std::vector<double> out;
+  out.reserve(jobs.size());
+  for (const auto& j : jobs) {
+    if (j.finished()) out.push_back(j.finish);
+  }
+  return out;
+}
+
+std::vector<double> SimResult::jcts() const {
+  std::vector<double> out;
+  out.reserve(jobs.size());
+  for (const auto& j : jobs) {
+    if (j.finished()) out.push_back(j.jct());
+  }
+  return out;
+}
+
+std::vector<common::CdfPoint> SimResult::completion_cdf(std::size_t points) const {
+  return common::empirical_cdf(finish_times(), points);
+}
+
+bool SimResult::all_finished() const {
+  for (const auto& j : jobs) {
+    if (!j.finished()) return false;
+  }
+  return !jobs.empty();
+}
+
+}  // namespace hadar::sim

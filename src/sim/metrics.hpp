@@ -1,0 +1,73 @@
+// Per-job outcomes and aggregate metrics of one simulation run: the paper's
+// evaluation quantities — JCT, makespan, finish-time fairness (Themis [10]),
+// GPU utilization, queueing delay, and scheduler decision latency.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace hadar::sim {
+
+/// Final record for one job.
+struct JobOutcome {
+  JobId id = kInvalidJob;
+  Seconds arrival = 0.0;
+  Seconds first_start = -1.0;  ///< first round with an allocation; <0 = never
+  Seconds finish = -1.0;       ///< completion time; <0 = unfinished
+  double gpu_seconds = 0.0;    ///< device-seconds HELD (incl. checkpoint time)
+  double compute_gpu_seconds = 0.0;  ///< device-seconds spent computing
+  int rounds_run = 0;
+  int preemptions = 0;      ///< running -> paused transitions
+  int reallocations = 0;    ///< allocation changed while staying scheduled
+  double ftf = 0.0;         ///< finish-time fairness rho (filled at finalize)
+
+  bool finished() const { return finish >= 0.0; }
+  Seconds jct() const { return finished() ? finish - arrival : kInfiniteTime; }
+  Seconds queueing_delay() const {
+    return first_start >= 0.0 ? first_start - arrival : kInfiniteTime;
+  }
+  /// The paper's Fig. 4 quantity for one job: the fraction of the job's
+  /// post-start lifetime during which its requested gang was computing.
+  /// 1.0 for a never-preempted, overhead-free run.
+  double gpu_utilization(int num_workers) const {
+    if (!finished() || first_start < 0.0 || num_workers <= 0) return 0.0;
+    const Seconds span = finish - first_start;
+    return span > 0.0 ? compute_gpu_seconds / (num_workers * span) : 1.0;
+  }
+};
+
+/// Aggregate result of a run. All time quantities in seconds.
+struct SimResult {
+  std::vector<JobOutcome> jobs;
+
+  Seconds makespan = 0.0;      ///< max_j f_j
+  double avg_jct = 0.0;
+  double median_jct = 0.0;
+  double min_jct = 0.0;
+  double max_jct = 0.0;
+  double p95_jct = 0.0;
+  double avg_queueing_delay = 0.0;
+  double gpu_utilization = 0.0;      ///< compute GPU-seconds / (total GPUs * makespan)
+  double avg_job_utilization = 0.0;  ///< mean JobOutcome::gpu_utilization (Fig. 4)
+  double avg_ftf = 0.0;          ///< mean Themis rho (lower is fairer-faster)
+  double max_ftf = 0.0;          ///< worst-case rho
+  long long rounds = 0;
+  long long total_reallocations = 0;
+  long long total_preemptions = 0;
+  double realloc_round_fraction = 0.0;  ///< fraction of job-rounds with changed allocation
+  double scheduler_seconds = 0.0;       ///< wall-clock spent inside schedule()
+  long long scheduler_calls = 0;
+
+  /// All finished jobs' completion times (for Fig. 3-style CDFs).
+  std::vector<double> finish_times() const;
+  /// All finished jobs' JCTs.
+  std::vector<double> jcts() const;
+  /// Empirical CDF of completion times sampled at `points` x-values.
+  std::vector<common::CdfPoint> completion_cdf(std::size_t points = 50) const;
+  /// True when every job in the trace completed.
+  bool all_finished() const;
+};
+
+}  // namespace hadar::sim

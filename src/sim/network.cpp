@@ -1,0 +1,30 @@
+#include "sim/network.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hadar::sim {
+
+double NetworkModel::effective_rate(double rate, int nodes_used,
+                                    double model_size_mb) const {
+  if (rate <= 0.0 || nodes_used <= 1) return rate < 0.0 ? 0.0 : rate;
+  if (!parameter_server) {
+    return rate * std::pow(penalty_factor, nodes_used - 1);
+  }
+  // 2 transfers of the model per iteration over the worker's NIC.
+  const double size_bits = model_size_mb * 8e6;
+  const double bw_bits = nic_bandwidth_gbps * 1e9;
+  const double t_comm = bw_bits > 0.0 ? 2.0 * size_bits / bw_bits : 0.0;
+  return rate / (1.0 + rate * t_comm);
+}
+
+void NetworkModel::validate() const {
+  if (penalty_factor <= 0.0 || penalty_factor > 1.0) {
+    throw std::invalid_argument("NetworkModel: penalty_factor must be in (0,1]");
+  }
+  if (parameter_server && nic_bandwidth_gbps <= 0.0) {
+    throw std::invalid_argument("NetworkModel: non-positive NIC bandwidth");
+  }
+}
+
+}  // namespace hadar::sim

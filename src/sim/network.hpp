@@ -1,0 +1,34 @@
+// Communication model for non-consolidated placements. Two fidelities:
+//
+//  * penalty factor (default) — the throughput of a placement spanning k
+//    nodes is multiplied by penalty_factor^(k-1), the paper's flat
+//    communication cost;
+//  * parameter-server model — per training iteration each worker pushes its
+//    gradients to and pulls fresh parameters from parameter servers across
+//    the network (Sec. II's data-parallel SGD), so every iteration pays
+//    2 x model_size over the worker's NIC when the gang spans nodes:
+//        x_eff = 1 / (1/x + t_comm),  t_comm = 2 * size / bandwidth.
+//    Consolidated gangs communicate over intra-node links and pay nothing.
+#pragma once
+
+namespace hadar::sim {
+
+struct NetworkModel {
+  /// Multiplicative throughput factor per extra node (penalty-factor mode).
+  double penalty_factor = 0.97;
+  /// Switch to the explicit parameter-server synchronization model.
+  bool parameter_server = false;
+  /// Per-node NIC bandwidth for the parameter-server model (gigabits/s).
+  double nic_bandwidth_gbps = 10.0;
+
+  /// Effective per-worker iteration rate of a placement.
+  /// `rate`: bottleneck per-worker rate (iterations/s); `nodes_used`:
+  /// distinct machines the gang spans; `model_size_mb`: the DNN's parameter
+  /// size in megabytes (parameter-server mode only).
+  double effective_rate(double rate, int nodes_used, double model_size_mb) const;
+
+  /// Throws std::invalid_argument when parameters are out of range.
+  void validate() const;
+};
+
+}  // namespace hadar::sim

@@ -1,0 +1,92 @@
+// The scheduler abstraction every policy implements (Hadar and all
+// baselines). Once per round the simulator hands the scheduler a context —
+// cluster spec plus a view of every runnable job (static spec + dynamic
+// progress) — and receives the round's task-level allocation map.
+//
+// Schedulers may keep internal state across rounds (Gavel's LP cache,
+// Tiresias' queues); reset() is invoked at the start of every simulation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/allocation.hpp"
+#include "sim/network.hpp"
+#include "cluster/cluster_spec.hpp"
+#include "workload/job.hpp"
+
+namespace hadar::sim {
+
+/// Dynamic view of one runnable job as of the current round.
+struct JobView {
+  const workload::JobSpec* spec = nullptr;
+
+  double iterations_done = 0.0;
+  /// GPU-seconds of service received so far (Tiresias' attained service).
+  double attained_service = 0.0;
+  /// Rounds in which the job held any allocation.
+  int rounds_received = 0;
+  /// Rounds received per GPU type (Gavel's priority denominator).
+  std::vector<int> rounds_on_type;
+  /// Allocation held in the previous round (empty if paused/new).
+  cluster::JobAllocation current_allocation;
+  /// Observable per-type throughput (oracle values, or noisy estimates when
+  /// the simulator's profiling mode is enabled). Same arity as GPU types.
+  std::vector<double> throughput;
+
+  JobId id() const { return spec->id; }
+  double remaining_iterations() const {
+    const double rem = spec->total_iterations() - iterations_done;
+    return rem > 0.0 ? rem : 0.0;
+  }
+  double throughput_on(GpuTypeId r) const {
+    return (r >= 0 && static_cast<std::size_t>(r) < throughput.size())
+               ? throughput[static_cast<std::size_t>(r)]
+               : 0.0;
+  }
+  double max_throughput() const {
+    double x = 0.0;
+    for (double v : throughput) x = x > v ? x : v;
+    return x;
+  }
+};
+
+/// Everything a scheduler may inspect when making a round decision.
+struct SchedulerContext {
+  const cluster::ClusterSpec* spec = nullptr;
+  Seconds now = 0.0;
+  Seconds round_length = 360.0;
+  /// Throughput multiplier per extra node a placement spans (models the
+  /// synchronization traffic of non-consolidated placements).
+  NetworkModel network;
+  /// Runnable jobs: arrived and not finished. Order is arrival order.
+  std::vector<JobView> jobs;
+
+  const JobView* find(JobId id) const {
+    for (const auto& j : jobs) {
+      if (j.id() == id) return &j;
+    }
+    return nullptr;
+  }
+};
+
+/// Round-based scheduling policy.
+class IScheduler {
+ public:
+  virtual ~IScheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Computes the allocation for the round starting at ctx.now. Jobs absent
+  /// from the returned map are paused. Every returned allocation must respect
+  /// gang semantics (exactly W_j workers) and cluster capacity.
+  virtual cluster::AllocationMap schedule(const SchedulerContext& ctx) = 0;
+
+  /// Clears internal state; called before every simulation run.
+  virtual void reset() {}
+};
+
+using SchedulerPtr = std::unique_ptr<IScheduler>;
+
+}  // namespace hadar::sim

@@ -1,0 +1,303 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace hadar::sim {
+namespace {
+
+struct JobRuntime {
+  const workload::JobSpec* spec = nullptr;
+  JobOutcome out;
+  double iterations = 0.0;
+  double attained_service = 0.0;
+  int rounds_received = 0;
+  std::vector<int> rounds_on_type;
+  std::vector<double> observed_throughput;
+  cluster::JobAllocation current;
+  bool active = false;
+  bool finished = false;
+};
+
+double now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Simulator::Simulator(SimConfig config) : config_(std::move(config)) {
+  if (config_.round_length <= 0.0) throw std::invalid_argument("SimConfig: round_length <= 0");
+  config_.network.validate();
+  if (config_.straggler.probability < 0.0 || config_.straggler.probability > 1.0 ||
+      config_.straggler.slowdown <= 0.0 || config_.straggler.slowdown > 1.0) {
+    throw std::invalid_argument("SimConfig: bad straggler parameters");
+  }
+}
+
+SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace& trace,
+                         IScheduler& scheduler) {
+  const int R = spec.num_types();
+  for (const auto& j : trace.jobs) j.validate(R);
+
+  scheduler.reset();
+  log_.clear();
+  log_.set_enabled(config_.enable_event_log);
+  common::Rng rng(config_.seed);
+
+  const Seconds L = config_.round_length;
+  std::vector<JobRuntime> js(trace.jobs.size());
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    auto& s = js[i];
+    s.spec = &trace.jobs[i];
+    s.out.id = s.spec->id;
+    s.out.arrival = s.spec->arrival;
+    s.rounds_on_type.assign(static_cast<std::size_t>(R), 0);
+    s.observed_throughput = s.spec->throughput;
+    if (config_.observation_noise > 0.0) {
+      for (double& x : s.observed_throughput) {
+        if (x > 0.0) x *= std::max(0.05, 1.0 + rng.normal(0.0, config_.observation_noise));
+      }
+    }
+  }
+
+  SimResult result;
+  std::size_t next_arrival = 0;  // trace is arrival-sorted
+  std::size_t unfinished = trace.jobs.size();
+  Seconds t = 0.0;
+  double busy_gpu_seconds = 0.0;
+  long long job_rounds = 0;
+  int stalled_rounds = 0;
+  constexpr int kStallLimit = 100000;
+
+  SchedulerContext ctx;
+  ctx.spec = &spec;
+  ctx.round_length = L;
+  ctx.network = config_.network;
+
+  while (unfinished > 0) {
+    if (config_.horizon > 0.0 && t >= config_.horizon) break;
+
+    // Admit arrivals visible at this round boundary.
+    while (next_arrival < trace.jobs.size() &&
+           trace.jobs[next_arrival].arrival <= t + 1e-9) {
+      auto& s = js[next_arrival];
+      s.active = true;
+      log_.record(s.spec->arrival, EventKind::kArrival, s.spec->id);
+      ++next_arrival;
+    }
+
+    // Nothing runnable: skip ahead to the round containing the next arrival.
+    bool any_active = false;
+    for (const auto& s : js) {
+      if (s.active && !s.finished) {
+        any_active = true;
+        break;
+      }
+    }
+    if (!any_active) {
+      if (next_arrival >= trace.jobs.size()) break;  // nothing left will arrive
+      const Seconds a = trace.jobs[next_arrival].arrival;
+      t = std::ceil(a / L) * L;
+      if (t < a) t += L;  // guard FP rounding
+      continue;
+    }
+
+    // Build the scheduler's view.
+    ctx.now = t;
+    ctx.jobs.clear();
+    for (auto& s : js) {
+      if (!s.active || s.finished) continue;
+      JobView v;
+      v.spec = s.spec;
+      v.iterations_done = s.iterations;
+      v.attained_service = s.attained_service;
+      v.rounds_received = s.rounds_received;
+      v.rounds_on_type = s.rounds_on_type;
+      v.current_allocation = s.current;
+      v.throughput = s.observed_throughput;
+      ctx.jobs.push_back(std::move(v));
+    }
+
+    const double t0 = now_seconds();
+    cluster::AllocationMap amap = scheduler.schedule(ctx);
+    result.scheduler_seconds += now_seconds() - t0;
+    ++result.scheduler_calls;
+
+    if (config_.validate_allocations) {
+      const std::string err = cluster::validate(spec, amap);
+      if (!err.empty()) {
+        throw std::runtime_error(scheduler.name() + ": capacity violation: " + err);
+      }
+      for (const auto& [id, alloc] : amap) {
+        if (alloc.empty()) continue;
+        if (id < 0 || static_cast<std::size_t>(id) >= js.size() || !js[static_cast<std::size_t>(id)].active ||
+            js[static_cast<std::size_t>(id)].finished) {
+          throw std::runtime_error(scheduler.name() + ": allocated a non-runnable job " +
+                                   std::to_string(id));
+        }
+        const int w = alloc.total_workers();
+        const int want = js[static_cast<std::size_t>(id)].spec->num_workers;
+        if (w != want) {
+          throw std::runtime_error(scheduler.name() + ": gang violation for job " +
+                                   std::to_string(id) + ": got " + std::to_string(w) +
+                                   " workers, requested " + std::to_string(want));
+        }
+      }
+    }
+
+    // Advance every active job through the round [t, t+L).
+    bool progressed = false;
+    for (auto& s : js) {
+      if (!s.active || s.finished) continue;
+      const auto it = amap.find(s.spec->id);
+      const cluster::JobAllocation alloc =
+          it != amap.end() ? it->second : cluster::JobAllocation{};
+
+      if (alloc.empty()) {
+        if (!s.current.empty()) {
+          ++s.out.preemptions;
+          log_.record(t, EventKind::kPreempt, s.spec->id);
+        }
+        s.current = cluster::JobAllocation{};
+        continue;
+      }
+
+      const bool changed = !(alloc == s.current);
+      if (s.out.first_start < 0.0) {
+        s.out.first_start = t;
+        log_.record(t, EventKind::kStart, s.spec->id, alloc.to_string(spec));
+      } else if (changed && !s.current.empty()) {
+        ++s.out.reallocations;
+        log_.record(t, EventKind::kReallocate, s.spec->id, alloc.to_string(spec));
+      } else if (changed) {
+        // resumed from pause with a (possibly different) allocation
+        ++s.out.reallocations;
+        log_.record(t, EventKind::kReallocate, s.spec->id, alloc.to_string(spec));
+      }
+
+      Seconds penalty = 0.0;
+      if (changed) {
+        penalty = config_.use_flat_reallocation_penalty
+                      ? config_.flat_reallocation_penalty
+                      : s.spec->checkpoint_save + s.spec->checkpoint_load;
+      } else if (config_.charge_periodic_save) {
+        penalty = s.spec->checkpoint_save;
+      }
+      penalty = std::min(penalty, L);
+      const Seconds effective = L - penalty;
+
+      // True bottleneck throughput of this placement (constraint 1b), with
+      // network penalty, optional jitter, and optional straggler slowdown.
+      double x = config_.network.effective_rate(
+          alloc.bottleneck_throughput(s.spec->throughput), alloc.nodes_used(),
+          s.spec->model_size_mb);
+      if (config_.throughput_jitter > 0.0) {
+        const double sigma = config_.throughput_jitter;
+        x *= rng.lognormal(-0.5 * sigma * sigma, sigma);  // mean-1 jitter
+      }
+      if (config_.straggler.probability > 0.0 &&
+          rng.uniform() < config_.straggler.probability) {
+        x *= config_.straggler.slowdown;
+        log_.record(t, EventKind::kStraggler, s.spec->id);
+      }
+
+      const int workers = alloc.total_workers();
+      const double rate = x * workers;  // aggregate iterations/s (1a)
+      ++s.rounds_received;
+      ++job_rounds;
+      if (changed) ++result.total_reallocations;
+      for (GpuTypeId r = 0; r < R; ++r) {
+        if (alloc.workers_of_type(r) > 0) ++s.rounds_on_type[static_cast<std::size_t>(r)];
+      }
+
+      const double remaining = s.spec->total_iterations() - s.iterations;
+      double held, compute;
+      if (rate > 0.0 && remaining / rate <= effective + 1e-12) {
+        const Seconds run_time = remaining / rate;
+        s.iterations = s.spec->total_iterations();
+        s.finished = true;
+        s.out.finish = t + penalty + run_time;
+        held = workers * (penalty + run_time);
+        compute = workers * run_time;
+        --unfinished;
+        log_.record(s.out.finish, EventKind::kFinish, s.spec->id);
+        s.current = cluster::JobAllocation{};
+        progressed = true;
+      } else {
+        s.iterations += rate * effective;
+        held = workers * L;
+        compute = workers * effective;
+        s.current = alloc;
+        if (rate > 0.0) progressed = true;
+      }
+      ++s.out.rounds_run;
+      s.attained_service += held;
+      s.out.gpu_seconds += held;
+      s.out.compute_gpu_seconds += compute;
+      busy_gpu_seconds += compute;
+    }
+
+    if (!progressed) {
+      if (++stalled_rounds > kStallLimit) {
+        throw std::runtime_error(scheduler.name() +
+                                 ": simulation stalled (no progress for 100000 rounds)");
+      }
+    } else {
+      stalled_rounds = 0;
+    }
+
+    t += L;
+    ++result.rounds;
+  }
+
+  // ---- finalize metrics ----
+  result.jobs.reserve(js.size());
+  const double n_jobs = static_cast<double>(trace.jobs.size());
+  Seconds makespan = 0.0;
+  std::vector<double> jcts, qdelays, ftfs, utils;
+  for (auto& s : js) {
+    if (s.finished) {
+      utils.push_back(s.out.gpu_utilization(s.spec->num_workers));
+      makespan = std::max(makespan, s.out.finish);
+      jcts.push_back(s.out.jct());
+      // Themis finish-time fairness: JCT over the runtime with an exclusive
+      // 1/n share of the cluster's best devices.
+      const double x_best = s.spec->max_throughput();
+      const double isolated_rate = x_best * s.spec->num_workers / n_jobs;
+      if (isolated_rate > 0.0) {
+        const double t_id = s.spec->total_iterations() / isolated_rate;
+        s.out.ftf = s.out.jct() / t_id;
+        ftfs.push_back(s.out.ftf);
+      }
+    }
+    if (s.out.first_start >= 0.0) qdelays.push_back(s.out.queueing_delay());
+    result.total_preemptions += s.out.preemptions;
+    result.jobs.push_back(s.out);
+  }
+  if (unfinished > 0) makespan = std::max(makespan, t);
+  result.makespan = makespan;
+  result.avg_jct = common::mean(jcts);
+  result.median_jct = common::median(jcts);
+  result.min_jct = common::min_of(jcts);
+  result.max_jct = common::max_of(jcts);
+  result.p95_jct = common::percentile(jcts, 95.0);
+  result.avg_queueing_delay = common::mean(qdelays);
+  result.avg_ftf = common::mean(ftfs);
+  result.max_ftf = common::max_of(ftfs);
+  result.avg_job_utilization = common::mean(utils);
+  if (makespan > 0.0 && spec.total_gpus() > 0) {
+    result.gpu_utilization = busy_gpu_seconds / (spec.total_gpus() * makespan);
+  }
+  if (job_rounds > 0) {
+    result.realloc_round_fraction =
+        static_cast<double>(result.total_reallocations) / static_cast<double>(job_rounds);
+  }
+  return result;
+}
+
+}  // namespace hadar::sim

@@ -1,0 +1,60 @@
+// Dense linear-programming solver: two-phase primal simplex with Bland's
+// anti-cycling rule. Built for the moderate-size allocation LPs of the
+// Gavel baseline (hundreds of variables); no sparsity exploitation.
+#pragma once
+
+#include <vector>
+
+namespace hadar::solver {
+
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+const char* to_string(LpStatus s);
+
+/// max c^T x  s.t.  each constraint (a^T x REL b),  x >= 0.
+class LpProblem {
+ public:
+  explicit LpProblem(int num_vars);
+
+  int num_vars() const { return num_vars_; }
+  int num_constraints() const { return static_cast<int>(rows_.size()); }
+
+  /// Objective coefficient for variable `v` (maximization).
+  void set_objective(int v, double coeff);
+
+  /// Adds a constraint sum_i coeffs[i] * x_i REL rhs. `coeffs` may be shorter
+  /// than num_vars (missing entries are 0).
+  void add_constraint(std::vector<double> coeffs, Relation rel, double rhs);
+
+  const std::vector<double>& objective() const { return c_; }
+
+  struct Row {
+    std::vector<double> a;
+    Relation rel;
+    double b;
+  };
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  int num_vars_;
+  std::vector<double> c_;
+  std::vector<Row> rows_;
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+struct SimplexOptions {
+  int max_iterations = 50000;
+  double eps = 1e-9;
+};
+
+/// Solves with two-phase primal simplex. Deterministic (Bland's rule).
+LpSolution solve(const LpProblem& lp, const SimplexOptions& opts = {});
+
+}  // namespace hadar::solver

@@ -1,0 +1,62 @@
+// Max-min fair time-fraction allocation, the optimization at the heart of
+// the Gavel baseline: compute Y[j][r] (fraction of wall-clock time job j
+// should spend on GPU type r) maximizing the minimum normalized throughput
+//
+//   max  min_j ( sum_r Y[j][r] * rate[j][r] / scale[j] )
+//   s.t. sum_r Y[j][r]            <= 1        for every job
+//        sum_j Y[j][r] * demand[j] <= cap[r]  for every type
+//        Y >= 0
+//
+// Two engines: an exact LP (two-phase simplex; used for small job counts)
+// and an event-driven progressive-filling heuristic (linear-time per event;
+// used beyond `lp_job_threshold`, mirroring how Gavel falls back to faster
+// approximations at scale).
+#pragma once
+
+#include <vector>
+
+namespace hadar::solver {
+
+struct MaxMinProblem {
+  /// rate[j][r]: job j's aggregate useful throughput when running fully on
+  /// type r (0 when the job cannot run there).
+  std::vector<std::vector<double>> rate;
+  /// demand[j]: devices consumed while job j runs (its gang size W_j).
+  std::vector<double> demand;
+  /// cap[r]: devices of type r in the cluster.
+  std::vector<double> cap;
+  /// scale[j]: normalization (e.g. the job's ideal isolated throughput).
+  /// Empty => all ones.
+  std::vector<double> scale;
+};
+
+struct MaxMinSolution {
+  bool feasible = false;
+  double min_normalized_throughput = 0.0;
+  /// Y[j][r] time fractions.
+  std::vector<std::vector<double>> y;
+};
+
+struct MaxMinOptions {
+  int lp_job_threshold = 96;  ///< above this many jobs, use the heuristic
+  int max_lp_iterations = 200000;
+};
+
+/// Solves with the exact LP regardless of size.
+MaxMinSolution solve_max_min_lp(const MaxMinProblem& p, int max_iterations = 200000);
+
+/// Progressive-filling heuristic: every job draws time on its fastest
+/// remaining type at the common normalized rate until its time budget or a
+/// capacity saturates.
+MaxMinSolution solve_max_min_filling(const MaxMinProblem& p);
+
+/// Dispatches on problem size per `opts`.
+MaxMinSolution solve_max_min(const MaxMinProblem& p, const MaxMinOptions& opts = {});
+
+/// Total-throughput maximization over the same constraint polytope:
+///   max sum_j sum_r Y[j][r] * rate[j][r] / scale[j]
+/// (Gavel's "maximize sum of normalized throughputs" policy family).
+/// Uses the exact LP up to the job threshold, then a greedy density fill.
+MaxMinSolution solve_max_sum(const MaxMinProblem& p, const MaxMinOptions& opts = {});
+
+}  // namespace hadar::solver

@@ -1,0 +1,83 @@
+#include "workload/job.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hadar::workload {
+
+const char* to_string(SizeClass c) {
+  switch (c) {
+    case SizeClass::kSmall: return "S";
+    case SizeClass::kMedium: return "M";
+    case SizeClass::kLarge: return "L";
+    case SizeClass::kXLarge: return "XL";
+  }
+  return "?";
+}
+
+double JobSpec::max_throughput() const {
+  double x = 0.0;
+  for (double v : throughput) x = std::max(x, v);
+  return x;
+}
+
+double JobSpec::min_throughput() const {
+  double x = 0.0;
+  bool seen = false;
+  for (double v : throughput) {
+    if (v > 0.0) {
+      x = seen ? std::min(x, v) : v;
+      seen = true;
+    }
+  }
+  return seen ? x : 0.0;
+}
+
+Seconds JobSpec::min_runtime() const {
+  const double x = max_throughput();
+  if (x <= 0.0 || num_workers <= 0) return kInfiniteTime;
+  return total_iterations() / (x * num_workers);
+}
+
+Seconds JobSpec::max_runtime() const {
+  const double x = min_throughput();
+  if (x <= 0.0 || num_workers <= 0) return kInfiniteTime;
+  return total_iterations() / (x * num_workers);
+}
+
+void JobSpec::validate(int num_types) const {
+  if (num_workers <= 0) throw std::invalid_argument("JobSpec: num_workers <= 0");
+  if (epochs <= 0) throw std::invalid_argument("JobSpec: epochs <= 0");
+  if (chunks_per_epoch <= 0) throw std::invalid_argument("JobSpec: chunks_per_epoch <= 0");
+  if (arrival < 0.0) throw std::invalid_argument("JobSpec: negative arrival");
+  if (throughput.size() != static_cast<std::size_t>(num_types)) {
+    throw std::invalid_argument("JobSpec: throughput arity != num GPU types");
+  }
+  if (max_throughput() <= 0.0) {
+    throw std::invalid_argument("JobSpec: no device type with positive throughput");
+  }
+  for (double v : throughput) {
+    if (v < 0.0) throw std::invalid_argument("JobSpec: negative throughput");
+  }
+  if (checkpoint_save < 0.0 || checkpoint_load < 0.0) {
+    throw std::invalid_argument("JobSpec: negative checkpoint cost");
+  }
+  if (model_size_mb < 0.0) throw std::invalid_argument("JobSpec: negative model size");
+}
+
+void Trace::finalize() {
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const JobSpec& a, const JobSpec& b) { return a.arrival < b.arrival; });
+  for (std::size_t i = 0; i < jobs.size(); ++i) jobs[i].id = static_cast<JobId>(i);
+}
+
+double Trace::total_gpu_hours() const {
+  double s = 0.0;
+  for (const auto& j : jobs) {
+    const double rt = j.min_runtime();
+    if (rt != kInfiniteTime) s += rt * j.num_workers / 3600.0;
+  }
+  return s;
+}
+
+}  // namespace hadar::workload

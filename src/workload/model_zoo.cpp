@@ -1,0 +1,106 @@
+#include "workload/model_zoo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hadar::workload {
+
+ModelZoo::ModelZoo(std::vector<ModelProfile> profiles) : profiles_(std::move(profiles)) {
+  for (const auto& p : profiles_) {
+    if (p.name.empty()) throw std::invalid_argument("ModelZoo: empty model name");
+    if (p.throughput.empty()) throw std::invalid_argument("ModelZoo: no throughput entries");
+    if (p.chunks_per_epoch <= 0) throw std::invalid_argument("ModelZoo: chunks_per_epoch <= 0");
+  }
+}
+
+const ModelProfile& ModelZoo::profile(int i) const {
+  if (i < 0 || i >= size()) throw std::out_of_range("ModelZoo::profile");
+  return profiles_[static_cast<std::size_t>(i)];
+}
+
+const ModelProfile* ModelZoo::find(const std::string& name) const {
+  for (const auto& p : profiles_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<const ModelProfile*> ModelZoo::by_size(SizeClass c) const {
+  std::vector<const ModelProfile*> out;
+  for (const auto& p : profiles_) {
+    if (p.size_class == c) out.push_back(&p);
+  }
+  return out;
+}
+
+std::vector<double> ModelZoo::throughput_vector(const ModelProfile& p,
+                                                const cluster::GpuTypeRegistry& reg) const {
+  std::vector<double> xs(static_cast<std::size_t>(reg.size()), 0.0);
+  for (const auto& [type_name, rate] : p.throughput) {
+    const GpuTypeId r = reg.find(type_name);
+    if (r != kInvalidGpuType) xs[static_cast<std::size_t>(r)] = rate;
+  }
+  return xs;
+}
+
+JobSpec ModelZoo::make_job(const std::string& model, const cluster::GpuTypeRegistry& reg,
+                           int num_workers, Seconds ideal_runtime, Seconds arrival) const {
+  const ModelProfile* p = find(model);
+  if (p == nullptr) throw std::invalid_argument("ModelZoo::make_job: unknown model " + model);
+  if (num_workers <= 0) throw std::invalid_argument("ModelZoo::make_job: num_workers <= 0");
+  if (ideal_runtime <= 0.0) throw std::invalid_argument("ModelZoo::make_job: runtime <= 0");
+
+  JobSpec job;
+  job.model = p->name;
+  job.arrival = arrival;
+  job.num_workers = num_workers;
+  job.chunks_per_epoch = p->chunks_per_epoch;
+  job.throughput = throughput_vector(*p, reg);
+  job.checkpoint_save = p->checkpoint_save;
+  job.checkpoint_load = p->checkpoint_load;
+  job.model_size_mb = p->model_size_mb;
+  job.size_class = p->size_class;
+
+  double best = 0.0;
+  for (double v : job.throughput) best = std::max(best, v);
+  if (best <= 0.0) {
+    throw std::invalid_argument("ModelZoo::make_job: model cannot run on any cluster type");
+  }
+  const double total_iters = ideal_runtime * best * num_workers;
+  job.epochs = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::llround(total_iters / static_cast<double>(p->chunks_per_epoch))));
+  job.validate(reg.size());
+  return job;
+}
+
+ModelZoo ModelZoo::paper_default() {
+  // Rates are per-worker iterations/second. Ratios encode the published
+  // heterogeneity spreads; Table IV supplies the checkpoint costs
+  // (save = "w/o reallocation" overhead x 360 s round; save+load = "w/").
+  std::vector<ModelProfile> ps;
+  ps.push_back({"ResNet-50", "Image Classification", "ImageNet", SizeClass::kXLarge,
+                {{"V100", 3.0}, {"P100", 1.4}, {"K80", 0.3}, {"T4", 1.7}, {"K520", 0.25}},
+                5004, 1.19, 6.37, 102.0});
+  ps.push_back({"ResNet-18", "Image Classification", "CIFAR-10", SizeClass::kSmall,
+                {{"V100", 40.0}, {"P100", 21.0}, {"K80", 8.0}, {"T4", 26.0}, {"K520", 6.5}},
+                390, 0.76, 3.88, 45.0});
+  ps.push_back({"LSTM", "Language Modeling", "Wikitext-2", SizeClass::kLarge,
+                {{"V100", 12.0}, {"P100", 6.8}, {"K80", 2.4}, {"T4", 7.6}, {"K520", 2.0}},
+                1327, 3.13, 4.11, 210.0});
+  ps.push_back({"CycleGAN", "Image-to-Image Translation", "Monet2photo", SizeClass::kMedium,
+                {{"V100", 1.2}, {"P100", 0.65}, {"K80", 0.23}, {"T4", 0.75}, {"K520", 0.19}},
+                1334, 0.47, 1.98, 44.0});
+  ps.push_back({"Transformer", "Language Translation", "Multi30K", SizeClass::kLarge,
+                {{"V100", 6.0}, {"P100", 3.1}, {"K80", 0.8}, {"T4", 3.4}, {"K520", 0.7}},
+                906, 0.61, 1.95, 240.0});
+  // Extra (not in Table II): an A3C-style RL model with the intro's ~2x
+  // V100:K80 spread. Used by heterogeneity ablations; the trace generator
+  // never samples it unless asked.
+  ps.push_back({"A3C", "Reinforcement Learning", "Atari-Pong", SizeClass::kSmall,
+                {{"V100", 20.0}, {"P100", 16.0}, {"K80", 10.0}, {"T4", 17.0}, {"K520", 9.0}},
+                1000, 0.30, 0.90, 6.0});
+  return ModelZoo(std::move(ps));
+}
+
+}  // namespace hadar::workload

@@ -1,0 +1,62 @@
+// Table II of the paper: the five representative DNN training workloads with
+// their datasets, relative sizes, per-accelerator throughput profiles, and
+// the Table IV checkpoint-cost model. Throughput values are calibrated to
+// reproduce the heterogeneity spreads Gavel reports (e.g. ResNet-50 is ~10x
+// faster on a V100 than a K80, reinforcement-learning-style models only ~2x)
+// — the ratios, not the absolute rates, drive every scheduling decision.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/gpu_type.hpp"
+#include "workload/job.hpp"
+
+namespace hadar::workload {
+
+/// One Table II entry plus the measurements the schedulers consume.
+struct ModelProfile {
+  std::string name;      ///< "ResNet-50", ...
+  std::string task;      ///< "Image Classification", ...
+  std::string dataset;   ///< "ImageNet", ...
+  SizeClass size_class;  ///< Table II "Size" column
+  /// Iterations/s per worker, keyed by GPU type NAME (registry-independent).
+  std::vector<std::pair<std::string, double>> throughput;
+  std::int64_t chunks_per_epoch;  ///< N_j: iterations per epoch
+  Seconds checkpoint_save;        ///< Table IV: per-round cost w/o reallocation
+  Seconds checkpoint_load;        ///< Table IV: extra cost with reallocation
+  double model_size_mb;           ///< parameter size (PS network / storage models)
+};
+
+/// Registry of model profiles; the default() zoo carries Table II.
+class ModelZoo {
+ public:
+  ModelZoo() = default;
+  explicit ModelZoo(std::vector<ModelProfile> profiles);
+
+  int size() const { return static_cast<int>(profiles_.size()); }
+  const ModelProfile& profile(int i) const;
+  const ModelProfile* find(const std::string& name) const;
+
+  /// Profiles whose Table II size matches `c`.
+  std::vector<const ModelProfile*> by_size(SizeClass c) const;
+
+  /// Resolves a profile's named throughputs against a registry; types absent
+  /// from the profile get rate 0 (job cannot run there).
+  std::vector<double> throughput_vector(const ModelProfile& p,
+                                        const cluster::GpuTypeRegistry& reg) const;
+
+  /// Builds a JobSpec for `model` with the work sized so that running all
+  /// `num_workers` on the model's fastest type takes `ideal_runtime` seconds.
+  JobSpec make_job(const std::string& model, const cluster::GpuTypeRegistry& reg,
+                   int num_workers, Seconds ideal_runtime, Seconds arrival = 0.0) const;
+
+  /// Table II + an A3C-style reinforcement-learning model (the intro's
+  /// low-heterogeneity example, used by tests and ablations).
+  static ModelZoo paper_default();
+
+ private:
+  std::vector<ModelProfile> profiles_;
+};
+
+}  // namespace hadar::workload

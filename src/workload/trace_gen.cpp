@@ -1,0 +1,136 @@
+#include "workload/trace_gen.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace hadar::workload {
+
+TraceGenerator::TraceGenerator(const ModelZoo* zoo, const cluster::GpuTypeRegistry* registry)
+    : zoo_(zoo), registry_(registry) {
+  if (zoo_ == nullptr || registry_ == nullptr) {
+    throw std::invalid_argument("TraceGenerator: null dependency");
+  }
+}
+
+namespace {
+
+SizeClass pick_class(common::Rng& rng, const TraceGenConfig& cfg) {
+  const std::vector<double> w = {cfg.small_weight, cfg.medium_weight, cfg.large_weight,
+                                 cfg.xlarge_weight};
+  switch (rng.weighted_index(w)) {
+    case 0: return SizeClass::kSmall;
+    case 1: return SizeClass::kMedium;
+    case 2: return SizeClass::kLarge;
+    default: return SizeClass::kXLarge;
+  }
+}
+
+std::pair<double, double> class_range(const TraceGenConfig& cfg, SizeClass c) {
+  switch (c) {
+    case SizeClass::kSmall: return {cfg.small_lo, cfg.small_hi};
+    case SizeClass::kMedium: return {cfg.medium_lo, cfg.medium_hi};
+    case SizeClass::kLarge: return {cfg.large_lo, cfg.large_hi};
+    case SizeClass::kXLarge: return {cfg.xlarge_lo, cfg.xlarge_hi};
+  }
+  return {cfg.small_lo, cfg.small_hi};
+}
+
+}  // namespace
+
+Trace TraceGenerator::generate(const TraceGenConfig& cfg) const {
+  if (cfg.num_jobs <= 0) throw std::invalid_argument("TraceGenerator: num_jobs <= 0");
+  if (cfg.worker_counts.size() != cfg.worker_weights.size() || cfg.worker_counts.empty()) {
+    throw std::invalid_argument("TraceGenerator: worker count/weight mismatch");
+  }
+  if (cfg.arrivals == ArrivalPattern::kContinuous && cfg.jobs_per_hour <= 0.0) {
+    throw std::invalid_argument("TraceGenerator: non-positive arrival rate");
+  }
+  if (cfg.diurnal_amplitude < 0.0 || cfg.diurnal_amplitude >= 1.0) {
+    throw std::invalid_argument("TraceGenerator: diurnal_amplitude must be in [0,1)");
+  }
+
+  common::Rng rng(cfg.seed);
+  Trace trace;
+  trace.jobs.reserve(static_cast<std::size_t>(cfg.num_jobs));
+
+  Seconds clock = 0.0;
+  for (int i = 0; i < cfg.num_jobs; ++i) {
+    const SizeClass cls = pick_class(rng, cfg);
+
+    const ModelProfile* profile = nullptr;
+    if (cfg.fixed_model) {
+      profile = zoo_->find(*cfg.fixed_model);
+      if (profile == nullptr) {
+        throw std::invalid_argument("TraceGenerator: unknown fixed model " + *cfg.fixed_model);
+      }
+    } else {
+      auto candidates = zoo_->by_size(cls);
+      if (candidates.empty()) {
+        // No Table II model in this class (cannot happen with paper_default,
+        // but custom zoos may be sparse): fall back to any model.
+        for (int m = 0; m < zoo_->size(); ++m) candidates.push_back(&zoo_->profile(m));
+      }
+      profile =
+          candidates[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+    }
+
+    const int workers =
+        cfg.worker_counts[rng.weighted_index(cfg.worker_weights)];
+
+    // Log-uniform GPU-hours within the class range, converted to an ideal
+    // runtime (all workers on the fastest type).
+    const auto [lo, hi] = class_range(cfg, cls);
+    const double gpu_hours = std::exp(rng.uniform(std::log(lo), std::log(hi)));
+    const Seconds ideal_runtime = gpu_hours * 3600.0 / workers;
+
+    Seconds arrival = 0.0;
+    if (cfg.arrivals == ArrivalPattern::kContinuous) {
+      if (cfg.diurnal_amplitude > 0.0) {
+        // Thinning: candidate events at the peak rate, accepted with the
+        // instantaneous relative intensity.
+        const double peak = cfg.jobs_per_hour * (1.0 + cfg.diurnal_amplitude) / 3600.0;
+        for (;;) {
+          clock += rng.exponential(peak);
+          const double rel = (1.0 + cfg.diurnal_amplitude *
+                                        std::sin(2.0 * std::numbers::pi * clock / 86400.0)) /
+                             (1.0 + cfg.diurnal_amplitude);
+          if (rng.uniform() < rel) break;
+        }
+      } else {
+        clock += rng.exponential(cfg.jobs_per_hour / 3600.0);
+      }
+      arrival = clock;
+    }
+
+    JobSpec job = zoo_->make_job(profile->name, *registry_, workers, ideal_runtime, arrival);
+    job.size_class = cls;
+    trace.jobs.push_back(std::move(job));
+  }
+
+  trace.finalize();
+  return trace;
+}
+
+Trace TraceGenerator::prototype_workload(std::uint64_t seed) const {
+  common::Rng rng(seed);
+  // Two jobs per Table II model, 10 total, sized so the whole batch finishes
+  // in hours on the 8-GPU prototype (the paper's ImageNet is downscaled the
+  // same way).
+  const std::vector<std::pair<std::string, double>> plan = {
+      {"ResNet-50", 2.2}, {"ResNet-50", 1.6}, {"ResNet-18", 0.4}, {"ResNet-18", 0.3},
+      {"LSTM", 1.2},      {"LSTM", 0.9},      {"CycleGAN", 0.8},  {"CycleGAN", 0.6},
+      {"Transformer", 1.1}, {"Transformer", 0.8}};
+  Trace trace;
+  for (const auto& [model, hours] : plan) {
+    // Gangs of 1-2: each AWS pool holds only two devices of a type, and the
+    // job-level baselines (Gavel) can never place a wider homogeneous gang.
+    const int workers = static_cast<int>(rng.uniform_int(1, 2));
+    trace.jobs.push_back(
+        zoo_->make_job(model, *registry_, workers, hours * 3600.0, /*arrival=*/0.0));
+  }
+  trace.finalize();
+  return trace;
+}
+
+}  // namespace hadar::workload

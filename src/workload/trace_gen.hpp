@@ -1,0 +1,73 @@
+// Synthetic Philly-style trace generation (Sec. IV-A of the paper).
+//
+// The paper takes 480 jobs from the busiest hours of the Microsoft trace [9]
+// and, because the trace lacks model details, buckets jobs by total GPU-time
+// into S/M/L/XL classes and samples a Table II model per class uniformly.
+// The public trace is not redistributable, so we synthesize jobs directly
+// from those published distributions: per-class GPU-hour ranges, uniform
+// class sampling, heavy-tailed worker counts, and static or Poisson arrivals.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace hadar::workload {
+
+/// How job arrival times are generated.
+enum class ArrivalPattern {
+  kStatic,      ///< all jobs available at t=0 ("static trace")
+  kContinuous,  ///< Poisson process with rate jobs_per_hour ("continuous")
+};
+
+struct TraceGenConfig {
+  int num_jobs = 480;
+  ArrivalPattern arrivals = ArrivalPattern::kStatic;
+  double jobs_per_hour = 60.0;  ///< mean Poisson rate for kContinuous
+  /// Diurnal load modulation for continuous arrivals, in [0, 1): the
+  /// instantaneous rate follows jobs_per_hour * (1 + A sin(2 pi t / 24 h)),
+  /// matching the day/night swing of production traces. 0 = stationary.
+  double diurnal_amplitude = 0.0;
+  std::uint64_t seed = 42;
+
+  /// Gang sizes and their sampling weights: mostly small requests with a
+  /// heavy tail of multi-node gangs, as in the production analyses the paper
+  /// cites. The tail (12-16 workers vs 20 devices per type) is what makes
+  /// homogeneous gangs scarce — the contention Hadar's task-level mixing
+  /// targets.
+  std::vector<int> worker_counts = {1, 2, 4, 8, 12, 16};
+  std::vector<double> worker_weights = {0.38, 0.22, 0.18, 0.12, 0.06, 0.04};
+
+  /// GPU-hour range per size class (Sec. IV-A): S 0-1, M 1-10, L 10-50,
+  /// XL 60-100. Sampled log-uniformly within the class.
+  double small_lo = 0.1, small_hi = 1.0;
+  double medium_lo = 1.0, medium_hi = 10.0;
+  double large_lo = 10.0, large_hi = 50.0;
+  double xlarge_lo = 60.0, xlarge_hi = 100.0;
+
+  /// Relative frequency of each class (paper: uniform sampling).
+  double small_weight = 1.0, medium_weight = 1.0, large_weight = 1.0, xlarge_weight = 1.0;
+
+  /// When set, every job uses this model instead of class-based sampling.
+  std::optional<std::string> fixed_model;
+};
+
+/// Deterministic (seeded) trace generator over a model zoo and GPU registry.
+class TraceGenerator {
+ public:
+  TraceGenerator(const ModelZoo* zoo, const cluster::GpuTypeRegistry* registry);
+
+  /// Generates a finalized trace (arrival-sorted, dense ids).
+  Trace generate(const TraceGenConfig& cfg) const;
+
+  /// The 10-job mixed workload of the prototype experiments (Sec. IV-B):
+  /// two jobs per Table II model with 1-4 workers, static arrivals.
+  Trace prototype_workload(std::uint64_t seed = 7) const;
+
+ private:
+  const ModelZoo* zoo_;
+  const cluster::GpuTypeRegistry* registry_;
+};
+
+}  // namespace hadar::workload

@@ -1,0 +1,131 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace hadar::workload {
+namespace {
+
+SizeClass size_class_from_string(const std::string& s) {
+  if (s == "S") return SizeClass::kSmall;
+  if (s == "M") return SizeClass::kMedium;
+  if (s == "L") return SizeClass::kLarge;
+  if (s == "XL") return SizeClass::kXLarge;
+  throw std::runtime_error("trace_from_csv: bad size class '" + s + "'");
+}
+
+double to_double(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("trace_from_csv: bad ") + what + " '" + s + "'");
+  }
+}
+
+long long to_ll(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("trace_from_csv: bad ") + what + " '" + s + "'");
+  }
+}
+
+}  // namespace
+
+std::string trace_to_csv(const Trace& trace, const cluster::GpuTypeRegistry& reg) {
+  std::vector<std::string> header = {"id",     "model",          "arrival_s", "workers",
+                                     "epochs", "chunks_per_epoch", "size_class",
+                                     "ckpt_save_s", "ckpt_load_s", "model_size_mb"};
+  for (int r = 0; r < reg.size(); ++r) header.push_back("x_" + reg.name(r));
+
+  common::CsvWriter w(header);
+  for (const auto& j : trace.jobs) {
+    std::vector<std::string> row = {
+        common::CsvWriter::field(static_cast<long long>(j.id)),
+        j.model,
+        common::CsvWriter::field(j.arrival),
+        common::CsvWriter::field(static_cast<long long>(j.num_workers)),
+        common::CsvWriter::field(static_cast<long long>(j.epochs)),
+        common::CsvWriter::field(static_cast<long long>(j.chunks_per_epoch)),
+        to_string(j.size_class),
+        common::CsvWriter::field(j.checkpoint_save),
+        common::CsvWriter::field(j.checkpoint_load),
+        common::CsvWriter::field(j.model_size_mb)};
+    for (int r = 0; r < reg.size(); ++r) {
+      row.push_back(common::CsvWriter::field(j.throughput_on(r)));
+    }
+    w.add_row(std::move(row));
+  }
+  return w.to_string();
+}
+
+Trace trace_from_csv(const std::string& text, const cluster::GpuTypeRegistry& reg) {
+  const common::CsvDocument doc = common::parse_csv(text);
+  auto col = [&](const std::string& name) {
+    const int c = doc.column(name);
+    if (c < 0) throw std::runtime_error("trace_from_csv: missing column " + name);
+    return static_cast<std::size_t>(c);
+  };
+
+  const auto c_model = col("model");
+  const auto c_arrival = col("arrival_s");
+  const auto c_workers = col("workers");
+  const auto c_epochs = col("epochs");
+  const auto c_chunks = col("chunks_per_epoch");
+  const auto c_size = col("size_class");
+  const auto c_save = col("ckpt_save_s");
+  const auto c_load = col("ckpt_load_s");
+  const auto c_msize = col("model_size_mb");
+  std::vector<std::size_t> c_x;
+  for (int r = 0; r < reg.size(); ++r) c_x.push_back(col("x_" + reg.name(r)));
+
+  Trace trace;
+  for (const auto& row : doc.rows) {
+    JobSpec j;
+    j.model = row.at(c_model);
+    j.arrival = to_double(row.at(c_arrival), "arrival");
+    j.num_workers = static_cast<int>(to_ll(row.at(c_workers), "workers"));
+    j.epochs = to_ll(row.at(c_epochs), "epochs");
+    j.chunks_per_epoch = to_ll(row.at(c_chunks), "chunks_per_epoch");
+    j.size_class = size_class_from_string(row.at(c_size));
+    j.checkpoint_save = to_double(row.at(c_save), "ckpt_save_s");
+    j.checkpoint_load = to_double(row.at(c_load), "ckpt_load_s");
+    j.model_size_mb = to_double(row.at(c_msize), "model_size_mb");
+    j.throughput.resize(static_cast<std::size_t>(reg.size()));
+    for (int r = 0; r < reg.size(); ++r) {
+      j.throughput[static_cast<std::size_t>(r)] =
+          to_double(row.at(c_x[static_cast<std::size_t>(r)]), "throughput");
+    }
+    j.validate(reg.size());
+    trace.jobs.push_back(std::move(j));
+  }
+  trace.finalize();
+  return trace;
+}
+
+bool write_trace_file(const std::string& path, const Trace& trace,
+                      const cluster::GpuTypeRegistry& reg) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << trace_to_csv(trace, reg);
+  return static_cast<bool>(f);
+}
+
+Trace read_trace_file(const std::string& path, const cluster::GpuTypeRegistry& reg) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("read_trace_file: cannot open " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return trace_from_csv(ss.str(), reg);
+}
+
+}  // namespace hadar::workload

@@ -1,0 +1,28 @@
+// CSV persistence for traces so experiments can be re-run bit-identically
+// from a saved workload file.
+//
+// Format (one row per job):
+//   id,model,arrival_s,workers,epochs,chunks_per_epoch,size_class,
+//   ckpt_save_s,ckpt_load_s,model_size_mb,x_<TYPE>...   (one x_ column per GPU type)
+#pragma once
+
+#include <string>
+
+#include "cluster/gpu_type.hpp"
+#include "workload/job.hpp"
+
+namespace hadar::workload {
+
+/// Serializes a trace to CSV text.
+std::string trace_to_csv(const Trace& trace, const cluster::GpuTypeRegistry& reg);
+
+/// Parses CSV text back into a trace. Throws std::runtime_error on malformed
+/// input or when the x_ columns do not cover the registry's types.
+Trace trace_from_csv(const std::string& text, const cluster::GpuTypeRegistry& reg);
+
+/// File wrappers. write returns false on I/O error; read throws.
+bool write_trace_file(const std::string& path, const Trace& trace,
+                      const cluster::GpuTypeRegistry& reg);
+Trace read_trace_file(const std::string& path, const cluster::GpuTypeRegistry& reg);
+
+}  // namespace hadar::workload

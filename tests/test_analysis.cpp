@@ -1,0 +1,123 @@
+// Tests for the analysis module: CSV/Markdown comparison exports, per-job
+// dumps, and the ASCII Gantt timeline renderer.
+#include <gtest/gtest.h>
+
+#include "analysis/report.hpp"
+#include "analysis/timeline.hpp"
+#include "common/csv.hpp"
+#include "runner/experiment.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace hadar::analysis {
+namespace {
+
+struct Fixture : public ::testing::Test {
+  static void SetUpTestSuite() {
+    cfg_ = new runner::ExperimentConfig();
+    cfg_->spec = cluster::ClusterSpec::simulation_default();
+    static const workload::ModelZoo zoo = workload::ModelZoo::paper_default();
+    workload::TraceGenerator gen(&zoo, &cfg_->spec.types());
+    workload::TraceGenConfig t;
+    t.num_jobs = 12;
+    t.seed = 77;
+    t.large_lo = 1.0;
+    t.large_hi = 3.0;
+    t.xlarge_lo = 2.0;
+    t.xlarge_hi = 4.0;
+    cfg_->trace = gen.generate(t);
+    cfg_->sim.enable_event_log = true;
+    runs_ = new std::vector<runner::SchedulerRun>(
+        runner::compare(*cfg_, {"hadar", "gavel"}));
+  }
+  static void TearDownTestSuite() {
+    delete runs_;
+    delete cfg_;
+  }
+  static runner::ExperimentConfig* cfg_;
+  static std::vector<runner::SchedulerRun>* runs_;
+};
+runner::ExperimentConfig* Fixture::cfg_ = nullptr;
+std::vector<runner::SchedulerRun>* Fixture::runs_ = nullptr;
+
+TEST_F(Fixture, ComparisonCsvParsesBack) {
+  std::vector<NamedResult> named;
+  for (const auto& r : *runs_) named.push_back({r.scheduler, &r.result});
+  const auto doc = common::parse_csv(comparison_csv(named));
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][0], "Hadar");
+  EXPECT_EQ(doc.rows[1][0], "Gavel");
+  const int col = doc.column("avg_jct_s");
+  ASSERT_GE(col, 0);
+  EXPECT_GT(std::stod(doc.rows[0][static_cast<std::size_t>(col)]), 0.0);
+}
+
+TEST_F(Fixture, ComparisonMarkdownHasTableStructure) {
+  std::vector<NamedResult> named;
+  for (const auto& r : *runs_) named.push_back({r.scheduler, &r.result});
+  const std::string md = comparison_markdown(named);
+  EXPECT_NE(md.find("| scheduler |"), std::string::npos);
+  EXPECT_NE(md.find("|---|"), std::string::npos);
+  EXPECT_NE(md.find("| Hadar |"), std::string::npos);
+}
+
+TEST_F(Fixture, PerJobCsvHasOneRowPerJob) {
+  const auto doc = common::parse_csv(per_job_csv(runs_->front().result));
+  EXPECT_EQ(doc.rows.size(), cfg_->trace.jobs.size());
+  const int col = doc.column("jct_s");
+  ASSERT_GE(col, 0);
+  for (const auto& row : doc.rows) {
+    EXPECT_GT(std::stod(row[static_cast<std::size_t>(col)]), 0.0);  // all finished
+  }
+}
+
+TEST_F(Fixture, ReportRejectsNullResults) {
+  EXPECT_THROW(comparison_csv({{"x", nullptr}}), std::invalid_argument);
+}
+
+TEST(Gantt, RendersRunningAndFinishPhases) {
+  // Re-run a tiny sim with the event log on and render it.
+  runner::ExperimentConfig cfg;
+  cfg.spec = cluster::ClusterSpec::simulation_default();
+  static const workload::ModelZoo zoo = workload::ModelZoo::paper_default();
+  cfg.trace.jobs = {zoo.make_job("ResNet-18", cfg.spec.types(), 2, 3600.0),
+                    zoo.make_job("LSTM", cfg.spec.types(), 4, 7200.0)};
+  cfg.trace.finalize();
+  cfg.sim.enable_event_log = true;
+  sim::Simulator sim(cfg.sim);
+  auto sched = runner::make_scheduler("hadar");
+  sim.run(cfg.spec, cfg.trace, *sched);
+
+  const std::string g = ascii_gantt(sim.event_log(), cfg.trace);
+  EXPECT_NE(g.find("J0"), std::string::npos);
+  EXPECT_NE(g.find("J1"), std::string::npos);
+  EXPECT_NE(g.find('#'), std::string::npos);  // something ran
+  EXPECT_NE(g.find("legend:"), std::string::npos);
+}
+
+TEST(Gantt, EmptyLogHandled) {
+  sim::EventLog log;
+  workload::Trace t;
+  EXPECT_EQ(ascii_gantt(log, t), "(empty event log)\n");
+}
+
+TEST(Gantt, MaxJobsTruncates) {
+  runner::ExperimentConfig cfg;
+  cfg.spec = cluster::ClusterSpec::simulation_default();
+  static const workload::ModelZoo zoo = workload::ModelZoo::paper_default();
+  for (int i = 0; i < 6; ++i) {
+    cfg.trace.jobs.push_back(zoo.make_job("ResNet-18", cfg.spec.types(), 1, 1800.0));
+  }
+  cfg.trace.finalize();
+  cfg.sim.enable_event_log = true;
+  sim::Simulator sim(cfg.sim);
+  auto sched = runner::make_scheduler("srtf");
+  sim.run(cfg.spec, cfg.trace, *sched);
+  GanttOptions opts;
+  opts.max_jobs = 3;
+  const std::string g = ascii_gantt(sim.event_log(), cfg.trace, opts);
+  EXPECT_NE(g.find("more jobs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hadar::analysis

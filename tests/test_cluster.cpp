@@ -1,0 +1,206 @@
+// Unit tests for the cluster substrate: GPU-type registry, cluster specs,
+// allocations (normalization, bottleneck), and mutable cluster state.
+#include <gtest/gtest.h>
+
+#include "cluster/allocation.hpp"
+#include "cluster/cluster_spec.hpp"
+#include "cluster/cluster_state.hpp"
+#include "cluster/gpu_type.hpp"
+
+namespace hadar::cluster {
+namespace {
+
+// ------------------------------------------------------------ registry ----
+
+TEST(GpuTypeRegistry, LooksUpByName) {
+  const auto reg = GpuTypeRegistry::simulation_default();
+  EXPECT_EQ(reg.size(), 3);
+  EXPECT_EQ(reg.name(0), "V100");
+  EXPECT_EQ(reg.at("K80"), 2);
+  EXPECT_EQ(reg.find("TPU"), kInvalidGpuType);
+  EXPECT_THROW(reg.at("TPU"), std::out_of_range);
+}
+
+TEST(GpuTypeRegistry, RejectsDuplicatesAndBadSpeeds) {
+  EXPECT_THROW(GpuTypeRegistry({{"A", 1.0}, {"A", 2.0}}), std::invalid_argument);
+  EXPECT_THROW(GpuTypeRegistry({{"A", 0.0}}), std::invalid_argument);
+  EXPECT_THROW(GpuTypeRegistry({{"", 1.0}}), std::invalid_argument);
+  EXPECT_THROW(GpuTypeRegistry(std::vector<GpuTypeInfo>{}), std::invalid_argument);
+}
+
+TEST(GpuTypeRegistry, EqualityByNames) {
+  EXPECT_TRUE(GpuTypeRegistry::simulation_default() == GpuTypeRegistry::simulation_default());
+  EXPECT_FALSE(GpuTypeRegistry::simulation_default() == GpuTypeRegistry::aws_prototype());
+}
+
+// ---------------------------------------------------------------- spec ----
+
+TEST(ClusterSpec, SimulationDefaultMatchesPaper) {
+  const auto spec = ClusterSpec::simulation_default();
+  EXPECT_EQ(spec.num_nodes(), 15);
+  EXPECT_EQ(spec.total_gpus(), 60);
+  for (GpuTypeId r = 0; r < 3; ++r) EXPECT_EQ(spec.total_of_type(r), 20);
+}
+
+TEST(ClusterSpec, AwsPrototypeMatchesPaper) {
+  const auto spec = ClusterSpec::aws_prototype();
+  EXPECT_EQ(spec.num_nodes(), 8);
+  EXPECT_EQ(spec.total_gpus(), 8);
+  EXPECT_EQ(spec.num_types(), 4);
+  for (GpuTypeId r = 0; r < 4; ++r) EXPECT_EQ(spec.total_of_type(r), 2);
+}
+
+TEST(ClusterSpec, ScaledGrowsLinearly) {
+  const auto spec = ClusterSpec::scaled(10, 4);
+  EXPECT_EQ(spec.num_nodes(), 30);
+  EXPECT_EQ(spec.total_gpus(), 120);
+  EXPECT_THROW(ClusterSpec::scaled(0), std::invalid_argument);
+}
+
+TEST(ClusterSpec, RejectsBadNodeVectors) {
+  auto reg = GpuTypeRegistry::simulation_default();
+  EXPECT_THROW(ClusterSpec::from_counts(reg, {{1, 2}}), std::invalid_argument);   // arity
+  EXPECT_THROW(ClusterSpec::from_counts(reg, {{1, -1, 0}}), std::invalid_argument);
+}
+
+TEST(ClusterSpec, SummaryMentionsEveryType) {
+  const auto spec = ClusterSpec::simulation_default();
+  const auto s = spec.summary();
+  EXPECT_NE(s.find("V100:20"), std::string::npos);
+  EXPECT_NE(s.find("K80:20"), std::string::npos);
+  EXPECT_NE(s.find("15 nodes"), std::string::npos);
+}
+
+// ----------------------------------------------------------- allocation ----
+
+TEST(JobAllocation, NormalizesAndMerges) {
+  JobAllocation a({{2, 1, 1}, {0, 0, 2}, {2, 1, 1}});
+  ASSERT_EQ(a.placements().size(), 2u);
+  EXPECT_EQ(a.placements()[0].node, 0);
+  EXPECT_EQ(a.placements()[1].count, 2);  // merged 1+1 on (2,1)
+  EXPECT_EQ(a.total_workers(), 4);
+  EXPECT_EQ(a.nodes_used(), 2);
+  EXPECT_EQ(a.types_used(), 2);
+  EXPECT_EQ(a.workers_of_type(1), 2);
+}
+
+TEST(JobAllocation, EqualityIsOrderInsensitive) {
+  JobAllocation a({{1, 0, 1}, {0, 2, 3}});
+  JobAllocation b({{0, 2, 3}, {1, 0, 1}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(JobAllocation, BottleneckIsMinOverUsedTypes) {
+  JobAllocation a({{0, 0, 2}, {1, 2, 1}});  // types 0 and 2
+  const std::vector<double> xs = {10.0, 5.0, 2.0};
+  EXPECT_DOUBLE_EQ(a.bottleneck_throughput(xs), 2.0);
+  EXPECT_DOUBLE_EQ(JobAllocation{}.bottleneck_throughput(xs), 0.0);
+}
+
+TEST(JobAllocation, RejectsInvalidPlacements) {
+  EXPECT_THROW(JobAllocation({{0, 0, 0}}), std::invalid_argument);
+  EXPECT_THROW(JobAllocation({{-1, 0, 1}}), std::invalid_argument);
+}
+
+TEST(JobAllocation, ToStringNamesTypes) {
+  const auto spec = ClusterSpec::simulation_default();
+  JobAllocation a({{0, 0, 2}});
+  EXPECT_EQ(a.to_string(spec), "n0:V100x2");
+  EXPECT_EQ(JobAllocation{}.to_string(spec), "(paused)");
+}
+
+TEST(Validate, FlagsOverCapacity) {
+  const auto spec = ClusterSpec::simulation_default();
+  AllocationMap m;
+  m.emplace(0, JobAllocation({{0, 0, 4}}));
+  EXPECT_TRUE(validate(spec, m).empty());
+  m.emplace(1, JobAllocation({{0, 0, 1}}));  // node 0 has only 4 V100s
+  EXPECT_FALSE(validate(spec, m).empty());
+}
+
+TEST(Validate, FlagsUnknownNodeOrType) {
+  const auto spec = ClusterSpec::simulation_default();
+  AllocationMap m;
+  m.emplace(0, JobAllocation({{99, 0, 1}}));
+  EXPECT_FALSE(validate(spec, m).empty());
+}
+
+TEST(Fits, ConsidersExistingAllocations) {
+  const auto spec = ClusterSpec::simulation_default();
+  AllocationMap taken;
+  taken.emplace(0, JobAllocation({{0, 0, 3}}));
+  EXPECT_TRUE(fits(spec, taken, JobAllocation({{0, 0, 1}})));
+  EXPECT_FALSE(fits(spec, taken, JobAllocation({{0, 0, 2}})));
+}
+
+// ---------------------------------------------------------------- state ----
+
+TEST(ClusterState, AllocateReleaseRoundTrips) {
+  const auto spec = ClusterSpec::simulation_default();
+  ClusterState st(&spec);
+  EXPECT_EQ(st.total_free(), 60);
+  JobAllocation a({{0, 0, 3}, {5, 1, 2}});
+  ASSERT_TRUE(st.can_allocate(a));
+  st.allocate(a);
+  EXPECT_EQ(st.free_count(0, 0), 1);
+  EXPECT_EQ(st.gamma(5, 1), 2);
+  EXPECT_EQ(st.total_free(), 55);
+  st.release(a);
+  EXPECT_EQ(st.total_free(), 60);
+}
+
+TEST(ClusterState, AllocateThrowsOverCapacity) {
+  const auto spec = ClusterSpec::simulation_default();
+  ClusterState st(&spec);
+  JobAllocation a({{0, 0, 5}});  // node 0 has 4 V100s
+  EXPECT_FALSE(st.can_allocate(a));
+  EXPECT_THROW(st.allocate(a), std::runtime_error);
+}
+
+TEST(ClusterState, ReleaseThrowsOnUnderflow) {
+  const auto spec = ClusterSpec::simulation_default();
+  ClusterState st(&spec);
+  EXPECT_THROW(st.release(JobAllocation({{0, 0, 1}})), std::runtime_error);
+}
+
+TEST(ClusterState, SnapshotRestore) {
+  const auto spec = ClusterSpec::simulation_default();
+  ClusterState st(&spec);
+  const auto empty = st.snapshot();
+  st.allocate(JobAllocation({{1, 0, 4}}));
+  const auto one = st.snapshot();
+  st.restore(empty);
+  EXPECT_EQ(st.total_free(), 60);
+  st.restore(one);
+  EXPECT_EQ(st.free_count(1, 0), 0);
+}
+
+TEST(ClusterState, HashDistinguishesStates) {
+  const auto spec = ClusterSpec::simulation_default();
+  ClusterState a(&spec), b(&spec);
+  EXPECT_EQ(a.hash(), b.hash());
+  a.allocate(JobAllocation({{0, 0, 1}}));
+  EXPECT_NE(a.hash(), b.hash());
+  b.allocate(JobAllocation({{0, 0, 1}}));
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(ClusterState, IsFullWhenEverythingTaken) {
+  const auto reg = GpuTypeRegistry({{"X", 1.0}});
+  const auto spec = ClusterSpec::from_counts(reg, {{2}});
+  ClusterState st(&spec);
+  EXPECT_FALSE(st.is_full());
+  st.allocate(JobAllocation({{0, 0, 2}}));
+  EXPECT_TRUE(st.is_full());
+}
+
+TEST(ClusterState, ClearResets) {
+  const auto spec = ClusterSpec::simulation_default();
+  ClusterState st(&spec);
+  st.allocate(JobAllocation({{0, 0, 2}}));
+  st.clear();
+  EXPECT_EQ(st.total_free(), 60);
+}
+
+}  // namespace
+}  // namespace hadar::cluster

@@ -1,0 +1,268 @@
+// Unit tests for the common substrate: RNG determinism and distribution
+// sanity, statistics, CSV round-tripping, and table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace hadar::common {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(7);
+  double s = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) s += rng.uniform();
+  EXPECT_NEAR(s / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(1);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  double s = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) s += rng.exponential(2.0);
+  EXPECT_NEAR(s / n, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  RunningStats st;
+  for (int i = 0; i < 100000; ++i) st.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(st.mean(), 3.0, 0.05);
+  EXPECT_NEAR(st.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(23);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Rng, WeightedIndexRejectsAllZero) {
+  Rng rng(1);
+  std::vector<double> w = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(w), std::invalid_argument);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(29);
+  const auto p = rng.permutation(50);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng a(31);
+  Rng b = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+// -------------------------------------------------------------- stats ----
+
+TEST(Stats, MeanAndStddev) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  std::vector<double> xs;
+  EXPECT_EQ(mean(xs), 0.0);
+  EXPECT_EQ(stddev(xs), 0.0);
+  EXPECT_EQ(min_of(xs), 0.0);
+  EXPECT_EQ(max_of(xs), 0.0);
+  EXPECT_EQ(median(xs), 0.0);
+  EXPECT_TRUE(empirical_cdf(xs).empty());
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+  EXPECT_DOUBLE_EQ(median(xs), 25.0);
+}
+
+TEST(Stats, PercentileClampsP) {
+  std::vector<double> xs = {1, 2};
+  EXPECT_DOUBLE_EQ(percentile(xs, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 200), 2.0);
+}
+
+TEST(Stats, CdfIsMonotoneAndEndsAtOne) {
+  std::vector<double> xs = {5, 1, 3, 2, 4};
+  const auto cdf = empirical_cdf(xs, 20);
+  ASSERT_EQ(cdf.size(), 20u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+    EXPECT_GE(cdf[i].x, cdf[i - 1].x);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().x, 5.0);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  Rng rng(37);
+  std::vector<double> xs;
+  RunningStats st;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5, 5);
+    xs.push_back(x);
+    st.add(x);
+  }
+  EXPECT_NEAR(st.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(st.stddev(), stddev(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(st.min(), min_of(xs));
+  EXPECT_DOUBLE_EQ(st.max(), max_of(xs));
+  EXPECT_EQ(st.count(), 1000u);
+}
+
+// ---------------------------------------------------------------- csv ----
+
+TEST(Csv, RoundTripsSimpleTable) {
+  CsvWriter w({"a", "b"});
+  w.add_row({"1", "x"});
+  w.add_row({"2", "y"});
+  const auto doc = parse_csv(w.to_string());
+  ASSERT_EQ(doc.header.size(), 2u);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][0], "1");
+  EXPECT_EQ(doc.rows[1][1], "y");
+  EXPECT_EQ(doc.column("b"), 1);
+  EXPECT_EQ(doc.column("zzz"), -1);
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  CsvWriter w({"v"});
+  w.add_row({"has,comma"});
+  w.add_row({"has\"quote"});
+  w.add_row({"has\nnewline"});
+  const auto doc = parse_csv(w.to_string());
+  ASSERT_EQ(doc.rows.size(), 3u);
+  EXPECT_EQ(doc.rows[0][0], "has,comma");
+  EXPECT_EQ(doc.rows[1][0], "has\"quote");
+  EXPECT_EQ(doc.rows[2][0], "has\nnewline");
+}
+
+TEST(Csv, RejectsArityMismatch) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Csv, RejectsUnterminatedQuote) {
+  EXPECT_THROW(parse_csv("a\n\"oops"), std::runtime_error);
+}
+
+TEST(Csv, HandlesCrLf) {
+  const auto doc = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(Csv, FieldFormatting) {
+  EXPECT_EQ(CsvWriter::field(1.5), "1.5");
+  EXPECT_EQ(CsvWriter::field(static_cast<long long>(42)), "42");
+}
+
+// -------------------------------------------------------------- table ----
+
+TEST(Table, RendersAlignedColumns) {
+  AsciiTable t("Title", {"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "222"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("== Title =="), std::string::npos);
+  EXPECT_NE(out.find("| longer-name |"), std::string::npos);
+  EXPECT_NE(out.find("| x           |"), std::string::npos);
+}
+
+TEST(Table, FormattersBehave) {
+  EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::integer(7), "7");
+  EXPECT_EQ(AsciiTable::speedup(2.5, 1), "2.5x");
+  EXPECT_EQ(AsciiTable::percent(0.876, 1), "87.6%");
+  EXPECT_EQ(AsciiTable::duration(30.0), "30.0 s");
+  EXPECT_EQ(AsciiTable::duration(120.0), "2.0 min");
+  EXPECT_EQ(AsciiTable::duration(7200.0), "2.00 h");
+}
+
+TEST(Table, PadsShortRows) {
+  AsciiTable t("", {"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.render());
+}
+
+}  // namespace
+}  // namespace hadar::common

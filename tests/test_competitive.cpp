@@ -1,0 +1,87 @@
+// Tests for the empirical companion to Theorem 2: the realized utility of a
+// Hadar schedule must stay within the guaranteed 2*alpha factor of the
+// offline utility upper bound, across seeds, and better schedulers must
+// score better empirical ratios.
+#include <gtest/gtest.h>
+
+#include "core/competitive.hpp"
+#include "runner/experiment.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace hadar::core {
+namespace {
+
+runner::ExperimentConfig small_experiment(std::uint64_t seed, int jobs = 20) {
+  runner::ExperimentConfig e;
+  e.spec = cluster::ClusterSpec::simulation_default();
+  static const workload::ModelZoo zoo = workload::ModelZoo::paper_default();
+  workload::TraceGenerator gen(&zoo, &e.spec.types());
+  workload::TraceGenConfig t;
+  t.num_jobs = jobs;
+  t.seed = seed;
+  t.large_lo = 1.0;
+  t.large_hi = 4.0;
+  t.xlarge_lo = 3.0;
+  t.xlarge_hi = 6.0;
+  e.trace = gen.generate(t);
+  return e;
+}
+
+TEST(Competitive, ReportFieldsAreConsistent) {
+  const auto cfg = small_experiment(3);
+  const auto runs = runner::compare(cfg, {"hadar"});
+  const auto rep = analyze_competitiveness(cfg.spec, cfg.trace, runs[0].result);
+  EXPECT_GT(rep.achieved_utility, 0.0);
+  EXPECT_GE(rep.utility_upper_bound, rep.achieved_utility - 1e-9);
+  EXPECT_GE(rep.empirical_ratio, 1.0 - 1e-9);
+  EXPECT_GE(rep.alpha, 1.0);
+  EXPECT_DOUBLE_EQ(rep.guaranteed_ratio, 2.0 * rep.alpha);
+}
+
+TEST(Competitive, UpperBoundEqualsIdealUtilitySum) {
+  // With an uncontended cluster (one small job), Hadar achieves nearly the
+  // ideal utility: the round quantization is the only loss.
+  runner::ExperimentConfig e;
+  e.spec = cluster::ClusterSpec::simulation_default();
+  static const workload::ModelZoo zoo = workload::ModelZoo::paper_default();
+  e.trace.jobs = {zoo.make_job("LSTM", e.spec.types(), 4, /*ideal_runtime=*/7200.0)};
+  e.trace.finalize();
+  const auto runs = runner::compare(e, {"hadar"});
+  const auto rep = analyze_competitiveness(e.spec, e.trace, runs[0].result);
+  EXPECT_LT(rep.empirical_ratio, 1.2);
+}
+
+class CompetitiveSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompetitiveSeeds, HadarStaysWithinGuarantee) {
+  const auto cfg = small_experiment(GetParam());
+  const auto runs = runner::compare(cfg, {"hadar"});
+  const auto rep = analyze_competitiveness(cfg.spec, cfg.trace, runs[0].result);
+  EXPECT_TRUE(rep.within_guarantee())
+      << "empirical " << rep.empirical_ratio << " vs guaranteed " << rep.guaranteed_ratio;
+}
+
+TEST_P(CompetitiveSeeds, HadarRatioBeatsYarn) {
+  const auto cfg = small_experiment(GetParam());
+  const auto runs = runner::compare(cfg, {"hadar", "yarn"});
+  const auto rep_h = analyze_competitiveness(cfg.spec, cfg.trace, runs[0].result);
+  const auto rep_y = analyze_competitiveness(cfg.spec, cfg.trace, runs[1].result);
+  EXPECT_LT(rep_h.empirical_ratio, rep_y.empirical_ratio);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompetitiveSeeds, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Competitive, UnfinishedRunsScoreWorse) {
+  auto cfg = small_experiment(9);
+  cfg.sim.horizon = 2 * 3600.0;  // cut the run short
+  const auto full = runner::compare(cfg, {"hadar"});
+  cfg.sim.horizon = 0.0;
+  const auto complete = runner::compare(cfg, {"hadar"});
+  const auto rep_cut = analyze_competitiveness(cfg.spec, cfg.trace, full[0].result);
+  const auto rep_full = analyze_competitiveness(cfg.spec, cfg.trace, complete[0].result);
+  EXPECT_GE(rep_cut.empirical_ratio, rep_full.empirical_ratio);
+}
+
+}  // namespace
+}  // namespace hadar::core

@@ -1,0 +1,171 @@
+// Tests for the profiling-based throughput estimator (Fig. 2): measurement
+// attribution, EWMA convergence, registry-scaled extrapolation, and the
+// estimator-driven Hadar configuration end-to-end.
+#include <gtest/gtest.h>
+
+#include "core/hadar_scheduler.hpp"
+#include "core/throughput_estimator.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace hadar::core {
+namespace {
+
+using cluster::ClusterSpec;
+using cluster::GpuTypeRegistry;
+using cluster::JobAllocation;
+using test::ContextBuilder;
+
+TEST(Estimator, RejectsBadConstruction) {
+  EXPECT_THROW(ThroughputEstimator(nullptr), std::invalid_argument);
+  const auto reg = GpuTypeRegistry::simulation_default();
+  EstimatorConfig bad;
+  bad.blend = 0.0;
+  EXPECT_THROW(ThroughputEstimator(&reg, bad), std::invalid_argument);
+}
+
+TEST(Estimator, UnprofiledJobGetsNominalPrior) {
+  const auto spec = ClusterSpec::simulation_default();
+  ThroughputEstimator est(&spec.types());
+  ContextBuilder b(&spec);
+  b.add_job(1, 1000.0, {3.0, 1.4, 0.3});
+  const auto ctx = b.build();
+  est.observe(ctx);
+  EXPECT_FALSE(est.profiled(0));
+  const auto e = est.estimate(ctx.jobs[0]);
+  // Prior scales with the registry's nominal relative speeds (10:4:1).
+  EXPECT_NEAR(e[0] / e[2], 10.0, 1e-9);
+  EXPECT_NEAR(e[1] / e[2], 4.0, 1e-9);
+}
+
+TEST(Estimator, MeasuresBottleneckTypeFromProgress) {
+  const auto spec = ClusterSpec::simulation_default();
+  ThroughputEstimator est(&spec.types());
+  ContextBuilder b(&spec);
+  b.add_job(2, 1e6, {3.0, 1.4, 0.3});
+  auto ctx = b.build(0.0, 360.0);
+  // Round 0: job just placed on V100s, no progress yet.
+  ctx.jobs[0].current_allocation = JobAllocation({{0, 0, 2}});
+  est.observe(ctx);
+  // Round 1: same placement, progressed at the true rate (2 * 3 it/s).
+  ctx.now = 360.0;
+  ctx.jobs[0].iterations_done = 2 * 3.0 * 360.0;
+  est.observe(ctx);
+  EXPECT_TRUE(est.profiled(0));
+  const auto e = est.estimate(ctx.jobs[0]);
+  EXPECT_NEAR(e[0], 3.0, 1e-6);          // measured
+  EXPECT_NEAR(e[1], 3.0 * 0.4, 1e-6);    // extrapolated via relative speeds
+}
+
+TEST(Estimator, EwmaConvergesUnderNoisyRounds) {
+  const auto spec = ClusterSpec::simulation_default();
+  EstimatorConfig cfg;
+  cfg.blend = 0.5;
+  ThroughputEstimator est(&spec.types(), cfg);
+  ContextBuilder b(&spec);
+  b.add_job(1, 1e9, {5.0, 2.0, 0.5});
+  auto ctx = b.build(0.0, 360.0);
+  ctx.jobs[0].current_allocation = JobAllocation({{0, 0, 1}});
+  est.observe(ctx);
+  double iters = 0.0;
+  const double rates[] = {4.0, 6.0, 5.5, 4.5, 5.0, 5.0, 5.0, 5.0};
+  for (double r : rates) {
+    iters += r * 360.0;
+    ctx.now += 360.0;
+    ctx.jobs[0].iterations_done = iters;
+    est.observe(ctx);
+  }
+  const auto e = est.estimate(ctx.jobs[0]);
+  EXPECT_NEAR(e[0], 5.0, 0.25);
+}
+
+TEST(Estimator, IgnoresRoundsWithChangedAllocation) {
+  // Progress across an allocation change mixes two placements; the
+  // estimator must not attribute it.
+  const auto spec = ClusterSpec::simulation_default();
+  ThroughputEstimator est(&spec.types());
+  ContextBuilder b(&spec);
+  b.add_job(1, 1e6, {5.0, 2.0, 0.5});
+  auto ctx = b.build(0.0, 360.0);
+  ctx.jobs[0].current_allocation = JobAllocation({{0, 0, 1}});
+  est.observe(ctx);
+  ctx.now = 360.0;
+  ctx.jobs[0].iterations_done = 1000.0;
+  ctx.jobs[0].current_allocation = JobAllocation({{5, 1, 1}});  // moved
+  est.observe(ctx);
+  EXPECT_FALSE(est.profiled(0));
+}
+
+TEST(Estimator, ResetForgetsEverything) {
+  const auto spec = ClusterSpec::simulation_default();
+  ThroughputEstimator est(&spec.types());
+  ContextBuilder b(&spec);
+  b.add_job(1, 1e6, {5.0, 2.0, 0.5});
+  auto ctx = b.build(0.0, 360.0);
+  ctx.jobs[0].current_allocation = JobAllocation({{0, 0, 1}});
+  est.observe(ctx);
+  ctx.now = 360.0;
+  ctx.jobs[0].iterations_done = 5.0 * 360.0;
+  est.observe(ctx);
+  ASSERT_TRUE(est.profiled(0));
+  est.reset();
+  EXPECT_FALSE(est.profiled(0));
+}
+
+TEST(Estimator, HadarWithEstimatorCompletesTrace) {
+  const auto spec = ClusterSpec::simulation_default();
+  static const workload::ModelZoo zoo = workload::ModelZoo::paper_default();
+  workload::TraceGenerator gen(&zoo, &spec.types());
+  workload::TraceGenConfig tcfg;
+  tcfg.num_jobs = 15;
+  tcfg.seed = 21;
+  tcfg.large_lo = 2.0;
+  tcfg.large_hi = 5.0;
+  tcfg.xlarge_lo = 5.0;
+  tcfg.xlarge_hi = 8.0;
+  const auto trace = gen.generate(tcfg);
+
+  HadarConfig cfg;
+  cfg.use_estimator = true;
+  HadarScheduler sched(cfg);
+  sim::Simulator sim{sim::SimConfig{}};
+  const auto r = sim.run(spec, trace, sched);
+  EXPECT_TRUE(r.all_finished());
+}
+
+TEST(Estimator, OracleAndEstimatorAgreeOnUncontendedJob) {
+  // A single job: profiling should converge and keep the job on the fast
+  // pool, completing within ~20% of the oracle schedule.
+  const auto spec = ClusterSpec::simulation_default();
+  static const workload::ModelZoo zoo = workload::ModelZoo::paper_default();
+  workload::TraceGenerator gen(&zoo, &spec.types());
+  workload::TraceGenConfig tcfg;
+  tcfg.num_jobs = 1;
+  tcfg.seed = 23;
+  tcfg.fixed_model = "LSTM";
+  tcfg.small_lo = 0.8;
+  tcfg.small_hi = 1.0;
+  tcfg.medium_lo = 0.8;
+  tcfg.medium_hi = 1.0;
+  tcfg.large_lo = 0.8;
+  tcfg.large_hi = 1.0;
+  tcfg.xlarge_lo = 0.8;
+  tcfg.xlarge_hi = 1.0;
+  const auto trace = gen.generate(tcfg);
+
+  sim::Simulator sim{sim::SimConfig{}};
+  HadarScheduler oracle;
+  HadarConfig est_cfg;
+  est_cfg.use_estimator = true;
+  HadarScheduler with_est(est_cfg);
+  const auto r_oracle = sim.run(spec, trace, oracle);
+  const auto r_est = sim.run(spec, trace, with_est);
+  ASSERT_TRUE(r_oracle.all_finished());
+  ASSERT_TRUE(r_est.all_finished());
+  EXPECT_LE(r_est.avg_jct, r_oracle.avg_jct * 1.25);
+}
+
+}  // namespace
+}  // namespace hadar::core

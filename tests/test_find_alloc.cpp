@@ -1,0 +1,209 @@
+// Tests for FIND_ALLOC (Algorithm 2 lines 22-34): feasibility, gang sizing,
+// bottleneck-aware candidate choice, slowest-eligible-first filling,
+// consolidation preferences, communication costs, and config ablations.
+#include <gtest/gtest.h>
+
+#include "core/find_alloc.hpp"
+#include "test_util.hpp"
+
+namespace hadar::core {
+namespace {
+
+using cluster::ClusterSpec;
+using cluster::ClusterState;
+using cluster::GpuTypeRegistry;
+using cluster::JobAllocation;
+using test::ContextBuilder;
+
+struct Fixture {
+  explicit Fixture(ClusterSpec s) : spec(std::move(s)), builder(&spec), state(&spec) {}
+
+  std::optional<AllocCandidate> run(const sim::JobView& job,
+                                    const FindAllocConfig& cfg = {},
+                                    UtilityKind kind = UtilityKind::kEffectiveThroughput) {
+    const UtilityFunction u(kind, 4.0);
+    PriceBook book(spec.num_types(), PricingConfig{});
+    auto ctx = builder.build();
+    book.compute_bounds(ctx, u);
+    return find_alloc(job, state, book, u, /*now=*/0.0, sim::NetworkModel{}, cfg);
+  }
+
+  ClusterSpec spec;
+  ContextBuilder builder;
+  ClusterState state;
+};
+
+TEST(FindAlloc, ReturnsGangSizedAllocation) {
+  Fixture f(ClusterSpec::simulation_default());
+  f.builder.add_job(4, 10000.0, {10.0, 5.0, 1.0});
+  const auto ctx = f.builder.build();
+  const auto cand = f.run(ctx.jobs[0]);
+  ASSERT_TRUE(cand.has_value());
+  EXPECT_EQ(cand->alloc.total_workers(), 4);
+  EXPECT_GT(cand->payoff, 0.0);
+}
+
+TEST(FindAlloc, PrefersFastTypeOnEmptyCluster) {
+  Fixture f(ClusterSpec::simulation_default());
+  f.builder.add_job(4, 10000.0, {10.0, 5.0, 1.0});
+  const auto ctx = f.builder.build();
+  const auto cand = f.run(ctx.jobs[0]);
+  ASSERT_TRUE(cand.has_value());
+  // All four workers on V100s (type 0): nothing beats stretch 1.
+  EXPECT_EQ(cand->alloc.workers_of_type(0), 4);
+  EXPECT_EQ(cand->alloc.types_used(), 1);
+}
+
+TEST(FindAlloc, MixesTypesWhenFastOnesAreScarce) {
+  // 2 V100 free; job wants 3 workers and runs nearly as fast on P100.
+  Fixture f(ClusterSpec::simulation_default());
+  f.builder.add_job(3, 10000.0, {10.0, 9.5, 1.0});
+  const auto ctx = f.builder.build();
+  // Occupy 18 of 20 V100s.
+  for (NodeId h = 0; h < 4; ++h) f.state.allocate(JobAllocation({{h, 0, 4}}));
+  f.state.allocate(JobAllocation({{4, 0, 2}}));
+  const auto cand = f.run(ctx.jobs[0]);
+  ASSERT_TRUE(cand.has_value());
+  EXPECT_EQ(cand->alloc.total_workers(), 3);
+  // P100-level bottleneck (stretch ~1.05) beats waiting; workers must avoid
+  // the K80 (bottleneck 1.0 -> stretch 10).
+  EXPECT_EQ(cand->alloc.workers_of_type(2), 0);
+}
+
+TEST(FindAlloc, SlowestEligibleFirstLeavesFastGpusFree) {
+  // Job 0 runs equally well everywhere => the bottleneck is identical for
+  // any placement. With a V100-hungry job in the queue (raising the V100
+  // price via Eq. 6), the fill must avoid the V100s and leave them for the
+  // job that can exploit them.
+  Fixture f(ClusterSpec::simulation_default());
+  f.builder.add_job(4, 1000.0, {2.0, 2.0, 2.0});
+  f.builder.add_job(4, 100000.0, {30.0, 5.0, 1.0});  // values V100 30x
+  const auto ctx = f.builder.build();
+  const auto cand = f.run(ctx.jobs[0]);
+  ASSERT_TRUE(cand.has_value());
+  EXPECT_EQ(cand->alloc.workers_of_type(0), 0);
+}
+
+TEST(FindAlloc, InfeasibleWhenGangCannotFit) {
+  Fixture f(ClusterSpec::simulation_default());
+  f.builder.add_job(61, 1000.0, {1.0, 1.0, 1.0});  // cluster has 60 GPUs
+  const auto ctx = f.builder.build();
+  EXPECT_FALSE(f.run(ctx.jobs[0]).has_value());
+}
+
+TEST(FindAlloc, InfeasibleOnFullCluster) {
+  Fixture f(ClusterSpec::simulation_default());
+  f.builder.add_job(1, 1000.0, {1.0, 1.0, 1.0});
+  const auto ctx = f.builder.build();
+  for (NodeId h = 0; h < f.spec.num_nodes(); ++h) {
+    for (GpuTypeId r = 0; r < 3; ++r) {
+      const int free = f.state.free_count(h, r);
+      if (free > 0) f.state.allocate(JobAllocation({{h, r, free}}));
+    }
+  }
+  EXPECT_FALSE(f.run(ctx.jobs[0]).has_value());
+}
+
+TEST(FindAlloc, SkipsIncompatibleTypes) {
+  // Job can only run on K80s (type 2).
+  Fixture f(ClusterSpec::simulation_default());
+  f.builder.add_job(4, 1000.0, {0.0, 0.0, 3.0});
+  const auto ctx = f.builder.build();
+  const auto cand = f.run(ctx.jobs[0]);
+  ASSERT_TRUE(cand.has_value());
+  EXPECT_EQ(cand->alloc.workers_of_type(2), 4);
+  EXPECT_EQ(cand->alloc.types_used(), 1);
+}
+
+TEST(FindAlloc, ConsolidatesWithinANodeWhenPossible) {
+  Fixture f(ClusterSpec::simulation_default());
+  f.builder.add_job(4, 10000.0, {10.0, 5.0, 1.0});
+  const auto ctx = f.builder.build();
+  const auto cand = f.run(ctx.jobs[0]);
+  ASSERT_TRUE(cand.has_value());
+  EXPECT_EQ(cand->alloc.nodes_used(), 1);  // a 4-GPU node fits the gang
+}
+
+TEST(FindAlloc, MultiNodePaysCommunicationCost) {
+  // 8 workers cannot fit one 4-GPU node: the candidate spans nodes and its
+  // cost must exceed the pure device cost.
+  Fixture f(ClusterSpec::simulation_default());
+  f.builder.add_job(8, 10000.0, {10.0, 5.0, 1.0});
+  const auto ctx = f.builder.build();
+  FindAllocConfig cfg;
+  cfg.comm_cost_weight = 0.5;
+  const auto with_comm = f.run(ctx.jobs[0], cfg);
+  cfg.comm_cost_weight = 0.0;
+  const auto without = f.run(ctx.jobs[0], cfg);
+  ASSERT_TRUE(with_comm.has_value());
+  ASSERT_TRUE(without.has_value());
+  EXPECT_GT(with_comm->alloc.nodes_used(), 1);
+  EXPECT_GT(with_comm->cost, without->cost);
+}
+
+TEST(FindAlloc, DisallowMultiNodeRestrictsToOneNode) {
+  Fixture f(ClusterSpec::simulation_default());
+  f.builder.add_job(8, 10000.0, {10.0, 5.0, 1.0});
+  const auto ctx = f.builder.build();
+  FindAllocConfig cfg;
+  cfg.allow_multi_node = false;
+  // 8 workers cannot fit any single 4-GPU node.
+  EXPECT_FALSE(f.run(ctx.jobs[0], cfg).has_value());
+}
+
+TEST(FindAlloc, DisallowMixedTypesForcesHomogeneity) {
+  // 2 V100 + 2 P100 free in total; a 3-worker job must mix or fail.
+  auto spec = ClusterSpec::from_counts(GpuTypeRegistry::simulation_default(),
+                                       {{std::vector<int>{2, 2, 0}}});
+  Fixture f(std::move(spec));
+  f.builder.add_job(3, 1000.0, {10.0, 9.0, 1.0});
+  const auto ctx = f.builder.build();
+  FindAllocConfig strict;
+  strict.allow_mixed_types = false;
+  EXPECT_FALSE(f.run(ctx.jobs[0], strict).has_value());
+  FindAllocConfig loose;
+  const auto cand = f.run(ctx.jobs[0], loose);
+  ASSERT_TRUE(cand.has_value());
+  EXPECT_EQ(cand->alloc.types_used(), 2);
+}
+
+TEST(FindAlloc, CurrentAllocationIsACandidate) {
+  Fixture f(ClusterSpec::simulation_default());
+  f.builder.add_job(2, 10000.0, {10.0, 5.0, 1.0});
+  auto ctx = f.builder.build();
+  ctx.jobs[0].current_allocation = JobAllocation({{0, 0, 2}});
+  const UtilityFunction u;
+  PriceBook book(3, PricingConfig{});
+  book.compute_bounds(ctx, u);
+  const auto cand =
+      find_alloc(ctx.jobs[0], f.state, book, u, 0.0, sim::NetworkModel{}, FindAllocConfig{});
+  ASSERT_TRUE(cand.has_value());
+  // The current placement is already optimal (V100s, one node): keep it.
+  EXPECT_EQ(cand->alloc, ctx.jobs[0].current_allocation);
+}
+
+TEST(FindAlloc, EstimatedDurationReflectsBottleneck) {
+  Fixture f(ClusterSpec::simulation_default());
+  f.builder.add_job(4, 8000.0, {10.0, 5.0, 1.0});
+  const auto ctx = f.builder.build();
+  const auto cand = f.run(ctx.jobs[0]);
+  ASSERT_TRUE(cand.has_value());
+  // 8000 iters / (4 workers * 10 it/s) = 200 s on V100s.
+  EXPECT_NEAR(cand->est_duration, 200.0, 1e-6);
+}
+
+TEST(FindAlloc, HigherUtilizationRaisesCost) {
+  Fixture busy(ClusterSpec::simulation_default());
+  busy.builder.add_job(4, 10000.0, {10.0, 5.0, 1.0});
+  const auto ctx = busy.builder.build();
+  const auto before = busy.run(ctx.jobs[0]);
+  // Fill 16 of the 20 V100s.
+  for (NodeId h = 0; h < 4; ++h) busy.state.allocate(JobAllocation({{h, 0, 4}}));
+  const auto after = busy.run(ctx.jobs[0]);
+  ASSERT_TRUE(before.has_value());
+  ASSERT_TRUE(after.has_value());
+  EXPECT_GT(after->cost, before->cost);
+}
+
+}  // namespace
+}  // namespace hadar::core

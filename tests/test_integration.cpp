@@ -1,0 +1,158 @@
+// Integration tests: the runner factory and scenarios, full multi-scheduler
+// simulations on moderate traces, and the paper's qualitative result shapes
+// (who wins on which metric).
+#include <gtest/gtest.h>
+
+#include "runner/scenarios.hpp"
+
+namespace hadar::runner {
+namespace {
+
+TEST(Runner, FactoryKnowsEveryScheduler) {
+  for (const char* name : {"hadar", "hadar-makespan", "hadar-ftf", "hadar-nomix",
+                           "hadar-greedy", "hadar-estimator", "gavel", "tiresias", "yarn",
+                           "srtf"}) {
+    const auto s = make_scheduler(name);
+    ASSERT_NE(s, nullptr) << name;
+    EXPECT_FALSE(s->name().empty());
+  }
+  EXPECT_THROW(make_scheduler("nope"), std::invalid_argument);
+}
+
+TEST(Runner, ScenariosMatchPaperSetups) {
+  const auto st = paper_static(30, 1);
+  EXPECT_EQ(st.spec.total_gpus(), 60);
+  EXPECT_EQ(st.trace.jobs.size(), 30u);
+  EXPECT_DOUBLE_EQ(st.sim.round_length, 360.0);
+  EXPECT_DOUBLE_EQ(st.sim.flat_reallocation_penalty, 10.0);
+  for (const auto& j : st.trace.jobs) EXPECT_DOUBLE_EQ(j.arrival, 0.0);
+
+  const auto ct = paper_continuous(40.0, 30, 1);
+  bool any_late = false;
+  for (const auto& j : ct.trace.jobs) any_late |= j.arrival > 0.0;
+  EXPECT_TRUE(any_late);
+
+  const auto pr = prototype(/*testbed_noise=*/true);
+  EXPECT_EQ(pr.spec.total_gpus(), 8);
+  EXPECT_EQ(pr.trace.jobs.size(), 10u);
+  EXPECT_FALSE(pr.sim.use_flat_reallocation_penalty);
+  EXPECT_GT(pr.sim.throughput_jitter, 0.0);
+}
+
+class ShapeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // One moderate static trace shared by all shape assertions (expensive).
+    cfg_ = new ExperimentConfig(paper_static(120, 42));
+    runs_ = new std::vector<SchedulerRun>(
+        compare(*cfg_, {"hadar", "gavel", "tiresias", "yarn"}));
+  }
+  static void TearDownTestSuite() {
+    delete runs_;
+    delete cfg_;
+    runs_ = nullptr;
+    cfg_ = nullptr;
+  }
+  const sim::SimResult& result(const std::string& name) const {
+    for (const auto& r : *runs_) {
+      if (r.scheduler == name || (name == "yarn" && r.scheduler == "YARN-CS")) {
+        return r.result;
+      }
+    }
+    throw std::runtime_error("missing " + name);
+  }
+
+  static ExperimentConfig* cfg_;
+  static std::vector<SchedulerRun>* runs_;
+};
+
+ExperimentConfig* ShapeTest::cfg_ = nullptr;
+std::vector<SchedulerRun>* ShapeTest::runs_ = nullptr;
+
+TEST_F(ShapeTest, EverySchedulerFinishesTheTrace) {
+  for (const auto& r : *runs_) {
+    EXPECT_TRUE(r.result.all_finished()) << r.scheduler;
+    EXPECT_EQ(r.result.jobs.size(), 120u) << r.scheduler;
+  }
+}
+
+TEST_F(ShapeTest, HadarWinsAverageJct) {
+  const double hadar = result("Hadar").avg_jct;
+  EXPECT_LT(hadar, result("Gavel").avg_jct);
+  EXPECT_LT(hadar, result("Tiresias").avg_jct);
+  EXPECT_LT(hadar, result("yarn").avg_jct);
+}
+
+TEST_F(ShapeTest, YarnIsFarBehindOnJct) {
+  // Paper: 7-15x vs Hadar; require at least 2x on this smaller trace.
+  EXPECT_GT(result("yarn").avg_jct, 2.0 * result("Hadar").avg_jct);
+}
+
+TEST_F(ShapeTest, YarnHasTopJobUtilization) {
+  // Paper Fig. 4: YARN-CS highest (non-preemptive), Hadar close behind,
+  // Gavel and Tiresias lower.
+  const double yarn = result("yarn").avg_job_utilization;
+  EXPECT_GT(yarn, 0.95);
+  EXPECT_GE(yarn, result("Hadar").avg_job_utilization);
+  EXPECT_GT(result("Hadar").avg_job_utilization, result("Gavel").avg_job_utilization);
+  EXPECT_GT(result("Hadar").avg_job_utilization, result("Tiresias").avg_job_utilization);
+}
+
+TEST_F(ShapeTest, HadarBeatsBaselinesOnFtf) {
+  // Paper Fig. 5: Hadar's avg FTF beats Gavel and Tiresias.
+  const double hadar = result("Hadar").avg_ftf;
+  EXPECT_LT(hadar, result("Gavel").avg_ftf);
+  EXPECT_LT(hadar, result("Tiresias").avg_ftf);
+}
+
+TEST_F(ShapeTest, HadarChurnsFarLessThanGavel) {
+  // The paper reports ~30% of rounds change allocations for Hadar while
+  // Gavel reshuffles continuously.
+  EXPECT_LT(result("Hadar").realloc_round_fraction,
+            result("Gavel").realloc_round_fraction);
+  EXPECT_LT(result("Hadar").realloc_round_fraction, 0.5);
+}
+
+TEST_F(ShapeTest, NonPreemptiveYarnNeverPreempts) {
+  EXPECT_EQ(result("yarn").total_preemptions, 0);
+}
+
+TEST(MakespanPolicy, HadarMakespanBeatsGavelAndTiresias) {
+  // Paper Fig. 6: with the makespan objective Hadar wins on makespan.
+  auto cfg = paper_static(80, 7);
+  const auto runs = compare(cfg, {"hadar-makespan", "gavel", "tiresias"});
+  const double hadar = runs[0].result.makespan;
+  EXPECT_LT(hadar, runs[1].result.makespan * 1.02);
+  EXPECT_LT(hadar, runs[2].result.makespan);
+}
+
+TEST(ContinuousTrace, HadarStillWinsJct) {
+  auto cfg = paper_continuous(/*jobs_per_hour=*/60.0, /*num_jobs=*/100, /*seed=*/3);
+  const auto runs = compare(cfg, {"hadar", "gavel", "tiresias"});
+  EXPECT_TRUE(runs[0].result.all_finished());
+  EXPECT_LT(runs[0].result.avg_jct, runs[1].result.avg_jct);
+  EXPECT_LT(runs[0].result.avg_jct, runs[2].result.avg_jct);
+}
+
+TEST(Prototype, SimulatedClusterShapeMatchesTableThree) {
+  // Table III: Hadar < Gavel < Tiresias on both JCT and makespan, and the
+  // noisy "physical" run stays within ~25% of the clean simulation (the
+  // paper reports <10% between its simulator and testbed).
+  auto clean = prototype(false);
+  auto noisy = prototype(true);
+  const auto r_clean = compare(clean, {"hadar", "gavel", "tiresias"});
+  const auto r_noisy = compare(noisy, {"hadar", "gavel", "tiresias"});
+  for (const auto& rr : {std::cref(r_clean), std::cref(r_noisy)}) {
+    const auto& runs = rr.get();
+    EXPECT_LT(runs[0].result.avg_jct, runs[1].result.avg_jct);
+    EXPECT_LT(runs[0].result.avg_jct, runs[2].result.avg_jct);
+    // Known deviation (EXPERIMENTS.md): on the tiny 8-GPU cluster Hadar's
+    // JCT policy trades ~10-15% makespan for its JCT win, where the paper's
+    // Table III shows wins on both; require parity, not dominance.
+    EXPECT_LT(runs[0].result.makespan, runs[1].result.makespan * 1.20);
+  }
+  EXPECT_NEAR(r_noisy[0].result.avg_jct / r_clean[0].result.avg_jct, 1.0, 0.25);
+}
+
+}  // namespace
+}  // namespace hadar::runner

@@ -1,0 +1,137 @@
+// Tests for the communication model: penalty-factor mode, the
+// parameter-server synchronization model, and their effect end-to-end on
+// the simulator and on Hadar's placement choices.
+#include <gtest/gtest.h>
+
+#include "core/hadar_scheduler.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace hadar::sim {
+namespace {
+
+TEST(NetworkModel, SingleNodeIsFree) {
+  NetworkModel m;
+  m.parameter_server = true;
+  EXPECT_DOUBLE_EQ(m.effective_rate(5.0, 1, 500.0), 5.0);
+  m.parameter_server = false;
+  EXPECT_DOUBLE_EQ(m.effective_rate(5.0, 1, 500.0), 5.0);
+}
+
+TEST(NetworkModel, PenaltyFactorCompoundsPerExtraNode) {
+  NetworkModel m;
+  m.penalty_factor = 0.9;
+  EXPECT_NEAR(m.effective_rate(10.0, 2, 0.0), 9.0, 1e-12);
+  EXPECT_NEAR(m.effective_rate(10.0, 4, 0.0), 10.0 * 0.9 * 0.9 * 0.9, 1e-12);
+}
+
+TEST(NetworkModel, ParameterServerMatchesClosedForm) {
+  NetworkModel m;
+  m.parameter_server = true;
+  m.nic_bandwidth_gbps = 10.0;
+  // 100 MB model: t_comm = 2 * 800e6 bits / 10e9 bps = 0.16 s per iteration.
+  // At x = 5 it/s: x_eff = 5 / (1 + 5 * 0.16) = 2.777...
+  EXPECT_NEAR(m.effective_rate(5.0, 2, 100.0), 5.0 / 1.8, 1e-9);
+  // More nodes do not add further penalty in this model (NIC-bound).
+  EXPECT_NEAR(m.effective_rate(5.0, 5, 100.0), 5.0 / 1.8, 1e-9);
+}
+
+TEST(NetworkModel, BiggerModelsHurtMore) {
+  NetworkModel m;
+  m.parameter_server = true;
+  const double small = m.effective_rate(5.0, 2, 10.0);
+  const double large = m.effective_rate(5.0, 2, 1000.0);
+  EXPECT_GT(small, large);
+  EXPECT_GT(large, 0.0);
+}
+
+TEST(NetworkModel, FasterNicsHelp) {
+  NetworkModel slow, fast;
+  slow.parameter_server = fast.parameter_server = true;
+  slow.nic_bandwidth_gbps = 1.0;
+  fast.nic_bandwidth_gbps = 100.0;
+  EXPECT_LT(slow.effective_rate(5.0, 2, 100.0), fast.effective_rate(5.0, 2, 100.0));
+}
+
+TEST(NetworkModel, ZeroAndNegativeRatesAreSafe) {
+  NetworkModel m;
+  EXPECT_DOUBLE_EQ(m.effective_rate(0.0, 3, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.effective_rate(-1.0, 3, 100.0), 0.0);
+}
+
+TEST(NetworkModel, ValidateRejectsBadParameters) {
+  NetworkModel m;
+  m.penalty_factor = 0.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = NetworkModel{};
+  m.penalty_factor = 1.5;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = NetworkModel{};
+  m.parameter_server = true;
+  m.nic_bandwidth_gbps = 0.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = NetworkModel{};
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(NetworkModel, SimulatorUsesParameterServerModel) {
+  // A 2-worker job split across two single-GPU nodes with a 100 MB model on
+  // 10 Gb/s NICs: per-worker rate 1 it/s => x_eff = 1/(1+0.16) it/s.
+  auto spec = cluster::ClusterSpec::from_counts(
+      cluster::GpuTypeRegistry({{"G", 1.0}}), {std::vector<int>{1}, std::vector<int>{1}});
+  class SplitSched : public IScheduler {
+   public:
+    std::string name() const override { return "split"; }
+    cluster::AllocationMap schedule(const SchedulerContext& ctx) override {
+      cluster::AllocationMap m;
+      for (const auto& j : ctx.jobs) {
+        m.emplace(j.id(), cluster::JobAllocation({{0, 0, 1}, {1, 0, 1}}));
+      }
+      return m;
+    }
+  } sched;
+
+  SimConfig cfg;
+  cfg.round_length = 1000.0;
+  cfg.flat_reallocation_penalty = 0.0;
+  cfg.network.parameter_server = true;
+  cfg.network.nic_bandwidth_gbps = 10.0;
+  Simulator sim(cfg);
+  workload::Trace t;
+  workload::JobSpec j;
+  j.model = "net";
+  j.num_workers = 2;
+  j.epochs = 1000;
+  j.chunks_per_epoch = 1;
+  j.throughput = {1.0};
+  j.model_size_mb = 100.0;
+  t.jobs = {j};
+  t.finalize();
+  const auto r = sim.run(spec, t, sched);
+  // 1000 iters at aggregate 2/(1.16) it/s = 580 s.
+  EXPECT_NEAR(r.jobs[0].finish, 580.0, 1e-6);
+}
+
+TEST(NetworkModel, HadarAvoidsCrossNodePlacementForChattyModels) {
+  // Two placements for a 2-worker job: same node on a slower type vs two
+  // nodes of a faster type. With a huge model on slow NICs, Hadar must pick
+  // the consolidated slower pool.
+  using test::ContextBuilder;
+  auto spec = cluster::ClusterSpec::from_counts(
+      cluster::GpuTypeRegistry({{"Fast", 2.0}, {"Slow", 1.0}}),
+      {std::vector<int>{1, 0}, std::vector<int>{1, 0}, std::vector<int>{0, 2}});
+  ContextBuilder b(&spec);
+  b.add_job(2, 1e6, {2.0, 1.6}).with_model_size(2000.0);
+  auto ctx = b.build();
+  ctx.network.parameter_server = true;
+  ctx.network.nic_bandwidth_gbps = 1.0;  // 2 GB over 1 Gb/s: brutal
+  core::HadarScheduler sched;
+  const auto m = sched.schedule(ctx);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.begin()->second.nodes_used(), 1);
+  EXPECT_EQ(m.begin()->second.workers_of_type(1), 2);  // the Slow pool
+}
+
+}  // namespace
+}  // namespace hadar::sim

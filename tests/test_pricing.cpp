@@ -1,0 +1,238 @@
+// Tests for the utility functions (Sec. III-A) and the primal-dual price
+// book (Eqs. 5-8): bound computation, the exponential price curve, marginal
+// pricing, and the competitive-ratio factor alpha.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pricing.hpp"
+#include "test_util.hpp"
+
+namespace hadar::core {
+namespace {
+
+using cluster::ClusterSpec;
+using cluster::ClusterState;
+using cluster::JobAllocation;
+using test::ContextBuilder;
+
+const ClusterSpec& sim_spec() {
+  static const ClusterSpec spec = ClusterSpec::simulation_default();
+  return spec;
+}
+
+// ------------------------------------------------------------- utility ----
+
+TEST(Utility, InverseStretchAtIdealIsGangSize) {
+  ContextBuilder b(&sim_spec());
+  b.add_job(4, 1000.0, {10.0, 5.0, 1.0});
+  const auto ctx = b.build();
+  const UtilityFunction u(UtilityKind::kEffectiveThroughput);
+  // Ideal remaining runtime: 1000 / (10 * 4) = 25 s.
+  EXPECT_DOUBLE_EQ(ideal_remaining_runtime(ctx.jobs[0]), 25.0);
+  EXPECT_DOUBLE_EQ(ideal_total_runtime(ctx.jobs[0]), 25.0);
+  EXPECT_NEAR(u(ctx.jobs[0], 25.0, 0.0), 4.0, 1e-9);   // W * stretch 1
+  EXPECT_NEAR(u(ctx.jobs[0], 250.0, 0.0), 0.4, 1e-9);  // stretch 10
+  EXPECT_NEAR(u.best_case(ctx.jobs[0], 0.0), 4.0, 1e-9);
+}
+
+TEST(Utility, DecreasesWithDuration) {
+  ContextBuilder b(&sim_spec());
+  b.add_job(1, 100.0, {1.0, 0.5, 0.1});
+  const auto ctx = b.build();
+  for (const auto kind : {UtilityKind::kEffectiveThroughput, UtilityKind::kMinMakespan,
+                          UtilityKind::kFinishTimeFairness}) {
+    const UtilityFunction u(kind, 10);
+    double prev = u(ctx.jobs[0], 10.0, 0.0);
+    for (double d = 20.0; d <= 1000.0; d *= 2) {
+      const double v = u(ctx.jobs[0], d, 0.0);
+      EXPECT_LT(v, prev) << to_string(kind);
+      EXPECT_GE(v, 0.0);
+      prev = v;
+    }
+  }
+}
+
+TEST(Utility, ProgressRaisesValuePerRemainingWork) {
+  ContextBuilder b(&sim_spec());
+  b.add_job(1, 1000.0, {10.0, 5.0, 1.0}).with_progress(900.0);
+  const auto ctx = b.build();
+  EXPECT_DOUBLE_EQ(ctx.jobs[0].remaining_iterations(), 100.0);
+  EXPECT_DOUBLE_EQ(ideal_remaining_runtime(ctx.jobs[0]), 10.0);
+  EXPECT_DOUBLE_EQ(ideal_total_runtime(ctx.jobs[0]), 100.0);
+}
+
+TEST(Utility, PrioritySrptFavorsShortThenAges) {
+  ContextBuilder b(&sim_spec());
+  b.add_job(1, 100.0, {1.0, 0.5, 0.1});     // short: 100 s ideal
+  b.add_job(1, 10000.0, {1.0, 0.5, 0.1});   // long: 10000 s ideal
+  const auto ctx = b.build();
+  const UtilityFunction u(UtilityKind::kEffectiveThroughput);
+  // Fresh: short job wins.
+  EXPECT_GT(u.priority(ctx.jobs[0], 0.0), u.priority(ctx.jobs[1], 0.0));
+  // Both aged equally: short job still wins (response ratio grows faster).
+  EXPECT_GT(u.priority(ctx.jobs[0], 50000.0), u.priority(ctx.jobs[1], 50000.0));
+  // The long job's priority grows without bound as it waits.
+  EXPECT_GT(u.priority(ctx.jobs[1], 1e7), u.priority(ctx.jobs[0], 0.0));
+}
+
+TEST(Utility, PriorityLptFavorsLong) {
+  ContextBuilder b(&sim_spec());
+  b.add_job(1, 100.0, {1.0, 0.5, 0.1});
+  b.add_job(1, 10000.0, {1.0, 0.5, 0.1});
+  const auto ctx = b.build();
+  const UtilityFunction u(UtilityKind::kMinMakespan);
+  EXPECT_LT(u.priority(ctx.jobs[0], 0.0), u.priority(ctx.jobs[1], 0.0));
+}
+
+TEST(Utility, PriorityFtfFavorsWorstRho) {
+  ContextBuilder b(&sim_spec());
+  b.add_job(1, 1000.0, {1.0, 0.5, 0.1});
+  b.add_job(1, 1000.0, {1.0, 0.5, 0.1}, /*arrival=*/5000.0);
+  const auto ctx = b.build(/*now=*/6000.0);
+  const UtilityFunction u(UtilityKind::kFinishTimeFairness, 2);
+  // Job 0 has waited 6000 s, job 1 only 1000 s: job 0 is worse off.
+  EXPECT_GT(u.priority(ctx.jobs[0], 6000.0), u.priority(ctx.jobs[1], 6000.0));
+}
+
+TEST(Utility, ZeroThroughputJobHasZeroValue) {
+  ContextBuilder b(&sim_spec());
+  b.add_job(1, 100.0, {0.0, 0.0, 0.0});
+  const auto ctx = b.build();
+  const UtilityFunction u;
+  EXPECT_EQ(u(ctx.jobs[0], 100.0, 0.0), 0.0);
+  EXPECT_EQ(u.priority(ctx.jobs[0], 100.0), 0.0);
+  EXPECT_EQ(u.best_case(ctx.jobs[0], 0.0), 0.0);
+}
+
+// ------------------------------------------------------------ PriceBook ----
+
+PriceBook make_book(const sim::SchedulerContext& ctx,
+                    UtilityKind kind = UtilityKind::kEffectiveThroughput) {
+  PriceBook book(ctx.spec->num_types(), PricingConfig{});
+  const UtilityFunction u(kind, static_cast<double>(ctx.jobs.size()));
+  book.compute_bounds(ctx, u);
+  return book;
+}
+
+TEST(PriceBook, BoundsOrderedAndPositive) {
+  ContextBuilder b(&sim_spec());
+  b.add_job(2, 5000.0, {10.0, 5.0, 1.0});
+  b.add_job(4, 500.0, {40.0, 20.0, 8.0});
+  const auto ctx = b.build();
+  const auto book = make_book(ctx);
+  for (GpuTypeId r = 0; r < 3; ++r) {
+    EXPECT_GT(book.u_min(r), 0.0);
+    EXPECT_LT(book.u_min(r), book.u_max(r));
+  }
+  EXPECT_GE(book.alpha(), 1.0);
+}
+
+TEST(PriceBook, PriceCurveIsExponentialBetweenBounds) {
+  ContextBuilder b(&sim_spec());
+  b.add_job(2, 5000.0, {10.0, 5.0, 1.0});
+  const auto ctx = b.build();
+  const auto book = make_book(ctx);
+  const int cap = 20;
+  // Eq. 5 endpoints.
+  EXPECT_NEAR(book.price(0, 0, cap), book.u_min(0), 1e-12);
+  EXPECT_NEAR(book.price(0, cap, cap), book.u_max(0), 1e-9 * book.u_max(0));
+  // Strictly increasing, geometric steps.
+  double prev = book.price(0, 0, cap);
+  const double step = std::pow(book.u_max(0) / book.u_min(0), 1.0 / cap);
+  for (int g = 1; g <= cap; ++g) {
+    const double p = book.price(0, g, cap);
+    EXPECT_GT(p, prev);
+    EXPECT_NEAR(p / prev, step, 1e-9 * step);
+    prev = p;
+  }
+}
+
+TEST(PriceBook, ZeroCapacityPoolIsInfinitelyExpensive) {
+  ContextBuilder b(&sim_spec());
+  b.add_job(1, 100.0, {1.0, 1.0, 1.0});
+  const auto ctx = b.build();
+  const auto book = make_book(ctx);
+  EXPECT_TRUE(std::isinf(book.price(0, 0, 0)));
+}
+
+TEST(PriceBook, AllocationCostClimbsTheCurve) {
+  ContextBuilder b(&sim_spec());
+  b.add_job(1, 100.0, {1.0, 1.0, 1.0});
+  const auto ctx = b.build();
+  const auto book = make_book(ctx);
+  ClusterState st(&sim_spec());
+  // Taking 4 devices on one node must cost more than 4x the entry price
+  // (the curve rises with each claimed device).
+  const JobAllocation four({{0, 0, 4}});
+  const double cost = book.allocation_cost(st, four);
+  EXPECT_GT(cost, 4.0 * book.u_min(0));
+  // And it must equal the sum of marginal prices along the way.
+  double expected = 0.0;
+  for (int g = 0; g < 4; ++g) expected += book.price(0, g, 4);
+  EXPECT_NEAR(cost, expected, 1e-12);
+}
+
+TEST(PriceBook, MarginalPriceTracksState) {
+  ContextBuilder b(&sim_spec());
+  b.add_job(1, 100.0, {1.0, 1.0, 1.0});
+  const auto ctx = b.build();
+  const auto book = make_book(ctx);
+  ClusterState st(&sim_spec());
+  const double before = book.marginal_price(st, 0, 0);
+  st.allocate(JobAllocation({{0, 0, 2}}));
+  const double after = book.marginal_price(st, 0, 0);
+  EXPECT_GT(after, before);
+}
+
+TEST(PriceBook, EmptyQueueYieldsBenignBounds) {
+  ContextBuilder b(&sim_spec());
+  const auto ctx = b.build();
+  PriceBook book(3, PricingConfig{});
+  const UtilityFunction u;
+  EXPECT_NO_THROW(book.compute_bounds(ctx, u));
+  for (GpuTypeId r = 0; r < 3; ++r) {
+    EXPECT_GT(book.u_min(r), 0.0);
+    EXPECT_LT(book.u_min(r), book.u_max(r));
+  }
+}
+
+TEST(PriceBook, EtaScalesTheFloor) {
+  ContextBuilder b(&sim_spec());
+  b.add_job(2, 5000.0, {10.0, 5.0, 1.0});
+  const auto ctx = b.build();
+  const UtilityFunction u;
+  PricingConfig low;
+  low.eta = 1.0;
+  PricingConfig high;
+  high.eta = 100.0;
+  PriceBook a(3, low), c(3, high);
+  a.compute_bounds(ctx, u);
+  c.compute_bounds(ctx, u);
+  EXPECT_GT(a.u_min(0), c.u_min(0));  // larger eta => lower floor (Eq. 7)
+}
+
+TEST(PriceBook, RejectsBadConfig) {
+  PricingConfig bad;
+  bad.eta = 0.0;
+  EXPECT_THROW(PriceBook(3, bad), std::invalid_argument);
+  EXPECT_THROW(PriceBook(0, PricingConfig{}), std::invalid_argument);
+  PriceBook book(3, PricingConfig{});
+  EXPECT_THROW(book.price(5, 0, 4), std::out_of_range);
+}
+
+TEST(PriceBook, AlphaMatchesLogRatio) {
+  ContextBuilder b(&sim_spec());
+  b.add_job(2, 5000.0, {10.0, 5.0, 1.0});
+  b.add_job(1, 50.0, {30.0, 10.0, 3.0});
+  const auto ctx = b.build();
+  const auto book = make_book(ctx);
+  double expect = 1.0;
+  for (GpuTypeId r = 0; r < 3; ++r) {
+    expect = std::max(expect, std::log(book.u_max(r) / book.u_min(r)));
+  }
+  EXPECT_DOUBLE_EQ(book.alpha(), expect);
+}
+
+}  // namespace
+}  // namespace hadar::core

@@ -1,0 +1,157 @@
+// Property-based suites (parameterized gtest): invariants that must hold
+// for EVERY scheduler on randomized workloads across seeds —
+//   * capacity is never exceeded, gang semantics always hold (the simulator
+//     throws otherwise, so completion implies compliance);
+//   * every job eventually finishes (no starvation) on finite traces;
+//   * progress conservation: a finished job's iterations equal its spec;
+//   * determinism: same seed => identical results;
+//   * preemptive schedulers respect the monotone arrival of metrics.
+#include <gtest/gtest.h>
+
+#include "runner/experiment.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/trace_gen.hpp"
+
+namespace hadar::runner {
+namespace {
+
+struct Param {
+  const char* scheduler;
+  std::uint64_t seed;
+  bool continuous;
+};
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  std::string s = info.param.scheduler;
+  for (auto& c : s) {
+    if (c == '-') c = '_';
+  }
+  return s + "_seed" + std::to_string(info.param.seed) +
+         (info.param.continuous ? "_cont" : "_static");
+}
+
+ExperimentConfig make_config(const Param& p) {
+  ExperimentConfig e;
+  e.spec = cluster::ClusterSpec::simulation_default();
+  static const workload::ModelZoo zoo = workload::ModelZoo::paper_default();
+  workload::TraceGenerator gen(&zoo, &e.spec.types());
+  workload::TraceGenConfig t;
+  t.num_jobs = 20;
+  t.seed = p.seed;
+  t.arrivals = p.continuous ? workload::ArrivalPattern::kContinuous
+                            : workload::ArrivalPattern::kStatic;
+  t.jobs_per_hour = 120.0;
+  // Keep property sweeps quick: compress the size classes.
+  t.medium_lo = 0.5;
+  t.medium_hi = 2.0;
+  t.large_lo = 1.0;
+  t.large_hi = 4.0;
+  t.xlarge_lo = 2.0;
+  t.xlarge_hi = 6.0;
+  e.trace = gen.generate(t);
+  e.sim.seed = p.seed;
+  return e;
+}
+
+class SchedulerProperties : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SchedulerProperties, CompletesAllJobsWithoutViolations) {
+  const auto cfg = make_config(GetParam());
+  sim::Simulator sim(cfg.sim);  // validate_allocations on: violations throw
+  auto sched = make_scheduler(GetParam().scheduler);
+  const auto r = sim.run(cfg.spec, cfg.trace, *sched);
+  EXPECT_TRUE(r.all_finished());
+
+  for (const auto& j : r.jobs) {
+    const auto& spec = cfg.trace.jobs[static_cast<std::size_t>(j.id)];
+    // Lifecycle sanity.
+    ASSERT_TRUE(j.finished());
+    EXPECT_GE(j.first_start, spec.arrival);
+    EXPECT_GT(j.finish, j.first_start);
+    EXPECT_GE(j.rounds_run, 1);
+    // Progress conservation: attained compute suffices for the spec's work
+    // at the job's best rate (it can never need less).
+    const double min_compute_needed =
+        spec.total_iterations() / spec.max_throughput();
+    EXPECT_GE(j.compute_gpu_seconds + 1e-6, min_compute_needed);
+    // Held time dominates compute time.
+    EXPECT_GE(j.gpu_seconds + 1e-9, j.compute_gpu_seconds);
+    EXPECT_GE(j.ftf, 0.0);
+  }
+
+  // Aggregate consistency.
+  EXPECT_GE(r.makespan, r.max_jct);
+  EXPECT_LE(r.min_jct, r.median_jct);
+  EXPECT_LE(r.median_jct, r.max_jct);
+  EXPECT_LE(r.avg_jct, r.max_jct);
+  EXPECT_GE(r.avg_jct, r.min_jct);
+  EXPECT_GT(r.gpu_utilization, 0.0);
+  EXPECT_LE(r.gpu_utilization, 1.0 + 1e-9);
+  EXPECT_GT(r.avg_job_utilization, 0.0);
+  EXPECT_LE(r.avg_job_utilization, 1.0 + 1e-9);
+}
+
+TEST_P(SchedulerProperties, DeterministicAcrossRuns) {
+  const auto cfg = make_config(GetParam());
+  sim::Simulator sim(cfg.sim);
+  auto sched = make_scheduler(GetParam().scheduler);
+  const auto a = sim.run(cfg.spec, cfg.trace, *sched);
+  const auto b = sim.run(cfg.spec, cfg.trace, *sched);
+  EXPECT_DOUBLE_EQ(a.avg_jct, b.avg_jct);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.avg_ftf, b.avg_ftf);
+  EXPECT_EQ(a.total_preemptions, b.total_preemptions);
+  EXPECT_EQ(a.total_reallocations, b.total_reallocations);
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].finish, b.jobs[i].finish) << i;
+  }
+}
+
+constexpr Param kParams[] = {
+    {"hadar", 1, false},    {"hadar", 2, false},    {"hadar", 3, true},
+    {"hadar", 4, true},     {"hadar-makespan", 5, false},
+    {"hadar-ftf", 6, false},{"hadar-nomix", 7, false},
+    {"hadar-greedy", 8, true},
+    {"gavel", 1, false},    {"gavel", 2, true},     {"gavel", 3, true},
+    {"tiresias", 1, false}, {"tiresias", 2, true},
+    {"yarn", 1, false},     {"yarn", 2, true},
+    {"srtf", 1, false},     {"srtf", 2, true},
+};
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerProperties,
+                         ::testing::ValuesIn(kParams), param_name);
+
+// --------- cross-scheduler properties over a seed sweep -----------------
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, HadarNeverLosesBadlyToGavel) {
+  // Robustness across workloads: Hadar's avg JCT within 15% of Gavel's or
+  // better on every seed (the paper claims consistent wins).
+  Param p{"hadar", GetParam(), false};
+  const auto cfg = make_config(p);
+  const auto runs = compare(cfg, {"hadar", "gavel"});
+  EXPECT_LE(runs[0].result.avg_jct, runs[1].result.avg_jct * 1.15)
+      << "seed " << GetParam();
+}
+
+TEST_P(SeedSweep, StragglerInjectionNeverBreaksInvariants) {
+  Param p{"hadar", GetParam(), true};
+  auto cfg = make_config(p);
+  cfg.sim.straggler.probability = 0.1;
+  cfg.sim.straggler.slowdown = 0.4;
+  sim::Simulator sim(cfg.sim);
+  auto sched = make_scheduler("hadar");
+  const auto r = sim.run(cfg.spec, cfg.trace, *sched);
+  EXPECT_TRUE(r.all_finished());
+  // Stragglers only slow things down vs the clean run.
+  cfg.sim.straggler.probability = 0.0;
+  sim::Simulator clean(cfg.sim);
+  const auto rc = clean.run(cfg.spec, cfg.trace, *sched);
+  EXPECT_GE(r.avg_jct, rc.avg_jct * 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace hadar::runner
