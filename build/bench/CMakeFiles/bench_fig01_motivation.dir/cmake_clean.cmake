@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_motivation.dir/bench_fig01_motivation.cpp.o"
+  "CMakeFiles/bench_fig01_motivation.dir/bench_fig01_motivation.cpp.o.d"
+  "bench_fig01_motivation"
+  "bench_fig01_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_ftf.dir/bench_fig05_ftf.cpp.o"
+  "CMakeFiles/bench_fig05_ftf.dir/bench_fig05_ftf.cpp.o.d"
+  "bench_fig05_ftf"
+  "bench_fig05_ftf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_ftf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

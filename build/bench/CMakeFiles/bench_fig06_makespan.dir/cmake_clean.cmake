@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_makespan.dir/bench_fig06_makespan.cpp.o"
+  "CMakeFiles/bench_fig06_makespan.dir/bench_fig06_makespan.cpp.o.d"
+  "bench_fig06_makespan"
+  "bench_fig06_makespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

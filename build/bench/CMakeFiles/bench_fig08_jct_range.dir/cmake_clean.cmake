@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_jct_range.dir/bench_fig08_jct_range.cpp.o"
+  "CMakeFiles/bench_fig08_jct_range.dir/bench_fig08_jct_range.cpp.o.d"
+  "bench_fig08_jct_range"
+  "bench_fig08_jct_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_jct_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

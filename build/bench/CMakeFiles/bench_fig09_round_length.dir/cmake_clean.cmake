@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_round_length.dir/bench_fig09_round_length.cpp.o"
+  "CMakeFiles/bench_fig09_round_length.dir/bench_fig09_round_length.cpp.o.d"
+  "bench_fig09_round_length"
+  "bench_fig09_round_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_round_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_prototype_util.dir/bench_fig10_prototype_util.cpp.o"
+  "CMakeFiles/bench_fig10_prototype_util.dir/bench_fig10_prototype_util.cpp.o.d"
+  "bench_fig10_prototype_util"
+  "bench_fig10_prototype_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_prototype_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_prototype.dir/bench_table3_prototype.cpp.o"
+  "CMakeFiles/bench_table3_prototype.dir/bench_table3_prototype.cpp.o.d"
+  "bench_table3_prototype"
+  "bench_table3_prototype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_prototype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_cluster.dir/continuous_cluster.cpp.o"
+  "CMakeFiles/continuous_cluster.dir/continuous_cluster.cpp.o.d"
+  "continuous_cluster"
+  "continuous_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

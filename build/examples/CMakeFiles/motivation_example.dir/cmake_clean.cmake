@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_example.dir/motivation_example.cpp.o"
+  "CMakeFiles/motivation_example.dir/motivation_example.cpp.o.d"
+  "motivation_example"
+  "motivation_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

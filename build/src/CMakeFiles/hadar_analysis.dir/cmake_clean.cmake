@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadar_analysis.dir/analysis/report.cpp.o"
+  "CMakeFiles/hadar_analysis.dir/analysis/report.cpp.o.d"
+  "CMakeFiles/hadar_analysis.dir/analysis/timeline.cpp.o"
+  "CMakeFiles/hadar_analysis.dir/analysis/timeline.cpp.o.d"
+  "libhadar_analysis.a"
+  "libhadar_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadar_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/alloc_util.cpp" "src/CMakeFiles/hadar_baselines.dir/baselines/alloc_util.cpp.o" "gcc" "src/CMakeFiles/hadar_baselines.dir/baselines/alloc_util.cpp.o.d"
+  "/root/repo/src/baselines/gavel.cpp" "src/CMakeFiles/hadar_baselines.dir/baselines/gavel.cpp.o" "gcc" "src/CMakeFiles/hadar_baselines.dir/baselines/gavel.cpp.o.d"
+  "/root/repo/src/baselines/srtf.cpp" "src/CMakeFiles/hadar_baselines.dir/baselines/srtf.cpp.o" "gcc" "src/CMakeFiles/hadar_baselines.dir/baselines/srtf.cpp.o.d"
+  "/root/repo/src/baselines/tiresias.cpp" "src/CMakeFiles/hadar_baselines.dir/baselines/tiresias.cpp.o" "gcc" "src/CMakeFiles/hadar_baselines.dir/baselines/tiresias.cpp.o.d"
+  "/root/repo/src/baselines/yarn_cs.cpp" "src/CMakeFiles/hadar_baselines.dir/baselines/yarn_cs.cpp.o" "gcc" "src/CMakeFiles/hadar_baselines.dir/baselines/yarn_cs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hadar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hadar_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hadar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hadar_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hadar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadar_baselines.dir/baselines/alloc_util.cpp.o"
+  "CMakeFiles/hadar_baselines.dir/baselines/alloc_util.cpp.o.d"
+  "CMakeFiles/hadar_baselines.dir/baselines/gavel.cpp.o"
+  "CMakeFiles/hadar_baselines.dir/baselines/gavel.cpp.o.d"
+  "CMakeFiles/hadar_baselines.dir/baselines/srtf.cpp.o"
+  "CMakeFiles/hadar_baselines.dir/baselines/srtf.cpp.o.d"
+  "CMakeFiles/hadar_baselines.dir/baselines/tiresias.cpp.o"
+  "CMakeFiles/hadar_baselines.dir/baselines/tiresias.cpp.o.d"
+  "CMakeFiles/hadar_baselines.dir/baselines/yarn_cs.cpp.o"
+  "CMakeFiles/hadar_baselines.dir/baselines/yarn_cs.cpp.o.d"
+  "libhadar_baselines.a"
+  "libhadar_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadar_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

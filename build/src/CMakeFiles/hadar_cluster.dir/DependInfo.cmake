@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/allocation.cpp" "src/CMakeFiles/hadar_cluster.dir/cluster/allocation.cpp.o" "gcc" "src/CMakeFiles/hadar_cluster.dir/cluster/allocation.cpp.o.d"
+  "/root/repo/src/cluster/cluster_spec.cpp" "src/CMakeFiles/hadar_cluster.dir/cluster/cluster_spec.cpp.o" "gcc" "src/CMakeFiles/hadar_cluster.dir/cluster/cluster_spec.cpp.o.d"
+  "/root/repo/src/cluster/cluster_state.cpp" "src/CMakeFiles/hadar_cluster.dir/cluster/cluster_state.cpp.o" "gcc" "src/CMakeFiles/hadar_cluster.dir/cluster/cluster_state.cpp.o.d"
+  "/root/repo/src/cluster/gpu_type.cpp" "src/CMakeFiles/hadar_cluster.dir/cluster/gpu_type.cpp.o" "gcc" "src/CMakeFiles/hadar_cluster.dir/cluster/gpu_type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hadar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadar_cluster.dir/cluster/allocation.cpp.o"
+  "CMakeFiles/hadar_cluster.dir/cluster/allocation.cpp.o.d"
+  "CMakeFiles/hadar_cluster.dir/cluster/cluster_spec.cpp.o"
+  "CMakeFiles/hadar_cluster.dir/cluster/cluster_spec.cpp.o.d"
+  "CMakeFiles/hadar_cluster.dir/cluster/cluster_state.cpp.o"
+  "CMakeFiles/hadar_cluster.dir/cluster/cluster_state.cpp.o.d"
+  "CMakeFiles/hadar_cluster.dir/cluster/gpu_type.cpp.o"
+  "CMakeFiles/hadar_cluster.dir/cluster/gpu_type.cpp.o.d"
+  "libhadar_cluster.a"
+  "libhadar_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadar_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

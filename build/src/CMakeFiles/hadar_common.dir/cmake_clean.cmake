@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadar_common.dir/common/csv.cpp.o"
+  "CMakeFiles/hadar_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/hadar_common.dir/common/logging.cpp.o"
+  "CMakeFiles/hadar_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/hadar_common.dir/common/rng.cpp.o"
+  "CMakeFiles/hadar_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/hadar_common.dir/common/stats.cpp.o"
+  "CMakeFiles/hadar_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/hadar_common.dir/common/table.cpp.o"
+  "CMakeFiles/hadar_common.dir/common/table.cpp.o.d"
+  "libhadar_common.a"
+  "libhadar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/competitive.cpp" "src/CMakeFiles/hadar_core.dir/core/competitive.cpp.o" "gcc" "src/CMakeFiles/hadar_core.dir/core/competitive.cpp.o.d"
+  "/root/repo/src/core/dp_allocation.cpp" "src/CMakeFiles/hadar_core.dir/core/dp_allocation.cpp.o" "gcc" "src/CMakeFiles/hadar_core.dir/core/dp_allocation.cpp.o.d"
+  "/root/repo/src/core/find_alloc.cpp" "src/CMakeFiles/hadar_core.dir/core/find_alloc.cpp.o" "gcc" "src/CMakeFiles/hadar_core.dir/core/find_alloc.cpp.o.d"
+  "/root/repo/src/core/hadar_scheduler.cpp" "src/CMakeFiles/hadar_core.dir/core/hadar_scheduler.cpp.o" "gcc" "src/CMakeFiles/hadar_core.dir/core/hadar_scheduler.cpp.o.d"
+  "/root/repo/src/core/pricing.cpp" "src/CMakeFiles/hadar_core.dir/core/pricing.cpp.o" "gcc" "src/CMakeFiles/hadar_core.dir/core/pricing.cpp.o.d"
+  "/root/repo/src/core/throughput_estimator.cpp" "src/CMakeFiles/hadar_core.dir/core/throughput_estimator.cpp.o" "gcc" "src/CMakeFiles/hadar_core.dir/core/throughput_estimator.cpp.o.d"
+  "/root/repo/src/core/utility.cpp" "src/CMakeFiles/hadar_core.dir/core/utility.cpp.o" "gcc" "src/CMakeFiles/hadar_core.dir/core/utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hadar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hadar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hadar_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hadar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadar_core.dir/core/competitive.cpp.o"
+  "CMakeFiles/hadar_core.dir/core/competitive.cpp.o.d"
+  "CMakeFiles/hadar_core.dir/core/dp_allocation.cpp.o"
+  "CMakeFiles/hadar_core.dir/core/dp_allocation.cpp.o.d"
+  "CMakeFiles/hadar_core.dir/core/find_alloc.cpp.o"
+  "CMakeFiles/hadar_core.dir/core/find_alloc.cpp.o.d"
+  "CMakeFiles/hadar_core.dir/core/hadar_scheduler.cpp.o"
+  "CMakeFiles/hadar_core.dir/core/hadar_scheduler.cpp.o.d"
+  "CMakeFiles/hadar_core.dir/core/pricing.cpp.o"
+  "CMakeFiles/hadar_core.dir/core/pricing.cpp.o.d"
+  "CMakeFiles/hadar_core.dir/core/throughput_estimator.cpp.o"
+  "CMakeFiles/hadar_core.dir/core/throughput_estimator.cpp.o.d"
+  "CMakeFiles/hadar_core.dir/core/utility.cpp.o"
+  "CMakeFiles/hadar_core.dir/core/utility.cpp.o.d"
+  "libhadar_core.a"
+  "libhadar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

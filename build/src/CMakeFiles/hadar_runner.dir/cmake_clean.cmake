@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadar_runner.dir/runner/experiment.cpp.o"
+  "CMakeFiles/hadar_runner.dir/runner/experiment.cpp.o.d"
+  "CMakeFiles/hadar_runner.dir/runner/scenarios.cpp.o"
+  "CMakeFiles/hadar_runner.dir/runner/scenarios.cpp.o.d"
+  "libhadar_runner.a"
+  "libhadar_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadar_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_log.cpp" "src/CMakeFiles/hadar_sim.dir/sim/event_log.cpp.o" "gcc" "src/CMakeFiles/hadar_sim.dir/sim/event_log.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/hadar_sim.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/hadar_sim.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/hadar_sim.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/hadar_sim.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/hadar_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/hadar_sim.dir/sim/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hadar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hadar_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hadar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadar_sim.dir/sim/event_log.cpp.o"
+  "CMakeFiles/hadar_sim.dir/sim/event_log.cpp.o.d"
+  "CMakeFiles/hadar_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/hadar_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/hadar_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/hadar_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/hadar_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/hadar_sim.dir/sim/simulator.cpp.o.d"
+  "libhadar_sim.a"
+  "libhadar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadar_solver.dir/solver/lp.cpp.o"
+  "CMakeFiles/hadar_solver.dir/solver/lp.cpp.o.d"
+  "CMakeFiles/hadar_solver.dir/solver/maxmin.cpp.o"
+  "CMakeFiles/hadar_solver.dir/solver/maxmin.cpp.o.d"
+  "libhadar_solver.a"
+  "libhadar_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadar_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

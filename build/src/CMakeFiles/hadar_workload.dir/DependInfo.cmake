@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/job.cpp" "src/CMakeFiles/hadar_workload.dir/workload/job.cpp.o" "gcc" "src/CMakeFiles/hadar_workload.dir/workload/job.cpp.o.d"
+  "/root/repo/src/workload/model_zoo.cpp" "src/CMakeFiles/hadar_workload.dir/workload/model_zoo.cpp.o" "gcc" "src/CMakeFiles/hadar_workload.dir/workload/model_zoo.cpp.o.d"
+  "/root/repo/src/workload/trace_gen.cpp" "src/CMakeFiles/hadar_workload.dir/workload/trace_gen.cpp.o" "gcc" "src/CMakeFiles/hadar_workload.dir/workload/trace_gen.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/CMakeFiles/hadar_workload.dir/workload/trace_io.cpp.o" "gcc" "src/CMakeFiles/hadar_workload.dir/workload/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hadar_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hadar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadar_workload.dir/workload/job.cpp.o"
+  "CMakeFiles/hadar_workload.dir/workload/job.cpp.o.d"
+  "CMakeFiles/hadar_workload.dir/workload/model_zoo.cpp.o"
+  "CMakeFiles/hadar_workload.dir/workload/model_zoo.cpp.o.d"
+  "CMakeFiles/hadar_workload.dir/workload/trace_gen.cpp.o"
+  "CMakeFiles/hadar_workload.dir/workload/trace_gen.cpp.o.d"
+  "CMakeFiles/hadar_workload.dir/workload/trace_io.cpp.o"
+  "CMakeFiles/hadar_workload.dir/workload/trace_io.cpp.o.d"
+  "libhadar_workload.a"
+  "libhadar_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadar_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

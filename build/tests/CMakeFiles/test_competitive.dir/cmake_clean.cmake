@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_competitive.dir/test_competitive.cpp.o"
+  "CMakeFiles/test_competitive.dir/test_competitive.cpp.o.d"
+  "test_competitive"
+  "test_competitive.pdb"
+  "test_competitive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_competitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_competitive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dp_allocation.dir/test_dp_allocation.cpp.o"
+  "CMakeFiles/test_dp_allocation.dir/test_dp_allocation.cpp.o.d"
+  "test_dp_allocation"
+  "test_dp_allocation.pdb"
+  "test_dp_allocation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dp_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

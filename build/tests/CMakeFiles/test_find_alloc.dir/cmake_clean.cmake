@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_find_alloc.dir/test_find_alloc.cpp.o"
+  "CMakeFiles/test_find_alloc.dir/test_find_alloc.cpp.o.d"
+  "test_find_alloc"
+  "test_find_alloc.pdb"
+  "test_find_alloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_find_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hadar_scheduler.dir/test_hadar_scheduler.cpp.o"
+  "CMakeFiles/test_hadar_scheduler.dir/test_hadar_scheduler.cpp.o.d"
+  "test_hadar_scheduler"
+  "test_hadar_scheduler.pdb"
+  "test_hadar_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hadar_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
