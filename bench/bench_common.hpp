@@ -3,24 +3,20 @@
 #pragma once
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/table.hpp"
 #include "runner/scenarios.hpp"
 
 namespace hadar::bench {
 
 /// Job count for the trace-driven figures. The paper uses 480; override with
-/// HADAR_BENCH_JOBS to trade fidelity for wall-clock.
-inline int bench_jobs(int def) {
-  if (const char* env = std::getenv("HADAR_BENCH_JOBS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return v;
-  }
-  return def;
-}
+/// HADAR_BENCH_JOBS to trade fidelity for wall-clock. Invalid values warn
+/// and fall back (strict strtol parse — std::atoi would silently turn a
+/// typo into 0).
+inline int bench_jobs(int def) { return common::env_int("HADAR_BENCH_JOBS", def, 1); }
 
 inline void print_header(const char* fig, const char* what,
                          const runner::ExperimentConfig& cfg) {

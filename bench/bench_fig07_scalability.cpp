@@ -6,7 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include "baselines/gavel.hpp"
+#include "common/thread_pool.hpp"
 #include "core/hadar_scheduler.hpp"
+#include "runner/scenarios.hpp"
 #include "workload/model_zoo.hpp"
 #include "workload/trace_gen.hpp"
 
@@ -70,9 +72,27 @@ void BM_GavelDecision(benchmark::State& state) {
   state.counters["gpus"] = static_cast<double>(s.spec.total_gpus());
 }
 
+// End-to-end view of the same scalability story: the full four-way paper
+// comparison (Hadar, Gavel, Tiresias, YARN-CS) as one runner::sweep, which
+// fans the four independent simulations across the HADAR_THREADS pool.
+void BM_FourWaySweep(benchmark::State& state) {
+  const auto cfg = runner::paper_static(static_cast<int>(state.range(0)), 42);
+  std::vector<runner::SweepCase> cases;
+  for (const auto& sched : runner::kPaperSchedulers) {
+    cases.push_back({"static", sched, cfg});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner::sweep(cases));
+  }
+  state.counters["jobs"] = static_cast<double>(state.range(0));
+  state.counters["threads"] =
+      static_cast<double>(common::ThreadPool::global().concurrency());
+}
+
 }  // namespace
 
 BENCHMARK(BM_HadarDecision)->RangeMultiplier(4)->Range(32, 2048)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GavelDecision)->RangeMultiplier(4)->Range(32, 2048)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FourWaySweep)->RangeMultiplier(2)->Range(32, 128)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -16,22 +16,22 @@ int main() {
   common::AsciiTable t("JCT min / avg / max by arrival rate",
                        {"rate (jobs/h)", "scheduler", "min JCT", "avg JCT", "max JCT",
                         "range"});
-  struct Band {
-    double lo, hi;
-  };
-  std::vector<std::vector<Band>> bands(3);
-  for (std::size_t ri = 0; ri < std::size(rates); ++ri) {
-    const auto cfg = runner::paper_continuous(rates[ri], jobs, 42);
-    const auto runs = runner::compare(cfg, runner::kPreemptiveSchedulers);
-    for (std::size_t si = 0; si < runs.size(); ++si) {
-      const auto& r = runs[si].result;
-      t.add_row({common::AsciiTable::num(rates[ri], 0), runs[si].scheduler,
-                 common::AsciiTable::duration(r.min_jct),
-                 common::AsciiTable::duration(r.avg_jct),
-                 common::AsciiTable::duration(r.max_jct),
-                 common::AsciiTable::duration(r.max_jct - r.min_jct)});
-      bands[si].push_back({r.min_jct, r.max_jct});
+  // Every (rate, scheduler) cell is an independent seeded simulation: one
+  // sweep fans all of them across the HADAR_THREADS pool.
+  std::vector<runner::SweepCase> cases;
+  for (double rate : rates) {
+    for (const auto& sched : runner::kPreemptiveSchedulers) {
+      cases.push_back({common::AsciiTable::num(rate, 0), sched,
+                       runner::paper_continuous(rate, jobs, 42)});
     }
+  }
+  for (const auto& run : runner::sweep(cases)) {
+    const auto& r = run.result;
+    t.add_row({run.label, run.scheduler,
+               common::AsciiTable::duration(r.min_jct),
+               common::AsciiTable::duration(r.avg_jct),
+               common::AsciiTable::duration(r.max_jct),
+               common::AsciiTable::duration(r.max_jct - r.min_jct)});
   }
   std::printf("%s\n", t.render().c_str());
   std::printf("Paper shape: Hadar keeps the tightest min-max band; Gavel widens with\n"

@@ -3,6 +3,7 @@
 // rounds win (fresher allocations); large rounds degrade JCT through
 // queueing delay and allocation drift, roughly half of it queueing.
 #include <cstdio>
+#include <iterator>
 
 #include "bench_common.hpp"
 
@@ -24,17 +25,27 @@ int main() {
     return h;
   }());
 
+  // All (round length, rate) Hadar runs are independent: one parallel sweep.
+  std::vector<runner::SweepCase> cases;
   for (double mins : round_minutes) {
-    std::vector<std::string> row = {common::AsciiTable::num(mins, 0) + " min"};
-    std::vector<std::string> qcells;
     for (double rate : rates) {
       auto cfg = runner::paper_continuous(rate, jobs, 42);
       cfg.sim.round_length = mins * 60.0;
-      const auto runs = runner::compare(cfg, {"hadar"});
-      row.push_back(common::AsciiTable::duration(runs[0].result.avg_jct));
-      qcells.push_back(common::AsciiTable::duration(runs[0].result.avg_queueing_delay));
+      cases.push_back({common::AsciiTable::num(mins, 0) + " min", "hadar",
+                       std::move(cfg)});
     }
-    for (auto& q : qcells) row.push_back(std::move(q));
+  }
+  const auto results = runner::sweep(cases);
+  for (std::size_t mi = 0; mi < std::size(round_minutes); ++mi) {
+    std::vector<std::string> row = {cases[mi * std::size(rates)].label};
+    for (std::size_t ri = 0; ri < std::size(rates); ++ri) {
+      row.push_back(common::AsciiTable::duration(
+          results[mi * std::size(rates) + ri].result.avg_jct));
+    }
+    for (std::size_t ri = 0; ri < std::size(rates); ++ri) {
+      row.push_back(common::AsciiTable::duration(
+          results[mi * std::size(rates) + ri].result.avg_queueing_delay));
+    }
     t.add_row(std::move(row));
   }
   std::printf("%s\n", t.render().c_str());

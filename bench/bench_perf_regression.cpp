@@ -1,0 +1,222 @@
+// Perf-regression harness: times the two hot paths this repo's evaluation
+// is wall-clock-bound by — FIND_ALLOC and DP_allocation — plus an
+// end-to-end fig07-style four-way comparison sweep, at HADAR_THREADS=1 and
+// at the configured thread count. Emits BENCH_PR2.json (wall-clock,
+// rounds/sec, speedup vs serial, determinism check) so later PRs have a
+// tracked perf trajectory to compare against.
+//
+// Knobs: HADAR_BENCH_JOBS (end-to-end trace size, default 96),
+// HADAR_THREADS (parallel lane count, default hardware concurrency).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "core/dp_allocation.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/trace_gen.hpp"
+
+using namespace hadar;
+
+namespace {
+
+// Fig. 7-style decision scenario: cluster scaled with the queue.
+struct DecisionScenario {
+  cluster::ClusterSpec spec;
+  workload::Trace trace;
+  sim::SchedulerContext ctx;
+};
+
+DecisionScenario make_decision_scenario(int jobs) {
+  DecisionScenario s;
+  s.spec = cluster::ClusterSpec::scaled(std::max(1, jobs / 24), 4);
+  static const workload::ModelZoo zoo = workload::ModelZoo::paper_default();
+  workload::TraceGenerator gen(&zoo, &s.spec.types());
+  workload::TraceGenConfig cfg;
+  cfg.num_jobs = jobs;
+  cfg.seed = 1234;
+  s.trace = gen.generate(cfg);
+
+  s.ctx.spec = &s.spec;
+  s.ctx.round_length = 360.0;
+  for (const auto& j : s.trace.jobs) {
+    sim::JobView v;
+    v.spec = &j;
+    v.throughput = j.throughput;
+    v.rounds_on_type.assign(static_cast<std::size_t>(s.spec.num_types()), 0);
+    s.ctx.jobs.push_back(std::move(v));
+  }
+  return s;
+}
+
+// Repeats `fn` until ~0.2 s of wall-clock accumulates; returns seconds/call.
+template <typename Fn>
+double time_per_call(Fn&& fn, int min_reps = 3) {
+  fn();  // warm-up
+  int reps = 0;
+  common::WallTimer t;
+  do {
+    fn();
+    ++reps;
+  } while ((reps < min_reps || t.seconds() < 0.2) && reps < 10000);
+  return t.seconds() / reps;
+}
+
+// Scheduler metrics must be bit-identical across thread counts (wall-clock
+// fields excluded — they measure the host, not the schedule).
+bool same_schedule(const sim::SimResult& a, const sim::SimResult& b) {
+  if (a.jobs.size() != b.jobs.size() || a.makespan != b.makespan ||
+      a.avg_jct != b.avg_jct || a.median_jct != b.median_jct ||
+      a.p95_jct != b.p95_jct || a.avg_ftf != b.avg_ftf ||
+      a.rounds != b.rounds || a.total_reallocations != b.total_reallocations ||
+      a.total_preemptions != b.total_preemptions) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    if (a.jobs[i].finish != b.jobs[i].finish ||
+        a.jobs[i].first_start != b.jobs[i].first_start ||
+        a.jobs[i].gpu_seconds != b.jobs[i].gpu_seconds) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// The end-to-end workload: the paper four-way comparison over two seeds —
+// 8 independent (scheduler x seed) simulations. Two seeds matter for the
+// parallel story: the Hadar simulation dominates a single comparison, so a
+// seed-replicated sweep is what lets a multi-core box overlap the heavy
+// cells instead of serializing on one of them.
+std::vector<runner::SweepCase> four_way_cases(int jobs) {
+  std::vector<runner::SweepCase> cases;
+  for (const std::uint64_t seed : {42ULL, 7ULL}) {
+    const auto cfg = runner::paper_static(jobs, seed);
+    for (const auto& sched : runner::kPaperSchedulers) {
+      cases.push_back({"seed=" + std::to_string(seed), sched, cfg});
+    }
+  }
+  return cases;
+}
+
+}  // namespace
+
+int main() {
+  const int threads = common::ThreadPool::configured_concurrency();
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int e2e_jobs = bench::bench_jobs(96);
+
+  std::printf("perf regression harness — %d thread lane(s), %d hardware core(s)\n\n",
+              threads, hw);
+
+  // ---- micro: FIND_ALLOC over a 128-job queue on an empty cluster ----
+  const auto micro = make_decision_scenario(128);
+  const core::UtilityFunction utility(core::UtilityKind::kEffectiveThroughput,
+                                      static_cast<double>(micro.ctx.jobs.size()));
+  core::PriceBook book(micro.spec.num_types(), core::PricingConfig{});
+  book.compute_bounds(micro.ctx, utility);
+  const sim::NetworkModel network;
+  cluster::ClusterState state(&micro.spec);
+
+  const double find_alloc_s = time_per_call([&] {
+    for (const auto& j : micro.ctx.jobs) {
+      auto cand = core::find_alloc(j, state, book, utility, 0.0, network, {});
+      (void)cand;
+    }
+  });
+  const double find_alloc_us =
+      find_alloc_s * 1e6 / static_cast<double>(micro.ctx.jobs.size());
+
+  // ---- micro: one DP_allocation round decision, serial vs parallel ----
+  std::vector<const sim::JobView*> queue;
+  for (const auto& j : micro.ctx.jobs) queue.push_back(&j);
+  auto dp_once = [&] {
+    auto r = core::dp_allocation(queue, state, book, utility, 0.0, network, {});
+    (void)r;
+  };
+  double dp_serial_ms = 0.0, dp_parallel_ms = 0.0;
+  {
+    common::ScopedThreadCount one(1);
+    dp_serial_ms = time_per_call(dp_once) * 1e3;
+  }
+  {
+    common::ScopedThreadCount many(threads);
+    dp_parallel_ms = time_per_call(dp_once) * 1e3;
+  }
+
+  // ---- end-to-end: the paper four-way comparison as one sweep ----
+  const auto cases = four_way_cases(e2e_jobs);
+  std::vector<runner::SweepResult> serial_runs, parallel_runs;
+  double e2e_serial_s = 0.0, e2e_parallel_s = 0.0;
+  {
+    common::ScopedThreadCount one(1);
+    e2e_serial_s = common::time_call([&] { serial_runs = runner::sweep(cases); });
+  }
+  {
+    common::ScopedThreadCount many(threads);
+    e2e_parallel_s = common::time_call([&] { parallel_runs = runner::sweep(cases); });
+  }
+
+  bool deterministic = serial_runs.size() == parallel_runs.size();
+  long long total_rounds = 0;
+  for (std::size_t i = 0; i < parallel_runs.size(); ++i) {
+    total_rounds += parallel_runs[i].result.rounds;
+    deterministic =
+        deterministic && same_schedule(serial_runs[i].result, parallel_runs[i].result);
+  }
+  const double speedup = e2e_parallel_s > 0.0 ? e2e_serial_s / e2e_parallel_s : 0.0;
+  const double rounds_per_s =
+      e2e_parallel_s > 0.0 ? static_cast<double>(total_rounds) / e2e_parallel_s : 0.0;
+
+  common::AsciiTable t("perf regression (PR 2 baseline)", {"metric", "value"});
+  t.add_row({"find_alloc / call", common::AsciiTable::num(find_alloc_us, 2) + " us"});
+  t.add_row({"dp_allocation (1 thread)", common::AsciiTable::num(dp_serial_ms, 2) + " ms"});
+  t.add_row({"dp_allocation (" + std::to_string(threads) + " threads)",
+             common::AsciiTable::num(dp_parallel_ms, 2) + " ms"});
+  t.add_row({"sweep of " + std::to_string(cases.size()) + " sims, " +
+                 std::to_string(e2e_jobs) + " jobs (1 thread)",
+             common::AsciiTable::num(e2e_serial_s, 2) + " s"});
+  t.add_row({"sweep (" + std::to_string(threads) + " threads)",
+             common::AsciiTable::num(e2e_parallel_s, 2) + " s"});
+  t.add_row({"end-to-end speedup", common::AsciiTable::speedup(speedup, 2)});
+  t.add_row({"rounds / second", common::AsciiTable::num(rounds_per_s, 1)});
+  t.add_row({"deterministic across threads", deterministic ? "yes" : "NO"});
+  std::printf("%s\n", t.render().c_str());
+
+  const char* out_path = "BENCH_PR2.json";
+  if (std::FILE* f = std::fopen(out_path, "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"pr\": 2,\n"
+                 "  \"threads\": %d,\n"
+                 "  \"hardware_concurrency\": %d,\n"
+                 "  \"micro\": {\n"
+                 "    \"find_alloc_us_per_call\": %.3f,\n"
+                 "    \"dp_allocation_ms_serial\": %.3f,\n"
+                 "    \"dp_allocation_ms_parallel\": %.3f,\n"
+                 "    \"dp_allocation_speedup\": %.3f\n"
+                 "  },\n"
+                 "  \"end_to_end\": {\n"
+                 "    \"jobs\": %d,\n"
+                 "    \"sweep_cases\": %zu,\n"
+                 "    \"serial_seconds\": %.3f,\n"
+                 "    \"parallel_seconds\": %.3f,\n"
+                 "    \"speedup\": %.3f,\n"
+                 "    \"rounds_per_second\": %.1f,\n"
+                 "    \"deterministic_across_threads\": %s\n"
+                 "  }\n"
+                 "}\n",
+                 threads, hw, find_alloc_us, dp_serial_ms, dp_parallel_ms,
+                 dp_parallel_ms > 0.0 ? dp_serial_ms / dp_parallel_ms : 0.0,
+                 e2e_jobs, cases.size(), e2e_serial_s, e2e_parallel_s, speedup,
+                 rounds_per_s, deterministic ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "failed to open %s for writing\n", out_path);
+    return 1;
+  }
+  return deterministic ? 0 : 2;
+}

@@ -68,9 +68,11 @@ void ClusterState::restore(const Snapshot& snap) {
   used_ = snap;
 }
 
-std::uint64_t ClusterState::hash() const {
+std::uint64_t ClusterState::hash() const { return hash(used_); }
+
+std::uint64_t ClusterState::hash(const Snapshot& snap) {
   std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
-  for (int u : used_) {
+  for (int u : snap) {
     h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(u));
     h *= 1099511628211ULL;  // FNV prime
   }

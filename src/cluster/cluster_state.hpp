@@ -50,6 +50,9 @@ class ClusterState {
 
   /// FNV-1a hash of the usage vector; memoization key for the DP.
   std::uint64_t hash() const;
+  /// Same hash computed directly on a snapshot, so the DP can key a state
+  /// without restoring it first.
+  static std::uint64_t hash(const Snapshot& snap);
 
  private:
   std::size_t index(NodeId h, GpuTypeId r) const;

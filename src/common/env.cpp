@@ -1,0 +1,33 @@
+#include "common/env.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace hadar::common {
+
+int env_int(const char* name, int def, int min_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return def;
+
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  const bool parsed = end != raw && *end == '\0' && errno != ERANGE &&
+                      v >= std::numeric_limits<int>::min() &&
+                      v <= std::numeric_limits<int>::max();
+  if (!parsed) {
+    std::fprintf(stderr, "[hadar] warning: %s='%s' is not an integer; using %d\n",
+                 name, raw, def);
+    return def;
+  }
+  if (v < min_value) {
+    std::fprintf(stderr, "[hadar] warning: %s=%ld is below the minimum %d; using %d\n",
+                 name, v, min_value, def);
+    return def;
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace hadar::common

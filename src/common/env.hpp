@@ -1,0 +1,15 @@
+// Strict environment-variable parsing shared by the thread pool and the
+// bench harness. std::atoi silently maps garbage to 0, which turns a typo'd
+// HADAR_BENCH_JOBS / HADAR_THREADS into a surprising-but-valid config; these
+// helpers parse with strtol, reject trailing junk and out-of-range values,
+// and warn once on stderr before falling back to the default.
+#pragma once
+
+namespace hadar::common {
+
+/// Reads integer env var `name`. Returns `def` when unset. Values that fail
+/// to parse, carry trailing junk, or fall below `min_value` produce a
+/// warning on stderr and return `def`.
+int env_int(const char* name, int def, int min_value = 1);
+
+}  // namespace hadar::common

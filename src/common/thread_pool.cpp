@@ -1,0 +1,72 @@
+#include "common/thread_pool.hpp"
+
+#include "common/env.hpp"
+
+namespace hadar::common {
+
+ThreadPool::ThreadPool(int workers) {
+  if (workers < 0) workers = 0;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+int ThreadPool::configured_concurrency() {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return env_int("HADAR_THREADS", hw > 0 ? hw : 1, 1);
+}
+
+std::unique_ptr<ThreadPool>& ThreadPool::global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+ThreadPool& ThreadPool::global() {
+  auto& slot = global_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>(configured_concurrency() - 1);
+  return *slot;
+}
+
+ScopedThreadCount::ScopedThreadCount(int concurrency) {
+  if (concurrency < 1) concurrency = 1;
+  saved_ = std::move(ThreadPool::global_slot());
+  ThreadPool::global_slot() = std::make_unique<ThreadPool>(concurrency - 1);
+}
+
+ScopedThreadCount::~ScopedThreadCount() {
+  ThreadPool::global_slot() = std::move(saved_);
+}
+
+}  // namespace hadar::common

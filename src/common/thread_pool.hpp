@@ -1,0 +1,166 @@
+// Process-wide worker pool behind the parallel experiment engine and the
+// intra-round Hadar DP. Deliberately minimal — a locked task queue, no work
+// stealing — because every call site fans out coarse, independent units
+// (whole simulations, per-beam-state FIND_ALLOC evaluations).
+//
+// Concurrency model: `parallel_for(n, fn)` claims indices from an atomic
+// counter shared between the calling thread and up to size() pool workers.
+// The caller always participates, so nested parallel_for calls issued from
+// inside a pool task cannot deadlock — when every worker is busy the caller
+// simply drains its own loop serially. Results are identified by index, so
+// output order (and therefore every consumer's behaviour) is independent of
+// the thread count; determinism is the contract the scheduler relies on.
+//
+// Sizing: HADAR_THREADS sets the total concurrency (workers + caller);
+// unset => std::thread::hardware_concurrency(). HADAR_THREADS=1 disables
+// the pool entirely (pure serial execution).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace hadar::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; 0 is valid (parallel_for degrades to serial).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker threads owned by the pool (callers add one more lane on top).
+  int size() const { return static_cast<int>(workers_.size()); }
+  /// Total parallel lanes a parallel_for can use: workers + the caller.
+  int concurrency() const { return size() + 1; }
+
+  /// Enqueues one task; runs on some worker thread eventually.
+  void submit(std::function<void()> task);
+
+  /// The shared pool, created on first use with HADAR_THREADS - 1 workers.
+  static ThreadPool& global();
+  /// Total concurrency requested via HADAR_THREADS (>=1); falls back to
+  /// hardware_concurrency on unset/invalid values (see common/env.hpp).
+  static int configured_concurrency();
+
+ private:
+  friend class ScopedThreadCount;
+  static std::unique_ptr<ThreadPool>& global_slot();
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Temporarily replaces the global pool with one of exactly `concurrency`
+/// total lanes. For benches and determinism tests that compare thread
+/// counts within one process; installs/restores must not race with running
+/// parallel work.
+class ScopedThreadCount {
+ public:
+  explicit ScopedThreadCount(int concurrency);
+  ~ScopedThreadCount();
+
+  ScopedThreadCount(const ScopedThreadCount&) = delete;
+  ScopedThreadCount& operator=(const ScopedThreadCount&) = delete;
+
+ private:
+  std::unique_ptr<ThreadPool> saved_;
+};
+
+namespace detail {
+
+/// Shared progress of one parallel_for: indices are claimed via `next`,
+/// `done` counts finished ones, and the first exception wins.
+struct ParallelRun {
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+template <typename Fn>
+void drain(const std::shared_ptr<ParallelRun>& run, Fn* fn) {
+  for (;;) {
+    const std::size_t i = run->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= run->n) return;
+    if (!run->failed.load(std::memory_order_relaxed)) {
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(run->mu);
+        if (!run->error) run->error = std::current_exception();
+        run->failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (run->done.fetch_add(1, std::memory_order_acq_rel) + 1 == run->n) {
+      std::lock_guard<std::mutex> lock(run->mu);
+      run->cv.notify_all();
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Invokes fn(i) for every i in [0, n), fanning across `pool` (the global
+/// pool when null). Blocks until all iterations finish; rethrows the first
+/// exception. Iteration order across threads is unspecified, but callers
+/// that write results by index observe thread-count-independent output.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn, ThreadPool* pool = nullptr) {
+  if (n == 0) return;
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::global();
+  if (n == 1 || p.size() == 0) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto run = std::make_shared<detail::ParallelRun>();
+  run->n = n;
+  using F = std::remove_reference_t<Fn>;
+  F* body = std::addressof(fn);
+
+  // Helpers only ever claim indices from `run`; once the caller has seen
+  // done == n no helper can touch `fn` again, so capturing its address is
+  // safe even though stragglers may still be dequeued later.
+  const std::size_t helpers =
+      std::min<std::size_t>(static_cast<std::size_t>(p.size()), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    p.submit([run, body] { detail::drain(run, body); });
+  }
+  detail::drain(run, body);
+
+  std::unique_lock<std::mutex> lock(run->mu);
+  run->cv.wait(lock, [&] { return run->done.load(std::memory_order_acquire) == n; });
+  if (run->error) std::rethrow_exception(run->error);
+}
+
+/// parallel_for that materializes fn(i) into a vector indexed by i. The
+/// result type must be default-constructible.
+template <typename Fn>
+auto parallel_map(std::size_t n, Fn&& fn, ThreadPool* pool = nullptr)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  std::vector<std::invoke_result_t<Fn&, std::size_t>> out(n);
+  parallel_for(
+      n, [&](std::size_t i) { out[i] = fn(i); }, pool);
+  return out;
+}
+
+}  // namespace hadar::common

@@ -1,0 +1,35 @@
+// Wall-clock timing for the perf-regression harness (bench_perf_regression)
+// and ad-hoc instrumentation. Monotonic, header-only, no allocation.
+#pragma once
+
+#include <chrono>
+
+namespace hadar::common {
+
+class WallTimer {
+  using Clock = std::chrono::steady_clock;
+
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Times one call of `fn` in seconds.
+template <typename Fn>
+double time_call(Fn&& fn) {
+  WallTimer t;
+  fn();
+  return t.seconds();
+}
+
+}  // namespace hadar::common

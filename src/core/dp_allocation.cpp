@@ -1,18 +1,32 @@
 #include "core/dp_allocation.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <stdexcept>
 #include <unordered_set>
+
+#include "common/thread_pool.hpp"
 
 namespace hadar::core {
 namespace {
 
-// One partial decision over the queue prefix.
+// One partial decision over the queue prefix. `seq` is the state's position
+// in the deterministic exclude-then-include expansion order; it breaks
+// payoff ties so pruning is a unique total order, identical at every thread
+// count.
 struct BeamState {
   cluster::ClusterState::Snapshot usage;
   double payoff = 0.0;
   int jobs = 0;
+  std::size_t seq = 0;
   std::vector<std::pair<JobId, cluster::JobAllocation>> chosen;
+};
+
+// Outcome of pricing one include branch against one beam state.
+struct IncludeEval {
+  bool attempted = false;  ///< state had free capacity => find_alloc ran
+  std::optional<AllocCandidate> cand;
+  cluster::ClusterState::Snapshot usage;  ///< post-allocation snapshot
 };
 
 }  // namespace
@@ -27,36 +41,57 @@ DpResult dp_allocation(const std::vector<const sim::JobView*>& queue,
 
   DpResult result;
   const auto base = state.snapshot();
+  const cluster::ClusterSpec* spec = &state.spec();
 
   const int window =
       std::min<int>(cfg.queue_window, static_cast<int>(queue.size()));
 
   // ---- beam DP over the branching window ----
   std::vector<BeamState> beam;
-  beam.push_back(BeamState{base, 0.0, 0, {}});
+  beam.push_back(BeamState{base, 0.0, 0, 0, {}});
 
   for (int idx = 0; idx < window; ++idx) {
     const sim::JobView& job = *queue[static_cast<std::size_t>(idx)];
+
+    // Price the include branch of every beam state concurrently. Each lane
+    // works on its own scratch ClusterState, so the search tree never shares
+    // mutable cluster state across threads; results land by beam index,
+    // which keeps the expansion order — and therefore the final schedule —
+    // bit-identical to the serial path.
+    auto evals = common::parallel_map(beam.size(), [&](std::size_t i) {
+      IncludeEval e;
+      cluster::ClusterState scratch(spec);
+      scratch.restore(beam[i].usage);
+      if (scratch.is_full()) return e;
+      e.attempted = true;
+      e.cand = find_alloc(job, scratch, prices, utility, now, network, cfg.find_alloc);
+      if (e.cand && e.cand->payoff > 0.0) {
+        scratch.allocate(e.cand->alloc);
+        e.usage = scratch.snapshot();
+      }
+      return e;
+    });
+
     std::vector<BeamState> next;
     next.reserve(beam.size() * 2);
-    for (auto& bs : beam) {
+    for (std::size_t i = 0; i < beam.size(); ++i) {
+      BeamState& bs = beam[i];
+      IncludeEval& e = evals[i];
+      if (e.attempted) ++result.stats.states_explored;
+
       // Exclude branch: state unchanged.
+      bs.seq = next.size();
       next.push_back(bs);
 
-      // Include branch: price the job against this partial state.
-      state.restore(bs.usage);
-      if (state.is_full()) continue;
-      const auto cand =
-          find_alloc(job, state, prices, utility, now, network, cfg.find_alloc);
-      ++result.stats.states_explored;
-      if (!cand || cand->payoff <= 0.0) continue;  // admission filter (line 30)
-      state.allocate(cand->alloc);
+      // Include branch, if it survived the admission filter (line 30).
+      if (!e.attempted || !e.cand || e.cand->payoff <= 0.0) continue;
       BeamState inc;
-      inc.usage = state.snapshot();
-      inc.payoff = bs.payoff + cand->payoff;
-      inc.jobs = bs.jobs + 1;
-      inc.chosen = bs.chosen;
-      inc.chosen.emplace_back(job.id(), cand->alloc);
+      inc.usage = std::move(e.usage);
+      inc.payoff = next.back().payoff + e.cand->payoff;
+      inc.jobs = next.back().jobs + 1;
+      inc.seq = next.size();
+      inc.chosen = next.back().chosen;
+      inc.chosen.emplace_back(job.id(), std::move(e.cand->alloc));
       next.push_back(std::move(inc));
     }
 
@@ -64,13 +99,13 @@ DpResult dp_allocation(const std::vector<const sim::JobView*>& queue,
     // (the memoization of Algorithm 2 lines 16-21).
     std::sort(next.begin(), next.end(), [](const BeamState& a, const BeamState& b) {
       if (a.payoff != b.payoff) return a.payoff > b.payoff;
-      return a.jobs > b.jobs;
+      if (a.jobs != b.jobs) return a.jobs > b.jobs;
+      return a.seq < b.seq;
     });
     std::vector<BeamState> dedup;
     std::unordered_set<std::uint64_t> seen;
     for (auto& bs : next) {
-      state.restore(bs.usage);
-      const auto h = state.hash();
+      const auto h = cluster::ClusterState::hash(bs.usage);
       if (seen.insert(h).second) {
         dedup.push_back(std::move(bs));
         if (static_cast<int>(dedup.size()) >= cfg.beam_width) break;

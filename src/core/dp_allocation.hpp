@@ -15,6 +15,12 @@
 // Jobs beyond `queue_window` (already priority-ordered by the caller) skip
 // the branching and are admitted greedily, which bounds work under the very
 // long queues of the scalability study (Fig. 7).
+//
+// The include-branch FIND_ALLOC evaluations of one beam level are
+// independent, so they fan out across the common::ThreadPool (HADAR_THREADS
+// lanes), each on a private scratch ClusterState. Expansion order, the
+// (payoff, jobs, stable-seq) pruning order, and hence the returned schedule
+// are identical at every thread count.
 #pragma once
 
 #include <vector>

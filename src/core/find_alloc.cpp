@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <span>
 
 namespace hadar::core {
 namespace {
@@ -36,7 +38,10 @@ AllocCandidate evaluate(const sim::JobView& job, cluster::JobAllocation alloc,
   return cand;
 }
 
-// One free device pool a job could draw from.
+// One free device pool a job could draw from. `price` caches the marginal
+// Eq. 5 price of (node, type) once per find_alloc call — the pools repeat
+// across bottleneck levels, so re-querying the PriceBook per candidate would
+// redo the same exponentials dozens of times per job.
 struct Slot {
   NodeId node;
   GpuTypeId type;
@@ -45,39 +50,57 @@ struct Slot {
   double price;  // marginal price of the first device in the pool
 };
 
-// Fill a gang of `workers` from `pool`. The bottleneck throughput is fixed
-// by the slowest eligible type, so the efficient fill draws the SLOWEST
-// types first — faster devices add nothing to this gang and are left free
-// for jobs that can actually exploit them. Within a rate, denser pools come
-// first (fewer nodes spanned), then cheaper, then stable ids.
-std::optional<cluster::JobAllocation> fill(std::vector<const Slot*> pool, int workers,
-                                           bool allow_mixed_types) {
+// Fill order for a gang draw. The bottleneck throughput is fixed by the
+// slowest eligible type, so the efficient fill draws the SLOWEST types
+// first — faster devices add nothing to this gang and are left free for
+// jobs that can actually exploit them. Within a rate, denser pools come
+// first (fewer nodes spanned), then cheaper, then stable ids. Distinct
+// slots never compare equal ((node, type) is unique), so this is a strict
+// total order and every pool filtered from a fill-ordered list is itself
+// fill-ordered — fill() never needs to re-sort.
+bool fill_order(const Slot& a, const Slot& b) {
+  if (a.rate != b.rate) return a.rate < b.rate;    // slowest eligible first
+  if (a.free != b.free) return a.free > b.free;    // consolidate
+  if (a.price != b.price) return a.price < b.price;
+  return a.node != b.node ? a.node < b.node : a.type < b.type;
+}
+
+// Fill a gang of `workers` from `pool`, which must already be in fill
+// order. Type diversity is tracked with a bitmask (types are small dense
+// ids); the rare registry with >64 types falls back to a linear scan.
+std::optional<cluster::JobAllocation> fill(std::span<const Slot* const> pool,
+                                           int workers, bool allow_mixed_types,
+                                           std::vector<cluster::TaskPlacement>& scratch) {
   int total = 0;
   for (const Slot* s : pool) total += s->free;
   if (total < workers) return std::nullopt;
 
-  std::sort(pool.begin(), pool.end(), [](const Slot* a, const Slot* b) {
-    if (a->rate != b->rate) return a->rate < b->rate;  // slowest eligible first
-    if (a->free != b->free) return a->free > b->free;  // consolidate
-    if (a->price != b->price) return a->price < b->price;
-    return a->node != b->node ? a->node < b->node : a->type < b->type;
-  });
-
-  std::vector<cluster::TaskPlacement> pl;
+  scratch.clear();
   int need = workers;
-  std::vector<GpuTypeId> types_seen;
+  std::uint64_t type_mask = 0;
+  int distinct_types = 0;
   for (const Slot* s : pool) {
     if (need == 0) break;
     const int take = std::min(need, s->free);
-    pl.push_back({s->node, s->type, take});
+    scratch.push_back({s->node, s->type, take});
     need -= take;
-    if (std::find(types_seen.begin(), types_seen.end(), s->type) == types_seen.end()) {
-      types_seen.push_back(s->type);
+    if (s->type < 64) {
+      const std::uint64_t bit = std::uint64_t{1} << s->type;
+      if ((type_mask & bit) == 0) {
+        type_mask |= bit;
+        ++distinct_types;
+      }
+    } else {
+      bool seen = false;
+      for (std::size_t i = 0; i + 1 < scratch.size(); ++i) {
+        if (scratch[i].type == s->type) { seen = true; break; }
+      }
+      if (!seen) ++distinct_types;
     }
   }
   if (need != 0) return std::nullopt;
-  if (!allow_mixed_types && types_seen.size() > 1) return std::nullopt;
-  return cluster::JobAllocation(std::move(pl));
+  if (!allow_mixed_types && distinct_types > 1) return std::nullopt;
+  return cluster::JobAllocation(scratch);
 }
 
 void consider(std::optional<AllocCandidate>& best, AllocCandidate cand) {
@@ -100,7 +123,10 @@ std::optional<AllocCandidate> find_alloc(const sim::JobView& job,
   const int R = spec.num_types();
   const int W = job.spec->num_workers;
 
-  // Free pools usable by this job.
+  // Free pools usable by this job, gathered in one scan and sorted into
+  // fill order once. Every candidate pool below is a rate-threshold suffix
+  // of these lists (rate is the primary sort key), so the per-threshold
+  // work drops from "scan + sort all slots" to a lower_bound.
   std::vector<Slot> slots;
   slots.reserve(static_cast<std::size_t>(H) * static_cast<std::size_t>(R));
   for (NodeId h = 0; h < H; ++h) {
@@ -113,6 +139,15 @@ std::optional<AllocCandidate> find_alloc(const sim::JobView& job,
     }
   }
   if (slots.empty()) return std::nullopt;
+  std::sort(slots.begin(), slots.end(), fill_order);
+
+  std::vector<const Slot*> all;
+  all.reserve(slots.size());
+  std::vector<std::vector<const Slot*>> by_node(static_cast<std::size_t>(H));
+  for (const auto& s : slots) {
+    all.push_back(&s);
+    by_node[static_cast<std::size_t>(s.node)].push_back(&s);
+  }
 
   // Distinct usable rates, fastest first: each defines a bottleneck level k
   // (Algorithm 2 line 23's descending-throughput sweep).
@@ -125,21 +160,31 @@ std::optional<AllocCandidate> find_alloc(const sim::JobView& job,
   thresholds.erase(std::unique(thresholds.begin(), thresholds.end()), thresholds.end());
 
   std::optional<AllocCandidate> best;
-  auto try_pool = [&](const std::vector<const Slot*>& pool) {
-    auto alloc = fill(pool, W, cfg.allow_mixed_types);
+  std::vector<cluster::TaskPlacement> scratch;
+  scratch.reserve(static_cast<std::size_t>(R));
+  auto try_pool = [&](std::span<const Slot* const> pool) {
+    auto alloc = fill(pool, W, cfg.allow_mixed_types, scratch);
     if (!alloc) return;
     consider(best, evaluate(job, std::move(*alloc), state, prices, utility, now,
                             network, cfg));
+  };
+  // Rate-ascending lists make "rate >= threshold" a suffix.
+  auto suffix_from = [](const std::vector<const Slot*>& list, double threshold) {
+    const auto it = std::lower_bound(
+        list.begin(), list.end(), threshold,
+        [](const Slot* s, double t) { return s->rate < t; });
+    return std::span<const Slot* const>(
+        list.data() + (it - list.begin()),
+        static_cast<std::size_t>(list.end() - it));
   };
 
   // ---- consolidated candidates: all W workers on one node (line 24),
   // one candidate per (node, bottleneck level) ----
   for (NodeId h = 0; h < H; ++h) {
+    const auto& node_slots = by_node[static_cast<std::size_t>(h)];
+    if (node_slots.empty()) continue;
     for (double threshold : thresholds) {
-      std::vector<const Slot*> pool;
-      for (const auto& s : slots) {
-        if (s.node == h && s.rate >= threshold) pool.push_back(&s);
-      }
+      const auto pool = suffix_from(node_slots, threshold);
       if (!pool.empty()) try_pool(pool);
     }
   }
@@ -147,10 +192,7 @@ std::optional<AllocCandidate> find_alloc(const sim::JobView& job,
   // ---- cluster-wide candidates per bottleneck level (line 25) ----
   if (cfg.allow_multi_node) {
     for (double threshold : thresholds) {
-      std::vector<const Slot*> pool;
-      for (const auto& s : slots) {
-        if (s.rate >= threshold) pool.push_back(&s);
-      }
+      const auto pool = suffix_from(all, threshold);
       if (!pool.empty()) try_pool(pool);
     }
   }

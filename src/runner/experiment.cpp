@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "baselines/gavel.hpp"
+#include "common/thread_pool.hpp"
 #include "baselines/srtf.hpp"
 #include "baselines/tiresias.hpp"
 #include "baselines/yarn_cs.hpp"
@@ -75,14 +76,21 @@ sim::SchedulerPtr make_scheduler(const std::string& name) {
 
 std::vector<SchedulerRun> compare(const ExperimentConfig& cfg,
                                   const std::vector<std::string>& schedulers) {
-  std::vector<SchedulerRun> runs;
-  runs.reserve(schedulers.size());
-  for (const auto& name : schedulers) {
+  return common::parallel_map(schedulers.size(), [&](std::size_t i) {
     sim::Simulator simulator(cfg.sim);
-    auto sched = make_scheduler(name);
-    runs.push_back(SchedulerRun{sched->name(), simulator.run(cfg.spec, cfg.trace, *sched)});
-  }
-  return runs;
+    auto sched = make_scheduler(schedulers[i]);
+    return SchedulerRun{sched->name(), simulator.run(cfg.spec, cfg.trace, *sched)};
+  });
+}
+
+std::vector<SweepResult> sweep(const std::vector<SweepCase>& cases) {
+  return common::parallel_map(cases.size(), [&](std::size_t i) {
+    const SweepCase& c = cases[i];
+    sim::Simulator simulator(c.config.sim);
+    auto sched = make_scheduler(c.scheduler);
+    return SweepResult{c.label, sched->name(),
+                       simulator.run(c.config.spec, c.config.trace, *sched)};
+  });
 }
 
 }  // namespace hadar::runner

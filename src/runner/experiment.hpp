@@ -40,8 +40,31 @@ struct SchedulerRun {
 };
 
 /// Runs each named scheduler over the experiment (fresh simulator each).
+/// Simulations are independent, so they fan out across the HADAR_THREADS
+/// worker pool; results are returned in `schedulers` order and are
+/// identical at every thread count (simulations are seeded and isolated).
 std::vector<SchedulerRun> compare(const ExperimentConfig& cfg,
                                   const std::vector<std::string>& schedulers);
+
+/// One cell of a scheduler x scenario x seed sweep.
+struct SweepCase {
+  std::string label;      ///< caller-chosen key, e.g. "rate=40" or "seed=7"
+  std::string scheduler;  ///< make_scheduler() name
+  ExperimentConfig config;
+};
+
+/// SweepCase outcome; `label`/`scheduler` echo the case for readers.
+struct SweepResult {
+  std::string label;
+  std::string scheduler;
+  sim::SimResult result;
+};
+
+/// Runs every case (fresh simulator + scheduler each) across the
+/// HADAR_THREADS pool. Results are positional: result[i] is cases[i].
+/// This is the engine behind the fig07/fig08/fig09 benches and the perf
+/// harness — a four-scheduler paper comparison is one sweep.
+std::vector<SweepResult> sweep(const std::vector<SweepCase>& cases);
 
 /// The paper's four-way comparison set.
 extern const std::vector<std::string> kPaperSchedulers;  // hadar gavel tiresias yarn

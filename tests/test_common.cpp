@@ -1,14 +1,21 @@
 // Unit tests for the common substrate: RNG determinism and distribution
-// sanity, statistics, CSV round-tripping, and table rendering.
+// sanity, statistics, CSV round-tripping, table rendering, env parsing, and
+// the thread pool's parallel_for/parallel_map contract.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <numeric>
 #include <set>
+#include <stdexcept>
 
 #include "common/csv.hpp"
+#include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 
 namespace hadar::common {
 namespace {
@@ -262,6 +269,103 @@ TEST(Table, PadsShortRows) {
   AsciiTable t("", {"a", "b", "c"});
   t.add_row({"only"});
   EXPECT_NO_THROW(t.render());
+}
+
+// ---------------------------------------------------------------- env ----
+
+TEST(EnvInt, ReturnsDefaultWhenUnset) {
+  unsetenv("HADAR_TEST_ENV_INT");
+  EXPECT_EQ(env_int("HADAR_TEST_ENV_INT", 7), 7);
+}
+
+TEST(EnvInt, ParsesValidValue) {
+  setenv("HADAR_TEST_ENV_INT", "42", 1);
+  EXPECT_EQ(env_int("HADAR_TEST_ENV_INT", 7), 42);
+  unsetenv("HADAR_TEST_ENV_INT");
+}
+
+TEST(EnvInt, RejectsGarbageAndTrailingJunk) {
+  setenv("HADAR_TEST_ENV_INT", "notanumber", 1);
+  EXPECT_EQ(env_int("HADAR_TEST_ENV_INT", 7), 7);  // atoi would say 0
+  setenv("HADAR_TEST_ENV_INT", "12abc", 1);
+  EXPECT_EQ(env_int("HADAR_TEST_ENV_INT", 7), 7);
+  setenv("HADAR_TEST_ENV_INT", "999999999999999999999", 1);
+  EXPECT_EQ(env_int("HADAR_TEST_ENV_INT", 7), 7);
+  unsetenv("HADAR_TEST_ENV_INT");
+}
+
+TEST(EnvInt, EnforcesMinimum) {
+  setenv("HADAR_TEST_ENV_INT", "0", 1);
+  EXPECT_EQ(env_int("HADAR_TEST_ENV_INT", 7, 1), 7);
+  setenv("HADAR_TEST_ENV_INT", "-3", 1);
+  EXPECT_EQ(env_int("HADAR_TEST_ENV_INT", 7, 1), 7);
+  unsetenv("HADAR_TEST_ENV_INT");
+}
+
+// --------------------------------------------------------- ThreadPool ----
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, &pool);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder) {
+  ThreadPool pool(4);
+  const auto out =
+      parallel_map(100, [](std::size_t i) { return static_cast<int>(i * i); }, &pool);
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ThreadPool, ZeroWorkersRunsSerially) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0);
+  EXPECT_EQ(pool.concurrency(), 1);
+  int sum = 0;  // serial execution: unsynchronized access is safe
+  parallel_for(10, [&](std::size_t i) { sum += static_cast<int>(i); }, &pool);
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  parallel_for(
+      8,
+      [&](std::size_t) {
+        parallel_for(8, [&](std::size_t) { total.fetch_add(1); }, &pool);
+      },
+      &pool);
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(
+          64,
+          [](std::size_t i) {
+            if (i % 7 == 3) throw std::runtime_error("boom");
+          },
+          &pool),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ScopedThreadCountSwapsGlobalPool) {
+  {
+    ScopedThreadCount one(1);
+    EXPECT_EQ(ThreadPool::global().concurrency(), 1);
+  }
+  {
+    ScopedThreadCount four(4);
+    EXPECT_EQ(ThreadPool::global().concurrency(), 4);
+    const auto out = parallel_map(33, [](std::size_t i) { return i + 1; });
+    long long sum = std::accumulate(out.begin(), out.end(), 0LL);
+    EXPECT_EQ(sum, 33LL * 34 / 2);
+  }
 }
 
 }  // namespace

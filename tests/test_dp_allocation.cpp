@@ -144,6 +144,61 @@ TEST(DpAllocation, WiderBeamNeverLosesPayoff) {
   EXPECT_GE(rw.total_payoff, rn.total_payoff - 1e-9);
 }
 
+TEST(DpAllocation, QueueWindowZeroIsPureGreedyTail) {
+  // queue_window = 0: no branching at all, every job flows through the
+  // greedy tail in priority order.
+  const auto spec = ClusterSpec::simulation_default();
+  ContextBuilder b(&spec);
+  for (int i = 0; i < 12; ++i) b.add_job(4, 5000.0, {10.0, 5.0, 1.0});
+  const auto ctx = b.build();
+  ClusterState state(&spec);
+  DpConfig cfg;
+  cfg.queue_window = 0;
+  const auto r = run_dp(ctx, state, cfg);
+  EXPECT_EQ(r.stats.states_explored, 0);
+  EXPECT_EQ(r.stats.greedy_tail_jobs, 12);
+  EXPECT_EQ(r.jobs_scheduled, 12);  // 48 of 60 devices: everything fits
+  EXPECT_EQ(state.total_free(), 60);
+}
+
+TEST(DpAllocation, FullClusterAtRoundStartSchedulesNothing) {
+  const auto spec = ClusterSpec::simulation_default();
+  ContextBuilder b(&spec);
+  for (int i = 0; i < 6; ++i) b.add_job(2, 5000.0, {10.0, 5.0, 1.0});
+  const auto ctx = b.build();
+  ClusterState state(&spec);
+  // Saturate every device before the decision.
+  for (NodeId h = 0; h < spec.num_nodes(); ++h) {
+    for (GpuTypeId t = 0; t < spec.num_types(); ++t) {
+      const int cap = spec.node(h).capacity(t);
+      if (cap > 0) state.allocate(cluster::JobAllocation({{h, t, cap}}));
+    }
+  }
+  ASSERT_TRUE(state.is_full());
+  const auto r = run_dp(ctx, state);
+  EXPECT_EQ(r.jobs_scheduled, 0);
+  EXPECT_TRUE(r.allocs.empty());
+  EXPECT_EQ(r.total_payoff, 0.0);
+  EXPECT_EQ(r.stats.states_explored, 0);  // include branches never attempted
+  EXPECT_TRUE(state.is_full());           // caller's state untouched
+}
+
+TEST(DpAllocation, EmptyQueueWithWindowZeroAndPinnedState) {
+  // Degenerate corner: nothing to decide, window 0, cluster partially used.
+  const auto spec = ClusterSpec::simulation_default();
+  ClusterState state(&spec);
+  state.allocate(cluster::JobAllocation({{0, 0, 2}}));
+  const UtilityFunction u;
+  PriceBook book(3, PricingConfig{});
+  DpConfig cfg;
+  cfg.queue_window = 0;
+  const auto r = dp_allocation({}, state, book, u, 0.0, sim::NetworkModel{}, cfg);
+  EXPECT_EQ(r.jobs_scheduled, 0);
+  EXPECT_TRUE(r.allocs.empty());
+  EXPECT_EQ(r.stats.greedy_tail_jobs, 0);
+  EXPECT_EQ(state.free_count(0, 0), spec.node(0).capacity(0) - 2);
+}
+
 TEST(DpAllocation, EmptyQueueIsEmptyResult) {
   const auto spec = ClusterSpec::simulation_default();
   ClusterState state(&spec);

@@ -1,0 +1,168 @@
+// The hard requirement of the parallel engine: the same seed + config must
+// produce bit-identical schedules and metrics at every thread count. Runs
+// the paper four-way comparison at HADAR_THREADS in {1, 4} and compares
+// SchedulerRun results metric for metric (wall-clock fields excluded — they
+// measure the host, not the schedule), and checks the parallel DP against
+// the serial path at beam_width 1 and the default width.
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hpp"
+#include "core/dp_allocation.hpp"
+#include "runner/scenarios.hpp"
+#include "test_util.hpp"
+
+namespace hadar {
+namespace {
+
+using common::ScopedThreadCount;
+
+void expect_same_outcomes(const sim::SimResult& a, const sim::SimResult& b,
+                          const std::string& scheduler) {
+  SCOPED_TRACE(scheduler);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.avg_jct, b.avg_jct);
+  EXPECT_EQ(a.median_jct, b.median_jct);
+  EXPECT_EQ(a.min_jct, b.min_jct);
+  EXPECT_EQ(a.max_jct, b.max_jct);
+  EXPECT_EQ(a.p95_jct, b.p95_jct);
+  EXPECT_EQ(a.avg_queueing_delay, b.avg_queueing_delay);
+  EXPECT_EQ(a.gpu_utilization, b.gpu_utilization);
+  EXPECT_EQ(a.avg_job_utilization, b.avg_job_utilization);
+  EXPECT_EQ(a.avg_ftf, b.avg_ftf);
+  EXPECT_EQ(a.max_ftf, b.max_ftf);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_reallocations, b.total_reallocations);
+  EXPECT_EQ(a.total_preemptions, b.total_preemptions);
+  EXPECT_EQ(a.realloc_round_fraction, b.realloc_round_fraction);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].id, b.jobs[i].id);
+    EXPECT_EQ(a.jobs[i].first_start, b.jobs[i].first_start);
+    EXPECT_EQ(a.jobs[i].finish, b.jobs[i].finish);
+    EXPECT_EQ(a.jobs[i].gpu_seconds, b.jobs[i].gpu_seconds);
+    EXPECT_EQ(a.jobs[i].compute_gpu_seconds, b.jobs[i].compute_gpu_seconds);
+    EXPECT_EQ(a.jobs[i].rounds_run, b.jobs[i].rounds_run);
+    EXPECT_EQ(a.jobs[i].preemptions, b.jobs[i].preemptions);
+    EXPECT_EQ(a.jobs[i].reallocations, b.jobs[i].reallocations);
+  }
+}
+
+TEST(ParallelDeterminism, FourWayComparisonIdenticalAcrossThreadCounts) {
+  const auto cfg = runner::paper_static(48, 42);
+
+  std::vector<runner::SchedulerRun> one, four;
+  {
+    ScopedThreadCount serial(1);
+    one = runner::compare(cfg, runner::kPaperSchedulers);
+  }
+  {
+    ScopedThreadCount parallel(4);
+    four = runner::compare(cfg, runner::kPaperSchedulers);
+  }
+
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].scheduler, four[i].scheduler);
+    expect_same_outcomes(one[i].result, four[i].result, one[i].scheduler);
+  }
+}
+
+TEST(ParallelDeterminism, SweepMatchesCompare) {
+  const auto cfg = runner::paper_static(32, 7);
+
+  std::vector<runner::SweepCase> cases;
+  for (const auto& sched : runner::kPaperSchedulers) cases.push_back({"s", sched, cfg});
+
+  std::vector<runner::SweepResult> swept;
+  std::vector<runner::SchedulerRun> compared;
+  {
+    ScopedThreadCount parallel(4);
+    swept = runner::sweep(cases);
+  }
+  {
+    ScopedThreadCount serial(1);
+    compared = runner::compare(cfg, runner::kPaperSchedulers);
+  }
+
+  ASSERT_EQ(swept.size(), compared.size());
+  for (std::size_t i = 0; i < swept.size(); ++i) {
+    EXPECT_EQ(swept[i].scheduler, compared[i].scheduler);
+    expect_same_outcomes(swept[i].result, compared[i].result, swept[i].scheduler);
+  }
+}
+
+// DP-level check: identical DpResult across thread counts, including the
+// beam_width=1 degenerate case (which must stay the pure greedy serial
+// path — its single-state beam never fans out).
+class DpThreadCountTest : public ::testing::Test {
+ protected:
+  core::DpResult run(const sim::SchedulerContext& ctx, const core::DpConfig& cfg) {
+    cluster::ClusterState state(ctx.spec);
+    const core::UtilityFunction u(core::UtilityKind::kEffectiveThroughput,
+                                  static_cast<double>(ctx.jobs.size()));
+    core::PriceBook book(ctx.spec->num_types(), core::PricingConfig{});
+    book.compute_bounds(ctx, u);
+    std::vector<const sim::JobView*> queue;
+    for (const auto& j : ctx.jobs) queue.push_back(&j);
+    return core::dp_allocation(queue, state, book, u, ctx.now, sim::NetworkModel{}, cfg);
+  }
+
+  static void expect_same(const core::DpResult& a, const core::DpResult& b) {
+    EXPECT_EQ(a.total_payoff, b.total_payoff);
+    EXPECT_EQ(a.jobs_scheduled, b.jobs_scheduled);
+    EXPECT_EQ(a.stats.states_explored, b.stats.states_explored);
+    EXPECT_EQ(a.stats.greedy_tail_jobs, b.stats.greedy_tail_jobs);
+    ASSERT_EQ(a.allocs.size(), b.allocs.size());
+    auto ia = a.allocs.begin();
+    auto ib = b.allocs.begin();
+    for (; ia != a.allocs.end(); ++ia, ++ib) {
+      EXPECT_EQ(ia->first, ib->first);
+      EXPECT_TRUE(ia->second == ib->second);
+    }
+  }
+};
+
+TEST_F(DpThreadCountTest, DefaultBeamIdenticalAcrossThreadCounts) {
+  const auto spec = cluster::ClusterSpec::simulation_default();
+  test::ContextBuilder b(&spec);
+  for (int i = 0; i < 24; ++i) {
+    b.add_job(1 + i % 8, 2000.0 * (1 + i % 5), {10.0, 5.0, 1.0});
+  }
+  const auto ctx = b.build();
+
+  core::DpConfig cfg;
+  cfg.beam_width = 16;
+  core::DpResult serial, parallel;
+  {
+    ScopedThreadCount one(1);
+    serial = run(ctx, cfg);
+  }
+  {
+    ScopedThreadCount four(4);
+    parallel = run(ctx, cfg);
+  }
+  expect_same(serial, parallel);
+}
+
+TEST_F(DpThreadCountTest, BeamWidthOneMatchesGreedySerialPath) {
+  const auto spec = cluster::ClusterSpec::simulation_default();
+  test::ContextBuilder b(&spec);
+  for (int i = 0; i < 12; ++i) b.add_job(4, 5000.0, {10.0, 5.0, 1.0});
+  const auto ctx = b.build();
+
+  core::DpConfig greedy;
+  greedy.beam_width = 1;
+  core::DpResult serial, parallel;
+  {
+    ScopedThreadCount one(1);
+    serial = run(ctx, greedy);
+  }
+  {
+    ScopedThreadCount four(4);
+    parallel = run(ctx, greedy);
+  }
+  expect_same(serial, parallel);
+}
+
+}  // namespace
+}  // namespace hadar
