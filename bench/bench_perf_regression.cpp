@@ -1,9 +1,10 @@
-// Perf-regression harness: times the two hot paths this repo's evaluation
-// is wall-clock-bound by — FIND_ALLOC and DP_allocation — plus an
-// end-to-end fig07-style four-way comparison sweep, at HADAR_THREADS=1 and
-// at the configured thread count. Emits BENCH_PR2.json (wall-clock,
-// rounds/sec, speedup vs serial, determinism check) so later PRs have a
-// tracked perf trajectory to compare against.
+// Perf-regression harness: times the hot paths this repo's evaluation is
+// wall-clock-bound by — FIND_ALLOC, DP_allocation, and the Gavel LP
+// re-solve — plus an end-to-end fig07-style four-way comparison sweep, at
+// HADAR_THREADS=1 and at the configured thread count. Emits BENCH_PR3.json
+// (wall-clock, rounds/sec, speedup vs serial, LP engine comparison,
+// determinism checks) keeping the PR2 micro/end_to_end keys so the perf
+// trajectory stays comparable across PRs.
 //
 // Knobs: HADAR_BENCH_JOBS (end-to-end trace size, default 96),
 // HADAR_THREADS (parallel lane count, default hardware concurrency).
@@ -12,10 +13,13 @@
 #include <string>
 #include <vector>
 
+#include "baselines/gavel.hpp"
 #include "bench_common.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "core/dp_allocation.hpp"
+#include "sim/simulator.hpp"
+#include "solver/maxmin.hpp"
 #include "workload/model_zoo.hpp"
 #include "workload/trace_gen.hpp"
 
@@ -101,6 +105,65 @@ std::vector<runner::SweepCase> four_way_cases(int jobs) {
   return cases;
 }
 
+// ---- Gavel LP event-resolve microbench -------------------------------------
+
+// Snapshot of the Gavel max-min problem for one point in an event stream.
+// Construction mirrors GavelScheduler::recompute_allocation.
+solver::MaxMinProblem gavel_problem(const DecisionScenario& s,
+                                    const std::vector<int>& alive) {
+  const int R = s.spec.num_types();
+  solver::MaxMinProblem p;
+  p.cap.assign(static_cast<std::size_t>(R), 0.0);
+  for (GpuTypeId r = 0; r < R; ++r) p.cap[static_cast<std::size_t>(r)] = s.spec.total_of_type(r);
+  for (const int i : alive) {
+    const auto& job = s.ctx.jobs[static_cast<std::size_t>(i)];
+    std::vector<double> row(static_cast<std::size_t>(R), 0.0);
+    for (GpuTypeId r = 0; r < R; ++r) {
+      row[static_cast<std::size_t>(r)] = job.throughput_on(r) * job.spec->num_workers;
+    }
+    p.rate.push_back(std::move(row));
+    p.demand.push_back(job.spec->num_workers);
+    p.scale.push_back(std::max(1e-9, job.max_throughput() * job.spec->num_workers));
+    p.key.push_back(job.id());
+  }
+  return p;
+}
+
+struct LpStreamResult {
+  double ms_per_event = 0.0;
+  double warm_hit_rate = 0.0;
+};
+
+// Times the re-solve after each event of a completion stream (one job leaves
+// per event, the Gavel steady state). problems[0] is only used to prime the
+// warm context; events 1..E are timed.
+LpStreamResult time_lp_stream(const std::vector<solver::MaxMinProblem>& problems,
+                              solver::LpEngine engine, bool warm, int reps) {
+  LpStreamResult out;
+  double total = 0.0;
+  int count = 0;
+  std::uint64_t attempts = 0, hits = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    solver::MaxMinContext ctx;
+    if (warm) {
+      (void)solver::solve_max_min_lp(problems[0], 200000, engine, &ctx);  // prime
+    }
+    for (std::size_t e = 1; e < problems.size(); ++e) {
+      common::WallTimer t;
+      const auto sol =
+          solver::solve_max_min_lp(problems[e], 200000, engine, warm ? &ctx : nullptr);
+      total += t.seconds();
+      ++count;
+      if (!sol.feasible) std::fprintf(stderr, "LP stream: infeasible event %zu\n", e);
+    }
+    attempts += ctx.max_min.stats().warm_attempts;
+    hits += ctx.max_min.stats().warm_hits;
+  }
+  out.ms_per_event = count > 0 ? total * 1e3 / count : 0.0;
+  out.warm_hit_rate = attempts > 0 ? static_cast<double>(hits) / static_cast<double>(attempts) : 0.0;
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -146,6 +209,58 @@ int main() {
     dp_parallel_ms = time_per_call(dp_once) * 1e3;
   }
 
+  // ---- micro: Gavel LP event-resolve, dense vs revised vs warm ----
+  // One job completes per event; Gavel re-solves the max-min LP each time.
+  const auto lp_scn = make_decision_scenario(96);
+  std::vector<solver::MaxMinProblem> lp_problems;
+  {
+    std::vector<int> alive(lp_scn.ctx.jobs.size());
+    for (std::size_t i = 0; i < alive.size(); ++i) alive[i] = static_cast<int>(i);
+    lp_problems.push_back(gavel_problem(lp_scn, alive));
+    for (int e = 0; e < 12; ++e) {
+      alive.erase(alive.begin() + (static_cast<int>(alive.size()) * 2 / 3));
+      lp_problems.push_back(gavel_problem(lp_scn, alive));
+    }
+  }
+  const auto lp_dense = time_lp_stream(lp_problems, solver::LpEngine::kDense, false, 1);
+  const auto lp_cold = time_lp_stream(lp_problems, solver::LpEngine::kRevised, false, 3);
+  const auto lp_warm = time_lp_stream(lp_problems, solver::LpEngine::kRevised, true, 3);
+  const double lp_warm_speedup =
+      lp_warm.ms_per_event > 0.0 ? lp_dense.ms_per_event / lp_warm.ms_per_event : 0.0;
+
+  // ---- micro: Gavel round loop with an unchanged job set ----
+  // Steady-state rounds between events: priority rebuild + greedy packing,
+  // no LP re-solve (epoch/id-signature change detection short-circuits it).
+  double gavel_round_us = 0.0;
+  {
+    baselines::GavelScheduler gavel{baselines::GavelConfig{}};
+    gavel.reset();
+    (void)gavel.schedule(lp_scn.ctx);  // first round pays the LP solve
+    gavel_round_us = time_per_call([&] { (void)gavel.schedule(lp_scn.ctx); }) * 1e6;
+  }
+
+  // ---- end-to-end: fig04-style Gavel max-sum, warm vs cold LP context ----
+  double gavel_e2e_cold_s = 0.0, gavel_e2e_warm_s = 0.0;
+  bool gavel_e2e_identical = false;
+  {
+    const auto gcfg = runner::paper_static(e2e_jobs, 42);
+    auto run_one = [&](bool warm) {
+      baselines::GavelConfig gc;
+      gc.policy = baselines::GavelPolicy::kMaxSumThroughput;
+      gc.warm_start = warm;
+      baselines::GavelScheduler sched(gc);
+      sim::Simulator simulator(gcfg.sim);
+      return simulator.run(gcfg.spec, gcfg.trace, sched);
+    };
+    common::ScopedThreadCount one(1);
+    sim::SimResult cold_res, warm_res;
+    gavel_e2e_cold_s = common::time_call([&] { cold_res = run_one(false); });
+    gavel_e2e_warm_s = common::time_call([&] { warm_res = run_one(true); });
+    gavel_e2e_identical = same_schedule(cold_res, warm_res);
+  }
+  const double gavel_e2e_speedup =
+      gavel_e2e_warm_s > 0.0 ? gavel_e2e_cold_s / gavel_e2e_warm_s : 0.0;
+
   // ---- end-to-end: the paper four-way comparison as one sweep ----
   const auto cases = four_way_cases(e2e_jobs);
   std::vector<runner::SweepResult> serial_runs, parallel_runs;
@@ -170,11 +285,26 @@ int main() {
   const double rounds_per_s =
       e2e_parallel_s > 0.0 ? static_cast<double>(total_rounds) / e2e_parallel_s : 0.0;
 
-  common::AsciiTable t("perf regression (PR 2 baseline)", {"metric", "value"});
+  common::AsciiTable t("perf regression (PR 3)", {"metric", "value"});
   t.add_row({"find_alloc / call", common::AsciiTable::num(find_alloc_us, 2) + " us"});
   t.add_row({"dp_allocation (1 thread)", common::AsciiTable::num(dp_serial_ms, 2) + " ms"});
   t.add_row({"dp_allocation (" + std::to_string(threads) + " threads)",
              common::AsciiTable::num(dp_parallel_ms, 2) + " ms"});
+  t.add_row({"gavel LP event re-solve, dense cold",
+             common::AsciiTable::num(lp_dense.ms_per_event, 2) + " ms"});
+  t.add_row({"gavel LP event re-solve, revised cold",
+             common::AsciiTable::num(lp_cold.ms_per_event, 2) + " ms"});
+  t.add_row({"gavel LP event re-solve, revised warm",
+             common::AsciiTable::num(lp_warm.ms_per_event, 2) + " ms"});
+  t.add_row({"warm vs dense speedup", common::AsciiTable::speedup(lp_warm_speedup, 2)});
+  t.add_row({"warm-basis hit rate", common::AsciiTable::percent(lp_warm.warm_hit_rate)});
+  t.add_row({"gavel round loop (no event)",
+             common::AsciiTable::num(gavel_round_us, 1) + " us"});
+  t.add_row({"gavel max-sum e2e, cold ctx",
+             common::AsciiTable::num(gavel_e2e_cold_s, 2) + " s"});
+  t.add_row({"gavel max-sum e2e, warm ctx",
+             common::AsciiTable::num(gavel_e2e_warm_s, 2) + " s"});
+  t.add_row({"gavel e2e warm == cold schedule", gavel_e2e_identical ? "yes" : "NO"});
   t.add_row({"sweep of " + std::to_string(cases.size()) + " sims, " +
                  std::to_string(e2e_jobs) + " jobs (1 thread)",
              common::AsciiTable::num(e2e_serial_s, 2) + " s"});
@@ -185,11 +315,11 @@ int main() {
   t.add_row({"deterministic across threads", deterministic ? "yes" : "NO"});
   std::printf("%s\n", t.render().c_str());
 
-  const char* out_path = "BENCH_PR2.json";
+  const char* out_path = "BENCH_PR3.json";
   if (std::FILE* f = std::fopen(out_path, "w")) {
     std::fprintf(f,
                  "{\n"
-                 "  \"pr\": 2,\n"
+                 "  \"pr\": 3,\n"
                  "  \"threads\": %d,\n"
                  "  \"hardware_concurrency\": %d,\n"
                  "  \"micro\": {\n"
@@ -197,6 +327,23 @@ int main() {
                  "    \"dp_allocation_ms_serial\": %.3f,\n"
                  "    \"dp_allocation_ms_parallel\": %.3f,\n"
                  "    \"dp_allocation_speedup\": %.3f\n"
+                 "  },\n"
+                 "  \"lp\": {\n"
+                 "    \"jobs\": %zu,\n"
+                 "    \"events\": %zu,\n"
+                 "    \"cold_dense_ms_per_event\": %.3f,\n"
+                 "    \"cold_revised_ms_per_event\": %.3f,\n"
+                 "    \"warm_revised_ms_per_event\": %.3f,\n"
+                 "    \"warm_vs_cold_dense_speedup\": %.3f,\n"
+                 "    \"warm_hit_rate\": %.3f\n"
+                 "  },\n"
+                 "  \"gavel\": {\n"
+                 "    \"round_loop_us_no_event\": %.2f,\n"
+                 "    \"e2e_jobs\": %d,\n"
+                 "    \"e2e_cold_seconds\": %.3f,\n"
+                 "    \"e2e_warm_seconds\": %.3f,\n"
+                 "    \"e2e_speedup\": %.3f,\n"
+                 "    \"e2e_warm_cold_identical\": %s\n"
                  "  },\n"
                  "  \"end_to_end\": {\n"
                  "    \"jobs\": %d,\n"
@@ -210,13 +357,18 @@ int main() {
                  "}\n",
                  threads, hw, find_alloc_us, dp_serial_ms, dp_parallel_ms,
                  dp_parallel_ms > 0.0 ? dp_serial_ms / dp_parallel_ms : 0.0,
-                 e2e_jobs, cases.size(), e2e_serial_s, e2e_parallel_s, speedup,
-                 rounds_per_s, deterministic ? "true" : "false");
+                 lp_scn.ctx.jobs.size(), lp_problems.size() - 1, lp_dense.ms_per_event,
+                 lp_cold.ms_per_event, lp_warm.ms_per_event, lp_warm_speedup,
+                 lp_warm.warm_hit_rate, gavel_round_us, e2e_jobs, gavel_e2e_cold_s,
+                 gavel_e2e_warm_s, gavel_e2e_speedup,
+                 gavel_e2e_identical ? "true" : "false", e2e_jobs, cases.size(),
+                 e2e_serial_s, e2e_parallel_s, speedup, rounds_per_s,
+                 deterministic ? "true" : "false");
     std::fclose(f);
     std::printf("wrote %s\n", out_path);
   } else {
     std::fprintf(stderr, "failed to open %s for writing\n", out_path);
     return 1;
   }
-  return deterministic ? 0 : 2;
+  return deterministic && gavel_e2e_identical ? 0 : 2;
 }

@@ -20,8 +20,10 @@ GavelScheduler::GavelScheduler(GavelConfig cfg) : cfg_(cfg) {}
 std::string GavelScheduler::name() const { return "Gavel"; }
 
 void GavelScheduler::reset() {
-  active_set_.clear();
+  last_epoch_ = 0;
+  active_ids_.clear();
   y_.clear();
+  lp_ctx_.clear();
 }
 
 std::vector<double> GavelScheduler::allocation_row(JobId id) const {
@@ -31,18 +33,22 @@ std::vector<double> GavelScheduler::allocation_row(JobId id) const {
 
 void GavelScheduler::recompute_allocation(const sim::SchedulerContext& ctx) {
   const int R = ctx.spec->num_types();
-  solver::MaxMinProblem p;
-  p.cap.resize(static_cast<std::size_t>(R));
+  solver::MaxMinProblem& p = problem_;  // reused across events
+  p.cap.assign(static_cast<std::size_t>(R), 0.0);
   for (GpuTypeId r = 0; r < R; ++r) {
     p.cap[static_cast<std::size_t>(r)] = ctx.spec->total_of_type(r);
   }
-  p.rate.reserve(ctx.jobs.size());
-  for (const auto& job : ctx.jobs) {
-    std::vector<double> row(static_cast<std::size_t>(R), 0.0);
+  p.rate.resize(ctx.jobs.size());
+  p.demand.clear();
+  p.scale.clear();
+  p.key.clear();
+  for (std::size_t i = 0; i < ctx.jobs.size(); ++i) {
+    const auto& job = ctx.jobs[i];
+    std::vector<double>& row = p.rate[i];
+    row.assign(static_cast<std::size_t>(R), 0.0);
     for (GpuTypeId r = 0; r < R; ++r) {
       row[static_cast<std::size_t>(r)] = job.throughput_on(r) * job.spec->num_workers;
     }
-    p.rate.push_back(std::move(row));
     p.demand.push_back(job.spec->num_workers);
     if (cfg_.policy == GavelPolicy::kMinMakespan) {
       // Normalize by remaining work: equalizing work-normalized throughput
@@ -53,36 +59,45 @@ void GavelScheduler::recompute_allocation(const sim::SchedulerContext& ctx) {
       // the objective compares *relative* progress across jobs.
       p.scale.push_back(std::max(1e-9, job.max_throughput() * job.spec->num_workers));
     }
+    // Warm-start identity: the LP basis is remembered per (job id, type).
+    p.key.push_back(job.id());
   }
 
+  solver::MaxMinContext* lp_ctx = cfg_.warm_start ? &lp_ctx_ : nullptr;
   const solver::MaxMinSolution sol = cfg_.policy == GavelPolicy::kMaxSumThroughput
-                                         ? solver::solve_max_sum(p, cfg_.solver)
-                                         : solver::solve_max_min(p, cfg_.solver);
+                                         ? solver::solve_max_sum(p, cfg_.solver, lp_ctx)
+                                         : solver::solve_max_min(p, cfg_.solver, lp_ctx);
   y_.clear();
   for (std::size_t i = 0; i < ctx.jobs.size(); ++i) {
     y_[ctx.jobs[i].id()] = sol.feasible ? sol.y[i] : std::vector<double>(static_cast<std::size_t>(R), 0.0);
   }
 }
 
+bool GavelScheduler::job_set_changed(const sim::SchedulerContext& ctx) {
+  if (ctx.jobs_epoch != 0) {
+    // The simulator bumps the epoch exactly when the runnable set changes,
+    // so one integer compare replaces the per-round id-set rebuild.
+    const bool changed = ctx.jobs_epoch != last_epoch_;
+    last_epoch_ = ctx.jobs_epoch;
+    return changed;
+  }
+  // Epoch-less context (hand-built in tests/tools): id-signature fallback.
+  ids_scratch_.clear();
+  for (const auto& j : ctx.jobs) ids_scratch_.push_back(j.id());
+  if (ids_scratch_ == active_ids_) return false;
+  active_ids_.swap(ids_scratch_);
+  return true;
+}
+
 cluster::AllocationMap GavelScheduler::schedule(const sim::SchedulerContext& ctx) {
   const int R = ctx.spec->num_types();
 
   // Refresh Y on job arrival/completion events only.
-  std::set<JobId> ids;
-  for (const auto& j : ctx.jobs) ids.insert(j.id());
-  if (ids != active_set_) {
-    recompute_allocation(ctx);
-    active_set_ = std::move(ids);
-  }
+  if (job_set_changed(ctx)) recompute_allocation(ctx);
 
   // Priority list over (job, type): Y / (rounds received on that type).
-  struct Entry {
-    const sim::JobView* job;
-    GpuTypeId type;
-    double priority;
-  };
-  std::vector<Entry> entries;
-  entries.reserve(ctx.jobs.size() * static_cast<std::size_t>(R));
+  entries_.clear();
+  entries_.reserve(ctx.jobs.size() * static_cast<std::size_t>(R));
   for (const auto& job : ctx.jobs) {
     const auto it = y_.find(job.id());
     if (it == y_.end()) continue;
@@ -95,18 +110,23 @@ cluster::AllocationMap GavelScheduler::schedule(const sim::SchedulerContext& ctx
       // Tiny floor keeps zero-Y rows schedulable when capacity would
       // otherwise idle (Gavel breaks ties the same way via water-filling).
       const double pr = std::max(y, 1e-6) / (rounds + cfg_.rounds_epsilon);
-      entries.push_back({&job, r, pr});
+      entries_.push_back({&job, r, pr});
     }
   }
-  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+  std::sort(entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
     if (a.priority != b.priority) return a.priority > b.priority;
     if (a.job->id() != b.job->id()) return a.job->id() < b.job->id();
     return a.type < b.type;
   });
 
-  cluster::ClusterState state(ctx.spec);
+  if (!state_ || &state_->spec() != ctx.spec) {
+    state_.emplace(ctx.spec);
+  } else {
+    state_->clear();
+  }
+  cluster::ClusterState& state = *state_;
   cluster::AllocationMap result;
-  for (const Entry& e : entries) {
+  for (const Entry& e : entries_) {
     if (result.count(e.job->id())) continue;  // one type per job per round
     auto alloc = take_homogeneous(state, e.type, e.job->spec->num_workers);
     if (!alloc) continue;  // job-level all-or-nothing on this type

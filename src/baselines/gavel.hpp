@@ -9,14 +9,18 @@
 // task-level mixing removes.
 //
 // The Y matrix is recomputed only when the active job set changes (Gavel's
-// event-driven refresh); small instances use the exact LP, larger ones the
-// progressive-filling solver.
+// event-driven refresh, detected via SchedulerContext::jobs_epoch with a
+// job-id signature fallback for epoch-less contexts); small instances use
+// the exact LP — warm-started across events through a solver::MaxMinContext
+// — larger ones the progressive-filling solver.
 #pragma once
 
+#include <cstdint>
 #include <map>
-#include <set>
+#include <optional>
 #include <vector>
 
+#include "cluster/cluster_state.hpp"
 #include "sim/scheduler.hpp"
 #include "solver/maxmin.hpp"
 
@@ -40,6 +44,10 @@ struct GavelConfig {
   solver::MaxMinOptions solver;
   /// Priority denominator smoothing: priority = Y / (rounds_on_type + eps).
   double rounds_epsilon = 1.0;
+  /// Warm-start the allocation LP from the previous event's optimal basis
+  /// (revised engine only). Canonical extraction makes the solutions
+  /// identical with this on or off; the switch exists for A/B benchmarks.
+  bool warm_start = true;
 };
 
 class GavelScheduler : public sim::IScheduler {
@@ -55,10 +63,23 @@ class GavelScheduler : public sim::IScheduler {
 
  private:
   void recompute_allocation(const sim::SchedulerContext& ctx);
+  bool job_set_changed(const sim::SchedulerContext& ctx);
+
+  struct Entry {
+    const sim::JobView* job;
+    GpuTypeId type;
+    double priority;
+  };
 
   GavelConfig cfg_;
-  std::set<JobId> active_set_;               // signature of the last LP solve
+  std::uint64_t last_epoch_ = 0;             // last ctx.jobs_epoch acted on
+  std::vector<JobId> active_ids_;            // signature for epoch-less contexts
+  std::vector<JobId> ids_scratch_;
   std::map<JobId, std::vector<double>> y_;   // time-fraction rows
+  solver::MaxMinContext lp_ctx_;             // warm-start basis across events
+  solver::MaxMinProblem problem_;            // reused LP input buffers
+  std::vector<Entry> entries_;               // reused per-round priority list
+  std::optional<cluster::ClusterState> state_;  // reused per-round free map
 };
 
 }  // namespace hadar::baselines

@@ -40,10 +40,10 @@ cluster::AllocationMap TiresiasScheduler::schedule(const sim::SchedulerContext& 
   }
 
   // Priority: high queue first, FIFO (arrival == id order) within a queue.
-  std::vector<const sim::JobView*> order;
-  order.reserve(ctx.jobs.size());
-  for (const auto& job : ctx.jobs) order.push_back(&job);
-  std::stable_sort(order.begin(), order.end(),
+  order_.clear();
+  order_.reserve(ctx.jobs.size());
+  for (const auto& job : ctx.jobs) order_.push_back(&job);
+  std::stable_sort(order_.begin(), order_.end(),
                    [this](const sim::JobView* a, const sim::JobView* b) {
                      const bool da = demoted_.count(a->id()) > 0;
                      const bool db = demoted_.count(b->id()) > 0;
@@ -53,14 +53,14 @@ cluster::AllocationMap TiresiasScheduler::schedule(const sim::SchedulerContext& 
 
   cluster::ClusterState state(ctx.spec);
   cluster::AllocationMap result;
-  for (const sim::JobView* job : order) {
+  for (const sim::JobView* job : order_) {
     // Restrict to types the job can actually run on (rate > 0); a zero-rate
     // device would stall the gang's synchronization barrier forever.
-    std::vector<GpuTypeId> usable;
+    usable_.clear();
     for (GpuTypeId r = 0; r < ctx.spec->num_types(); ++r) {
-      if (job->throughput_on(r) > 0.0) usable.push_back(r);
+      if (job->throughput_on(r) > 0.0) usable_.push_back(r);
     }
-    auto alloc = take_unaware(state, usable, job->spec->num_workers);
+    auto alloc = take_unaware(state, usable_, job->spec->num_workers);
     if (!alloc) continue;
     state.allocate(*alloc);
     result.emplace(job->id(), std::move(*alloc));

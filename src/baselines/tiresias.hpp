@@ -41,6 +41,8 @@ class TiresiasScheduler : public sim::IScheduler {
   std::set<JobId> demoted_;
   std::set<JobId> promoted_;             // shielded until served again
   std::map<JobId, int> starved_rounds_;  // consecutive rounds without a gang
+  std::vector<const sim::JobView*> order_;  // reused per-round sort buffer
+  std::vector<GpuTypeId> usable_;           // reused per-job scratch
 };
 
 }  // namespace hadar::baselines

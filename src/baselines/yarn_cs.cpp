@@ -8,15 +8,23 @@ YarnCsScheduler::YarnCsScheduler(YarnConfig cfg) : cfg_(cfg) {}
 
 std::string YarnCsScheduler::name() const { return "YARN-CS"; }
 
-void YarnCsScheduler::reset() { running_.clear(); }
+void YarnCsScheduler::reset() {
+  running_.clear();
+  last_epoch_ = 0;
+}
 
 cluster::AllocationMap YarnCsScheduler::schedule(const sim::SchedulerContext& ctx) {
-  // Drop finished jobs (present in running_, absent from the context).
-  for (auto it = running_.begin(); it != running_.end();) {
-    if (ctx.find(it->first) == nullptr) {
-      it = running_.erase(it);
-    } else {
-      ++it;
+  // Drop finished jobs (present in running_, absent from the context). The
+  // O(running * jobs) scan only pays off when the runnable set actually
+  // changed; epoch-less contexts (jobs_epoch == 0) always scan.
+  if (ctx.jobs_epoch == 0 || ctx.jobs_epoch != last_epoch_) {
+    last_epoch_ = ctx.jobs_epoch;
+    for (auto it = running_.begin(); it != running_.end();) {
+      if (ctx.find(it->first) == nullptr) {
+        it = running_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 
@@ -30,11 +38,11 @@ cluster::AllocationMap YarnCsScheduler::schedule(const sim::SchedulerContext& ct
   // Strict FIFO admission with head-of-line blocking.
   for (const auto& job : ctx.jobs) {  // ctx.jobs is arrival-ordered
     if (running_.count(job.id())) continue;
-    std::vector<GpuTypeId> usable;
+    usable_.clear();
     for (GpuTypeId r = 0; r < ctx.spec->num_types(); ++r) {
-      if (job.throughput_on(r) > 0.0) usable.push_back(r);
+      if (job.throughput_on(r) > 0.0) usable_.push_back(r);
     }
-    auto alloc = take_unaware(state, usable, job.spec->num_workers);
+    auto alloc = take_unaware(state, usable_, job.spec->num_workers);
     if (!alloc) {
       if (!cfg_.backfill) break;  // the queue head waits; nobody jumps it
       continue;                   // backfill: later jobs may slot in

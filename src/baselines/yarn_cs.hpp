@@ -5,6 +5,7 @@
 // costs YARN-CS its 7-15x JCT gap despite near-perfect GPU utilization.
 #pragma once
 
+#include <cstdint>
 #include <map>
 
 #include "sim/scheduler.hpp"
@@ -29,6 +30,8 @@ class YarnCsScheduler : public sim::IScheduler {
  private:
   YarnConfig cfg_;
   std::map<JobId, cluster::JobAllocation> running_;
+  std::uint64_t last_epoch_ = 0;  // skip the finished-job prune when unchanged
+  std::vector<GpuTypeId> usable_;  // reused per-job scratch
 };
 
 }  // namespace hadar::baselines

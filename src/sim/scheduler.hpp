@@ -7,6 +7,7 @@
 // Tiresias' queues); reset() is invoked at the start of every simulation.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -60,6 +61,12 @@ struct SchedulerContext {
   /// Throughput multiplier per extra node a placement spans (models the
   /// synchronization traffic of non-consolidated placements).
   NetworkModel network;
+  /// Bumped whenever the runnable-job set changes (an arrival is admitted or
+  /// a job finishes), so schedulers can skip re-deriving job-set-dependent
+  /// state on the common no-change round. 0 means "no epoch information"
+  /// (e.g. hand-built contexts in tests): schedulers must then fall back to
+  /// comparing job ids.
+  std::uint64_t jobs_epoch = 0;
   /// Runnable jobs: arrived and not finished. Order is arrival order.
   std::vector<JobView> jobs;
 

@@ -79,6 +79,14 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
   ctx.round_length = L;
   ctx.network = config_.network;
 
+  // ctx.jobs is rebuilt only when the runnable set changes (epoch bump);
+  // otherwise the JobViews from the previous round are refreshed in place,
+  // reusing their rounds_on_type/throughput buffers. view_of[i] maps js[i]
+  // to its slot in ctx.jobs for the current epoch (-1 when not runnable).
+  std::uint64_t epoch = 1;       // simulator epochs start at 1; 0 = "unknown"
+  std::uint64_t built_epoch = 0;
+  std::vector<int> view_of(js.size(), -1);
+
   while (unfinished > 0) {
     if (config_.horizon > 0.0 && t >= config_.horizon) break;
 
@@ -87,6 +95,7 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
            trace.jobs[next_arrival].arrival <= t + 1e-9) {
       auto& s = js[next_arrival];
       s.active = true;
+      ++epoch;
       log_.record(s.spec->arrival, EventKind::kArrival, s.spec->id);
       ++next_arrival;
     }
@@ -107,20 +116,41 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
       continue;
     }
 
-    // Build the scheduler's view.
+    // Build (or refresh) the scheduler's view.
     ctx.now = t;
-    ctx.jobs.clear();
-    for (auto& s : js) {
-      if (!s.active || s.finished) continue;
-      JobView v;
-      v.spec = s.spec;
-      v.iterations_done = s.iterations;
-      v.attained_service = s.attained_service;
-      v.rounds_received = s.rounds_received;
-      v.rounds_on_type = s.rounds_on_type;
-      v.current_allocation = s.current;
-      v.throughput = s.observed_throughput;
-      ctx.jobs.push_back(std::move(v));
+    ctx.jobs_epoch = epoch;
+    if (built_epoch != epoch) {
+      ctx.jobs.clear();
+      std::fill(view_of.begin(), view_of.end(), -1);
+      for (std::size_t i = 0; i < js.size(); ++i) {
+        auto& s = js[i];
+        if (!s.active || s.finished) continue;
+        view_of[i] = static_cast<int>(ctx.jobs.size());
+        JobView v;
+        v.spec = s.spec;
+        v.iterations_done = s.iterations;
+        v.attained_service = s.attained_service;
+        v.rounds_received = s.rounds_received;
+        v.rounds_on_type = s.rounds_on_type;
+        v.current_allocation = s.current;
+        v.throughput = s.observed_throughput;
+        ctx.jobs.push_back(std::move(v));
+      }
+      built_epoch = epoch;
+    } else {
+      // Same runnable set as last round: only the dynamic fields moved.
+      // Same-size vector assignments below reuse the views' buffers.
+      for (std::size_t i = 0; i < js.size(); ++i) {
+        if (view_of[i] < 0) continue;
+        auto& s = js[i];
+        JobView& v = ctx.jobs[static_cast<std::size_t>(view_of[i])];
+        v.iterations_done = s.iterations;
+        v.attained_service = s.attained_service;
+        v.rounds_received = s.rounds_received;
+        v.rounds_on_type = s.rounds_on_type;
+        v.current_allocation = s.current;
+        // v.spec and v.throughput are per-job constants within a run.
+      }
     }
 
     const double t0 = now_seconds();
@@ -221,6 +251,7 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
         const Seconds run_time = remaining / rate;
         s.iterations = s.spec->total_iterations();
         s.finished = true;
+        ++epoch;
         s.out.finish = t + penalty + run_time;
         held = workers * (penalty + run_time);
         compute = workers * run_time;

@@ -1,5 +1,6 @@
 #include "solver/lp.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -25,12 +26,44 @@ void LpProblem::set_objective(int v, double coeff) {
   c_[static_cast<std::size_t>(v)] = coeff;
 }
 
-void LpProblem::add_constraint(std::vector<double> coeffs, Relation rel, double rhs) {
+void LpProblem::add_constraint(const std::vector<double>& coeffs, Relation rel, double rhs) {
   if (static_cast<int>(coeffs.size()) > num_vars_) {
     throw std::invalid_argument("LpProblem::add_constraint: too many coefficients");
   }
-  coeffs.resize(static_cast<std::size_t>(num_vars_), 0.0);
-  rows_.push_back(Row{std::move(coeffs), rel, rhs});
+  Row row;
+  row.rel = rel;
+  row.b = rhs;
+  for (int j = 0; j < static_cast<int>(coeffs.size()); ++j) {
+    const double v = coeffs[static_cast<std::size_t>(j)];
+    if (v != 0.0) row.a.push_back(SparseEntry{j, v});
+  }
+  rows_.push_back(std::move(row));
+}
+
+void LpProblem::add_constraint_sparse(std::vector<SparseEntry> entries, Relation rel,
+                                      double rhs) {
+  int prev = -1;
+  for (const SparseEntry& e : entries) {
+    if (e.index < 0 || e.index >= num_vars_) {
+      throw std::invalid_argument("LpProblem::add_constraint_sparse: index out of range");
+    }
+    if (e.index <= prev) {
+      throw std::invalid_argument(
+          "LpProblem::add_constraint_sparse: indices must be strictly increasing");
+    }
+    prev = e.index;
+  }
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [](const SparseEntry& e) { return e.value == 0.0; }),
+                entries.end());
+  rows_.push_back(Row{std::move(entries), rel, rhs});
+}
+
+double LpProblem::Row::coeff(int j) const {
+  const auto it = std::lower_bound(
+      a.begin(), a.end(), j,
+      [](const SparseEntry& e, int idx) { return e.index < idx; });
+  return (it != a.end() && it->index == j) ? it->value : 0.0;
 }
 
 namespace {
@@ -169,7 +202,7 @@ LpSolution solve(const LpProblem& lp, const SimplexOptions& opts) {
                 ? Relation::kGreaterEqual
                 : (rel == Relation::kGreaterEqual ? Relation::kLessEqual : Relation::kEqual);
     }
-    for (int j = 0; j < n_struct; ++j) t.at(i, j) = sign * row.a[static_cast<std::size_t>(j)];
+    for (const SparseEntry& e : row.a) t.at(i, e.index) = sign * e.value;
     t.b_[static_cast<std::size_t>(i)] = sign * row.b;
 
     if (rel == Relation::kLessEqual) {

@@ -1,6 +1,8 @@
-// Dense linear-programming solver: two-phase primal simplex with Bland's
-// anti-cycling rule. Built for the moderate-size allocation LPs of the
-// Gavel baseline (hundreds of variables); no sparsity exploitation.
+// Linear-programming front end shared by two engines: the dense two-phase
+// tableau simplex below (kept as the verification fallback) and the sparse
+// revised simplex in revised_simplex.hpp. Constraint rows are stored
+// sparsely — the Gavel allocation LPs touch only R+1 of their 1+J*R
+// variables per row — and are validated/compressed once at add time.
 #pragma once
 
 #include <vector>
@@ -12,6 +14,12 @@ enum class Relation { kLessEqual, kGreaterEqual, kEqual };
 enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
 
 const char* to_string(LpStatus s);
+
+/// One nonzero coefficient of a constraint row.
+struct SparseEntry {
+  int index = 0;
+  double value = 0.0;
+};
 
 /// max c^T x  s.t.  each constraint (a^T x REL b),  x >= 0.
 class LpProblem {
@@ -25,15 +33,24 @@ class LpProblem {
   void set_objective(int v, double coeff);
 
   /// Adds a constraint sum_i coeffs[i] * x_i REL rhs. `coeffs` may be shorter
-  /// than num_vars (missing entries are 0).
-  void add_constraint(std::vector<double> coeffs, Relation rel, double rhs);
+  /// than num_vars (missing entries are 0); longer rows are rejected. Zeros
+  /// are dropped at add time — rows are stored sparsely.
+  void add_constraint(const std::vector<double>& coeffs, Relation rel, double rhs);
+
+  /// Adds a constraint from explicit nonzeros. Entries must be sorted by
+  /// strictly increasing index; out-of-range or duplicate indices throw
+  /// std::invalid_argument. Zero-valued entries are dropped.
+  void add_constraint_sparse(std::vector<SparseEntry> entries, Relation rel, double rhs);
 
   const std::vector<double>& objective() const { return c_; }
 
   struct Row {
-    std::vector<double> a;
+    std::vector<SparseEntry> a;  ///< sorted by index, nonzero values only
     Relation rel;
     double b;
+
+    /// Coefficient of variable `j` (binary search; tests/introspection).
+    double coeff(int j) const;
   };
   const std::vector<Row>& rows() const { return rows_; }
 
@@ -54,7 +71,8 @@ struct SimplexOptions {
   double eps = 1e-9;
 };
 
-/// Solves with two-phase primal simplex. Deterministic (Bland's rule).
+/// Solves with the dense two-phase tableau simplex. Deterministic (Bland's
+/// rule). Kept as the verification fallback for the revised engine.
 LpSolution solve(const LpProblem& lp, const SimplexOptions& opts = {});
 
 }  // namespace hadar::solver

@@ -25,15 +25,45 @@ void check(const MaxMinProblem& p) {
   for (double c : p.cap) {
     if (c < 0.0) throw std::invalid_argument("MaxMin: negative capacity");
   }
+  if (!p.key.empty()) {
+    if (p.key.size() != j_count) throw std::invalid_argument("MaxMin: key arity");
+    for (std::int64_t k : p.key) {
+      if (k < 0) throw std::invalid_argument("MaxMin: negative key");
+    }
+  }
 }
 
 double scale_of(const MaxMinProblem& p, std::size_t j) {
   return p.scale.empty() ? 1.0 : p.scale[j];
 }
 
+std::int64_t key_of(const MaxMinProblem& p, int j) {
+  return p.key.empty() ? j : p.key[static_cast<std::size_t>(j)];
+}
+
+// Dispatches one LP solve through the configured engine. The revised engine
+// warm-starts from `lpctx` when given; any non-optimal revised outcome
+// retries once on the dense tableau (a pure function of the LP, so the
+// fallback stays deterministic) after dropping the stale warm basis.
+LpSolution solve_dispatch(const LpProblem& lp, const LpLabels& labels, int max_iterations,
+                          LpEngine engine, LpContext* lpctx) {
+  SimplexOptions opts;
+  opts.max_iterations = max_iterations;
+  if (engine == LpEngine::kDense) return solve(lp, opts);
+  LpSolution sol = lpctx != nullptr ? lpctx->solve(lp, labels, opts)
+                                    : solve_revised(lp, opts);
+  if (sol.status != LpStatus::kOptimal && sol.status != LpStatus::kInfeasible &&
+      sol.status != LpStatus::kUnbounded) {
+    if (lpctx != nullptr) lpctx->clear();
+    sol = solve(lp, opts);
+  }
+  return sol;
+}
+
 }  // namespace
 
-MaxMinSolution solve_max_min_lp(const MaxMinProblem& p, int max_iterations) {
+MaxMinSolution solve_max_min_lp(const MaxMinProblem& p, int max_iterations, LpEngine engine,
+                                MaxMinContext* ctx) {
   check(p);
   const int J = static_cast<int>(p.rate.size());
   const int R = static_cast<int>(p.cap.size());
@@ -44,39 +74,53 @@ MaxMinSolution solve_max_min_lp(const MaxMinProblem& p, int max_iterations) {
     return sol;
   }
 
-  // Variable layout: [z, Y(0,0..R-1), Y(1,..), ...].
+  // Variable layout: [z, Y(0,0..R-1), Y(1,..), ...]. Rows are sparse: each
+  // job row touches only its own R variables (plus z).
   const int nv = 1 + J * R;
   auto yvar = [R](int j, int r) { return 1 + j * R + r; };
   LpProblem lp(nv);
   lp.set_objective(0, 1.0);  // max z
 
+  // Warm-start labels, stable across job arrivals/completions: variables
+  // are keyed by (job key, type); rows by job key for the two per-job rows
+  // and by -(r+1) for the capacity rows. z gets -1 (keys are >= 0, so no
+  // clash). Variable and row label spaces are matched independently.
+  LpLabels labels;
+  labels.var.assign(static_cast<std::size_t>(nv), -1);
+  std::vector<SparseEntry> row;
+  row.reserve(static_cast<std::size_t>(R) + 1);
   for (int j = 0; j < J; ++j) {
     const double s = scale_of(p, static_cast<std::size_t>(j));
+    const std::int64_t k = key_of(p, j);
     // z - sum_r Y[j][r]*rate/scale <= 0
-    std::vector<double> row(static_cast<std::size_t>(nv), 0.0);
-    row[0] = 1.0;
+    row.clear();
+    row.push_back({0, 1.0});
     for (int r = 0; r < R; ++r) {
-      row[static_cast<std::size_t>(yvar(j, r))] =
-          -p.rate[static_cast<std::size_t>(j)][static_cast<std::size_t>(r)] / s;
+      labels.var[static_cast<std::size_t>(yvar(j, r))] =
+          k * R + r;
+      const double rate = p.rate[static_cast<std::size_t>(j)][static_cast<std::size_t>(r)];
+      if (rate != 0.0) row.push_back({yvar(j, r), -rate / s});
     }
-    lp.add_constraint(std::move(row), Relation::kLessEqual, 0.0);
+    lp.add_constraint_sparse(row, Relation::kLessEqual, 0.0);
+    labels.row.push_back(2 * k);
 
     // sum_r Y[j][r] <= 1
-    std::vector<double> trow(static_cast<std::size_t>(nv), 0.0);
-    for (int r = 0; r < R; ++r) trow[static_cast<std::size_t>(yvar(j, r))] = 1.0;
-    lp.add_constraint(std::move(trow), Relation::kLessEqual, 1.0);
+    row.clear();
+    for (int r = 0; r < R; ++r) row.push_back({yvar(j, r), 1.0});
+    lp.add_constraint_sparse(row, Relation::kLessEqual, 1.0);
+    labels.row.push_back(2 * k + 1);
   }
   for (int r = 0; r < R; ++r) {
-    std::vector<double> crow(static_cast<std::size_t>(nv), 0.0);
+    row.clear();
     for (int j = 0; j < J; ++j) {
-      crow[static_cast<std::size_t>(yvar(j, r))] = p.demand[static_cast<std::size_t>(j)];
+      row.push_back({yvar(j, r), p.demand[static_cast<std::size_t>(j)]});
     }
-    lp.add_constraint(std::move(crow), Relation::kLessEqual, p.cap[static_cast<std::size_t>(r)]);
+    lp.add_constraint_sparse(row, Relation::kLessEqual, p.cap[static_cast<std::size_t>(r)]);
+    labels.row.push_back(-(r + 1));
   }
 
-  SimplexOptions opts;
-  opts.max_iterations = max_iterations;
-  const LpSolution lsol = solve(lp, opts);
+  const LpSolution lsol = solve_dispatch(lp, labels, max_iterations, engine,
+                                         ctx != nullptr ? &ctx->max_min : nullptr);
   if (lsol.status != LpStatus::kOptimal) return sol;  // infeasible/limit => !feasible
 
   sol.feasible = true;
@@ -210,9 +254,10 @@ MaxMinSolution solve_max_min_filling(const MaxMinProblem& p) {
   return sol;
 }
 
-MaxMinSolution solve_max_min(const MaxMinProblem& p, const MaxMinOptions& opts) {
+MaxMinSolution solve_max_min(const MaxMinProblem& p, const MaxMinOptions& opts,
+                             MaxMinContext* ctx) {
   if (static_cast<int>(p.rate.size()) <= opts.lp_job_threshold) {
-    MaxMinSolution sol = solve_max_min_lp(p, opts.max_lp_iterations);
+    MaxMinSolution sol = solve_max_min_lp(p, opts.max_lp_iterations, opts.engine, ctx);
     if (sol.feasible) return sol;
     // LP hit the iteration limit (rare): fall through to the heuristic.
   }
@@ -221,7 +266,8 @@ MaxMinSolution solve_max_min(const MaxMinProblem& p, const MaxMinOptions& opts) 
 
 namespace {
 
-MaxMinSolution solve_max_sum_lp(const MaxMinProblem& p, int max_iterations) {
+MaxMinSolution solve_max_sum_lp(const MaxMinProblem& p, int max_iterations, LpEngine engine,
+                                MaxMinContext* ctx) {
   const int J = static_cast<int>(p.rate.size());
   const int R = static_cast<int>(p.cap.size());
   MaxMinSolution sol;
@@ -234,26 +280,35 @@ MaxMinSolution solve_max_sum_lp(const MaxMinProblem& p, int max_iterations) {
   const int nv = J * R;
   auto yvar = [R](int j, int r) { return j * R + r; };
   LpProblem lp(nv);
+  // Same label scheme as the max-min LP, minus z: vars (job key, type), the
+  // per-job time row keyed by the job, capacity rows by -(r+1).
+  LpLabels labels;
+  labels.var.assign(static_cast<std::size_t>(nv), -1);
+  std::vector<SparseEntry> row;
+  row.reserve(static_cast<std::size_t>(std::max(J, R)));
   for (int j = 0; j < J; ++j) {
     const double s = scale_of(p, static_cast<std::size_t>(j));
+    const std::int64_t k = key_of(p, j);
+    row.clear();
     for (int r = 0; r < R; ++r) {
       lp.set_objective(yvar(j, r),
                        p.rate[static_cast<std::size_t>(j)][static_cast<std::size_t>(r)] / s);
+      labels.var[static_cast<std::size_t>(yvar(j, r))] = k * R + r;
+      row.push_back({yvar(j, r), 1.0});
     }
-    std::vector<double> trow(static_cast<std::size_t>(nv), 0.0);
-    for (int r = 0; r < R; ++r) trow[static_cast<std::size_t>(yvar(j, r))] = 1.0;
-    lp.add_constraint(std::move(trow), Relation::kLessEqual, 1.0);
+    lp.add_constraint_sparse(row, Relation::kLessEqual, 1.0);
+    labels.row.push_back(k);
   }
   for (int r = 0; r < R; ++r) {
-    std::vector<double> crow(static_cast<std::size_t>(nv), 0.0);
+    row.clear();
     for (int j = 0; j < J; ++j) {
-      crow[static_cast<std::size_t>(yvar(j, r))] = p.demand[static_cast<std::size_t>(j)];
+      row.push_back({yvar(j, r), p.demand[static_cast<std::size_t>(j)]});
     }
-    lp.add_constraint(std::move(crow), Relation::kLessEqual, p.cap[static_cast<std::size_t>(r)]);
+    lp.add_constraint_sparse(row, Relation::kLessEqual, p.cap[static_cast<std::size_t>(r)]);
+    labels.row.push_back(-(r + 1));
   }
-  SimplexOptions opts;
-  opts.max_iterations = max_iterations;
-  const LpSolution lsol = solve(lp, opts);
+  const LpSolution lsol = solve_dispatch(lp, labels, max_iterations, engine,
+                                         ctx != nullptr ? &ctx->max_sum : nullptr);
   if (lsol.status != LpStatus::kOptimal) return sol;
   sol.feasible = true;
   double min_norm = std::numeric_limits<double>::infinity();
@@ -318,10 +373,11 @@ MaxMinSolution solve_max_sum_greedy(const MaxMinProblem& p) {
 
 }  // namespace
 
-MaxMinSolution solve_max_sum(const MaxMinProblem& p, const MaxMinOptions& opts) {
+MaxMinSolution solve_max_sum(const MaxMinProblem& p, const MaxMinOptions& opts,
+                             MaxMinContext* ctx) {
   check(p);
   if (static_cast<int>(p.rate.size()) <= opts.lp_job_threshold) {
-    MaxMinSolution sol = solve_max_sum_lp(p, opts.max_lp_iterations);
+    MaxMinSolution sol = solve_max_sum_lp(p, opts.max_lp_iterations, opts.engine, ctx);
     if (sol.feasible) return sol;
   }
   return solve_max_sum_greedy(p);

@@ -13,7 +13,10 @@
 // approximations at scale).
 #pragma once
 
+#include <cstdint>
 #include <vector>
+
+#include "solver/revised_simplex.hpp"
 
 namespace hadar::solver {
 
@@ -28,6 +31,30 @@ struct MaxMinProblem {
   /// scale[j]: normalization (e.g. the job's ideal isolated throughput).
   /// Empty => all ones.
   std::vector<double> scale;
+  /// key[j]: stable non-negative identity per job (e.g. the JobId), used to
+  /// warm-start the LP across re-solves as jobs arrive/complete. Empty =>
+  /// positional keys 0..J-1 (warm start then only matches when the job set
+  /// is unchanged or shrinks from the back).
+  std::vector<std::int64_t> key;
+};
+
+/// Which LP engine backs the exact solves.
+enum class LpEngine {
+  kDense,    ///< two-phase tableau (lp.cpp) — the verification fallback
+  kRevised,  ///< sparse revised simplex with optional warm start (default)
+};
+
+/// Warm-start state carried across successive solves of the same problem
+/// family (one LpContext per LP shape). Owned by the caller (e.g. the Gavel
+/// scheduler); pass nullptr for context-free solves.
+struct MaxMinContext {
+  LpContext max_min;
+  LpContext max_sum;
+
+  void clear() {
+    max_min.clear();
+    max_sum.clear();
+  }
 };
 
 struct MaxMinSolution {
@@ -40,10 +67,15 @@ struct MaxMinSolution {
 struct MaxMinOptions {
   int lp_job_threshold = 96;  ///< above this many jobs, use the heuristic
   int max_lp_iterations = 200000;
+  LpEngine engine = LpEngine::kRevised;
 };
 
-/// Solves with the exact LP regardless of size.
-MaxMinSolution solve_max_min_lp(const MaxMinProblem& p, int max_iterations = 200000);
+/// Solves with the exact LP regardless of size. A non-optimal outcome from
+/// the revised engine (iteration limit, numerically lost basis) retries once
+/// on the dense tableau before reporting infeasible.
+MaxMinSolution solve_max_min_lp(const MaxMinProblem& p, int max_iterations = 200000,
+                                LpEngine engine = LpEngine::kRevised,
+                                MaxMinContext* ctx = nullptr);
 
 /// Progressive-filling heuristic: every job draws time on its fastest
 /// remaining type at the common normalized rate until its time budget or a
@@ -51,12 +83,14 @@ MaxMinSolution solve_max_min_lp(const MaxMinProblem& p, int max_iterations = 200
 MaxMinSolution solve_max_min_filling(const MaxMinProblem& p);
 
 /// Dispatches on problem size per `opts`.
-MaxMinSolution solve_max_min(const MaxMinProblem& p, const MaxMinOptions& opts = {});
+MaxMinSolution solve_max_min(const MaxMinProblem& p, const MaxMinOptions& opts = {},
+                             MaxMinContext* ctx = nullptr);
 
 /// Total-throughput maximization over the same constraint polytope:
 ///   max sum_j sum_r Y[j][r] * rate[j][r] / scale[j]
 /// (Gavel's "maximize sum of normalized throughputs" policy family).
 /// Uses the exact LP up to the job threshold, then a greedy density fill.
-MaxMinSolution solve_max_sum(const MaxMinProblem& p, const MaxMinOptions& opts = {});
+MaxMinSolution solve_max_sum(const MaxMinProblem& p, const MaxMinOptions& opts = {},
+                             MaxMinContext* ctx = nullptr);
 
 }  // namespace hadar::solver

@@ -1,0 +1,92 @@
+// End-to-end determinism of the warm-started Gavel solver: the full fig04
+// scenario under Gavel max-sum must produce a bit-identical SimResult with
+// warm-start on vs. off, and at 1 vs. N threads. This is the contract that
+// makes warm-starting a pure optimization — invisible in every metric.
+#include <gtest/gtest.h>
+
+#include "baselines/gavel.hpp"
+#include "common/thread_pool.hpp"
+#include "runner/scenarios.hpp"
+#include "sim/simulator.hpp"
+
+namespace hadar {
+namespace {
+
+using common::ScopedThreadCount;
+
+// Exact equality over every schedule-derived field (scheduler_seconds is
+// wall-clock and excluded).
+void expect_identical(const sim::SimResult& a, const sim::SimResult& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.avg_jct, b.avg_jct);
+  EXPECT_EQ(a.median_jct, b.median_jct);
+  EXPECT_EQ(a.min_jct, b.min_jct);
+  EXPECT_EQ(a.max_jct, b.max_jct);
+  EXPECT_EQ(a.p95_jct, b.p95_jct);
+  EXPECT_EQ(a.avg_queueing_delay, b.avg_queueing_delay);
+  EXPECT_EQ(a.gpu_utilization, b.gpu_utilization);
+  EXPECT_EQ(a.avg_job_utilization, b.avg_job_utilization);
+  EXPECT_EQ(a.avg_ftf, b.avg_ftf);
+  EXPECT_EQ(a.max_ftf, b.max_ftf);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_reallocations, b.total_reallocations);
+  EXPECT_EQ(a.total_preemptions, b.total_preemptions);
+  EXPECT_EQ(a.realloc_round_fraction, b.realloc_round_fraction);
+  EXPECT_EQ(a.scheduler_calls, b.scheduler_calls);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].id, b.jobs[i].id);
+    EXPECT_EQ(a.jobs[i].arrival, b.jobs[i].arrival);
+    EXPECT_EQ(a.jobs[i].first_start, b.jobs[i].first_start);
+    EXPECT_EQ(a.jobs[i].finish, b.jobs[i].finish);
+    EXPECT_EQ(a.jobs[i].gpu_seconds, b.jobs[i].gpu_seconds);
+    EXPECT_EQ(a.jobs[i].compute_gpu_seconds, b.jobs[i].compute_gpu_seconds);
+    EXPECT_EQ(a.jobs[i].rounds_run, b.jobs[i].rounds_run);
+    EXPECT_EQ(a.jobs[i].preemptions, b.jobs[i].preemptions);
+    EXPECT_EQ(a.jobs[i].reallocations, b.jobs[i].reallocations);
+    EXPECT_EQ(a.jobs[i].ftf, b.jobs[i].ftf);
+  }
+}
+
+sim::SimResult run_gavel(const runner::ExperimentConfig& cfg, baselines::GavelPolicy policy,
+                         bool warm) {
+  baselines::GavelConfig gc;
+  gc.policy = policy;
+  gc.warm_start = warm;
+  baselines::GavelScheduler sched(gc);
+  sim::Simulator simulator(cfg.sim);
+  return simulator.run(cfg.spec, cfg.trace, sched);
+}
+
+TEST(WarmDeterminism, Fig04GavelMaxSumWarmOnOffBitIdentical) {
+  const auto cfg = runner::paper_static(240, 42);  // the fig04 scenario
+  sim::SimResult warm_on, warm_off, warm_on_mt;
+  {
+    ScopedThreadCount one(1);
+    warm_on = run_gavel(cfg, baselines::GavelPolicy::kMaxSumThroughput, true);
+    warm_off = run_gavel(cfg, baselines::GavelPolicy::kMaxSumThroughput, false);
+  }
+  {
+    ScopedThreadCount four(4);
+    warm_on_mt = run_gavel(cfg, baselines::GavelPolicy::kMaxSumThroughput, true);
+  }
+  expect_identical(warm_on, warm_off);
+  expect_identical(warm_on, warm_on_mt);
+  EXPECT_TRUE(warm_on.all_finished());
+}
+
+TEST(WarmDeterminism, GavelMaxMinWarmOnOffBitIdentical) {
+  // Smaller instance so the max-min LP (not the filling heuristic) handles
+  // every event.
+  const auto cfg = runner::paper_static(64, 7);
+  sim::SimResult warm_on, warm_off;
+  {
+    ScopedThreadCount one(1);
+    warm_on = run_gavel(cfg, baselines::GavelPolicy::kMaxMinFairness, true);
+    warm_off = run_gavel(cfg, baselines::GavelPolicy::kMaxMinFairness, false);
+  }
+  expect_identical(warm_on, warm_off);
+}
+
+}  // namespace
+}  // namespace hadar
