@@ -1,0 +1,127 @@
+// Resilience sweep: the paper four-way comparison under fault injection.
+// One availability timeline per failure rate (seeded independently of the
+// workload), shared by all four schedulers so the degradation curve isolates
+// scheduling policy from failure luck. Rows: failure-free baseline plus
+// three node-MTTF levels with proportional single-GPU degrades. Emits
+// BENCH_RESILIENCE.json with absolute metrics and vs-baseline ratios.
+//
+// Knobs: HADAR_BENCH_JOBS (trace size, default 96).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "runner/experiment.hpp"
+
+using namespace hadar;
+
+namespace {
+
+struct FailureLevel {
+  const char* label;  ///< row key, e.g. "mttf=20000s"
+  double node_mttf;   ///< seconds; 0 disables fault injection entirely
+};
+
+// MTTR is held at ~1 repair hour so the sweep varies only the failure rate.
+constexpr double kNodeMttr = 3600.0;
+constexpr double kGpuMttr = 3600.0;
+
+runner::ExperimentConfig level_config(const FailureLevel& lvl, int jobs) {
+  // Single-GPU degrades arrive an order of magnitude rarer than node
+  // crashes; both scale together as the level's failure rate rises.
+  const double gpu_mttf = lvl.node_mttf > 0.0 ? lvl.node_mttf * 10.0 : 0.0;
+  return runner::resilience(lvl.node_mttf, kNodeMttr, gpu_mttf, kGpuMttr, jobs);
+}
+
+}  // namespace
+
+int main() {
+  const int jobs = bench::bench_jobs(96);
+  const std::vector<FailureLevel> levels = {
+      {"no-failures", 0.0},
+      {"mttf=80000s", 80000.0},
+      {"mttf=40000s", 40000.0},
+      {"mttf=20000s", 20000.0},
+  };
+
+  std::vector<runner::SweepCase> cases;
+  for (const auto& lvl : levels) {
+    for (const auto& sched : runner::kPaperSchedulers) {
+      cases.push_back({lvl.label, sched, level_config(lvl, jobs)});
+    }
+  }
+
+  bench::print_header("resilience", "fault-injection degradation sweep", cases[0].config);
+  const auto runs = runner::sweep(cases);
+
+  // Baseline (level 0) metrics per scheduler, for the degradation ratios.
+  const std::size_t S = runner::kPaperSchedulers.size();
+  auto baseline_of = [&](std::size_t i) -> const sim::SimResult& {
+    return runs[i % S].result;
+  };
+
+  common::AsciiTable t("resilience: JCT / makespan / goodput vs failure rate",
+                       {"level", "scheduler", "avg JCT", "makespan", "goodput",
+                        "lost work", "kills", "node fails", "JCT x", "mksp x"});
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i].result;
+    const auto& base = baseline_of(i);
+    t.add_row({runs[i].label, runs[i].scheduler,
+               common::AsciiTable::duration(r.avg_jct),
+               common::AsciiTable::duration(r.makespan),
+               common::AsciiTable::percent(r.goodput),
+               common::AsciiTable::num(r.lost_gpu_seconds / 3600.0, 1) + " GPU-h",
+               common::AsciiTable::num(static_cast<double>(r.total_failure_kills), 0),
+               common::AsciiTable::num(static_cast<double>(r.num_node_failures), 0),
+               common::AsciiTable::num(base.avg_jct > 0.0 ? r.avg_jct / base.avg_jct : 0.0, 3),
+               common::AsciiTable::num(base.makespan > 0.0 ? r.makespan / base.makespan : 0.0,
+                                       3)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  bool all_finished = true;
+  for (const auto& run : runs) all_finished = all_finished && run.result.num_unfinished == 0;
+  std::printf("all jobs finished under every failure level: %s\n\n",
+              all_finished ? "yes" : "NO");
+
+  const char* out_path = "BENCH_RESILIENCE.json";
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "failed to open %s for writing\n", out_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"jobs\": %d,\n"
+               "  \"node_mttr_seconds\": %.0f,\n"
+               "  \"levels\": [",
+               jobs, kNodeMttr);
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    std::fprintf(f, "%s\"%s\"", l ? ", " : "", levels[l].label);
+  }
+  std::fprintf(f, "],\n  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i].result;
+    const auto& base = baseline_of(i);
+    std::fprintf(f,
+                 "    {\"level\": \"%s\", \"scheduler\": \"%s\", "
+                 "\"node_mttf_seconds\": %.0f, "
+                 "\"avg_jct\": %.3f, \"p95_jct\": %.3f, \"makespan\": %.3f, "
+                 "\"goodput\": %.5f, \"gpu_utilization\": %.5f, "
+                 "\"lost_gpu_seconds\": %.3f, \"failure_kills\": %lld, "
+                 "\"node_failures\": %lld, \"gpu_degrades\": %lld, "
+                 "\"num_unfinished\": %d, "
+                 "\"avg_jct_vs_baseline\": %.4f, \"makespan_vs_baseline\": %.4f}%s\n",
+                 runs[i].label.c_str(), runs[i].scheduler.c_str(),
+                 levels[i / S].node_mttf, r.avg_jct, r.p95_jct, r.makespan, r.goodput,
+                 r.gpu_utilization, r.lost_gpu_seconds, r.total_failure_kills,
+                 r.num_node_failures, r.num_gpu_degrades, r.num_unfinished,
+                 base.avg_jct > 0.0 ? r.avg_jct / base.avg_jct : 0.0,
+                 base.makespan > 0.0 ? r.makespan / base.makespan : 0.0,
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return all_finished ? 0 : 2;
+}

@@ -25,7 +25,7 @@ std::string ascii_gantt(const sim::EventLog& log, const workload::Trace& trace,
   // Phase-change list per job, from the event stream.
   std::map<JobId, std::vector<Change>> changes;
   Seconds horizon = 0.0;
-  for (const auto& e : log.events()) {
+  for (const auto& e : log.sorted()) {
     horizon = std::max(horizon, e.time);
     switch (e.kind) {
       case sim::EventKind::kArrival:
@@ -35,9 +35,11 @@ std::string ascii_gantt(const sim::EventLog& log, const workload::Trace& trace,
         changes[e.job].push_back({e.time, Phase::kRunning});
         break;
       case sim::EventKind::kReallocate:
+      case sim::EventKind::kResume:
         changes[e.job].push_back({e.time, Phase::kRunning, /*realloc=*/true});
         break;
       case sim::EventKind::kPreempt:
+      case sim::EventKind::kKill:
         changes[e.job].push_back({e.time, Phase::kPaused});
         break;
       case sim::EventKind::kFinish:
@@ -45,6 +47,11 @@ std::string ascii_gantt(const sim::EventLog& log, const workload::Trace& trace,
         break;
       case sim::EventKind::kStraggler:
         break;  // not a phase change
+      case sim::EventKind::kNodeDown:
+      case sim::EventKind::kNodeUp:
+      case sim::EventKind::kGpuDegrade:
+      case sim::EventKind::kGpuRestore:
+        break;  // cluster-level, no job row
     }
   }
   if (horizon <= 0.0) return "(empty event log)\n";

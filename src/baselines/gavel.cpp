@@ -21,7 +21,9 @@ std::string GavelScheduler::name() const { return "Gavel"; }
 
 void GavelScheduler::reset() {
   last_epoch_ = 0;
+  last_cluster_epoch_ = 0;
   active_ids_.clear();
+  last_caps_.clear();
   y_.clear();
   lp_ctx_.clear();
 }
@@ -89,11 +91,32 @@ bool GavelScheduler::job_set_changed(const sim::SchedulerContext& ctx) {
   return true;
 }
 
+bool GavelScheduler::cluster_changed(const sim::SchedulerContext& ctx) {
+  if (ctx.cluster_epoch != 0) {
+    const bool changed = ctx.cluster_epoch != last_cluster_epoch_;
+    last_cluster_epoch_ = ctx.cluster_epoch;
+    return changed;
+  }
+  // Epoch-less context: per-type capacity signature fallback.
+  caps_scratch_.clear();
+  for (GpuTypeId r = 0; r < ctx.spec->num_types(); ++r) {
+    caps_scratch_.push_back(ctx.spec->total_of_type(r));
+  }
+  if (caps_scratch_ == last_caps_) return false;
+  last_caps_.swap(caps_scratch_);
+  return true;
+}
+
 cluster::AllocationMap GavelScheduler::schedule(const sim::SchedulerContext& ctx) {
   const int R = ctx.spec->num_types();
 
-  // Refresh Y on job arrival/completion events only.
-  if (job_set_changed(ctx)) recompute_allocation(ctx);
+  // Refresh Y on job arrival/completion events and topology changes. A
+  // topology change also drops the warm-start basis: the cached LP operated
+  // on different capacities, so its basis may be infeasible for the new one.
+  const bool jobs_changed = job_set_changed(ctx);
+  const bool topo_changed = cluster_changed(ctx);
+  if (topo_changed) lp_ctx_.clear();
+  if (jobs_changed || topo_changed) recompute_allocation(ctx);
 
   // Priority list over (job, type): Y / (rounds received on that type).
   entries_.clear();

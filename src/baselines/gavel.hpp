@@ -64,6 +64,7 @@ class GavelScheduler : public sim::IScheduler {
  private:
   void recompute_allocation(const sim::SchedulerContext& ctx);
   bool job_set_changed(const sim::SchedulerContext& ctx);
+  bool cluster_changed(const sim::SchedulerContext& ctx);
 
   struct Entry {
     const sim::JobView* job;
@@ -73,8 +74,11 @@ class GavelScheduler : public sim::IScheduler {
 
   GavelConfig cfg_;
   std::uint64_t last_epoch_ = 0;             // last ctx.jobs_epoch acted on
+  std::uint64_t last_cluster_epoch_ = 0;     // last ctx.cluster_epoch acted on
   std::vector<JobId> active_ids_;            // signature for epoch-less contexts
   std::vector<JobId> ids_scratch_;
+  std::vector<int> last_caps_;               // per-type capacity signature
+  std::vector<int> caps_scratch_;
   std::map<JobId, std::vector<double>> y_;   // time-fraction rows
   solver::MaxMinContext lp_ctx_;             // warm-start basis across events
   solver::MaxMinProblem problem_;            // reused LP input buffers

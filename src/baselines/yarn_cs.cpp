@@ -30,9 +30,17 @@ cluster::AllocationMap YarnCsScheduler::schedule(const sim::SchedulerContext& ct
 
   cluster::ClusterState state(ctx.spec);
   cluster::AllocationMap result;
-  for (const auto& [id, alloc] : running_) {
-    state.allocate(alloc);  // running jobs are never disturbed
-    result.emplace(id, alloc);
+  for (auto it = running_.begin(); it != running_.end();) {
+    // Running jobs are never disturbed — unless their node died under them
+    // (the simulator clears such jobs' allocations, so they also reappear in
+    // the queue below and wait for readmission like any other arrival).
+    if (!state.can_allocate(it->second)) {
+      it = running_.erase(it);
+      continue;
+    }
+    state.allocate(it->second);
+    result.emplace(it->first, it->second);
+    ++it;
   }
 
   // Strict FIFO admission with head-of-line blocking.

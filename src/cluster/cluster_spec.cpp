@@ -1,5 +1,6 @@
 #include "cluster/cluster_spec.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
 
@@ -7,6 +8,80 @@ namespace hadar::cluster {
 
 int NodeSpec::total_gpus() const {
   return std::accumulate(gpu_capacity.begin(), gpu_capacity.end(), 0);
+}
+
+AvailabilityMask::AvailabilityMask(const ClusterSpec& spec) : spec_(&spec) {
+  up_.assign(static_cast<std::size_t>(spec.num_nodes()), 1);
+  degraded_.assign(static_cast<std::size_t>(spec.num_nodes()) *
+                       static_cast<std::size_t>(spec.num_types()),
+                   0);
+}
+
+std::size_t AvailabilityMask::index(NodeId h, GpuTypeId r) const {
+  return static_cast<std::size_t>(h) * static_cast<std::size_t>(spec_->num_types()) +
+         static_cast<std::size_t>(r);
+}
+
+bool AvailabilityMask::node_up(NodeId h) const {
+  if (spec_ == nullptr || h < 0 || h >= spec_->num_nodes()) return false;
+  return up_[static_cast<std::size_t>(h)] != 0;
+}
+
+bool AvailabilityMask::set_node_up(NodeId h, bool up) {
+  if (spec_ == nullptr || h < 0 || h >= spec_->num_nodes()) {
+    throw std::out_of_range("AvailabilityMask::set_node_up: bad node id");
+  }
+  char& cur = up_[static_cast<std::size_t>(h)];
+  const char want = up ? 1 : 0;
+  if (cur == want) return false;
+  cur = want;
+  return true;
+}
+
+int AvailabilityMask::degraded(NodeId h, GpuTypeId r) const {
+  if (spec_ == nullptr || h < 0 || h >= spec_->num_nodes() || r < 0 ||
+      r >= spec_->num_types()) {
+    return 0;
+  }
+  return degraded_[index(h, r)];
+}
+
+int AvailabilityMask::degrade(NodeId h, GpuTypeId r, int count) {
+  if (spec_ == nullptr || h < 0 || h >= spec_->num_nodes() || r < 0 ||
+      r >= spec_->num_types()) {
+    throw std::out_of_range("AvailabilityMask::degrade: bad (node, type)");
+  }
+  int& d = degraded_[index(h, r)];
+  const int cap = spec_->node(h).capacity(r);
+  const int before = d;
+  d = std::clamp(d + count, 0, cap);
+  return d - before;
+}
+
+int AvailabilityMask::live_capacity(NodeId h, GpuTypeId r) const {
+  if (!node_up(h) || r < 0 || r >= spec_->num_types()) return 0;
+  const int cap = spec_->node(h).capacity(r) - degraded_[index(h, r)];
+  return cap > 0 ? cap : 0;
+}
+
+int AvailabilityMask::total_live() const {
+  if (spec_ == nullptr) return 0;
+  int total = 0;
+  for (NodeId h = 0; h < spec_->num_nodes(); ++h) {
+    for (GpuTypeId r = 0; r < spec_->num_types(); ++r) total += live_capacity(h, r);
+  }
+  return total;
+}
+
+bool AvailabilityMask::all_available() const {
+  if (spec_ == nullptr) return true;
+  for (char u : up_) {
+    if (!u) return false;
+  }
+  for (int d : degraded_) {
+    if (d != 0) return false;
+  }
+  return true;
 }
 
 ClusterSpec::ClusterSpec(GpuTypeRegistry types, std::vector<NodeSpec> nodes)
@@ -51,6 +126,17 @@ std::string ClusterSpec::summary() const {
   }
   s += ")";
   return s;
+}
+
+ClusterSpec ClusterSpec::masked(const AvailabilityMask& mask) const {
+  std::vector<NodeSpec> nodes = nodes_;
+  for (NodeSpec& n : nodes) {
+    n.available = mask.node_up(n.id);
+    for (GpuTypeId r = 0; r < num_types(); ++r) {
+      n.gpu_capacity[static_cast<std::size_t>(r)] = mask.live_capacity(n.id, r);
+    }
+  }
+  return ClusterSpec(types_, std::move(nodes));
 }
 
 ClusterSpec ClusterSpec::from_counts(GpuTypeRegistry types,

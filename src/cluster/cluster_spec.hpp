@@ -11,9 +11,12 @@
 namespace hadar::cluster {
 
 /// One machine. gpu_capacity[r] == number of type-r devices on this node.
+/// `available` is false in live (masked) views of a cluster whose node is
+/// currently down — such nodes keep their id but expose zero capacity.
 struct NodeSpec {
   NodeId id = kInvalidNode;
   std::vector<int> gpu_capacity;
+  bool available = true;
 
   int capacity(GpuTypeId r) const {
     return (r >= 0 && static_cast<std::size_t>(r) < gpu_capacity.size())
@@ -21,6 +24,42 @@ struct NodeSpec {
                : 0;
   }
   int total_gpus() const;
+};
+
+class ClusterSpec;
+
+/// Per-node / per-(node, type) availability overlay over a ClusterSpec:
+/// which machines are up and how many devices of each type are degraded
+/// (failed individually while their node stays up). The failure model
+/// mutates a mask; `ClusterSpec::masked()` turns it into the live capacity
+/// view schedulers see.
+class AvailabilityMask {
+ public:
+  AvailabilityMask() = default;
+  /// Everything up, nothing degraded.
+  explicit AvailabilityMask(const ClusterSpec& spec);
+
+  bool node_up(NodeId h) const;
+  /// Returns true when the call actually changed the node's state.
+  bool set_node_up(NodeId h, bool up);
+
+  int degraded(NodeId h, GpuTypeId r) const;
+  /// Adds `count` degraded devices on (h, r) (negative restores them).
+  /// Clamped to [0, capacity]; returns the delta actually applied.
+  int degrade(NodeId h, GpuTypeId r, int count);
+
+  /// Capacity of (h, r) visible to schedulers: 0 when the node is down,
+  /// otherwise nameplate capacity minus degraded devices.
+  int live_capacity(NodeId h, GpuTypeId r) const;
+  int total_live() const;
+  bool all_available() const;
+
+ private:
+  std::size_t index(NodeId h, GpuTypeId r) const;
+
+  const ClusterSpec* spec_ = nullptr;
+  std::vector<char> up_;
+  std::vector<int> degraded_;  // dense [node][type]
 };
 
 /// Immutable cluster description shared by schedulers and the simulator.
@@ -42,6 +81,11 @@ class ClusterSpec {
 
   /// Human-readable one-line summary, e.g. "15 nodes, 60 GPUs (V100:20 ...)".
   std::string summary() const;
+
+  /// Live view under `mask`: down nodes keep their id but get zero capacity
+  /// and `available == false`; degraded devices are subtracted per (h, r).
+  /// Node ids stay dense so allocations keyed by NodeId remain meaningful.
+  ClusterSpec masked(const AvailabilityMask& mask) const;
 
   /// Builder: `counts_per_node[i][r]` gives node i's type-r capacity.
   static ClusterSpec from_counts(GpuTypeRegistry types,

@@ -22,6 +22,9 @@ class ClusterState {
   int free_count(NodeId h, GpuTypeId r) const;
   int used_count(NodeId h, GpuTypeId r) const;
 
+  /// Whether node h is live in the underlying (possibly masked) spec.
+  bool node_available(NodeId h) const { return spec_->node(h).available; }
+
   /// Cluster-wide free devices of type r.
   int total_free_of_type(GpuTypeId r) const;
   /// Cluster-wide free devices across all types.

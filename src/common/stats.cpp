@@ -17,7 +17,7 @@ double stddev(const std::vector<double>& xs) {
   const double m = mean(xs);
   double s = 0.0;
   for (double x : xs) s += (x - m) * (x - m);
-  return std::sqrt(s / static_cast<double>(xs.size()));
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
 }
 
 double min_of(const std::vector<double>& xs) {
@@ -72,7 +72,7 @@ void RunningStats::add(double x) {
 }
 
 double RunningStats::variance() const {
-  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }

@@ -10,7 +10,7 @@ namespace hadar::common {
 /// Arithmetic mean; 0 for an empty sample.
 double mean(const std::vector<double>& xs);
 
-/// Population standard deviation; 0 for fewer than two samples.
+/// Sample standard deviation (n - 1 divisor); 0 for fewer than two samples.
 double stddev(const std::vector<double>& xs);
 
 /// Minimum / maximum; 0 for an empty sample.
@@ -40,7 +40,7 @@ class RunningStats {
   void add(double x);
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
-  double variance() const;  ///< population variance
+  double variance() const;  ///< sample variance (n - 1 divisor)
   double stddev() const;
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }

@@ -130,6 +130,7 @@ std::optional<AllocCandidate> find_alloc(const sim::JobView& job,
   std::vector<Slot> slots;
   slots.reserve(static_cast<std::size_t>(H) * static_cast<std::size_t>(R));
   for (NodeId h = 0; h < H; ++h) {
+    if (!state.node_available(h)) continue;  // dead nodes host no slots
     for (GpuTypeId r = 0; r < R; ++r) {
       const int free = state.free_count(h, r);
       const double rate = job.throughput_on(r);

@@ -42,6 +42,19 @@ ExperimentConfig paper_continuous(double jobs_per_hour, int num_jobs, std::uint6
   return e;
 }
 
+ExperimentConfig resilience(double node_mttf, double node_mttr, double gpu_mttf,
+                            double gpu_mttr, int num_jobs, std::uint64_t seed) {
+  ExperimentConfig e = paper_static(num_jobs, seed);
+  e.sim.failure.node_mttf = node_mttf;
+  e.sim.failure.node_mttr = node_mttr;
+  e.sim.failure.gpu_mttf = gpu_mttf;
+  e.sim.failure.gpu_mttr = gpu_mttr;
+  // Decoupled from the workload seed: varying the trace keeps the failure
+  // timeline fixed, and vice versa.
+  e.sim.failure.seed = seed ^ 0x5bd1e995u;
+  return e;
+}
+
 ExperimentConfig prototype(bool testbed_noise, std::uint64_t seed) {
   ExperimentConfig e;
   e.spec = cluster::ClusterSpec::aws_prototype();

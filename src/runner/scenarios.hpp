@@ -21,4 +21,12 @@ ExperimentConfig paper_continuous(double jobs_per_hour, int num_jobs = 480,
 /// checkpoint costs, standing in for the physical testbed.
 ExperimentConfig prototype(bool testbed_noise, std::uint64_t seed = 7);
 
+/// paper_static plus fault injection: per-node crashes at the given MTTF
+/// (seconds; 0 disables) with `node_mttr` mean repair time, and optional
+/// single-GPU degrades. The failure seed is fixed per scenario so every
+/// scheduler faces the identical availability timeline.
+ExperimentConfig resilience(double node_mttf, double node_mttr = 3600.0,
+                            double gpu_mttf = 0.0, double gpu_mttr = 3600.0,
+                            int num_jobs = 480, std::uint64_t seed = 42);
+
 }  // namespace hadar::runner

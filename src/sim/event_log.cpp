@@ -1,17 +1,25 @@
 #include "sim/event_log.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <tuple>
 
 namespace hadar::sim {
 
 const char* to_string(EventKind k) {
   switch (k) {
+    case EventKind::kNodeDown: return "node-down";
+    case EventKind::kNodeUp: return "node-up";
+    case EventKind::kGpuDegrade: return "gpu-degrade";
+    case EventKind::kGpuRestore: return "gpu-restore";
+    case EventKind::kKill: return "kill";
     case EventKind::kArrival: return "arrival";
     case EventKind::kStart: return "start";
     case EventKind::kReallocate: return "realloc";
+    case EventKind::kResume: return "resume";
     case EventKind::kPreempt: return "preempt";
-    case EventKind::kFinish: return "finish";
     case EventKind::kStraggler: return "straggler";
+    case EventKind::kFinish: return "finish";
   }
   return "?";
 }
@@ -21,9 +29,17 @@ void EventLog::record(Seconds time, EventKind kind, JobId job, std::string detai
   events_.push_back(Event{time, kind, job, std::move(detail)});
 }
 
+std::vector<Event> EventLog::sorted() const {
+  std::vector<Event> out = events_;
+  std::stable_sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    return std::tie(a.time, a.kind, a.job) < std::tie(b.time, b.kind, b.job);
+  });
+  return out;
+}
+
 std::vector<Event> EventLog::of_kind(EventKind k) const {
   std::vector<Event> out;
-  for (const auto& e : events_) {
+  for (const auto& e : sorted()) {
     if (e.kind == k) out.push_back(e);
   }
   return out;
@@ -32,8 +48,13 @@ std::vector<Event> EventLog::of_kind(EventKind k) const {
 std::string EventLog::to_string() const {
   std::string out;
   char buf[64];
-  for (const auto& e : events_) {
-    std::snprintf(buf, sizeof(buf), "[t=%.1fs] %s job %d", e.time, sim::to_string(e.kind), e.job);
+  for (const auto& e : sorted()) {
+    if (e.job == kInvalidJob) {
+      std::snprintf(buf, sizeof(buf), "[t=%.1fs] %s", e.time, sim::to_string(e.kind));
+    } else {
+      std::snprintf(buf, sizeof(buf), "[t=%.1fs] %s job %d", e.time, sim::to_string(e.kind),
+                    e.job);
+    }
     out += buf;
     if (!e.detail.empty()) {
       out += " (";

@@ -9,15 +9,31 @@
 
 namespace hadar::sim {
 
-enum class EventKind { kArrival, kStart, kReallocate, kPreempt, kFinish, kStraggler };
+/// Ordered so that at equal timestamps a sorted timeline reads naturally:
+/// cluster events first, then kills, arrivals, (re)starts, preemptions, and
+/// finally finishes. Enumerator order is the tiebreak key of sorted().
+enum class EventKind {
+  kNodeDown,
+  kNodeUp,
+  kGpuDegrade,
+  kGpuRestore,
+  kKill,
+  kArrival,
+  kStart,
+  kReallocate,
+  kResume,
+  kPreempt,
+  kStraggler,
+  kFinish,
+};
 
 const char* to_string(EventKind k);
 
 struct Event {
   Seconds time = 0.0;
   EventKind kind = EventKind::kArrival;
-  JobId job = kInvalidJob;
-  std::string detail;  ///< e.g. the allocation string
+  JobId job = kInvalidJob;  ///< kInvalidJob for cluster-level events
+  std::string detail;       ///< e.g. the allocation string
 };
 
 class EventLog {
@@ -27,11 +43,21 @@ class EventLog {
 
   void record(Seconds time, EventKind kind, JobId job, std::string detail = {});
 
+  /// Raw events in insertion order. Arrivals are recorded at the job's
+  /// arrival time and finishes at the completion time, which generally
+  /// differ from the round timestamp they were observed in — use sorted()
+  /// for a monotone timeline.
   const std::vector<Event>& events() const { return events_; }
+
+  /// Events stable-sorted by (time, kind, job).
+  std::vector<Event> sorted() const;
+
+  /// Events of one kind, in (time, kind, job) order.
   std::vector<Event> of_kind(EventKind k) const;
   void clear() { events_.clear(); }
 
-  /// One line per event, "[t=1234.0s] finish job 7 (...)".
+  /// One line per event in (time, kind, job) order,
+  /// "[t=1234.0s] finish job 7 (...)"; cluster events omit the job field.
   std::string to_string() const;
 
  private:

@@ -1,0 +1,212 @@
+#include "sim/failure_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hadar::sim {
+
+const char* to_string(ClusterEventKind k) {
+  switch (k) {
+    case ClusterEventKind::kNodeDown: return "node-down";
+    case ClusterEventKind::kNodeUp: return "node-up";
+    case ClusterEventKind::kGpuDegrade: return "gpu-degrade";
+    case ClusterEventKind::kGpuRestore: return "gpu-restore";
+  }
+  return "?";
+}
+
+FailureModel::FailureModel(const cluster::ClusterSpec& spec, FailureConfig config)
+    : spec_(&spec), config_(std::move(config)), mask_(spec) {
+  if (config_.node_mttf < 0.0 || config_.gpu_mttf < 0.0) {
+    throw std::invalid_argument("FailureModel: negative MTTF");
+  }
+  if (config_.node_mttf > 0.0 && config_.node_mttr <= 0.0) {
+    throw std::invalid_argument("FailureModel: node_mttf > 0 requires node_mttr > 0");
+  }
+  if (config_.gpu_mttf > 0.0 && config_.gpu_mttr <= 0.0) {
+    throw std::invalid_argument("FailureModel: gpu_mttf > 0 requires gpu_mttr > 0");
+  }
+  for (const ClusterEvent& e : config_.script) {
+    const bool node_event = e.kind == ClusterEventKind::kNodeDown ||
+                            e.kind == ClusterEventKind::kNodeUp;
+    if (e.node < 0 || e.node >= spec.num_nodes()) {
+      throw std::invalid_argument("FailureModel: scripted event names a bad node id");
+    }
+    if (!node_event && (e.type < 0 || e.type >= spec.num_types())) {
+      throw std::invalid_argument("FailureModel: scripted GPU event names a bad type id");
+    }
+    if (e.time < 0.0) throw std::invalid_argument("FailureModel: scripted event before t=0");
+  }
+  // Stable sort keeps list order among same-time scripted events.
+  std::stable_sort(config_.script.begin(), config_.script.end(),
+                   [](const ClusterEvent& a, const ClusterEvent& b) { return a.time < b.time; });
+
+  common::Rng base(config_.seed);
+  nodes_.resize(static_cast<std::size_t>(spec.num_nodes()));
+  for (auto& np : nodes_) {
+    np.rng = base.fork();
+    if (config_.node_mttf > 0.0) {
+      np.next_transition = np.rng.exponential(1.0 / config_.node_mttf);
+    }
+  }
+  gpu_rng_ = base.fork();
+  schedule_next_gpu_degrade(0.0);
+}
+
+void FailureModel::schedule_next_gpu_degrade(Seconds after) {
+  if (config_.gpu_mttf <= 0.0) {
+    next_gpu_degrade_ = kNever;
+    return;
+  }
+  // Each device fails at rate 1/gpu_mttf; the cluster-wide superposition has
+  // rate total/gpu_mttf. Nameplate count keeps the draw sequence independent
+  // of the current availability state (pure function of the seed).
+  const double rate = static_cast<double>(spec_->total_gpus()) / config_.gpu_mttf;
+  next_gpu_degrade_ = after + gpu_rng_.exponential(rate);
+}
+
+bool FailureModel::pick_degrade_victim(NodeId* h, GpuTypeId* r) {
+  victim_weights_.clear();
+  double total = 0.0;
+  for (NodeId n = 0; n < spec_->num_nodes(); ++n) {
+    for (GpuTypeId t = 0; t < spec_->num_types(); ++t) {
+      const double w = static_cast<double>(mask_.live_capacity(n, t));
+      victim_weights_.push_back(w);
+      total += w;
+    }
+  }
+  if (total <= 0.0) return false;
+  const std::size_t idx = gpu_rng_.weighted_index(victim_weights_);
+  *h = static_cast<NodeId>(idx / static_cast<std::size_t>(spec_->num_types()));
+  *r = static_cast<GpuTypeId>(idx % static_cast<std::size_t>(spec_->num_types()));
+  return true;
+}
+
+bool FailureModel::apply(const ClusterEvent& e) {
+  switch (e.kind) {
+    case ClusterEventKind::kNodeDown: return mask_.set_node_up(e.node, false);
+    case ClusterEventKind::kNodeUp: return mask_.set_node_up(e.node, true);
+    case ClusterEventKind::kGpuDegrade: return mask_.degrade(e.node, e.type, e.count) != 0;
+    case ClusterEventKind::kGpuRestore: return mask_.degrade(e.node, e.type, -e.count) != 0;
+  }
+  return false;
+}
+
+std::vector<ClusterEvent> FailureModel::advance_to(Seconds t) {
+  std::vector<ClusterEvent> fired;
+  for (;;) {
+    // Candidate sources, tie-broken (time, source rank, node id) so the
+    // event order is deterministic: script, node processes, restores,
+    // degrade draws.
+    Seconds best = kNever;
+    int rank = -1;
+    NodeId best_node = kInvalidNode;
+
+    if (script_cursor_ < config_.script.size()) {
+      const ClusterEvent& e = config_.script[script_cursor_];
+      if (e.time < best || (e.time == best && rank > 0)) {
+        best = e.time;
+        rank = 0;
+        best_node = e.node;
+      }
+    }
+    for (NodeId h = 0; h < spec_->num_nodes(); ++h) {
+      const Seconds when = nodes_[static_cast<std::size_t>(h)].next_transition;
+      if (when < best || (when == best && rank > 1)) {
+        best = when;
+        rank = 1;
+        best_node = h;
+      }
+    }
+    if (!pending_restores_.empty()) {
+      const Seconds when = pending_restores_.front().time;
+      if (when < best || (when == best && rank > 2)) {
+        best = when;
+        rank = 2;
+        best_node = pending_restores_.front().node;
+      }
+    }
+    if (next_gpu_degrade_ < best || (next_gpu_degrade_ == best && rank > 3)) {
+      best = next_gpu_degrade_;
+      rank = 3;
+      best_node = kInvalidNode;
+    }
+    if (rank < 0 || best > t) break;
+
+    switch (rank) {
+      case 0: {
+        ClusterEvent e = config_.script[script_cursor_++];
+        if (e.kind == ClusterEventKind::kGpuDegrade ||
+            e.kind == ClusterEventKind::kGpuRestore) {
+          // Report the clamped count actually applied.
+          const int applied = mask_.degrade(
+              e.node, e.type,
+              e.kind == ClusterEventKind::kGpuDegrade ? e.count : -e.count);
+          if (applied != 0) {
+            e.count = applied < 0 ? -applied : applied;
+            fired.push_back(e);
+          }
+        } else if (apply(e)) {
+          fired.push_back(e);
+        }
+        break;
+      }
+      case 1: {
+        NodeProcess& np = nodes_[static_cast<std::size_t>(best_node)];
+        // Direction follows the mask, so scripted overrides and the
+        // stochastic process can't double-fire the same transition.
+        ClusterEvent e;
+        e.time = best;
+        e.node = best_node;
+        if (mask_.node_up(best_node)) {
+          e.kind = ClusterEventKind::kNodeDown;
+          np.next_transition = best + np.rng.exponential(1.0 / config_.node_mttr);
+        } else {
+          e.kind = ClusterEventKind::kNodeUp;
+          np.next_transition = best + np.rng.exponential(1.0 / config_.node_mttf);
+        }
+        if (apply(e)) fired.push_back(e);
+        break;
+      }
+      case 2: {
+        const PendingRestore pr = pending_restores_.front();
+        pending_restores_.erase(pending_restores_.begin());
+        ClusterEvent e;
+        e.time = pr.time;
+        e.kind = ClusterEventKind::kGpuRestore;
+        e.node = pr.node;
+        e.type = pr.type;
+        e.count = 1;
+        if (apply(e)) fired.push_back(e);
+        break;
+      }
+      case 3: {
+        const Seconds when = next_gpu_degrade_;
+        schedule_next_gpu_degrade(when);
+        NodeId h = kInvalidNode;
+        GpuTypeId r = kInvalidGpuType;
+        if (pick_degrade_victim(&h, &r)) {
+          ClusterEvent e;
+          e.time = when;
+          e.kind = ClusterEventKind::kGpuDegrade;
+          e.node = h;
+          e.type = r;
+          e.count = 1;
+          if (apply(e)) {
+            fired.push_back(e);
+            const Seconds repair = when + gpu_rng_.exponential(1.0 / config_.gpu_mttr);
+            const auto pos = std::upper_bound(
+                pending_restores_.begin(), pending_restores_.end(), repair,
+                [](Seconds x, const PendingRestore& p) { return x < p.time; });
+            pending_restores_.insert(pos, PendingRestore{repair, h, r});
+          }
+        }
+        break;
+      }
+      default: break;
+    }
+  }
+  return fired;
+}
+
+}  // namespace hadar::sim

@@ -1,0 +1,96 @@
+// Fault injection for the simulator: node crash/recover cycles and
+// single-GPU degrade/restore events, driven either by seeded MTTF/MTTR
+// exponential draws or by an explicit scripted event list. The simulator
+// polls advance_to() at every round boundary and applies the resulting
+// availability mask to the cluster spec schedulers see.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "cluster/cluster_spec.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace hadar::sim {
+
+enum class ClusterEventKind { kNodeDown, kNodeUp, kGpuDegrade, kGpuRestore };
+
+const char* to_string(ClusterEventKind k);
+
+/// One availability change. For node events `type`/`count` are ignored; for
+/// GPU events `count` devices of `type` on `node` degrade or restore.
+struct ClusterEvent {
+  Seconds time = 0.0;
+  ClusterEventKind kind = ClusterEventKind::kNodeDown;
+  NodeId node = kInvalidNode;
+  GpuTypeId type = kInvalidGpuType;
+  int count = 1;
+};
+
+/// Knobs for the stochastic processes, all in seconds. A zero MTTF disables
+/// that process; `script` events fire regardless and may be combined with
+/// stochastic draws.
+struct FailureConfig {
+  /// Mean time between failures of any single node (exponential).
+  Seconds node_mttf = 0.0;
+  /// Mean repair time of a failed node (exponential).
+  Seconds node_mttr = 3600.0;
+  /// Cluster-wide mean time between single-GPU degrade events (exponential).
+  Seconds gpu_mttf = 0.0;
+  /// Mean time until a degraded GPU is restored (exponential).
+  Seconds gpu_mttr = 3600.0;
+  /// Seed for the failure processes (independent of SimConfig::seed).
+  std::uint64_t seed = 1;
+  /// Explicit events, e.g. for tests: applied in (time, list-order) order.
+  std::vector<ClusterEvent> script;
+
+  bool enabled() const { return node_mttf > 0.0 || gpu_mttf > 0.0 || !script.empty(); }
+};
+
+/// Deterministic availability process over one cluster. All randomness is
+/// derived from FailureConfig::seed, so the event sequence is a pure
+/// function of (spec, config) and never depends on scheduler decisions.
+class FailureModel {
+ public:
+  FailureModel(const cluster::ClusterSpec& spec, FailureConfig config);
+
+  /// Processes every pending event with time <= t, in deterministic order,
+  /// and returns the events that actually changed availability (a scripted
+  /// "down" for an already-down node is dropped).
+  std::vector<ClusterEvent> advance_to(Seconds t);
+
+  const cluster::AvailabilityMask& mask() const { return mask_; }
+  const FailureConfig& config() const { return config_; }
+
+ private:
+  static constexpr Seconds kNever = std::numeric_limits<double>::infinity();
+
+  struct NodeProcess {
+    common::Rng rng{0};
+    Seconds next_transition = kNever;  // next down (if up) or up (if down)
+  };
+  struct PendingRestore {
+    Seconds time = 0.0;
+    NodeId node = kInvalidNode;
+    GpuTypeId type = kInvalidGpuType;
+  };
+
+  bool apply(const ClusterEvent& e);
+  void schedule_next_gpu_degrade(Seconds after);
+  /// Picks the degrade victim (h, r) weighted by live capacity; returns
+  /// false when no device is live.
+  bool pick_degrade_victim(NodeId* h, GpuTypeId* r);
+
+  const cluster::ClusterSpec* spec_;
+  FailureConfig config_;
+  cluster::AvailabilityMask mask_;
+  std::vector<NodeProcess> nodes_;
+  common::Rng gpu_rng_{0};
+  Seconds next_gpu_degrade_ = kNever;
+  std::vector<PendingRestore> pending_restores_;  // sorted by time
+  std::size_t script_cursor_ = 0;
+  std::vector<double> victim_weights_;  // scratch for weighted_index
+};
+
+}  // namespace hadar::sim

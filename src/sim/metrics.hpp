@@ -21,6 +21,8 @@ struct JobOutcome {
   int rounds_run = 0;
   int preemptions = 0;      ///< running -> paused transitions
   int reallocations = 0;    ///< allocation changed while staying scheduled
+  int failure_kills = 0;    ///< force-preemptions caused by node/GPU failures
+  double lost_gpu_seconds = 0.0;  ///< compute rolled back to the last checkpoint
   double ftf = 0.0;         ///< finish-time fairness rho (filled at finalize)
 
   bool finished() const { return finish >= 0.0; }
@@ -56,6 +58,16 @@ struct SimResult {
   long long rounds = 0;
   long long total_reallocations = 0;
   long long total_preemptions = 0;
+  int num_never_started = 0;  ///< jobs that never held an allocation (horizon)
+  int num_unfinished = 0;     ///< jobs with no finish time (includes the above)
+  long long num_node_failures = 0;
+  long long num_node_recoveries = 0;
+  long long num_gpu_degrades = 0;
+  long long total_failure_kills = 0;
+  double lost_gpu_seconds = 0.0;  ///< total compute redone after failures
+  /// Useful work rate: (compute - lost) GPU-seconds / (total GPUs * makespan).
+  /// Equals gpu_utilization when no work was lost.
+  double goodput = 0.0;
   double realloc_round_fraction = 0.0;  ///< fraction of job-rounds with changed allocation
   double scheduler_seconds = 0.0;       ///< wall-clock spent inside schedule()
   long long scheduler_calls = 0;

@@ -67,6 +67,11 @@ struct SchedulerContext {
   /// (e.g. hand-built contexts in tests): schedulers must then fall back to
   /// comparing job ids.
   std::uint64_t jobs_epoch = 0;
+  /// Bumped whenever cluster topology changes (a node fails/recovers or a
+  /// device degrades/restores), so schedulers invalidate capacity-dependent
+  /// caches (warm-started LP bases, sticky allocations). 0 means "no epoch
+  /// information": schedulers must fall back to comparing capacities.
+  std::uint64_t cluster_epoch = 0;
   /// Runnable jobs: arrived and not finished. Order is arrival order.
   std::vector<JobView> jobs;
 

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
+
+#include "cluster/cluster_state.hpp"
 
 #include "common/logging.hpp"
 
@@ -21,7 +24,25 @@ struct JobRuntime {
   cluster::JobAllocation current;
   bool active = false;
   bool finished = false;
+  /// Iteration count at the last implicit checkpoint (the start of the most
+  /// recent round the job computed in) and the compute done since — the
+  /// progress a failure kill rolls back.
+  double checkpoint_iterations = 0.0;
+  double compute_since_checkpoint = 0.0;
+  /// Set when a failure kill preempted the job; its next restart is charged
+  /// checkpoint_load only (the save happened implicitly at the boundary).
+  bool restart_pending = false;
 };
+
+EventKind to_event_kind(ClusterEventKind k) {
+  switch (k) {
+    case ClusterEventKind::kNodeDown: return EventKind::kNodeDown;
+    case ClusterEventKind::kNodeUp: return EventKind::kNodeUp;
+    case ClusterEventKind::kGpuDegrade: return EventKind::kGpuDegrade;
+    case ClusterEventKind::kGpuRestore: return EventKind::kGpuRestore;
+  }
+  return EventKind::kNodeDown;
+}
 
 double now_seconds() {
   return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
@@ -74,10 +95,23 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
   int stalled_rounds = 0;
   constexpr int kStallLimit = 100000;
 
+  // With failures enabled the scheduler sees a live (masked) copy of the
+  // spec. The copy lives in a stable local so pointers schedulers cache
+  // across rounds (ClusterState::spec_, bound type registries) stay valid:
+  // topology changes reassign the object in place, never move it.
+  const bool failures_on = config_.failure.enabled();
+  std::optional<FailureModel> fm;
+  cluster::ClusterSpec live_spec_storage;
+  if (failures_on) {
+    fm.emplace(spec, config_.failure);
+    live_spec_storage = spec.masked(fm->mask());
+  }
+
   SchedulerContext ctx;
-  ctx.spec = &spec;
+  ctx.spec = failures_on ? &live_spec_storage : &spec;
   ctx.round_length = L;
   ctx.network = config_.network;
+  std::uint64_t cluster_epoch = 1;  // 0 = "unknown", as with jobs_epoch
 
   // ctx.jobs is rebuilt only when the runnable set changes (epoch bump);
   // otherwise the JobViews from the previous round are refreshed in place,
@@ -89,6 +123,52 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
 
   while (unfinished > 0) {
     if (config_.horizon > 0.0 && t >= config_.horizon) break;
+
+    // Apply availability changes due at this round boundary, then kill jobs
+    // whose held allocation no longer fits the live cluster. Each victim
+    // rolls back to its last implicit checkpoint and re-enters the queue.
+    if (failures_on) {
+      const std::vector<ClusterEvent> fired = fm->advance_to(t);
+      if (!fired.empty()) {
+        for (const ClusterEvent& e : fired) {
+          switch (e.kind) {
+            case ClusterEventKind::kNodeDown: ++result.num_node_failures; break;
+            case ClusterEventKind::kNodeUp: ++result.num_node_recoveries; break;
+            case ClusterEventKind::kGpuDegrade: ++result.num_gpu_degrades; break;
+            case ClusterEventKind::kGpuRestore: break;
+          }
+          if (log_.enabled()) {
+            std::string detail = "node " + std::to_string(e.node);
+            if (e.kind == ClusterEventKind::kGpuDegrade ||
+                e.kind == ClusterEventKind::kGpuRestore) {
+              detail += " " + spec.types().name(e.type) + " x" + std::to_string(e.count);
+            }
+            log_.record(e.time, to_event_kind(e.kind), kInvalidJob, std::move(detail));
+          }
+        }
+        live_spec_storage = spec.masked(fm->mask());
+        ++cluster_epoch;
+
+        // Re-fit held allocations in job order: survivors keep their
+        // placement, the rest are failure-killed. Deterministic because the
+        // iteration order and the live capacities are.
+        cluster::ClusterState live_state(&live_spec_storage);
+        for (auto& s : js) {
+          if (!s.active || s.finished || s.current.empty()) continue;
+          if (live_state.can_allocate(s.current)) {
+            live_state.allocate(s.current);
+            continue;
+          }
+          s.iterations = s.checkpoint_iterations;
+          s.out.lost_gpu_seconds += s.compute_since_checkpoint;
+          s.compute_since_checkpoint = 0.0;
+          ++s.out.failure_kills;
+          s.restart_pending = true;
+          s.current = cluster::JobAllocation{};
+          log_.record(t, EventKind::kKill, s.spec->id);
+        }
+      }
+    }
 
     // Admit arrivals visible at this round boundary.
     while (next_arrival < trace.jobs.size() &&
@@ -119,6 +199,7 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
     // Build (or refresh) the scheduler's view.
     ctx.now = t;
     ctx.jobs_epoch = epoch;
+    ctx.cluster_epoch = cluster_epoch;
     if (built_epoch != epoch) {
       ctx.jobs.clear();
       std::fill(view_of.begin(), view_of.end(), -1);
@@ -159,7 +240,7 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
     ++result.scheduler_calls;
 
     if (config_.validate_allocations) {
-      const std::string err = cluster::validate(spec, amap);
+      const std::string err = cluster::validate(*ctx.spec, amap);
       if (!err.empty()) {
         throw std::runtime_error(scheduler.name() + ": capacity violation: " + err);
       }
@@ -201,23 +282,24 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
       if (s.out.first_start < 0.0) {
         s.out.first_start = t;
         log_.record(t, EventKind::kStart, s.spec->id, alloc.to_string(spec));
-      } else if (changed && !s.current.empty()) {
-        ++s.out.reallocations;
-        log_.record(t, EventKind::kReallocate, s.spec->id, alloc.to_string(spec));
       } else if (changed) {
-        // resumed from pause with a (possibly different) allocation
         ++s.out.reallocations;
-        log_.record(t, EventKind::kReallocate, s.spec->id, alloc.to_string(spec));
+        log_.record(t, s.current.empty() ? EventKind::kResume : EventKind::kReallocate,
+                    s.spec->id, alloc.to_string(spec));
       }
 
       Seconds penalty = 0.0;
       if (changed) {
+        // A failure restart skips the save: the checkpoint already exists
+        // (written implicitly at the round boundary before the crash).
         penalty = config_.use_flat_reallocation_penalty
                       ? config_.flat_reallocation_penalty
-                      : s.spec->checkpoint_save + s.spec->checkpoint_load;
+                      : (s.restart_pending ? s.spec->checkpoint_load
+                                           : s.spec->checkpoint_save + s.spec->checkpoint_load);
       } else if (config_.charge_periodic_save) {
         penalty = s.spec->checkpoint_save;
       }
+      s.restart_pending = false;
       penalty = std::min(penalty, L);
       const Seconds effective = L - penalty;
 
@@ -245,6 +327,10 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
         if (alloc.workers_of_type(r) > 0) ++s.rounds_on_type[static_cast<std::size_t>(r)];
       }
 
+      // The round boundary is the job's implicit checkpoint: a failure during
+      // this round rolls progress back to here.
+      s.checkpoint_iterations = s.iterations;
+
       const double remaining = s.spec->total_iterations() - s.iterations;
       double held, compute;
       if (rate > 0.0 && remaining / rate <= effective + 1e-12) {
@@ -266,6 +352,7 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
         s.current = alloc;
         if (rate > 0.0) progressed = true;
       }
+      s.compute_since_checkpoint = compute;
       ++s.out.rounds_run;
       s.attained_service += held;
       s.out.gpu_seconds += held;
@@ -306,8 +393,15 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
         ftfs.push_back(s.out.ftf);
       }
     }
-    if (s.out.first_start >= 0.0) qdelays.push_back(s.out.queueing_delay());
+    if (s.out.first_start >= 0.0) {
+      qdelays.push_back(s.out.queueing_delay());
+    } else {
+      ++result.num_never_started;
+    }
+    if (!s.finished) ++result.num_unfinished;
     result.total_preemptions += s.out.preemptions;
+    result.total_failure_kills += s.out.failure_kills;
+    result.lost_gpu_seconds += s.out.lost_gpu_seconds;
     result.jobs.push_back(s.out);
   }
   if (unfinished > 0) makespan = std::max(makespan, t);
@@ -322,7 +416,11 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
   result.max_ftf = common::max_of(ftfs);
   result.avg_job_utilization = common::mean(utils);
   if (makespan > 0.0 && spec.total_gpus() > 0) {
+    // Both are normalized by nameplate capacity so degradation curves stay
+    // comparable across failure rates; goodput discounts rolled-back work.
     result.gpu_utilization = busy_gpu_seconds / (spec.total_gpus() * makespan);
+    result.goodput =
+        (busy_gpu_seconds - result.lost_gpu_seconds) / (spec.total_gpus() * makespan);
   }
   if (job_rounds > 0) {
     result.realloc_round_fraction =

@@ -12,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "sim/event_log.hpp"
+#include "sim/failure_model.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "workload/job.hpp"
@@ -57,6 +58,14 @@ struct SimConfig {
   /// Hard stop (simulated seconds); 0 = run to completion. Runs that hit the
   /// horizon leave jobs unfinished (SimResult::all_finished() == false).
   Seconds horizon = 0.0;
+
+  /// Fault injection (node crash/recover, GPU degrade). Disabled by default:
+  /// with `failure.enabled() == false` the engine is bit-identical to a
+  /// failure-free build. Failures are applied at round boundaries; a job on
+  /// a failed node rolls back to its last implicit checkpoint (the previous
+  /// round boundary), is force-preempted, and re-enters the runnable set,
+  /// paying the normal reallocation penalty when it restarts.
+  FailureConfig failure;
 
   /// Validate every allocation map (capacity + gang). Throws on violation —
   /// keep on; scheduling bugs must never silently corrupt results.

@@ -60,11 +60,22 @@ LpSolution solve_dispatch(const LpProblem& lp, const LpLabels& labels, int max_i
   return sol;
 }
 
+// Drops the warm-start bases when the capacity vector changed since the
+// last solve with this context (labels only track the job set, not caps).
+void refresh_cap_signature(MaxMinContext* ctx, const MaxMinProblem& p) {
+  if (ctx == nullptr) return;
+  if (ctx->cap_signature != p.cap) {
+    ctx->clear();
+    ctx->cap_signature = p.cap;
+  }
+}
+
 }  // namespace
 
 MaxMinSolution solve_max_min_lp(const MaxMinProblem& p, int max_iterations, LpEngine engine,
                                 MaxMinContext* ctx) {
   check(p);
+  refresh_cap_signature(ctx, p);
   const int J = static_cast<int>(p.rate.size());
   const int R = static_cast<int>(p.cap.size());
   MaxMinSolution sol;
@@ -268,6 +279,7 @@ namespace {
 
 MaxMinSolution solve_max_sum_lp(const MaxMinProblem& p, int max_iterations, LpEngine engine,
                                 MaxMinContext* ctx) {
+  refresh_cap_signature(ctx, p);
   const int J = static_cast<int>(p.rate.size());
   const int R = static_cast<int>(p.cap.size());
   MaxMinSolution sol;

@@ -50,10 +50,15 @@ enum class LpEngine {
 struct MaxMinContext {
   LpContext max_min;
   LpContext max_sum;
+  /// Capacity vector of the last solve. The solvers drop the warm bases
+  /// automatically when `cap` changes (cluster shrink/grow): a basis that
+  /// was optimal for different capacities may be infeasible for the new LP.
+  std::vector<double> cap_signature;
 
   void clear() {
     max_min.clear();
     max_sum.clear();
+    cap_signature.clear();
   }
 };
 

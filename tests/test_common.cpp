@@ -141,7 +141,26 @@ TEST(Rng, ForkDecorrelates) {
 TEST(Stats, MeanAndStddev) {
   std::vector<double> xs = {1, 2, 3, 4};
   EXPECT_DOUBLE_EQ(mean(xs), 2.5);
-  EXPECT_NEAR(stddev(xs), std::sqrt(1.25), 1e-12);
+  // Sample standard deviation: sum of squares 5.0 over n - 1 = 3.
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, StddevSingleSampleIsZero) {
+  EXPECT_EQ(stddev({42.0}), 0.0);
+  RunningStats st;
+  st.add(42.0);
+  EXPECT_EQ(st.variance(), 0.0);
+  EXPECT_EQ(st.stddev(), 0.0);
+}
+
+TEST(Stats, SampleVarianceOfTwoPoints) {
+  // Var({0, 2}) with the n - 1 divisor is exactly 2.
+  std::vector<double> xs = {0.0, 2.0};
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.0), 1e-12);
+  RunningStats st;
+  st.add(0.0);
+  st.add(2.0);
+  EXPECT_NEAR(st.variance(), 2.0, 1e-12);
 }
 
 TEST(Stats, EmptyInputsAreZero) {
@@ -178,6 +197,40 @@ TEST(Stats, CdfIsMonotoneAndEndsAtOne) {
   }
   EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
   EXPECT_DOUBLE_EQ(cdf.back().x, 5.0);
+}
+
+TEST(Stats, CdfSinglePointSample) {
+  const auto cdf = empirical_cdf({7.0}, 10);
+  ASSERT_EQ(cdf.size(), 10u);
+  // Every sampled x <= 7 gets fraction < 1 until x reaches the sample.
+  EXPECT_DOUBLE_EQ(cdf.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(cdf.back().x, 7.0);
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  for (const auto& pt : cdf) {
+    EXPECT_TRUE(pt.fraction == 0.0 || pt.fraction == 1.0);
+  }
+}
+
+TEST(Stats, CdfOnePointCurve) {
+  const auto cdf = empirical_cdf({3.0, 1.0, 2.0}, 1);
+  ASSERT_EQ(cdf.size(), 1u);
+  EXPECT_DOUBLE_EQ(cdf[0].x, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[0].fraction, 1.0);
+}
+
+TEST(Stats, CdfZeroPointsYieldsEmptyCurve) {
+  EXPECT_TRUE(empirical_cdf({1.0, 2.0}, 0).empty());
+}
+
+TEST(Stats, CdfAllEqualValues) {
+  const auto cdf = empirical_cdf({4.0, 4.0, 4.0}, 5);
+  ASSERT_EQ(cdf.size(), 5u);
+  for (std::size_t i = 0; i + 1 < cdf.size(); ++i) {
+    EXPECT_LT(cdf[i].x, 4.0);
+    EXPECT_DOUBLE_EQ(cdf[i].fraction, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().x, 4.0);
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
 }
 
 TEST(Stats, RunningStatsMatchesBatch) {

@@ -1,0 +1,348 @@
+// Fault-injection tests: availability masking, the FailureModel event
+// processes (scripted and stochastic), checkpoint-rollback kill semantics in
+// the simulator, and survival of all four paper schedulers under shrink/grow.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_state.hpp"
+#include "runner/experiment.hpp"
+#include "runner/scenarios.hpp"
+#include "sim/failure_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace hadar::sim {
+namespace {
+
+using cluster::AvailabilityMask;
+using cluster::ClusterSpec;
+using cluster::GpuTypeRegistry;
+using cluster::JobAllocation;
+using workload::JobSpec;
+using workload::Trace;
+
+ClusterSpec two_singles() {
+  // Two nodes with one type-0 GPU each.
+  return ClusterSpec::from_counts(GpuTypeRegistry({{"G", 1.0}}),
+                                  {std::vector<int>{1}, std::vector<int>{1}});
+}
+
+JobSpec simple_job(double iters, int workers = 1, double rate = 1.0, Seconds arrival = 0.0) {
+  JobSpec j;
+  j.model = "unit";
+  j.arrival = arrival;
+  j.num_workers = workers;
+  j.epochs = static_cast<std::int64_t>(iters);
+  j.chunks_per_epoch = 1;
+  j.throughput = {rate};
+  return j;
+}
+
+// Gang-places each job on the first node with enough free type-0 devices.
+// Unlike test_sim's GreedyAll (pinned to node 0), this follows capacity to
+// surviving nodes, which is what the failover tests need.
+class FirstFit : public IScheduler {
+ public:
+  std::string name() const override { return "first-fit"; }
+  cluster::AllocationMap schedule(const SchedulerContext& ctx) override {
+    cluster::ClusterState st(ctx.spec);
+    cluster::AllocationMap m;
+    for (const auto& j : ctx.jobs) {
+      for (NodeId h = 0; h < ctx.spec->num_nodes(); ++h) {
+        JobAllocation a({{h, 0, j.spec->num_workers}});
+        if (st.can_allocate(a)) {
+          st.allocate(a);
+          m.emplace(j.id(), a);
+          break;
+        }
+      }
+    }
+    return m;
+  }
+};
+
+FailureConfig script_of(std::vector<ClusterEvent> events) {
+  FailureConfig f;
+  f.script = std::move(events);
+  return f;
+}
+
+// ------------------------------------------------------- availability ----
+
+TEST(AvailabilityMask, MaskedSpecZeroesDownNodes) {
+  const ClusterSpec spec = two_singles();
+  AvailabilityMask mask(spec);
+  EXPECT_TRUE(mask.all_available());
+  EXPECT_TRUE(mask.set_node_up(0, false));
+  EXPECT_FALSE(mask.set_node_up(0, false));  // idempotent
+  EXPECT_FALSE(mask.all_available());
+
+  const ClusterSpec live = spec.masked(mask);
+  EXPECT_FALSE(live.node(0).available);
+  EXPECT_TRUE(live.node(1).available);
+  EXPECT_EQ(live.node(0).capacity(0), 0);
+  EXPECT_EQ(live.node(1).capacity(0), 1);
+  EXPECT_EQ(live.total_gpus(), 1);
+  EXPECT_EQ(live.num_nodes(), 2);  // ids stay dense
+}
+
+TEST(AvailabilityMask, DegradeClampsToCapacity) {
+  const ClusterSpec spec = ClusterSpec::from_counts(GpuTypeRegistry({{"G", 1.0}}),
+                                                    {std::vector<int>{4}});
+  AvailabilityMask mask(spec);
+  EXPECT_EQ(mask.degrade(0, 0, 3), 3);
+  EXPECT_EQ(mask.live_capacity(0, 0), 1);
+  EXPECT_EQ(mask.degrade(0, 0, 5), 1);   // clamped at capacity
+  EXPECT_EQ(mask.live_capacity(0, 0), 0);
+  EXPECT_EQ(mask.degrade(0, 0, -10), -4);  // clamped at zero
+  EXPECT_EQ(mask.live_capacity(0, 0), 4);
+}
+
+// ------------------------------------------------------- failure model ----
+
+TEST(FailureModel, ScriptedEventsFireInOrderAndIdempotently) {
+  const ClusterSpec spec = two_singles();
+  FailureConfig f = script_of({
+      {300.0, ClusterEventKind::kNodeUp, 0, kInvalidGpuType, 1},
+      {100.0, ClusterEventKind::kNodeDown, 0, kInvalidGpuType, 1},
+      {100.0, ClusterEventKind::kNodeDown, 0, kInvalidGpuType, 1},  // dup: dropped
+  });
+  FailureModel fm(spec, f);
+
+  EXPECT_TRUE(fm.advance_to(50.0).empty());
+  const auto at100 = fm.advance_to(150.0);
+  ASSERT_EQ(at100.size(), 1u);
+  EXPECT_EQ(at100[0].kind, ClusterEventKind::kNodeDown);
+  EXPECT_FALSE(fm.mask().node_up(0));
+
+  const auto at300 = fm.advance_to(1000.0);
+  ASSERT_EQ(at300.size(), 1u);
+  EXPECT_EQ(at300[0].kind, ClusterEventKind::kNodeUp);
+  EXPECT_TRUE(fm.mask().all_available());
+}
+
+TEST(FailureModel, RejectsBadScriptAndConfig) {
+  const ClusterSpec spec = two_singles();
+  EXPECT_THROW(FailureModel(spec, script_of({{0.0, ClusterEventKind::kNodeDown, 7,
+                                              kInvalidGpuType, 1}})),
+               std::invalid_argument);
+  EXPECT_THROW(FailureModel(spec, script_of({{0.0, ClusterEventKind::kGpuDegrade, 0, 9, 1}})),
+               std::invalid_argument);
+  FailureConfig f;
+  f.node_mttf = 100.0;
+  f.node_mttr = 0.0;
+  EXPECT_THROW(FailureModel(spec, f), std::invalid_argument);
+}
+
+TEST(FailureModel, StochasticStreamIsSeedDeterministicAndStepInvariant) {
+  const ClusterSpec spec = ClusterSpec::simulation_default();
+  FailureConfig f;
+  f.node_mttf = 20000.0;
+  f.node_mttr = 4000.0;
+  f.gpu_mttf = 400000.0;
+  f.gpu_mttr = 4000.0;
+  f.seed = 11;
+
+  auto collect = [&](Seconds step) {
+    FailureModel fm(spec, f);
+    std::vector<ClusterEvent> all;
+    for (Seconds t = step; t <= 100000.0 + 1e-9; t += step) {
+      for (const auto& e : fm.advance_to(t)) all.push_back(e);
+    }
+    return all;
+  };
+  const auto coarse = collect(100000.0);
+  const auto fine = collect(500.0);
+  ASSERT_FALSE(coarse.empty());
+  ASSERT_EQ(coarse.size(), fine.size());
+  for (std::size_t i = 0; i < coarse.size(); ++i) {
+    EXPECT_EQ(coarse[i].time, fine[i].time);
+    EXPECT_EQ(coarse[i].kind, fine[i].kind);
+    EXPECT_EQ(coarse[i].node, fine[i].node);
+    EXPECT_EQ(coarse[i].type, fine[i].type);
+  }
+}
+
+// --------------------------------------------------- simulator + kills ----
+
+TEST(FailureSim, NodeCrashRollsBackToCheckpointAndRestartsElsewhere) {
+  // 500 iters at 1 it/s, L = 100, flat 10 s penalty. Failure-free finish is
+  // 510 (see test_sim). Node 0 dies at t=200: the round-2 progress (100
+  // iters) is rolled back to the t=100 checkpoint (90 iters), and the job
+  // restarts on node 1 the same round, repaying the 10 s penalty:
+  //   t=200: 90 -> 180, t=300..500: +300 -> 480, t=600: 20 left -> 620.
+  SimConfig cfg;
+  cfg.round_length = 100.0;
+  cfg.enable_event_log = true;
+  cfg.failure = script_of({{200.0, ClusterEventKind::kNodeDown, 0, kInvalidGpuType, 1}});
+  Simulator sim(cfg);
+  Trace t;
+  t.jobs = {simple_job(500)};
+  t.finalize();
+  FirstFit sched;
+  const auto r = sim.run(two_singles(), t, sched);
+
+  ASSERT_TRUE(r.all_finished());
+  EXPECT_NEAR(r.jobs[0].finish, 620.0, 1e-6);
+  EXPECT_EQ(r.jobs[0].failure_kills, 1);
+  EXPECT_EQ(r.total_failure_kills, 1);
+  EXPECT_NEAR(r.jobs[0].lost_gpu_seconds, 100.0, 1e-9);
+  EXPECT_NEAR(r.lost_gpu_seconds, 100.0, 1e-9);
+  EXPECT_EQ(r.num_node_failures, 1);
+  EXPECT_LT(r.goodput, r.gpu_utilization);
+
+  const auto& log = sim.event_log();
+  EXPECT_EQ(log.of_kind(EventKind::kNodeDown).size(), 1u);
+  EXPECT_EQ(log.of_kind(EventKind::kKill).size(), 1u);
+  EXPECT_EQ(log.of_kind(EventKind::kResume).size(), 1u);
+  EXPECT_EQ(r.jobs[0].preemptions, 0);  // failure kills are not preemptions
+}
+
+TEST(FailureSim, JobWaitsOutRepairWhenNoSpareCapacity) {
+  // Single 1-GPU node, down from 200 to 400: the job is killed back to 90
+  // iters, idles two rounds, resumes at t=400 and finishes 410 iters later:
+  //   t=400: 90 -> 180, +300 -> 480 at t=800, 20 left -> 820.
+  SimConfig cfg;
+  cfg.round_length = 100.0;
+  cfg.enable_event_log = true;
+  cfg.failure = script_of({{200.0, ClusterEventKind::kNodeDown, 0, kInvalidGpuType, 1},
+                           {400.0, ClusterEventKind::kNodeUp, 0, kInvalidGpuType, 1}});
+  Simulator sim(cfg);
+  Trace t;
+  t.jobs = {simple_job(500)};
+  t.finalize();
+  FirstFit sched;
+  const auto r = sim.run(ClusterSpec::from_counts(GpuTypeRegistry({{"G", 1.0}}),
+                                                  {std::vector<int>{1}}),
+                         t, sched);
+  ASSERT_TRUE(r.all_finished());
+  EXPECT_NEAR(r.jobs[0].finish, 820.0, 1e-6);
+  EXPECT_EQ(r.num_node_failures, 1);
+  EXPECT_EQ(r.num_node_recoveries, 1);
+  EXPECT_EQ(r.jobs[0].failure_kills, 1);
+}
+
+TEST(FailureSim, IdleGpuDegradeKillsNobody) {
+  // 2-GPU node, 1-worker job: degrading the spare GPU shrinks capacity but
+  // the held allocation still fits, so the run is unaffected.
+  SimConfig cfg;
+  cfg.round_length = 100.0;
+  cfg.failure = script_of({{100.0, ClusterEventKind::kGpuDegrade, 0, 0, 1}});
+  Simulator sim(cfg);
+  Trace t;
+  t.jobs = {simple_job(500)};
+  t.finalize();
+  FirstFit sched;
+  const auto r = sim.run(ClusterSpec::from_counts(GpuTypeRegistry({{"G", 1.0}}),
+                                                  {std::vector<int>{2}}),
+                         t, sched);
+  ASSERT_TRUE(r.all_finished());
+  EXPECT_NEAR(r.jobs[0].finish, 510.0, 1e-6);
+  EXPECT_EQ(r.total_failure_kills, 0);
+  EXPECT_EQ(r.num_gpu_degrades, 1);
+  EXPECT_NEAR(r.goodput, r.gpu_utilization, 1e-12);
+}
+
+TEST(FailureSim, RestartChargesCheckpointLoadOnly) {
+  // Per-model costs: save 2 s, load 18 s. A voluntary reallocation costs
+  // 20 s, but a failure restart only pays the 18 s load (the save happened
+  // implicitly at the round boundary). 500 iters, L = 100, node 0 dies at
+  // t=200 with node 1 free:
+  //   t=0: 20 s penalty -> 80 iters. t=100: +100 -> 180 (checkpoint 80).
+  //   t=200 kill -> back to 80; restart pays 18 s -> +82 -> 162.
+  //   t=300..500: +300 -> 462; t=600: 38 left -> finish 638.
+  SimConfig cfg;
+  cfg.round_length = 100.0;
+  cfg.use_flat_reallocation_penalty = false;
+  cfg.failure = script_of({{200.0, ClusterEventKind::kNodeDown, 0, kInvalidGpuType, 1}});
+  Simulator sim(cfg);
+  Trace t;
+  JobSpec j = simple_job(500);
+  j.checkpoint_save = 2.0;
+  j.checkpoint_load = 18.0;
+  t.jobs = {j};
+  t.finalize();
+  FirstFit sched;
+  const auto r = sim.run(two_singles(), t, sched);
+  ASSERT_TRUE(r.all_finished());
+  EXPECT_NEAR(r.jobs[0].finish, 638.0, 1e-6);
+  EXPECT_NEAR(r.jobs[0].lost_gpu_seconds, 100.0, 1e-9);
+}
+
+TEST(FailureSim, DisabledFailuresLeaveResultsBitIdentical) {
+  // The failure subsystem must be a strict no-op when not configured: same
+  // trace and seed produce the same result object field for field.
+  auto run_once = [](bool touch_failure_defaults) {
+    SimConfig cfg;
+    cfg.round_length = 100.0;
+    if (touch_failure_defaults) cfg.failure = FailureConfig{};
+    Simulator sim(cfg);
+    Trace t;
+    t.jobs = {simple_job(500), simple_job(300, 1, 1.0, 150.0)};
+    t.finalize();
+    FirstFit sched;
+    return sim.run(two_singles(), t, sched);
+  };
+  const auto a = run_once(false);
+  const auto b = run_once(true);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].finish, b.jobs[i].finish);
+    EXPECT_EQ(a.jobs[i].gpu_seconds, b.jobs[i].gpu_seconds);
+  }
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.gpu_utilization, b.gpu_utilization);
+  EXPECT_EQ(a.goodput, a.gpu_utilization);
+}
+
+// ------------------------------------------- scheduler shrink/grow runs ----
+
+TEST(FailureSim, AllPaperSchedulersSurviveStochasticFailures) {
+  // Every scheduler must complete a seeded failure run with allocation
+  // validation on (capacity + gang checked against the live spec every
+  // round) and produce identical results when repeated.
+  runner::ExperimentConfig cfg = runner::resilience(/*node_mttf=*/40000.0,
+                                                    /*node_mttr=*/4000.0,
+                                                    /*gpu_mttf=*/400000.0,
+                                                    /*gpu_mttr=*/4000.0,
+                                                    /*num_jobs=*/48);
+  ASSERT_TRUE(cfg.sim.validate_allocations);
+  for (const auto& name : runner::kPaperSchedulers) {
+    auto sched = runner::make_scheduler(name);
+    Simulator sim_a(cfg.sim);
+    const auto a = sim_a.run(cfg.spec, cfg.trace, *sched);
+    EXPECT_GT(a.num_node_failures, 0) << name;
+    EXPECT_EQ(a.num_unfinished, 0) << name;
+
+    auto sched2 = runner::make_scheduler(name);
+    Simulator sim_b(cfg.sim);
+    const auto b = sim_b.run(cfg.spec, cfg.trace, *sched2);
+    EXPECT_EQ(a.makespan, b.makespan) << name;
+    EXPECT_EQ(a.avg_jct, b.avg_jct) << name;
+    EXPECT_EQ(a.lost_gpu_seconds, b.lost_gpu_seconds) << name;
+    EXPECT_EQ(a.total_failure_kills, b.total_failure_kills) << name;
+  }
+}
+
+TEST(FailureSim, FailureFreeResilienceScenarioMatchesPaperStatic) {
+  // resilience(0) must be paper_static exactly: the fault subsystem is a
+  // strict no-op when disabled, for every scheduler in the comparison.
+  runner::ExperimentConfig base = runner::paper_static(/*num_jobs=*/48);
+  runner::ExperimentConfig off = runner::resilience(/*node_mttf=*/0.0, 3600.0,
+                                                    /*gpu_mttf=*/0.0, 3600.0,
+                                                    /*num_jobs=*/48);
+  ASSERT_FALSE(off.sim.failure.enabled());
+  for (const auto& name : runner::kPaperSchedulers) {
+    auto s1 = runner::make_scheduler(name);
+    Simulator sim1(base.sim);
+    const auto clean = sim1.run(base.spec, base.trace, *s1);
+    auto s2 = runner::make_scheduler(name);
+    Simulator sim2(off.sim);
+    const auto quiet = sim2.run(off.spec, off.trace, *s2);
+    EXPECT_EQ(clean.makespan, quiet.makespan) << name;
+    EXPECT_EQ(clean.avg_jct, quiet.avg_jct) << name;
+    EXPECT_EQ(quiet.lost_gpu_seconds, 0.0) << name;
+    EXPECT_EQ(quiet.total_failure_kills, 0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace hadar::sim

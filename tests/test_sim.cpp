@@ -329,6 +329,116 @@ TEST(Simulator, PreemptionAndReallocationCounted) {
   EXPECT_GT(r.realloc_round_fraction, 0.9);
 }
 
+TEST(Simulator, PreemptThenResumeAccounting) {
+  // Rounds: run, paused, run, run. The pause is one preemption; the comeback
+  // is one reallocation logged as a distinct kResume event (the job resumes
+  // from empty rather than moving between placements).
+  class PauseSecondRound : public IScheduler {
+   public:
+    std::string name() const override { return "pause-once"; }
+    cluster::AllocationMap schedule(const SchedulerContext& ctx) override {
+      ++round_;
+      if (round_ == 2) return {};
+      cluster::AllocationMap m;
+      for (const auto& j : ctx.jobs) m.emplace(j.id(), JobAllocation({{0, 0, 1}}));
+      return m;
+    }
+    void reset() override { round_ = 0; }
+
+   private:
+    int round_ = 0;
+  } sched;
+
+  SimConfig cfg;
+  cfg.round_length = 100.0;
+  cfg.enable_event_log = true;
+  Simulator sim(cfg);
+  Trace t;
+  t.jobs = {simple_job(230)};
+  t.finalize();
+  const auto r = sim.run(tiny_cluster(1), t, sched);
+  ASSERT_TRUE(r.all_finished());
+  // t=0: 10 s penalty, 90 iters. t=100: paused. t=200: resume penalty, 90
+  // more (180). t=300: 50 left -> finish 350.
+  EXPECT_NEAR(r.jobs[0].finish, 350.0, 1e-6);
+  EXPECT_EQ(r.jobs[0].preemptions, 1);
+  EXPECT_EQ(r.jobs[0].reallocations, 1);
+  EXPECT_EQ(r.total_preemptions, 1);
+  // total_reallocations counts every round that paid a setup penalty,
+  // including the first start: t=0 start + t=200 resume.
+  EXPECT_EQ(r.total_reallocations, 2);
+
+  const auto& log = sim.event_log();
+  EXPECT_EQ(log.of_kind(EventKind::kPreempt).size(), 1u);
+  EXPECT_EQ(log.of_kind(EventKind::kResume).size(), 1u);
+  EXPECT_TRUE(log.of_kind(EventKind::kReallocate).empty());
+  EXPECT_EQ(log.of_kind(EventKind::kPreempt)[0].time, 100.0);
+  EXPECT_EQ(log.of_kind(EventKind::kResume)[0].time, 200.0);
+}
+
+TEST(Simulator, NeverStartedAndUnfinishedJobsReported) {
+  // 1-GPU cluster, two jobs, hard horizon: job 0 monopolizes the device and
+  // job 1 never starts; neither finishes. Both must be visible in the
+  // result rather than silently dropped from the averages.
+  SimConfig cfg;
+  cfg.round_length = 100.0;
+  cfg.horizon = 250.0;
+  Simulator sim(cfg);
+  Trace t;
+  t.jobs = {simple_job(100000), simple_job(100000)};
+  t.finalize();
+  GreedyAll sched;
+  const auto r = sim.run(tiny_cluster(1), t, sched);
+  EXPECT_FALSE(r.all_finished());
+  EXPECT_EQ(r.num_never_started, 1);
+  EXPECT_EQ(r.num_unfinished, 2);
+  EXPECT_EQ(r.jobs[1].first_start, -1.0);
+}
+
+TEST(Simulator, CompletedRunHasNoUnfinishedJobs) {
+  Simulator sim;
+  Trace t;
+  t.jobs = {simple_job(10)};
+  t.finalize();
+  GreedyAll sched;
+  const auto r = sim.run(tiny_cluster(), t, sched);
+  ASSERT_TRUE(r.all_finished());
+  EXPECT_EQ(r.num_never_started, 0);
+  EXPECT_EQ(r.num_unfinished, 0);
+}
+
+TEST(EventLog, SortedTimelineIsMonotoneDespiteInsertionOrder) {
+  // Job 0 finishes at t=160, recorded during the round starting at t=100;
+  // job 1's arrival at t=150 is only recorded when admitted at t=200. Raw
+  // insertion order is therefore non-monotone; sorted()/to_string() must
+  // restore (time, kind, job) order.
+  SimConfig cfg;
+  cfg.round_length = 100.0;
+  cfg.enable_event_log = true;
+  Simulator sim(cfg);
+  Trace t;
+  t.jobs = {simple_job(150), simple_job(50, 1, 1.0, /*arrival=*/150.0)};
+  t.finalize();
+  GreedyAll sched;
+  sim.run(tiny_cluster(1), t, sched);
+  const auto& log = sim.event_log();
+
+  bool raw_monotone = true;
+  for (std::size_t i = 1; i < log.events().size(); ++i) {
+    if (log.events()[i].time < log.events()[i - 1].time) raw_monotone = false;
+  }
+  EXPECT_FALSE(raw_monotone);  // the regression this test pins down
+
+  const auto sorted = log.sorted();
+  ASSERT_EQ(sorted.size(), log.events().size());
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_GE(sorted[i].time, sorted[i - 1].time);
+  }
+  // The rendered timeline shows job 1's arrival (150) before job 0's finish.
+  const std::string text = log.to_string();
+  EXPECT_LT(text.find("arrival job 1"), text.find("finish job 0"));
+}
+
 TEST(Simulator, EventLogRecordsLifecycle) {
   SimConfig cfg;
   cfg.round_length = 100.0;

@@ -338,6 +338,52 @@ TEST_F(TraceGenTest, CsvRejectsMalformedNumbers) {
   EXPECT_THROW(trace_from_csv(csv, reg_), std::runtime_error);
 }
 
+TEST_F(TraceGenTest, CsvRejectsBadSizeClass) {
+  TraceGenerator gen(&zoo_, &reg_);
+  TraceGenConfig cfg;
+  cfg.num_jobs = 1;
+  std::string csv = trace_to_csv(gen.generate(cfg), reg_);
+  // Replace the valid size-class token with garbage, keeping the row shape.
+  const auto pos = csv.find("\n") + 1;
+  csv = csv.substr(0, pos) + "0,LSTM,0,1,1,1,HUGE,1,1,1,1,1,1\n";
+  EXPECT_THROW(trace_from_csv(csv, reg_), std::runtime_error);
+}
+
+TEST_F(TraceGenTest, CsvRejectsTrailingGarbageInNumber) {
+  TraceGenerator gen(&zoo_, &reg_);
+  TraceGenConfig cfg;
+  cfg.num_jobs = 1;
+  std::string csv = trace_to_csv(gen.generate(cfg), reg_);
+  // "12abc" parses a prefix via stod but must still be rejected.
+  const auto pos = csv.find("\n") + 1;
+  csv = csv.substr(0, pos) + "0,LSTM,12abc,1,1,1,S,1,1,1,1,1,1\n";
+  EXPECT_THROW(trace_from_csv(csv, reg_), std::runtime_error);
+}
+
+TEST_F(TraceGenTest, CsvRejectsMalformedWorkerCount) {
+  TraceGenerator gen(&zoo_, &reg_);
+  TraceGenConfig cfg;
+  cfg.num_jobs = 1;
+  std::string csv = trace_to_csv(gen.generate(cfg), reg_);
+  const auto pos = csv.find("\n") + 1;
+  csv = csv.substr(0, pos) + "0,LSTM,0,two,1,1,S,1,1,1,1,1,1\n";
+  EXPECT_THROW(trace_from_csv(csv, reg_), std::runtime_error);
+}
+
+TEST_F(TraceGenTest, CsvRejectsMissingThroughputColumn) {
+  // All scalar columns present, but no x_<type> columns for the registry.
+  const std::string csv =
+      "id,model,arrival_s,workers,epochs,chunks_per_epoch,size_class,"
+      "ckpt_save_s,ckpt_load_s,model_size_mb\n"
+      "0,LSTM,0,1,1,1,S,1,1,1\n";
+  EXPECT_THROW(trace_from_csv(csv, reg_), std::runtime_error);
+}
+
+TEST_F(TraceGenTest, ReadTraceFileRejectsMissingPath) {
+  EXPECT_THROW(read_trace_file(::testing::TempDir() + "/no-such-trace.csv", reg_),
+               std::runtime_error);
+}
+
 TEST_F(TraceGenTest, FileRoundTrip) {
   TraceGenerator gen(&zoo_, &reg_);
   TraceGenConfig cfg;
