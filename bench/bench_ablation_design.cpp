@@ -25,7 +25,8 @@ sim::SimResult run(const runner::ExperimentConfig& cfg, const core::HadarConfig&
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hadar::bench::TraceGuard trace_guard(argc, argv);
   const auto cfg = runner::paper_static(bench::bench_jobs(120), 42);
   bench::print_header("Ablations", "Hadar design choices (static trace)", cfg);
 

@@ -1,13 +1,19 @@
 // Shared plumbing for the figure/table benches: workload sizing via
-// environment override and uniform comparison-table printing.
+// environment override, uniform comparison-table printing, and the
+// HADAR_TRACE / --trace observability knob.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/trace_report.hpp"
 #include "common/env.hpp"
 #include "common/table.hpp"
+#include "obs/trace.hpp"
 #include "runner/scenarios.hpp"
 
 namespace hadar::bench {
@@ -25,6 +31,60 @@ inline void print_header(const char* fig, const char* what,
               cfg.spec.summary().c_str(), cfg.trace.jobs.size(),
               cfg.trace.total_gpu_hours(), cfg.sim.round_length);
 }
+
+/// Observability knob shared by every bench main. A trace is recorded when
+/// HADAR_TRACE=<path> is set or `--trace <path>` is passed; detail comes
+/// from HADAR_TRACE_DETAIL (0..2, default 1). On destruction the guard
+/// writes the Chrome JSON (plus <path>.metrics.csv when per-round metrics
+/// were sampled) and prints the trace_report round breakdown. With the knob
+/// unset it constructs no session, so the instrumented code paths stay on
+/// the disabled fast path.
+class TraceGuard {
+ public:
+  explicit TraceGuard(int argc = 0, char** argv = nullptr) {
+    const char* env = std::getenv("HADAR_TRACE");
+    std::string path = env != nullptr ? env : "";
+    for (int i = 1; argv != nullptr && i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--trace") == 0) path = argv[i + 1];
+    }
+    if (path.empty()) return;
+    obs::TraceConfig cfg;
+    cfg.path = path;
+    cfg.detail = common::env_int("HADAR_TRACE_DETAIL", 1, 0);
+    session_ = std::make_unique<obs::TraceSession>(cfg);
+    session_->install();
+  }
+
+  ~TraceGuard() {
+    if (session_ == nullptr) return;
+    session_->uninstall();
+    const std::string& path = session_->config().path;
+    if (session_->write_chrome_json(path)) {
+      std::printf("trace: %zu events -> %s (load via chrome://tracing or ui.perfetto.dev)\n",
+                  session_->event_count(), path.c_str());
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n", path.c_str());
+    }
+    const std::string csv = session_->metrics_csv();
+    if (!csv.empty()) {
+      const std::string csv_path = path + ".metrics.csv";
+      if (std::FILE* f = std::fopen(csv_path.c_str(), "w")) {
+        std::fwrite(csv.data(), 1, csv.size(), f);
+        std::fclose(f);
+        std::printf("trace: per-round metrics -> %s\n", csv_path.c_str());
+      }
+    }
+    std::printf("\n%s", analysis::trace_report(*session_).c_str());
+  }
+
+  TraceGuard(const TraceGuard&) = delete;
+  TraceGuard& operator=(const TraceGuard&) = delete;
+
+  obs::TraceSession* session() { return session_.get(); }
+
+ private:
+  std::unique_ptr<obs::TraceSession> session_;
+};
 
 /// Standard per-scheduler metric rows used by several figures.
 inline void print_comparison(const std::string& title,

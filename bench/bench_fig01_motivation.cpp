@@ -7,6 +7,7 @@
 // paper quotes (~20%).
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "common/table.hpp"
 #include "runner/experiment.hpp"
 
@@ -28,7 +29,9 @@ workload::Trace fig1_trace() {
   auto make = [](JobId id, int workers, std::int64_t epochs, std::vector<double> x) {
     workload::JobSpec j;
     j.id = id;
-    j.model = "J" + std::to_string(id + 1);
+    std::string model = "J";
+    model += std::to_string(id + 1);
+    j.model = std::move(model);
     j.num_workers = workers;
     j.epochs = epochs;
     j.chunks_per_epoch = 100;
@@ -44,7 +47,8 @@ workload::Trace fig1_trace() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hadar::bench::TraceGuard trace_guard(argc, argv);
   std::printf("Fig. 1 — motivating example: task-level (Hadar) vs job-level (Gavel)\n");
   const auto spec = fig1_cluster();
   const auto trace = fig1_trace();

@@ -55,7 +55,8 @@ void run_setting(const char* label, const runner::ExperimentConfig& cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hadar::bench::TraceGuard trace_guard(argc, argv);
   const int jobs = bench::bench_jobs(480);
   run_setting("(a) static trace", runner::paper_static(jobs, 42));
   run_setting("(b) continuous trace (Poisson, 60 jobs/hour)",

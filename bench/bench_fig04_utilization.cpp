@@ -8,7 +8,8 @@
 
 using namespace hadar;
 
-int main() {
+int main(int argc, char** argv) {
+  hadar::bench::TraceGuard trace_guard(argc, argv);
   const auto cfg = runner::paper_static(bench::bench_jobs(240), 42);
   bench::print_header("Fig. 4", "GPU utilization (static trace)", cfg);
   const auto runs = runner::compare(cfg, runner::kPaperSchedulers);

@@ -7,7 +7,8 @@
 
 using namespace hadar;
 
-int main() {
+int main(int argc, char** argv) {
+  hadar::bench::TraceGuard trace_guard(argc, argv);
   const auto cfg = runner::paper_static(bench::bench_jobs(240), 42);
   bench::print_header("Fig. 6", "makespan with the min-makespan policy (static trace)", cfg);
   const auto runs = runner::compare(cfg, {"hadar-makespan", "gavel", "gavel-makespan", "tiresias"});

@@ -8,7 +8,8 @@
 
 using namespace hadar;
 
-int main() {
+int main(int argc, char** argv) {
+  hadar::bench::TraceGuard trace_guard(argc, argv);
   const int jobs = bench::bench_jobs(160);
   const double rates[] = {40.0, 80.0, 120.0};
 

@@ -9,7 +9,8 @@
 
 using namespace hadar;
 
-int main() {
+int main(int argc, char** argv) {
+  hadar::bench::TraceGuard trace_guard(argc, argv);
   const int jobs = bench::bench_jobs(160);
   const double round_minutes[] = {6.0, 12.0, 24.0, 48.0};
   const double rates[] = {40.0, 80.0};

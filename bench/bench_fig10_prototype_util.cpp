@@ -8,7 +8,8 @@
 
 using namespace hadar;
 
-int main() {
+int main(int argc, char** argv) {
+  hadar::bench::TraceGuard trace_guard(argc, argv);
   const auto cfg = runner::prototype(/*testbed_noise=*/true);
   bench::print_header("Fig. 10", "GPU utilization on the prototype cluster", cfg);
   const auto runs = runner::compare(cfg, runner::kPreemptiveSchedulers);

@@ -6,8 +6,17 @@
 // determinism checks) keeping the PR2 micro/end_to_end keys so the perf
 // trajectory stays comparable across PRs.
 //
+// The run doubles as the perf-regression *gate*: the stable micro timings
+// are calibration-normalized (see perf_gate.hpp) and compared against the
+// checked-in bench/baseline.json, median-of-5, failing on a >25% slowdown
+// when HADAR_PERF_GATE=1. It also measures the observability layer itself:
+// the per-scope cost of a disabled HADAR_TRACE_SCOPE and the end-to-end
+// delta of running a simulation with tracing enabled.
+//
 // Knobs: HADAR_BENCH_JOBS (end-to-end trace size, default 96),
-// HADAR_THREADS (parallel lane count, default hardware concurrency).
+// HADAR_THREADS (parallel lane count, default hardware concurrency),
+// HADAR_PERF_BASELINE / HADAR_PERF_GATE / HADAR_PERF_INJECT_SLOWDOWN /
+// HADAR_PERF_WRITE_BASELINE (see perf_gate.hpp).
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -18,6 +27,8 @@
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "core/dp_allocation.hpp"
+#include "obs/trace.hpp"
+#include "perf_gate.hpp"
 #include "sim/simulator.hpp"
 #include "solver/maxmin.hpp"
 #include "workload/model_zoo.hpp"
@@ -160,7 +171,8 @@ LpStreamResult time_lp_stream(const std::vector<solver::MaxMinProblem>& problems
     hits += ctx.max_min.stats().warm_hits;
   }
   out.ms_per_event = count > 0 ? total * 1e3 / count : 0.0;
-  out.warm_hit_rate = attempts > 0 ? static_cast<double>(hits) / static_cast<double>(attempts) : 0.0;
+  out.warm_hit_rate =
+      attempts > 0 ? static_cast<double>(hits) / static_cast<double>(attempts) : 0.0;
   return out;
 }
 
@@ -183,11 +195,13 @@ int main() {
   const sim::NetworkModel network;
   cluster::ClusterState state(&micro.spec);
 
-  const double find_alloc_s = time_per_call([&] {
-    for (const auto& j : micro.ctx.jobs) {
-      auto cand = core::find_alloc(j, state, book, utility, 0.0, network, {});
-      (void)cand;
-    }
+  const double find_alloc_s = bench::median_timing([&] {
+    return time_per_call([&] {
+      for (const auto& j : micro.ctx.jobs) {
+        auto cand = core::find_alloc(j, state, book, utility, 0.0, network, {});
+        (void)cand;
+      }
+    });
   });
   const double find_alloc_us =
       find_alloc_s * 1e6 / static_cast<double>(micro.ctx.jobs.size());
@@ -202,7 +216,7 @@ int main() {
   double dp_serial_ms = 0.0, dp_parallel_ms = 0.0;
   {
     common::ScopedThreadCount one(1);
-    dp_serial_ms = time_per_call(dp_once) * 1e3;
+    dp_serial_ms = bench::median_timing([&] { return time_per_call(dp_once); }) * 1e3;
   }
   {
     common::ScopedThreadCount many(threads);
@@ -261,6 +275,62 @@ int main() {
   const double gavel_e2e_speedup =
       gavel_e2e_warm_s > 0.0 ? gavel_e2e_cold_s / gavel_e2e_warm_s : 0.0;
 
+  // ---- obs: disabled-tracing scope cost ----
+  // The RAII macro's disabled path must stay off the profile: one relaxed
+  // atomic load + branch. Measured as the delta between a counting loop
+  // with and without a scope per iteration.
+  double ns_per_disabled_scope = 0.0;
+  {
+    volatile std::uint64_t scope_sink = 0;
+    constexpr int kIters = 1 << 22;
+    const double base_s = bench::median_timing([&] {
+      return time_per_call([&] {
+        for (int i = 0; i < kIters; ++i) scope_sink = scope_sink + 1;
+      });
+    }, 3);
+    const double scoped_s = bench::median_timing([&] {
+      return time_per_call([&] {
+        for (int i = 0; i < kIters; ++i) {
+          HADAR_TRACE_SCOPE("bench", "noop");
+          scope_sink = scope_sink + 1;
+        }
+      });
+    }, 3);
+    ns_per_disabled_scope =
+        std::max(0.0, scoped_s - base_s) * 1e9 / static_cast<double>(kIters);
+  }
+
+  // ---- obs: end-to-end tracing overhead + schedule identity ----
+  // The same Hadar simulation untraced and with a full-detail session
+  // installed: the traced run must produce the bit-identical schedule, and
+  // the untraced run is what the perf gate protects.
+  double sim_plain_s = 0.0, sim_traced_s = 0.0;
+  bool traced_identical = false;
+  std::size_t traced_events = 0;
+  {
+    const auto tcfg = runner::paper_static(std::min(e2e_jobs, 48), 42);
+    auto run_one = [&] {
+      auto sched = runner::make_scheduler("hadar");
+      sim::Simulator simulator(tcfg.sim);
+      return simulator.run(tcfg.spec, tcfg.trace, *sched);
+    };
+    common::ScopedThreadCount one(1);
+    sim::SimResult plain, traced;
+    sim_plain_s = common::time_call([&] { plain = run_one(); });
+    {
+      obs::TraceConfig ocfg;
+      ocfg.detail = 2;
+      obs::TraceSession session(ocfg);
+      session.install();
+      sim_traced_s = common::time_call([&] { traced = run_one(); });
+      session.uninstall();
+      traced_events = session.event_count();
+    }
+    traced_identical = same_schedule(plain, traced);
+  }
+  const double tracing_overhead =
+      sim_plain_s > 0.0 ? sim_traced_s / sim_plain_s - 1.0 : 0.0;
+
   // ---- end-to-end: the paper four-way comparison as one sweep ----
   const auto cases = four_way_cases(e2e_jobs);
   std::vector<runner::SweepResult> serial_runs, parallel_runs;
@@ -313,7 +383,32 @@ int main() {
   t.add_row({"end-to-end speedup", common::AsciiTable::speedup(speedup, 2)});
   t.add_row({"rounds / second", common::AsciiTable::num(rounds_per_s, 1)});
   t.add_row({"deterministic across threads", deterministic ? "yes" : "NO"});
+  t.add_row({"disabled trace scope", common::AsciiTable::num(ns_per_disabled_scope, 2) + " ns"});
+  t.add_row({"hadar e2e, tracing off", common::AsciiTable::num(sim_plain_s, 2) + " s"});
+  t.add_row({"hadar e2e, tracing on (" + std::to_string(traced_events) + " events)",
+             common::AsciiTable::num(sim_traced_s, 2) + " s"});
+  t.add_row({"tracing overhead", common::AsciiTable::percent(tracing_overhead)});
+  t.add_row({"traced == untraced schedule", traced_identical ? "yes" : "NO"});
   std::printf("%s\n", t.render().c_str());
+
+  // ---- perf gate: calibration-normalized comparison vs baseline.json ----
+  const double calib_s = bench::median_timing([] { return bench::calibration_run(); });
+  std::vector<bench::GateMetric> gate_metrics = {
+      {"find_alloc_call", find_alloc_us * 1e-6, 0.0},
+      {"dp_allocation_serial", dp_serial_ms * 1e-3, 0.0},
+      {"lp_event_revised_cold", lp_cold.ms_per_event * 1e-3, 0.0},
+      {"lp_event_revised_warm", lp_warm.ms_per_event * 1e-3, 0.0},
+      {"gavel_round_loop", gavel_round_us * 1e-6, 0.0},
+      {"hadar_e2e_untraced", sim_plain_s, 0.0},
+  };
+  const bench::GateResult gate = bench::run_perf_gate(gate_metrics, calib_s);
+  std::printf("%s\n", gate.report.c_str());
+  if (std::FILE* f = std::fopen("perf_gate_current.json", "w")) {
+    const std::string out = bench::gate_json(gate_metrics, calib_s);
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("wrote perf_gate_current.json\n");
+  }
 
   const char* out_path = "BENCH_PR3.json";
   if (std::FILE* f = std::fopen(out_path, "w")) {
@@ -353,6 +448,19 @@ int main() {
                  "    \"speedup\": %.3f,\n"
                  "    \"rounds_per_second\": %.1f,\n"
                  "    \"deterministic_across_threads\": %s\n"
+                 "  },\n"
+                 "  \"obs\": {\n"
+                 "    \"disabled_scope_ns\": %.3f,\n"
+                 "    \"hadar_e2e_untraced_seconds\": %.3f,\n"
+                 "    \"hadar_e2e_traced_seconds\": %.3f,\n"
+                 "    \"tracing_overhead\": %.4f,\n"
+                 "    \"traced_events\": %zu,\n"
+                 "    \"traced_schedule_identical\": %s\n"
+                 "  },\n"
+                 "  \"perf_gate\": {\n"
+                 "    \"calib_seconds\": %.6f,\n"
+                 "    \"baseline_found\": %s,\n"
+                 "    \"failed\": %s\n"
                  "  }\n"
                  "}\n",
                  threads, hw, find_alloc_us, dp_serial_ms, dp_parallel_ms,
@@ -363,12 +471,19 @@ int main() {
                  gavel_e2e_warm_s, gavel_e2e_speedup,
                  gavel_e2e_identical ? "true" : "false", e2e_jobs, cases.size(),
                  e2e_serial_s, e2e_parallel_s, speedup, rounds_per_s,
-                 deterministic ? "true" : "false");
+                 deterministic ? "true" : "false", ns_per_disabled_scope, sim_plain_s,
+                 sim_traced_s, tracing_overhead, traced_events,
+                 traced_identical ? "true" : "false", calib_s,
+                 gate.baseline_found ? "true" : "false", gate.failed ? "true" : "false");
     std::fclose(f);
     std::printf("wrote %s\n", out_path);
   } else {
     std::fprintf(stderr, "failed to open %s for writing\n", out_path);
     return 1;
   }
-  return deterministic && gavel_e2e_identical ? 0 : 2;
+  if (gate.failed && bench::perf_gate_enforced()) {
+    std::fprintf(stderr, "perf gate: FAILED (>25%% slowdown vs baseline)\n");
+    return 3;
+  }
+  return deterministic && gavel_e2e_identical && traced_identical ? 0 : 2;
 }

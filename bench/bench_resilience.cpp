@@ -35,7 +35,8 @@ runner::ExperimentConfig level_config(const FailureLevel& lvl, int jobs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hadar::bench::TraceGuard trace_guard(argc, argv);
   const int jobs = bench::bench_jobs(96);
   const std::vector<FailureLevel> levels = {
       {"no-failures", 0.0},

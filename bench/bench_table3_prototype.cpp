@@ -10,7 +10,8 @@
 
 using namespace hadar;
 
-int main() {
+int main(int argc, char** argv) {
+  hadar::bench::TraceGuard trace_guard(argc, argv);
   const auto noisy = runner::prototype(/*testbed_noise=*/true);
   const auto clean = runner::prototype(/*testbed_noise=*/false);
   bench::print_header("Table III", "prototype cluster (10 Table II jobs)", clean);

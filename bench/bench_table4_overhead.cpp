@@ -5,6 +5,7 @@
 // simulation where one job is forcibly reallocated (or not) every round.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "common/table.hpp"
 #include "sim/simulator.hpp"
 #include "workload/model_zoo.hpp"
@@ -37,7 +38,8 @@ class ForcedMove : public sim::IScheduler {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hadar::bench::TraceGuard trace_guard(argc, argv);
   std::printf("Table IV — preemption overhead per model, 6-minute rounds\n\n");
   const auto zoo = workload::ModelZoo::paper_default();
   constexpr double kRound = 360.0;

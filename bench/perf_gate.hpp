@@ -1,0 +1,203 @@
+// Perf-regression gate used by bench_perf_regression: compares the current
+// micro timings against a checked-in baseline (bench/baseline.json) and
+// fails the run on a >25% slowdown.
+//
+// Portability: absolute wall-clock timings do not transfer between machines,
+// so both the baseline and the current run are *calibration-normalized* —
+// every metric is stored as (metric_seconds / calib_seconds), where
+// calib_seconds is the median time of a fixed CPU-bound hash kernel measured
+// in the same process. The ratio cancels machine speed to first order; the
+// 25% tolerance absorbs the rest (cache topology, turbo states).
+//
+// Knobs:
+//   HADAR_PERF_BASELINE=<path>    baseline file (default bench/baseline.json
+//                                 relative to the CWD, then ./baseline.json)
+//   HADAR_PERF_GATE=1             make a FAIL verdict exit non-zero
+//   HADAR_PERF_INJECT_SLOWDOWN=<f> multiply measured timings by f (CI
+//                                 self-test that the gate actually fails)
+//   HADAR_PERF_WRITE_BASELINE=<path> write the current run as a new baseline
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+namespace hadar::bench {
+
+inline std::uint64_t& perf_gate_sink() {
+  static std::uint64_t sink = 0;
+  return sink;
+}
+
+/// One run of the calibration kernel: a fixed-trip-count SplitMix64 chain,
+/// CPU-bound, allocation-free, deterministic. Returns its wall time.
+inline double calibration_run() {
+  std::uint64_t z = 0x9E3779B97F4A7C15ULL;
+  std::uint64_t acc = 0;
+  common::WallTimer t;
+  for (int i = 0; i < 20000000; ++i) {
+    z += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t x = z;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    acc ^= x ^ (x >> 31);
+  }
+  perf_gate_sink() ^= acc;
+  return t.seconds();
+}
+
+inline double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/// Median-of-N wrapper for a timing functor (seconds per call).
+template <typename Fn>
+double median_timing(Fn&& time_once, int n = 5) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) samples.push_back(time_once());
+  return median_of(std::move(samples));
+}
+
+struct GateMetric {
+  std::string name;
+  double seconds = 0.0;  ///< median wall time of the micro
+  double ratio = 0.0;    ///< seconds / calib_seconds (what is compared)
+};
+
+struct GateResult {
+  bool baseline_found = false;
+  bool failed = false;   ///< any metric regressed past tolerance
+  std::string report;    ///< rendered ASCII verdict table
+};
+
+/// Extracts `"name": <number>` from a (flat, self-written) JSON string.
+/// Returns false when the key is absent.
+inline bool json_number(const std::string& json, const std::string& name, double* out) {
+  const std::string needle = "\"" + name + "\"";
+  std::size_t pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  pos = json.find(':', pos + needle.size());
+  if (pos == std::string::npos) return false;
+  const char* start = json.c_str() + pos + 1;
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return false;
+  *out = v;
+  return true;
+}
+
+inline std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+inline std::string locate_baseline() {
+  if (const char* env = std::getenv("HADAR_PERF_BASELINE")) return env;
+  for (const char* cand : {"bench/baseline.json", "baseline.json", "../bench/baseline.json",
+                           "../../bench/baseline.json"}) {
+    if (std::FILE* f = std::fopen(cand, "rb")) {
+      std::fclose(f);
+      return cand;
+    }
+  }
+  return "bench/baseline.json";  // default (likely missing) path for messages
+}
+
+/// Serializes the current metrics as a baseline/artifact JSON.
+inline std::string gate_json(const std::vector<GateMetric>& metrics, double calib_seconds) {
+  char buf[160];
+  std::string out = "{\n";
+  std::snprintf(buf, sizeof(buf), "  \"calib_seconds\": %.6f,\n", calib_seconds);
+  out += buf;
+  out += "  \"tolerance\": 1.25,\n";
+  out += "  \"metrics\": {\n";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "    \"%s\": %.6f%s\n", metrics[i].name.c_str(),
+                  metrics[i].ratio, i + 1 < metrics.size() ? "," : "");
+    out += buf;
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
+/// Compares current metrics against the baseline file. A metric fails when
+/// its calibration-normalized ratio exceeds baseline * tolerance. Metrics
+/// missing from the baseline (newly added micros) report as "new" and never
+/// fail. A missing baseline file degrades to an informational run.
+inline GateResult run_perf_gate(std::vector<GateMetric>& metrics, double calib_seconds,
+                                double tolerance = 1.25) {
+  GateResult res;
+  const double inject =
+      std::getenv("HADAR_PERF_INJECT_SLOWDOWN") != nullptr
+          ? std::strtod(std::getenv("HADAR_PERF_INJECT_SLOWDOWN"), nullptr)
+          : 1.0;
+  for (auto& m : metrics) {
+    if (inject > 0.0 && inject != 1.0) m.seconds *= inject;
+    m.ratio = calib_seconds > 0.0 ? m.seconds / calib_seconds : 0.0;
+  }
+
+  const std::string path = locate_baseline();
+  const std::string json = read_file(path);
+  res.baseline_found = !json.empty();
+
+  common::AsciiTable t("perf gate (baseline: " + path + ")",
+                       {"metric", "current", "baseline", "change", "verdict"});
+  for (const auto& m : metrics) {
+    double base = 0.0;
+    if (!res.baseline_found || !json_number(json, m.name, &base) || base <= 0.0) {
+      t.add_row({m.name, common::AsciiTable::num(m.ratio, 4), "-", "-", "new"});
+      continue;
+    }
+    const double change = m.ratio / base;
+    const bool ok = m.ratio <= base * tolerance;
+    if (!ok) res.failed = true;
+    char chg[32];
+    std::snprintf(chg, sizeof(chg), "%+.1f%%", (change - 1.0) * 100.0);
+    t.add_row({m.name, common::AsciiTable::num(m.ratio, 4),
+               common::AsciiTable::num(base, 4), chg, ok ? "PASS" : "FAIL"});
+  }
+  if (!res.baseline_found) {
+    t.set_footnote("no baseline file — informational run (see docs on refreshing it)");
+    res.failed = false;
+  } else if (inject != 1.0) {
+    char note[96];
+    std::snprintf(note, sizeof(note), "HADAR_PERF_INJECT_SLOWDOWN=%.2f applied", inject);
+    t.set_footnote(note);
+  }
+  res.report = t.render();
+
+  if (const char* wpath = std::getenv("HADAR_PERF_WRITE_BASELINE")) {
+    if (std::FILE* f = std::fopen(wpath, "w")) {
+      const std::string out = gate_json(metrics, calib_seconds);
+      std::fwrite(out.data(), 1, out.size(), f);
+      std::fclose(f);
+      std::printf("perf gate: wrote new baseline -> %s\n", wpath);
+    }
+  }
+  return res;
+}
+
+/// True when a FAIL verdict should make the process exit non-zero.
+inline bool perf_gate_enforced() {
+  const char* v = std::getenv("HADAR_PERF_GATE");
+  return v != nullptr && std::strcmp(v, "0") != 0 && std::strcmp(v, "") != 0;
+}
+
+}  // namespace hadar::bench

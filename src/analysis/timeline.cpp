@@ -5,6 +5,8 @@
 #include <map>
 #include <vector>
 
+#include "common/time_format.hpp"
+
 namespace hadar::analysis {
 namespace {
 
@@ -58,8 +60,9 @@ std::string ascii_gantt(const sim::EventLog& log, const workload::Trace& trace,
 
   std::string out;
   char buf[128];
-  std::snprintf(buf, sizeof(buf), "time: 0 .. %.1f h, one cell = %.1f min\n",
-                horizon / 3600.0, horizon / opts.width / 60.0);
+  std::snprintf(buf, sizeof(buf), "time: 0 .. %s, one cell = %s\n",
+                common::format_sim_time(horizon).c_str(),
+                common::format_sim_time(horizon / opts.width).c_str());
   out += buf;
 
   int rows = 0;

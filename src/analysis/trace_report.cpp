@@ -1,0 +1,216 @@
+#include "analysis/trace_report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "common/table.hpp"
+#include "common/time_format.hpp"
+
+namespace hadar::analysis {
+namespace {
+
+// Containment tolerance: clock reads for a child can land a hair outside the
+// parent's [ts, ts+dur] window when both were taken back to back.
+constexpr double kNestEpsUs = 0.5;
+
+struct Node {
+  const obs::TraceEvent* e = nullptr;
+  int parent = -1;
+  double child_us = 0.0;  ///< summed durations of direct same-thread children
+  int run = -1;           ///< index of the enclosing sim.run node, -1 if none
+  int round = -1;         ///< index of the enclosing sim.round node, -1 if none
+};
+
+double arg_of(const obs::TraceEvent& e, const char* key, double def) {
+  for (int i = 0; i < e.num_args; ++i) {
+    if (std::strcmp(e.args[i].key, key) == 0) return e.args[i].value;
+  }
+  return def;
+}
+
+std::string fmt_us(double us) {
+  char buf[48];
+  if (us >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", us * 1e-6);
+  } else if (us >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", us * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fus", us);
+  }
+  return buf;
+}
+
+std::string fmt_share(double part_us, double total_us) {
+  char buf[48];
+  const double pct = total_us > 0.0 ? 100.0 * part_us / total_us : 0.0;
+  std::snprintf(buf, sizeof(buf), "%s (%.1f%%)", fmt_us(part_us).c_str(), pct);
+  return buf;
+}
+
+}  // namespace
+
+TimeBucket bucket_of(const obs::TraceEvent& e) {
+  const std::string cat = e.cat;
+  const std::string name = e.name;
+  if (cat == "lp" || name == "gavel.recompute") return TimeBucket::kSolve;
+  if (cat == "hadar" || cat == "tiresias" || cat == "yarn" || name == "gavel.pack") {
+    return TimeBucket::kPlacement;
+  }
+  return TimeBucket::kBookkeeping;
+}
+
+TraceReport build_trace_report(const std::vector<obs::TraceEvent>& events) {
+  // Complete spans only, grouped by thread.
+  std::vector<Node> nodes;
+  nodes.reserve(events.size());
+  for (const auto& e : events) {
+    if (e.phase == obs::TracePhase::kComplete) nodes.push_back(Node{&e});
+  }
+  std::map<std::uint32_t, std::vector<int>> by_tid;
+  for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+    by_tid[nodes[static_cast<std::size_t>(i)].e->tid].push_back(i);
+  }
+
+  // Reconstruct nesting per thread: after sorting by (start asc, dur desc) a
+  // span's parent is the nearest stack entry whose interval contains it.
+  for (auto& [tid, idxs] : by_tid) {
+    (void)tid;
+    std::sort(idxs.begin(), idxs.end(), [&](int a, int b) {
+      const auto& ea = *nodes[static_cast<std::size_t>(a)].e;
+      const auto& eb = *nodes[static_cast<std::size_t>(b)].e;
+      if (ea.ts_us != eb.ts_us) return ea.ts_us < eb.ts_us;
+      return ea.dur_us > eb.dur_us;
+    });
+    std::vector<int> stack;
+    for (int i : idxs) {
+      const auto& e = *nodes[static_cast<std::size_t>(i)].e;
+      while (!stack.empty()) {
+        const auto& top = *nodes[static_cast<std::size_t>(stack.back())].e;
+        if (e.ts_us < top.ts_us + top.dur_us &&
+            e.ts_us + e.dur_us <= top.ts_us + top.dur_us + kNestEpsUs) {
+          break;  // contained: top is the parent
+        }
+        stack.pop_back();
+      }
+      if (!stack.empty()) {
+        Node& n = nodes[static_cast<std::size_t>(i)];
+        n.parent = stack.back();
+        nodes[static_cast<std::size_t>(stack.back())].child_us += e.dur_us;
+      }
+      stack.push_back(i);
+    }
+  }
+
+  // Propagate the enclosing run/round down the parent links (parents precede
+  // children in each thread's sorted order, but node indices interleave
+  // threads — resolve lazily by walking up).
+  auto resolve = [&](int i, const char* want) {
+    for (int p = nodes[static_cast<std::size_t>(i)].parent; p >= 0;
+         p = nodes[static_cast<std::size_t>(p)].parent) {
+      if (std::strcmp(nodes[static_cast<std::size_t>(p)].e->name, want) == 0) return p;
+    }
+    return -1;
+  };
+  for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+    nodes[static_cast<std::size_t>(i)].run = resolve(i, "sim.run");
+    nodes[static_cast<std::size_t>(i)].round = resolve(i, "sim.round");
+  }
+
+  // One SchedulerBreakdown per sim.run span, rounds keyed by their node.
+  TraceReport report;
+  std::map<int, int> run_slot;    // sim.run node -> report index
+  std::map<int, int> round_slot;  // sim.round node -> round index in its run
+  for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+    const auto& e = *nodes[static_cast<std::size_t>(i)].e;
+    if (std::strcmp(e.name, "sim.run") != 0) continue;
+    run_slot[i] = static_cast<int>(report.schedulers.size());
+    SchedulerBreakdown sb;
+    sb.scheduler = e.str_key != nullptr && std::strcmp(e.str_key, "scheduler") == 0
+                       ? e.str_value
+                       : "?";
+    report.schedulers.push_back(std::move(sb));
+  }
+  for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+    const Node& n = nodes[static_cast<std::size_t>(i)];
+    const auto& e = *n.e;
+    if (std::strcmp(e.name, "sim.round") != 0 || n.run < 0) continue;
+    auto& sb = report.schedulers[static_cast<std::size_t>(run_slot[n.run])];
+    round_slot[i] = static_cast<int>(sb.rounds.size());
+    RoundBreakdown rb;
+    rb.round = static_cast<int>(arg_of(e, "round", -1.0));
+    rb.sim_t = arg_of(e, "t", 0.0);
+    rb.total_us = e.dur_us;
+    sb.rounds.push_back(rb);
+  }
+
+  // Bucket every span's self time into its enclosing round.
+  for (const Node& n : nodes) {
+    if (n.round < 0 && std::strcmp(n.e->name, "sim.round") != 0) continue;
+    const int round_node = std::strcmp(n.e->name, "sim.round") == 0
+                               ? static_cast<int>(&n - nodes.data())
+                               : n.round;
+    const Node& rn = nodes[static_cast<std::size_t>(round_node)];
+    if (rn.run < 0) continue;
+    auto& sb = report.schedulers[static_cast<std::size_t>(run_slot[rn.run])];
+    auto& rb = sb.rounds[static_cast<std::size_t>(round_slot[round_node])];
+    const double self_us = std::max(0.0, n.e->dur_us - n.child_us);
+    switch (bucket_of(*n.e)) {
+      case TimeBucket::kSolve: rb.solve_us += self_us; break;
+      case TimeBucket::kPlacement: rb.placement_us += self_us; break;
+      case TimeBucket::kBookkeeping: rb.bookkeeping_us += self_us; break;
+    }
+  }
+
+  for (auto& sb : report.schedulers) {
+    std::sort(sb.rounds.begin(), sb.rounds.end(),
+              [](const RoundBreakdown& a, const RoundBreakdown& b) {
+                return a.round < b.round;
+              });
+    for (const auto& rb : sb.rounds) {
+      sb.total_us += rb.total_us;
+      sb.solve_us += rb.solve_us;
+      sb.placement_us += rb.placement_us;
+      sb.bookkeeping_us += rb.bookkeeping_us;
+    }
+  }
+  return report;
+}
+
+std::string render_trace_report(const TraceReport& report, int max_rounds) {
+  std::string out;
+  if (report.schedulers.empty()) return "(trace contains no sim.run spans)\n";
+  for (const auto& sb : report.schedulers) {
+    common::AsciiTable t("round time breakdown — " + sb.scheduler,
+                         {"round", "sim t", "total", "solve", "placement", "bookkeeping"});
+    const int n = static_cast<int>(sb.rounds.size());
+    const int shown = std::min(n, max_rounds);
+    for (int i = 0; i < shown; ++i) {
+      const auto& rb = sb.rounds[static_cast<std::size_t>(i)];
+      t.add_row({std::to_string(rb.round), common::format_sim_time(rb.sim_t),
+                 fmt_us(rb.total_us), fmt_share(rb.solve_us, rb.total_us),
+                 fmt_share(rb.placement_us, rb.total_us),
+                 fmt_share(rb.bookkeeping_us, rb.total_us)});
+    }
+    if (n > shown) {
+      std::string more = "(";
+      more += std::to_string(n - shown);
+      more += " more)";
+      t.add_row({"...", std::move(more), "", "", "", ""});
+    }
+    t.add_row({"all", std::to_string(n) + " rounds", fmt_us(sb.total_us),
+               fmt_share(sb.solve_us, sb.total_us),
+               fmt_share(sb.placement_us, sb.total_us),
+               fmt_share(sb.bookkeeping_us, sb.total_us)});
+    out += t.render();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string trace_report(const obs::TraceSession& session, int max_rounds) {
+  return render_trace_report(build_trace_report(session.snapshot()), max_rounds);
+}
+
+}  // namespace hadar::analysis

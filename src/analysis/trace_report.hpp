@@ -1,0 +1,60 @@
+// ASCII per-round time-breakdown summarizer over a recorded trace: where
+// each scheduling round's wall time went — LP/solver work ("solve"),
+// placement search ("placement"), or everything else ("bookkeeping") — per
+// scheduler. This is the terminal-friendly companion to the Chrome JSON
+// export: load the JSON into Perfetto for the zoomable view, print this for
+// the numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace hadar::analysis {
+
+/// One sim.round span with its self/descendant time bucketed.
+struct RoundBreakdown {
+  int round = -1;        ///< "round" arg of the sim.round span
+  double sim_t = 0.0;    ///< simulation time at the round start (seconds)
+  double total_us = 0.0; ///< wall duration of the round span
+  double solve_us = 0.0;
+  double placement_us = 0.0;
+  double bookkeeping_us = 0.0;
+};
+
+/// All rounds of one sim.run (one scheduler driving one simulation).
+struct SchedulerBreakdown {
+  std::string scheduler;
+  std::vector<RoundBreakdown> rounds;
+  double total_us = 0.0;
+  double solve_us = 0.0;
+  double placement_us = 0.0;
+  double bookkeeping_us = 0.0;
+};
+
+struct TraceReport {
+  std::vector<SchedulerBreakdown> schedulers;  ///< one per sim.run span
+};
+
+/// Buckets a span's *self* time (duration minus same-thread children) by its
+/// category: "lp" and gavel.recompute count as solve; hadar.* search spans,
+/// tiresias queue maintenance, and the packing loops count as placement;
+/// everything else inside a round is bookkeeping. Exposed for tests.
+enum class TimeBucket { kSolve, kPlacement, kBookkeeping };
+TimeBucket bucket_of(const obs::TraceEvent& e);
+
+/// Builds the per-round breakdown from a trace snapshot. Nesting is
+/// reconstructed per thread by interval containment (a span's parent is the
+/// smallest same-thread span enclosing it), so self times never double
+/// count. Rounds are attributed to the sim.run span that contains them.
+TraceReport build_trace_report(const std::vector<obs::TraceEvent>& events);
+
+/// Renders the report as ASCII tables: up to `max_rounds` per-round rows per
+/// scheduler (head and tail, elided middle) plus a totals summary line.
+std::string render_trace_report(const TraceReport& report, int max_rounds = 20);
+
+/// Convenience: build + render straight from a session.
+std::string trace_report(const obs::TraceSession& session, int max_rounds = 20);
+
+}  // namespace hadar::analysis

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "baselines/alloc_util.hpp"
+#include "obs/trace.hpp"
 
 namespace hadar::baselines {
 
@@ -34,6 +35,9 @@ std::vector<double> GavelScheduler::allocation_row(JobId id) const {
 }
 
 void GavelScheduler::recompute_allocation(const sim::SchedulerContext& ctx) {
+  obs::ScopedSpan span("gavel", "gavel.recompute", 1);
+  if (span.active()) span.arg("jobs", static_cast<double>(ctx.jobs.size()));
+  obs::count("gavel.recomputes");
   const int R = ctx.spec->num_types();
   solver::MaxMinProblem& p = problem_;  // reused across events
   p.cap.assign(static_cast<std::size_t>(R), 0.0);
@@ -71,7 +75,8 @@ void GavelScheduler::recompute_allocation(const sim::SchedulerContext& ctx) {
                                          : solver::solve_max_min(p, cfg_.solver, lp_ctx);
   y_.clear();
   for (std::size_t i = 0; i < ctx.jobs.size(); ++i) {
-    y_[ctx.jobs[i].id()] = sol.feasible ? sol.y[i] : std::vector<double>(static_cast<std::size_t>(R), 0.0);
+    y_[ctx.jobs[i].id()] =
+        sol.feasible ? sol.y[i] : std::vector<double>(static_cast<std::size_t>(R), 0.0);
   }
 }
 
@@ -142,6 +147,7 @@ cluster::AllocationMap GavelScheduler::schedule(const sim::SchedulerContext& ctx
     return a.type < b.type;
   });
 
+  HADAR_TRACE_SCOPE("gavel", "gavel.pack", 1);
   if (!state_ || &state_->spec() != ctx.spec) {
     state_.emplace(ctx.spec);
   } else {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "baselines/alloc_util.hpp"
+#include "obs/trace.hpp"
 
 namespace hadar::baselines {
 
@@ -17,6 +18,7 @@ void TiresiasScheduler::reset() {
 }
 
 cluster::AllocationMap TiresiasScheduler::schedule(const sim::SchedulerContext& ctx) {
+  obs::ScopedSpan queues_span("tiresias", "tiresias.queues", 1);
   for (const auto& job : ctx.jobs) {
     // PromoteKnob (disabled by default, as in the paper's evaluation):
     // a demoted job starved of service long enough is promoted back and
@@ -51,6 +53,11 @@ cluster::AllocationMap TiresiasScheduler::schedule(const sim::SchedulerContext& 
                      return a->id() < b->id();  // FIFO
                    });
 
+  if (queues_span.active()) {
+    queues_span.arg("demoted", static_cast<double>(demoted_.size()));
+    obs::gauge_set("tiresias.demoted_jobs", static_cast<double>(demoted_.size()));
+  }
+  HADAR_TRACE_SCOPE("tiresias", "tiresias.pack", 1);
   cluster::ClusterState state(ctx.spec);
   cluster::AllocationMap result;
   for (const sim::JobView* job : order_) {

@@ -1,6 +1,7 @@
 #include "baselines/yarn_cs.hpp"
 
 #include "baselines/alloc_util.hpp"
+#include "obs/trace.hpp"
 
 namespace hadar::baselines {
 
@@ -44,6 +45,8 @@ cluster::AllocationMap YarnCsScheduler::schedule(const sim::SchedulerContext& ct
   }
 
   // Strict FIFO admission with head-of-line blocking.
+  obs::ScopedSpan pack_span("yarn", "yarn.pack", 1);
+  int admitted = 0;
   for (const auto& job : ctx.jobs) {  // ctx.jobs is arrival-ordered
     if (running_.count(job.id())) continue;
     usable_.clear();
@@ -58,6 +61,11 @@ cluster::AllocationMap YarnCsScheduler::schedule(const sim::SchedulerContext& ct
     state.allocate(*alloc);
     running_.emplace(job.id(), *alloc);
     result.emplace(job.id(), std::move(*alloc));
+    ++admitted;
+  }
+  if (pack_span.active()) {
+    pack_span.arg("admitted", static_cast<double>(admitted));
+    pack_span.arg("running", static_cast<double>(running_.size()));
   }
   return result;
 }

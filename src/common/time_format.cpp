@@ -1,0 +1,23 @@
+#include "common/time_format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hadar::common {
+
+std::string format_sim_time(Seconds seconds) {
+  if (std::isnan(seconds)) return "nan";
+  if (std::isinf(seconds)) return seconds > 0.0 ? "inf" : "-inf";
+  const double mag = std::fabs(seconds);
+  char buf[48];
+  if (mag < 600.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+  } else if (mag < 2.0 * 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fmin", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fh", seconds / 3600.0);
+  }
+  return buf;
+}
+
+}  // namespace hadar::common

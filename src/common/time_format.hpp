@@ -1,0 +1,18 @@
+// Shared rendering of simulated-time values. The event log, the ASCII
+// timeline, and the trace report all stamp events with simulated seconds;
+// one formatter keeps the three outputs mutually greppable instead of each
+// picking its own unit and precision.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace hadar::common {
+
+/// Renders a simulated-time value with an adaptive unit: "12.5s" below ten
+/// minutes, "42.0min" below two hours, "3.25h" beyond. Negative values keep
+/// their sign; non-finite values render as "inf"/"nan".
+std::string format_sim_time(Seconds seconds);
+
+}  // namespace hadar::common

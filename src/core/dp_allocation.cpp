@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/thread_pool.hpp"
+#include "obs/trace.hpp"
 
 namespace hadar::core {
 namespace {
@@ -52,6 +53,11 @@ DpResult dp_allocation(const std::vector<const sim::JobView*>& queue,
 
   for (int idx = 0; idx < window; ++idx) {
     const sim::JobView& job = *queue[static_cast<std::size_t>(idx)];
+    obs::ScopedSpan level_span("hadar", "hadar.beam_level", 2);
+    if (level_span.active()) {
+      level_span.arg("level", static_cast<double>(idx));
+      level_span.arg("beam", static_cast<double>(beam.size()));
+    }
 
     // Price the include branch of every beam state concurrently. Each lane
     // works on its own scratch ClusterState, so the search tree never shares

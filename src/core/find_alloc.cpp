@@ -6,6 +6,8 @@
 #include <limits>
 #include <span>
 
+#include "obs/trace.hpp"
+
 namespace hadar::core {
 namespace {
 
@@ -163,7 +165,12 @@ std::optional<AllocCandidate> find_alloc(const sim::JobView& job,
   std::optional<AllocCandidate> best;
   std::vector<cluster::TaskPlacement> scratch;
   scratch.reserve(static_cast<std::size_t>(R));
+  // Candidates are tallied locally and published once per call: find_alloc
+  // runs inside parallel beam lanes, so per-candidate registry traffic would
+  // serialize the lanes on the metrics mutex.
+  std::uint64_t candidates_scanned = 0;
   auto try_pool = [&](std::span<const Slot* const> pool) {
+    ++candidates_scanned;
     auto alloc = fill(pool, W, cfg.allow_mixed_types, scratch);
     if (!alloc) return;
     consider(best, evaluate(job, std::move(*alloc), state, prices, utility, now,
@@ -200,10 +207,15 @@ std::optional<AllocCandidate> find_alloc(const sim::JobView& job,
 
   // ---- the job's current placement, if it still fits ----
   if (!job.current_allocation.empty() && state.can_allocate(job.current_allocation)) {
+    ++candidates_scanned;
     consider(best, evaluate(job, job.current_allocation, state, prices, utility, now,
                             network, cfg));
   }
 
+  if (obs::tracing()) {
+    obs::count("find_alloc.calls");
+    obs::count("find_alloc.candidates_scanned", candidates_scanned);
+  }
   return best;
 }
 

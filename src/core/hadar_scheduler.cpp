@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace hadar::core {
 
 HadarScheduler::HadarScheduler(HadarConfig cfg) : cfg_(std::move(cfg)) {
@@ -39,7 +41,10 @@ cluster::AllocationMap HadarScheduler::schedule(const sim::SchedulerContext& ctx
   sim::SchedulerContext view = ctx;
   view.jobs = jobs;
   if (!prices_.ready()) prices_ = PriceBook(R, cfg_.pricing);
-  prices_.compute_bounds(view, utility);
+  {
+    HADAR_TRACE_SCOPE("hadar", "hadar.price_bounds", 1);
+    prices_.compute_bounds(view, utility);
+  }
 
   cluster::ClusterState state(ctx.spec);
   cluster::AllocationMap result;
@@ -67,8 +72,17 @@ cluster::AllocationMap HadarScheduler::schedule(const sim::SchedulerContext& ctx
   });
 
   // ---- DP over the queue (Algorithm 2) ----
-  DpResult dp = dp_allocation(queue, state, prices_, utility, ctx.now,
-                              ctx.network, cfg_.dp);
+  DpResult dp;
+  {
+    obs::ScopedSpan dp_span("hadar", "hadar.dp", 1);
+    if (dp_span.active()) dp_span.arg("queue", static_cast<double>(queue.size()));
+    dp = dp_allocation(queue, state, prices_, utility, ctx.now, ctx.network, cfg_.dp);
+    if (dp_span.active()) {
+      dp_span.arg("states_explored", static_cast<double>(dp.stats.states_explored));
+      dp_span.arg("allocated", static_cast<double>(dp.allocs.size()));
+      obs::count("hadar.dp_states", static_cast<std::uint64_t>(dp.stats.states_explored));
+    }
+  }
   last_stats_ = dp.stats;
   for (auto& [id, alloc] : dp.allocs) {
     state.allocate(alloc);

@@ -1,0 +1,229 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hadar::obs {
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[48];
+  // Integral values (the common counter case) print without a fraction.
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+// fetch_add for atomic<double> via CAS, portable across library versions.
+void atomic_add(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) throw std::invalid_argument("Histogram: empty bounds");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument("Histogram: bounds not strictly ascending");
+    }
+  }
+  counts_ = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) {
+  // First bound with v <= bound; everything above the last bound overflows.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.counts.reserve(counts_.size());
+  for (const auto& c : counts_) s.counts.push_back(c.load(std::memory_order_relaxed));
+  s.total = total_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& e = entries_[name];
+  if (e.counter == nullptr) {
+    if (e.gauge != nullptr || e.histogram != nullptr) {
+      throw std::invalid_argument("MetricsRegistry: '" + name + "' is not a counter");
+    }
+    e.kind = MetricValue::Kind::kCounter;
+    e.counter = std::make_unique<Counter>();
+  }
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& e = entries_[name];
+  if (e.gauge == nullptr) {
+    if (e.counter != nullptr || e.histogram != nullptr) {
+      throw std::invalid_argument("MetricsRegistry: '" + name + "' is not a gauge");
+    }
+    e.kind = MetricValue::Kind::kGauge;
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& e = entries_[name];
+  if (e.histogram == nullptr) {
+    if (e.counter != nullptr || e.gauge != nullptr) {
+      throw std::invalid_argument("MetricsRegistry: '" + name + "' is not a histogram");
+    }
+    e.kind = MetricValue::Kind::kHistogram;
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *e.histogram;
+}
+
+std::vector<MetricValue> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricValue> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {  // std::map: already name-sorted
+    MetricValue v;
+    v.name = name;
+    v.kind = e.kind;
+    switch (e.kind) {
+      case MetricValue::Kind::kCounter:
+        v.value = static_cast<double>(e.counter->value());
+        break;
+      case MetricValue::Kind::kGauge:
+        v.value = e.gauge->value();
+        break;
+      case MetricValue::Kind::kHistogram:
+        v.histogram = e.histogram->snapshot();
+        v.value = static_cast<double>(v.histogram.total);
+        break;
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& m : snapshot()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + m.name + "\": ";
+    if (m.kind == MetricValue::Kind::kHistogram) {
+      out += "{\"total\": " + fmt_double(static_cast<double>(m.histogram.total)) +
+             ", \"sum\": " + fmt_double(m.histogram.sum) + ", \"buckets\": [";
+      for (std::size_t i = 0; i < m.histogram.counts.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += fmt_double(static_cast<double>(m.histogram.counts[i]));
+      }
+      out += "]}";
+    } else {
+      out += fmt_double(m.value);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::string MetricsRegistry::to_csv() const {
+  std::string out = "metric,kind,value\n";
+  for (const auto& m : snapshot()) {
+    switch (m.kind) {
+      case MetricValue::Kind::kCounter:
+        out += m.name + ",counter," + fmt_double(m.value) + "\n";
+        break;
+      case MetricValue::Kind::kGauge:
+        out += m.name + ",gauge," + fmt_double(m.value) + "\n";
+        break;
+      case MetricValue::Kind::kHistogram:
+        for (std::size_t i = 0; i < m.histogram.counts.size(); ++i) {
+          const std::string le = i < m.histogram.bounds.size()
+                                     ? fmt_double(m.histogram.bounds[i])
+                                     : std::string("inf");
+          out += m.name + ".le_" + le + ",histogram," +
+                 fmt_double(static_cast<double>(m.histogram.counts[i])) + "\n";
+        }
+        out += m.name + ".sum,histogram," + fmt_double(m.histogram.sum) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : entries_) {
+    (void)name;
+    switch (e.kind) {
+      case MetricValue::Kind::kCounter:
+        e.counter->reset();
+        break;
+      case MetricValue::Kind::kGauge:
+        e.gauge->set(0.0);
+        break;
+      case MetricValue::Kind::kHistogram:
+        e.histogram->reset();
+        break;
+    }
+  }
+}
+
+void MetricsCsvSampler::sample(double sim_time) {
+  if (registry_ == nullptr) return;
+  const auto snap = registry_->snapshot();
+  if (columns_.empty()) {
+    for (const auto& m : snap) {
+      if (m.kind != MetricValue::Kind::kHistogram) columns_.push_back(m.name);
+    }
+  }
+  std::string row = fmt_double(sim_time);
+  for (const auto& col : columns_) {
+    double v = 0.0;
+    for (const auto& m : snap) {
+      if (m.name == col) {
+        v = m.value;
+        break;
+      }
+    }
+    row += ',';
+    row += fmt_double(v);
+  }
+  body_ += row;
+  body_ += '\n';
+  ++rows_;
+}
+
+std::string MetricsCsvSampler::csv() const {
+  if (rows_ == 0) return {};
+  std::string out = "sim_time";
+  for (const auto& col : columns_) out += "," + col;
+  out += "\n" + body_;
+  return out;
+}
+
+}  // namespace hadar::obs

@@ -1,0 +1,138 @@
+// Named metrics for the observability layer: monotonic counters, gauges,
+// and fixed-bucket histograms. Handles returned by the registry are stable
+// for the registry's lifetime and updatable lock-free from any thread;
+// registration (the first lookup of a name) takes a mutex.
+//
+// Naming convention: dotted lowercase "<subsystem>.<what>", e.g.
+// "solver.warm_hits", "round.preemptions", "find_alloc.candidates_scanned".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hadar::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (queue depth, beam size, ...).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramSnapshot {
+  /// Ascending upper bounds; counts has one extra overflow bucket, so
+  /// counts[i] is the number of observations with value <= bounds[i] (and
+  /// above bounds[i-1]), counts.back() the ones above bounds.back().
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t total = 0;
+  double sum = 0.0;
+};
+
+/// Fixed-bucket histogram. Bucket i holds observations in
+/// (bounds[i-1], bounds[i]]; values above the last bound land in the
+/// overflow bucket. Bucket counts and the running sum are atomics, so
+/// concurrent observe() calls are race-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  HistogramSnapshot snapshot() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// One named value in a registry snapshot, name-sorted for stable output.
+struct MetricValue {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double value = 0.0;            ///< counter/gauge value; histogram total
+  HistogramSnapshot histogram;   ///< populated for kHistogram only
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named instrument. A name registered as one kind
+  /// must not be reused as another (throws std::invalid_argument).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` must be non-empty and strictly ascending; only the first
+  /// registration's bounds are used.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Name-sorted snapshot of every registered metric.
+  std::vector<MetricValue> snapshot() const;
+
+  /// {"name": value, ...} with histograms expanded to bucket arrays.
+  std::string to_json() const;
+  /// "metric,kind,value" rows; histograms add one "name.le_<bound>" row per
+  /// bucket plus "name.sum".
+  std::string to_csv() const;
+
+  /// Zeroes counters and gauges and clears histogram buckets; instruments
+  /// stay registered and previously returned handles stay valid.
+  void reset();
+
+ private:
+  struct Entry {
+    MetricValue::Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Accumulates one CSV row of registry values per sample() call — the
+/// per-round metrics export. Columns are fixed at the first sample; metrics
+/// registered later are ignored (they'd shift the header mid-file).
+class MetricsCsvSampler {
+ public:
+  explicit MetricsCsvSampler(const MetricsRegistry* registry) : registry_(registry) {}
+
+  void sample(double sim_time);
+  /// Header + one line per sample; empty string when nothing was sampled.
+  std::string csv() const;
+  std::size_t rows() const { return rows_; }
+
+ private:
+  const MetricsRegistry* registry_;
+  std::vector<std::string> columns_;
+  std::string body_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace hadar::obs

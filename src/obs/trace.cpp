@@ -1,0 +1,247 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace hadar::obs {
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t next_session_id() {
+  static std::atomic<std::uint64_t> id{1};
+  return id.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Thread-local cache of "my buffer in the current session". Keyed by the
+// session's process-unique id, so a session destroyed and another allocated
+// at the same address cannot alias.
+struct ThreadCache {
+  std::uint64_t session_id = 0;
+  void* buf = nullptr;
+};
+thread_local ThreadCache t_cache;
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_number(std::string& out, double v) {
+  char buf[48];
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+std::atomic<TraceSession*> TraceSession::current_{nullptr};
+
+TraceSession::TraceSession(TraceConfig cfg)
+    : cfg_(std::move(cfg)), id_(next_session_id()) {
+  if (cfg_.detail < 0) cfg_.detail = 0;
+}
+
+TraceSession::~TraceSession() {
+  TraceSession* self = this;
+  current_.compare_exchange_strong(self, nullptr, std::memory_order_acq_rel);
+}
+
+void TraceSession::install() {
+  if (!cfg_.enabled) return;
+  start_ns_ = steady_ns();
+  current_.store(this, std::memory_order_release);
+}
+
+void TraceSession::uninstall() {
+  TraceSession* self = this;
+  current_.compare_exchange_strong(self, nullptr, std::memory_order_acq_rel);
+}
+
+double TraceSession::now_us() const {
+  return static_cast<double>(steady_ns() - start_ns_) * 1e-3;
+}
+
+TraceSession::ThreadBuf* TraceSession::buf_for_this_thread() {
+  if (t_cache.session_id == id_) return static_cast<ThreadBuf*>(t_cache.buf);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto buf = std::make_unique<ThreadBuf>();
+  buf->tid = static_cast<std::uint32_t>(bufs_.size());
+  buf->events.reserve(1024);
+  ThreadBuf* raw = buf.get();
+  bufs_.push_back(std::move(buf));
+  t_cache.session_id = id_;
+  t_cache.buf = raw;
+  return raw;
+}
+
+void TraceSession::record(TraceEvent e) {
+  ThreadBuf* buf = buf_for_this_thread();
+  e.tid = buf->tid;
+  buf->events.push_back(std::move(e));
+}
+
+void TraceSession::instant(const char* cat, const char* name,
+                           std::initializer_list<TraceArg> args) {
+  TraceEvent e;
+  e.cat = cat;
+  e.name = name;
+  e.phase = TracePhase::kInstant;
+  e.ts_us = now_us();
+  for (const TraceArg& a : args) e.add_arg(a.key, a.value);
+  record(std::move(e));
+}
+
+void TraceSession::counter(const char* name, double value) {
+  TraceEvent e;
+  e.cat = "metric";
+  e.name = name;
+  e.phase = TracePhase::kCounter;
+  e.ts_us = now_us();
+  e.add_arg("value", value);
+  record(std::move(e));
+}
+
+void TraceSession::sample_metrics(double sim_time) {
+  std::lock_guard<std::mutex> lock(mu_);
+  csv_.sample(sim_time);
+}
+
+std::string TraceSession::metrics_csv() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return csv_.csv();
+}
+
+std::vector<TraceEvent> TraceSession::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  std::size_t n = 0;
+  for (const auto& b : bufs_) n += b->events.size();
+  out.reserve(n);
+  for (const auto& b : bufs_) {
+    out.insert(out.end(), b->events.begin(), b->events.end());
+  }
+  std::stable_sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.ts_us < b.ts_us;
+  });
+  return out;
+}
+
+std::size_t TraceSession::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& b : bufs_) n += b->events.size();
+  return n;
+}
+
+std::string TraceSession::chrome_json() const {
+  const auto events = snapshot();
+  std::string out;
+  out.reserve(events.size() * 120 + 256);
+  out += "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  out +=
+      "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", "
+      "\"args\": {\"name\": \"hadar\"}}";
+  for (const auto& e : events) {
+    out += ",\n{\"name\": \"";
+    json_escape_into(out, e.name);
+    out += "\", \"cat\": \"";
+    json_escape_into(out, e.cat);
+    out += "\", \"ph\": \"";
+    out += static_cast<char>(e.phase);
+    out += "\", \"pid\": 1, \"tid\": ";
+    append_number(out, e.tid);
+    out += ", \"ts\": ";
+    append_number(out, e.ts_us);
+    if (e.phase == TracePhase::kComplete) {
+      out += ", \"dur\": ";
+      append_number(out, e.dur_us);
+    }
+    if (e.phase == TracePhase::kInstant) out += ", \"s\": \"t\"";
+    if (e.num_args > 0 || e.str_key != nullptr) {
+      out += ", \"args\": {";
+      bool first = true;
+      for (int i = 0; i < e.num_args; ++i) {
+        if (!first) out += ", ";
+        first = false;
+        out += "\"";
+        json_escape_into(out, e.args[i].key);
+        out += "\": ";
+        append_number(out, e.args[i].value);
+      }
+      if (e.str_key != nullptr) {
+        if (!first) out += ", ";
+        out += "\"";
+        json_escape_into(out, e.str_key);
+        out += "\": \"";
+        json_escape_into(out, e.str_value);
+        out += "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceSession::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chrome_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void TraceSession::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& b : bufs_) b->events.clear();
+}
+
+void count(const char* name, std::uint64_t delta) {
+  TraceSession* s = TraceSession::current();
+  if (s != nullptr) s->metrics().counter(name).add(delta);
+}
+
+void gauge_set(const char* name, double value) {
+  TraceSession* s = TraceSession::current();
+  if (s != nullptr) s->metrics().gauge(name).set(value);
+}
+
+void observe(const char* name, double value) {
+  TraceSession* s = TraceSession::current();
+  if (s != nullptr) s->metrics().histogram(name, duration_buckets_ms()).observe(value);
+}
+
+std::vector<double> duration_buckets_ms() {
+  // Powers of ~3.16 spanning 10 us .. 10 s; solver calls land mid-range.
+  return {0.01, 0.0316, 0.1, 0.316, 1.0, 3.16, 10.0, 31.6, 100.0, 316.0, 1000.0, 10000.0};
+}
+
+}  // namespace hadar::obs

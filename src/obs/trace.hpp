@@ -1,0 +1,224 @@
+// Structured tracing for the scheduler stack: typed spans and instant
+// events recorded into per-thread buffers and exported as Chrome
+// `chrome://tracing` / Perfetto-compatible JSON.
+//
+// Model: at most one TraceSession is *installed* process-wide. Call sites
+// use the HADAR_TRACE_SCOPE RAII macro (or ScopedSpan directly when they
+// need to attach result args); with no session installed a scope costs one
+// relaxed atomic load and a branch — the disabled path stays off the
+// profile (verified by bench_perf_regression's overhead check). Recording
+// never mutates simulation state or consumes simulation randomness, so a
+// traced run computes the bit-identical schedule of an untraced one.
+//
+// Thread-safety: each thread records into its own buffer (registration of a
+// new thread takes the session mutex once); concurrent record() calls never
+// share mutable state. snapshot()/export must not race with recording —
+// drain after the parallel region, as the benches and the simulator do.
+//
+// Determinism contract: span names, categories, and args are pure functions
+// of the simulation, so traces taken at HADAR_THREADS=1 and =N contain the
+// same multiset of events, differing only in tid and wall-time fields
+// (tests/test_obs.cpp pins this).
+//
+// Span taxonomy (DESIGN.md §10): sim.run > sim.round > {sim.failures,
+// sched.schedule > {hadar.price_bounds, hadar.dp > hadar.beam_level,
+// gavel.recompute > lp.solve > {lp.phase1, lp.phase2, lp.canonicalize},
+// *.pack}, sim.advance}, plus fault/lifecycle instants and "C" counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace hadar::obs {
+
+struct TraceConfig {
+  bool enabled = true;  ///< false constructs a session that never records
+  /// 0 = round-level spans only; 1 (default) = scheduler/solver internals;
+  /// 2 = fine-grained (beam levels, LP phases). HADAR_TRACE_DETAIL.
+  int detail = 1;
+  std::string path;  ///< export target used by TraceGuard-style owners
+};
+
+/// One numeric key/value attached to an event. Keys are string literals
+/// (call sites pass compile-time names; nothing is copied on the hot path).
+struct TraceArg {
+  const char* key = nullptr;
+  double value = 0.0;
+};
+
+enum class TracePhase : char {
+  kComplete = 'X',  ///< span with ts + dur
+  kInstant = 'i',   ///< point event
+  kCounter = 'C',   ///< sampled value (renders as a track in Perfetto)
+};
+
+struct TraceEvent {
+  static constexpr int kMaxArgs = 4;
+
+  const char* name = "";
+  const char* cat = "";
+  TracePhase phase = TracePhase::kInstant;
+  double ts_us = 0.0;   ///< wall time since session install, microseconds
+  double dur_us = 0.0;  ///< kComplete only
+  std::uint32_t tid = 0;
+  TraceArg args[kMaxArgs];
+  int num_args = 0;
+  /// Optional single string-valued arg (e.g. the scheduler name).
+  const char* str_key = nullptr;
+  std::string str_value;
+
+  void add_arg(const char* key, double value) {
+    if (num_args < kMaxArgs) args[num_args++] = {key, value};
+  }
+};
+
+/// Records spans/instants/counters and owns the session's MetricsRegistry.
+class TraceSession {
+ public:
+  explicit TraceSession(TraceConfig cfg = {});
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Makes this the process-wide current session (starting its clock) /
+  /// removes it. Install/uninstall must not race with recording threads.
+  void install();
+  void uninstall();
+
+  /// The installed session, or nullptr. One relaxed atomic load.
+  static TraceSession* current() {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  const TraceConfig& config() const { return cfg_; }
+  int detail() const { return cfg_.detail; }
+
+  /// Microseconds since install().
+  double now_us() const;
+
+  /// Appends to the calling thread's buffer (thread-safe, lock-free after
+  /// the thread's first event).
+  void record(TraceEvent e);
+
+  void instant(const char* cat, const char* name,
+               std::initializer_list<TraceArg> args = {});
+  /// Emits a Chrome "C" event: `name` becomes a value track over time.
+  void counter(const char* name, double value);
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Appends one per-round row (all counter/gauge values) to the session's
+  /// metrics CSV. Called by the simulator at round boundaries.
+  void sample_metrics(double sim_time);
+  /// Per-round metrics CSV accumulated via sample_metrics(); empty when no
+  /// rounds were sampled.
+  std::string metrics_csv() const;
+
+  /// Merged copy of all thread buffers, ordered by (tid, ts). Must not race
+  /// with in-flight record() calls.
+  std::vector<TraceEvent> snapshot() const;
+  std::size_t event_count() const;
+
+  /// Chrome trace JSON ({"traceEvents": [...]}). Load via chrome://tracing
+  /// or https://ui.perfetto.dev.
+  std::string chrome_json() const;
+  bool write_chrome_json(const std::string& path) const;
+
+  /// Drops all recorded events (buffers stay registered).
+  void clear();
+
+ private:
+  struct ThreadBuf {
+    std::uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  ThreadBuf* buf_for_this_thread();
+
+  static std::atomic<TraceSession*> current_;
+
+  TraceConfig cfg_;
+  std::uint64_t id_ = 0;  ///< process-unique, keys the thread-local cache
+  std::int64_t start_ns_ = 0;
+  MetricsRegistry metrics_;
+
+  mutable std::mutex mu_;  // guards bufs_ registration and the metrics CSV
+  std::vector<std::unique_ptr<ThreadBuf>> bufs_;
+  MetricsCsvSampler csv_{&metrics_};
+};
+
+/// True when a session is installed; the gate every hook checks first.
+inline bool tracing() { return TraceSession::current() != nullptr; }
+
+/// Metric helpers that no-op without an installed session. Handle lookup is
+/// by name per call — cache the Counter& in hot loops that fire per item.
+void count(const char* name, std::uint64_t delta = 1);
+void gauge_set(const char* name, double value);
+void observe(const char* name, double value);  // see kDurationBucketsMs
+
+/// Default duration buckets (milliseconds) for observe() histograms.
+std::vector<double> duration_buckets_ms();
+
+/// RAII span: records a kComplete event covering its lifetime. When no
+/// session is installed (or the session's detail level is below
+/// `min_detail`) construction is a load+branch and everything else no-ops.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* cat, const char* name, int min_detail = 0) {
+    TraceSession* s = TraceSession::current();
+    if (s == nullptr || s->detail() < min_detail) return;
+    session_ = s;
+    event_.cat = cat;
+    event_.name = name;
+    event_.phase = TracePhase::kComplete;
+    event_.ts_us = s->now_us();
+  }
+  ~ScopedSpan() {
+    if (session_ == nullptr) return;
+    event_.dur_us = session_->now_us() - event_.ts_us;
+    session_->record(std::move(event_));
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach args any time before destruction (e.g. results computed inside
+  /// the span). No-ops when the span is disabled.
+  void arg(const char* key, double value) {
+    if (session_ != nullptr) event_.add_arg(key, value);
+  }
+  void str_arg(const char* key, std::string value) {
+    if (session_ != nullptr) {
+      event_.str_key = key;
+      event_.str_value = std::move(value);
+    }
+  }
+  bool active() const { return session_ != nullptr; }
+
+ private:
+  TraceSession* session_ = nullptr;
+  TraceEvent event_;
+};
+
+}  // namespace hadar::obs
+
+// HADAR_TRACE_SCOPE("cat", "name"[, min_detail]): anonymous ScopedSpan for
+// the enclosing block. Define HADAR_OBS_NO_TRACING to compile every scope
+// to nothing (the belt-and-braces kill switch; the runtime gate is already
+// one branch).
+#ifdef HADAR_OBS_NO_TRACING
+#define HADAR_TRACE_SCOPE(...) ((void)0)
+#else
+#define HADAR_OBS_CONCAT2(a, b) a##b
+#define HADAR_OBS_CONCAT(a, b) HADAR_OBS_CONCAT2(a, b)
+#define HADAR_TRACE_SCOPE(...) \
+  ::hadar::obs::ScopedSpan HADAR_OBS_CONCAT(hadar_trace_scope_, __LINE__)(__VA_ARGS__)
+#endif

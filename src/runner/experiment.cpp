@@ -8,6 +8,7 @@
 #include "baselines/tiresias.hpp"
 #include "baselines/yarn_cs.hpp"
 #include "core/hadar_scheduler.hpp"
+#include "obs/trace.hpp"
 
 namespace hadar::runner {
 
@@ -76,7 +77,10 @@ sim::SchedulerPtr make_scheduler(const std::string& name) {
 
 std::vector<SchedulerRun> compare(const ExperimentConfig& cfg,
                                   const std::vector<std::string>& schedulers) {
+  HADAR_TRACE_SCOPE("runner", "runner.compare");
   return common::parallel_map(schedulers.size(), [&](std::size_t i) {
+    obs::ScopedSpan span("runner", "runner.case");
+    if (span.active()) span.str_arg("case", schedulers[i]);
     sim::Simulator simulator(cfg.sim);
     auto sched = make_scheduler(schedulers[i]);
     return SchedulerRun{sched->name(), simulator.run(cfg.spec, cfg.trace, *sched)};
@@ -84,8 +88,11 @@ std::vector<SchedulerRun> compare(const ExperimentConfig& cfg,
 }
 
 std::vector<SweepResult> sweep(const std::vector<SweepCase>& cases) {
+  HADAR_TRACE_SCOPE("runner", "runner.sweep");
   return common::parallel_map(cases.size(), [&](std::size_t i) {
     const SweepCase& c = cases[i];
+    obs::ScopedSpan span("runner", "runner.case");
+    if (span.active()) span.str_arg("case", c.label + "/" + c.scheduler);
     sim::Simulator simulator(c.config.sim);
     auto sched = make_scheduler(c.scheduler);
     return SweepResult{c.label, sched->name(),

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <tuple>
 
+#include "common/time_format.hpp"
+
 namespace hadar::sim {
 
 const char* to_string(EventKind k) {
@@ -49,11 +51,12 @@ std::string EventLog::to_string() const {
   std::string out;
   char buf[64];
   for (const auto& e : sorted()) {
+    const std::string when = common::format_sim_time(e.time);
     if (e.job == kInvalidJob) {
-      std::snprintf(buf, sizeof(buf), "[t=%.1fs] %s", e.time, sim::to_string(e.kind));
+      std::snprintf(buf, sizeof(buf), "[t=%s] %s", when.c_str(), sim::to_string(e.kind));
     } else {
-      std::snprintf(buf, sizeof(buf), "[t=%.1fs] %s job %d", e.time, sim::to_string(e.kind),
-                    e.job);
+      std::snprintf(buf, sizeof(buf), "[t=%s] %s job %d", when.c_str(),
+                    sim::to_string(e.kind), e.job);
     }
     out += buf;
     if (!e.detail.empty()) {

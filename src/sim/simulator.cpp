@@ -9,6 +9,7 @@
 #include "cluster/cluster_state.hpp"
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace hadar::sim {
 namespace {
@@ -86,6 +87,12 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
     }
   }
 
+  obs::ScopedSpan run_span("sim", "sim.run");
+  if (run_span.active()) {
+    run_span.str_arg("scheduler", scheduler.name());
+    run_span.arg("jobs", static_cast<double>(trace.jobs.size()));
+  }
+
   SimResult result;
   std::size_t next_arrival = 0;  // trace is arrival-sorted
   std::size_t unfinished = trace.jobs.size();
@@ -124,10 +131,19 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
   while (unfinished > 0) {
     if (config_.horizon > 0.0 && t >= config_.horizon) break;
 
+    obs::ScopedSpan round_span("sim", "sim.round");
+    if (round_span.active()) {
+      round_span.arg("round", static_cast<double>(result.rounds));
+      round_span.arg("t", t);
+    }
+    int round_preemptions = 0;
+    int round_kills = 0;
+
     // Apply availability changes due at this round boundary, then kill jobs
     // whose held allocation no longer fits the live cluster. Each victim
     // rolls back to its last implicit checkpoint and re-enters the queue.
     if (failures_on) {
+      HADAR_TRACE_SCOPE("sim", "sim.failures", 1);
       const std::vector<ClusterEvent> fired = fm->advance_to(t);
       if (!fired.empty()) {
         for (const ClusterEvent& e : fired) {
@@ -144,6 +160,11 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
               detail += " " + spec.types().name(e.type) + " x" + std::to_string(e.count);
             }
             log_.record(e.time, to_event_kind(e.kind), kInvalidJob, std::move(detail));
+          }
+          if (obs::TraceSession* ts = obs::TraceSession::current()) {
+            ts->instant("fault", sim::to_string(to_event_kind(e.kind)),
+                        {{"node", static_cast<double>(e.node)}, {"sim_t", e.time}});
+            obs::count("fault.events");
           }
         }
         live_spec_storage = spec.masked(fm->mask());
@@ -165,7 +186,12 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
           ++s.out.failure_kills;
           s.restart_pending = true;
           s.current = cluster::JobAllocation{};
+          ++round_kills;
           log_.record(t, EventKind::kKill, s.spec->id);
+          if (obs::TraceSession* ts = obs::TraceSession::current()) {
+            ts->instant("fault", "job_kill",
+                        {{"job", static_cast<double>(s.spec->id)}, {"sim_t", t}});
+          }
         }
       }
     }
@@ -234,19 +260,32 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
       }
     }
 
+    if (round_span.active()) {
+      round_span.arg("runnable", static_cast<double>(ctx.jobs.size()));
+    }
     const double t0 = now_seconds();
-    cluster::AllocationMap amap = scheduler.schedule(ctx);
+    cluster::AllocationMap amap;
+    {
+      obs::ScopedSpan sched_span("sched", "sched.schedule");
+      if (sched_span.active()) {
+        sched_span.str_arg("scheduler", scheduler.name());
+        sched_span.arg("runnable", static_cast<double>(ctx.jobs.size()));
+      }
+      amap = scheduler.schedule(ctx);
+    }
     result.scheduler_seconds += now_seconds() - t0;
     ++result.scheduler_calls;
 
     if (config_.validate_allocations) {
+      HADAR_TRACE_SCOPE("sim", "sim.validate", 2);
       const std::string err = cluster::validate(*ctx.spec, amap);
       if (!err.empty()) {
         throw std::runtime_error(scheduler.name() + ": capacity violation: " + err);
       }
       for (const auto& [id, alloc] : amap) {
         if (alloc.empty()) continue;
-        if (id < 0 || static_cast<std::size_t>(id) >= js.size() || !js[static_cast<std::size_t>(id)].active ||
+        if (id < 0 || static_cast<std::size_t>(id) >= js.size() ||
+            !js[static_cast<std::size_t>(id)].active ||
             js[static_cast<std::size_t>(id)].finished) {
           throw std::runtime_error(scheduler.name() + ": allocated a non-runnable job " +
                                    std::to_string(id));
@@ -262,7 +301,9 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
     }
 
     // Advance every active job through the round [t, t+L).
+    obs::ScopedSpan advance_span("sim", "sim.advance", 1);
     bool progressed = false;
+    int round_scheduled = 0;
     for (auto& s : js) {
       if (!s.active || s.finished) continue;
       const auto it = amap.find(s.spec->id);
@@ -272,12 +313,14 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
       if (alloc.empty()) {
         if (!s.current.empty()) {
           ++s.out.preemptions;
+          ++round_preemptions;
           log_.record(t, EventKind::kPreempt, s.spec->id);
         }
         s.current = cluster::JobAllocation{};
         continue;
       }
 
+      ++round_scheduled;
       const bool changed = !(alloc == s.current);
       if (s.out.first_start < 0.0) {
         s.out.first_start = t;
@@ -298,6 +341,13 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
                                            : s.spec->checkpoint_save + s.spec->checkpoint_load);
       } else if (config_.charge_periodic_save) {
         penalty = s.spec->checkpoint_save;
+      }
+      if (changed && s.restart_pending) {
+        if (obs::TraceSession* ts = obs::TraceSession::current()) {
+          ts->instant("checkpoint", "checkpoint_restore",
+                      {{"job", static_cast<double>(s.spec->id)}, {"sim_t", t}});
+          obs::count("checkpoint.restores");
+        }
       }
       s.restart_pending = false;
       penalty = std::min(penalty, L);
@@ -369,8 +419,25 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
       stalled_rounds = 0;
     }
 
+    if (obs::TraceSession* ts = obs::TraceSession::current()) {
+      const int queue_depth = static_cast<int>(ctx.jobs.size()) - round_scheduled;
+      ts->counter("round.queue_depth", queue_depth);
+      ts->counter("round.scheduled_jobs", round_scheduled);
+      obs::count("sim.rounds");
+      obs::count("round.preemptions", static_cast<std::uint64_t>(round_preemptions));
+      obs::count("round.failure_kills", static_cast<std::uint64_t>(round_kills));
+      obs::gauge_set("round.queue_depth", queue_depth);
+      obs::gauge_set("round.scheduled_jobs", round_scheduled);
+      ts->sample_metrics(t);
+    }
+
     t += L;
     ++result.rounds;
+  }
+
+  if (run_span.active()) {
+    run_span.arg("rounds", static_cast<double>(result.rounds));
+    run_span.arg("scheduler_calls", static_cast<double>(result.scheduler_calls));
   }
 
   // ---- finalize metrics ----

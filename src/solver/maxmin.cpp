@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "solver/lp.hpp"
 
 namespace hadar::solver {
@@ -47,6 +48,12 @@ std::int64_t key_of(const MaxMinProblem& p, int j) {
 // fallback stays deterministic) after dropping the stale warm basis.
 LpSolution solve_dispatch(const LpProblem& lp, const LpLabels& labels, int max_iterations,
                           LpEngine engine, LpContext* lpctx) {
+  obs::ScopedSpan span("lp", "lp.solve", 1);
+  if (span.active()) {
+    span.arg("rows", static_cast<double>(lp.num_constraints()));
+    span.arg("vars", static_cast<double>(lp.num_vars()));
+  }
+  obs::count("lp.solves");
   SimplexOptions opts;
   opts.max_iterations = max_iterations;
   if (engine == LpEngine::kDense) return solve(lp, opts);
@@ -55,8 +62,10 @@ LpSolution solve_dispatch(const LpProblem& lp, const LpLabels& labels, int max_i
   if (sol.status != LpStatus::kOptimal && sol.status != LpStatus::kInfeasible &&
       sol.status != LpStatus::kUnbounded) {
     if (lpctx != nullptr) lpctx->clear();
+    obs::count("lp.dense_fallbacks");
     sol = solve(lp, opts);
   }
+  if (span.active()) span.str_arg("status", to_string(sol.status));
   return sol;
 }
 

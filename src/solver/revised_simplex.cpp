@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace hadar::solver {
 namespace {
 
@@ -76,12 +78,15 @@ class RevisedEngine {
       if (try_warm_crash(*warm_candidates)) {
         *warm_used = true;
         ++stats->warm_hits;
+        obs::count("solver.warm_hits");
       }
     }
     if (!*warm_used) {
       ++stats->cold_solves;
+      obs::count("solver.cold_solves");
       init_cold_basis();
       if (n_real_art_ > 0) {
+        HADAR_TRACE_SCOPE("lp", "lp.phase1", 2);
         const LpStatus st = phase1(stats);
         if (st != LpStatus::kOptimal) {
           sol.status = st;
@@ -95,12 +100,19 @@ class RevisedEngine {
     // exists are redundant — their artificial is frozen at 0 forever).
     drive_out_artificials();
 
-    const LpStatus st = phase2(stats);
+    LpStatus st;
+    {
+      HADAR_TRACE_SCOPE("lp", "lp.phase2", 2);
+      st = phase2(stats);
+    }
     if (st != LpStatus::kOptimal) {
       sol.status = st;
       return sol;
     }
-    canonicalize(stats);
+    {
+      HADAR_TRACE_SCOPE("lp", "lp.canonicalize", 2);
+      canonicalize(stats);
+    }
     extract(sol);
     return sol;
   }
@@ -273,7 +285,9 @@ class RevisedEngine {
       col[r] = tp;  // the i==r subtraction above zeroed it; restore E*col row r
     }
     const double ratio = xb_[static_cast<std::size_t>(r)] * inv;
-    for (int i = 0; i < m_; ++i) xb_[static_cast<std::size_t>(i)] -= y_[static_cast<std::size_t>(i)] * ratio;
+    for (int i = 0; i < m_; ++i) {
+      xb_[static_cast<std::size_t>(i)] -= y_[static_cast<std::size_t>(i)] * ratio;
+    }
     xb_[static_cast<std::size_t>(r)] = ratio;
     in_basis_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] = 0;
     basis_[static_cast<std::size_t>(r)] = q;
@@ -627,7 +641,9 @@ class RevisedEngine {
         const double f = col[static_cast<std::size_t>(pivot_row[k])];
         if (f == 0.0) continue;
         const std::vector<double>& u = reduced[k];
-        for (int i = 0; i < m_; ++i) col[static_cast<std::size_t>(i)] -= f * u[static_cast<std::size_t>(i)];
+        for (int i = 0; i < m_; ++i) {
+          col[static_cast<std::size_t>(i)] -= f * u[static_cast<std::size_t>(i)];
+        }
         col[static_cast<std::size_t>(pivot_row[k])] = 0.0;
       }
       int p = -1;
@@ -723,9 +739,11 @@ class RevisedEngine {
     v.assign(b_.begin(), b_.end());
     for (int k = 0; k < m_; ++k) {
       int p = k;
-      double best = std::fabs(work_[static_cast<std::size_t>(k) * mm + static_cast<std::size_t>(k)]);
+      double best =
+          std::fabs(work_[static_cast<std::size_t>(k) * mm + static_cast<std::size_t>(k)]);
       for (int i = k + 1; i < m_; ++i) {
-        const double t = std::fabs(work_[static_cast<std::size_t>(i) * mm + static_cast<std::size_t>(k)]);
+        const double t =
+            std::fabs(work_[static_cast<std::size_t>(i) * mm + static_cast<std::size_t>(k)]);
         if (t > best) {
           best = t;
           p = i;
@@ -739,9 +757,11 @@ class RevisedEngine {
         }
         std::swap(v[static_cast<std::size_t>(k)], v[static_cast<std::size_t>(p)]);
       }
-      const double inv = 1.0 / work_[static_cast<std::size_t>(k) * mm + static_cast<std::size_t>(k)];
+      const double inv =
+          1.0 / work_[static_cast<std::size_t>(k) * mm + static_cast<std::size_t>(k)];
       for (int i = k + 1; i < m_; ++i) {
-        const double f = work_[static_cast<std::size_t>(i) * mm + static_cast<std::size_t>(k)] * inv;
+        const double f =
+            work_[static_cast<std::size_t>(i) * mm + static_cast<std::size_t>(k)] * inv;
         if (f == 0.0) continue;
         work_[static_cast<std::size_t>(i) * mm + static_cast<std::size_t>(k)] = f;
         for (int j = k + 1; j < m_; ++j) {
@@ -757,7 +777,8 @@ class RevisedEngine {
         s -= work_[static_cast<std::size_t>(i) * mm + static_cast<std::size_t>(j)] *
              v[static_cast<std::size_t>(j)];
       }
-      v[static_cast<std::size_t>(i)] = s / work_[static_cast<std::size_t>(i) * mm + static_cast<std::size_t>(i)];
+      v[static_cast<std::size_t>(i)] =
+          s / work_[static_cast<std::size_t>(i) * mm + static_cast<std::size_t>(i)];
     }
     return true;
   }

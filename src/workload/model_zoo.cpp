@@ -69,7 +69,8 @@ JobSpec ModelZoo::make_job(const std::string& model, const cluster::GpuTypeRegis
   }
   const double total_iters = ideal_runtime * best * num_workers;
   job.epochs = std::max<std::int64_t>(
-      1, static_cast<std::int64_t>(std::llround(total_iters / static_cast<double>(p->chunks_per_epoch))));
+      1, static_cast<std::int64_t>(
+             std::llround(total_iters / static_cast<double>(p->chunks_per_epoch))));
   job.validate(reg.size());
   return job;
 }

@@ -72,7 +72,8 @@ Trace TraceGenerator::generate(const TraceGenConfig& cfg) const {
         for (int m = 0; m < zoo_->size(); ++m) candidates.push_back(&zoo_->profile(m));
       }
       profile =
-          candidates[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+          candidates[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
     }
 
     const int workers =

@@ -216,7 +216,8 @@ TEST(DpAllocation, RejectsBadConfig) {
   PriceBook book(3, PricingConfig{});
   DpConfig bad;
   bad.beam_width = 0;
-  EXPECT_THROW(dp_allocation({}, state, book, u, 0.0, sim::NetworkModel{}, bad), std::invalid_argument);
+  EXPECT_THROW(dp_allocation({}, state, book, u, 0.0, sim::NetworkModel{}, bad),
+               std::invalid_argument);
 }
 
 // ------------------------------------------------- Fig. 1 toy example ----

@@ -1,0 +1,439 @@
+// Tests for the observability layer (src/obs) and its consumers: span
+// recording/nesting, metrics registry semantics (bucket edges, kind
+// conflicts, reset), Chrome-JSON export schema, the trace_report breakdown,
+// the shared sim-time formatter, and the two determinism contracts —
+// identical span multisets across thread counts, and a traced run computing
+// the bit-identical schedule of an untraced one. The concurrent-recording
+// test doubles as the TSan target for the CI sanitizer matrix.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "analysis/trace_report.hpp"
+#include "common/thread_pool.hpp"
+#include "common/time_format.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runner/experiment.hpp"
+#include "runner/scenarios.hpp"
+
+namespace hadar {
+namespace {
+
+using common::ScopedThreadCount;
+
+/// Installs a session for the test body and guarantees uninstall on exit
+/// (a leaked install would leak tracing into every later test).
+class Installed {
+ public:
+  explicit Installed(obs::TraceSession* s) : s_(s) { s_->install(); }
+  ~Installed() { s_->uninstall(); }
+  Installed(const Installed&) = delete;
+  Installed& operator=(const Installed&) = delete;
+
+ private:
+  obs::TraceSession* s_;
+};
+
+// ---------------------------------------------------------------- spans --
+
+TEST(TraceSession, RecordsNestedSpansInOrder) {
+  obs::TraceSession session;
+  {
+    Installed in(&session);
+    HADAR_TRACE_SCOPE("test", "outer");
+    {
+      HADAR_TRACE_SCOPE("test", "inner");
+    }
+  }
+  const auto events = session.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  auto find = [&](const char* name) {
+    return std::find_if(events.begin(), events.end(), [&](const obs::TraceEvent& e) {
+      return std::string(e.name) == name;
+    });
+  };
+  const auto outer = find("outer");
+  const auto inner = find("inner");
+  ASSERT_NE(outer, events.end());
+  ASSERT_NE(inner, events.end());
+  // Same thread, and the outer interval contains the inner one.
+  EXPECT_EQ(outer->tid, inner->tid);
+  EXPECT_LE(outer->ts_us, inner->ts_us);
+  EXPECT_GE(outer->ts_us + outer->dur_us, inner->ts_us + inner->dur_us);
+  EXPECT_EQ(inner->phase, obs::TracePhase::kComplete);
+}
+
+TEST(TraceSession, DetailLevelGatesSpans) {
+  obs::TraceConfig cfg;
+  cfg.detail = 0;
+  obs::TraceSession session(cfg);
+  {
+    Installed in(&session);
+    HADAR_TRACE_SCOPE("test", "coarse", 0);
+    HADAR_TRACE_SCOPE("test", "fine", 2);  // above the session's detail
+    obs::ScopedSpan span("test", "also_fine", 1);
+    EXPECT_FALSE(span.active());
+  }
+  const auto events = session.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "coarse");
+}
+
+TEST(TraceSession, NoSessionMeansNoRecording) {
+  ASSERT_EQ(obs::TraceSession::current(), nullptr);
+  EXPECT_FALSE(obs::tracing());
+  obs::ScopedSpan span("test", "orphan");
+  EXPECT_FALSE(span.active());
+  span.arg("ignored", 1.0);  // must be safe no-ops
+  obs::count("orphan.counter");
+  obs::gauge_set("orphan.gauge", 3.0);
+  obs::observe("orphan.hist", 5.0);
+}
+
+TEST(TraceSession, SpanArgsAndInstantsRoundTrip) {
+  obs::TraceSession session;
+  {
+    Installed in(&session);
+    {
+      obs::ScopedSpan span("test", "work");
+      span.arg("items", 7.0);
+      span.str_arg("label", "abc");
+    }
+    session.instant("test", "tick", {{"round", 3.0}});
+    session.counter("depth", 4.0);
+  }
+  const auto events = session.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  const auto& span = events[0];
+  ASSERT_EQ(span.num_args, 1);
+  EXPECT_STREQ(span.args[0].key, "items");
+  EXPECT_EQ(span.args[0].value, 7.0);
+  EXPECT_STREQ(span.str_key, "label");
+  EXPECT_EQ(span.str_value, "abc");
+  EXPECT_EQ(events[1].phase, obs::TracePhase::kInstant);
+  EXPECT_EQ(events[2].phase, obs::TracePhase::kCounter);
+  EXPECT_EQ(events[2].args[0].value, 4.0);
+}
+
+TEST(TraceSession, ClearDropsEventsKeepsRecording) {
+  obs::TraceSession session;
+  Installed in(&session);
+  { HADAR_TRACE_SCOPE("test", "a"); }
+  session.clear();
+  EXPECT_EQ(session.event_count(), 0u);
+  { HADAR_TRACE_SCOPE("test", "b"); }
+  ASSERT_EQ(session.event_count(), 1u);
+  EXPECT_STREQ(session.snapshot()[0].name, "b");
+}
+
+// -------------------------------------------------------------- metrics --
+
+TEST(Metrics, HistogramBucketEdges) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // first bucket
+  h.observe(1.0);    // edge: (.., 1.0] -> first bucket
+  h.observe(1.0001); // second bucket
+  h.observe(10.0);   // edge -> second bucket
+  h.observe(100.0);  // edge -> third bucket
+  h.observe(100.5);  // overflow
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 2u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 1u);
+  EXPECT_EQ(s.total, 6u);
+  EXPECT_NEAR(s.sum, 0.5 + 1.0 + 1.0001 + 10.0 + 100.0 + 100.5, 1e-9);
+}
+
+TEST(Metrics, RegistryKindConflictThrows) {
+  obs::MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("x", {1.0}), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("h", {}), std::invalid_argument);       // empty bounds
+  EXPECT_THROW(reg.histogram("h", {2.0, 1.0}), std::invalid_argument);  // not ascending
+}
+
+TEST(Metrics, RegistryResetKeepsHandlesValid) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("c");
+  obs::Gauge& g = reg.gauge("g");
+  obs::Histogram& h = reg.histogram("h", {1.0, 2.0});
+  c.add(5);
+  g.set(7.0);
+  h.observe(1.5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.snapshot().total, 0u);
+  c.add(2);  // old handle must still feed the registry
+  const auto snap = reg.snapshot();
+  const auto it = std::find_if(snap.begin(), snap.end(),
+                               [](const obs::MetricValue& m) { return m.name == "c"; });
+  ASSERT_NE(it, snap.end());
+  EXPECT_EQ(it->value, 2.0);
+}
+
+TEST(Metrics, CsvSamplerFixesColumnsAtFirstSample) {
+  obs::MetricsRegistry reg;
+  reg.counter("a").add(1);
+  obs::MetricsCsvSampler sampler(&reg);
+  sampler.sample(0.0);
+  reg.counter("b").add(9);  // registered after the header: ignored
+  sampler.sample(60.0);
+  const std::string csv = sampler.csv();
+  EXPECT_NE(csv.find("sim_time,a"), std::string::npos);
+  EXPECT_EQ(csv.find(",b"), std::string::npos);
+  EXPECT_EQ(sampler.rows(), 2u);
+}
+
+TEST(Metrics, SessionHelpersFeedRegistry) {
+  obs::TraceSession session;
+  {
+    Installed in(&session);
+    obs::count("n", 3);
+    obs::count("n");
+    obs::gauge_set("depth", 12.0);
+    obs::observe("dur", 4.5);
+  }
+  EXPECT_EQ(session.metrics().counter("n").value(), 4u);
+  EXPECT_EQ(session.metrics().gauge("depth").value(), 12.0);
+  const std::string json = session.metrics().to_json();
+  EXPECT_NE(json.find("\"n\""), std::string::npos);
+  EXPECT_NE(json.find("\"depth\""), std::string::npos);
+}
+
+// --------------------------------------------------------- JSON export ---
+
+TEST(ChromeJson, SchemaHasRequiredFields) {
+  obs::TraceSession session;
+  {
+    Installed in(&session);
+    {
+      obs::ScopedSpan span("cat1", "span1");
+      span.arg("k", 2.0);
+      span.str_arg("s", "v");
+    }
+    session.instant("cat1", "inst1");
+    session.counter("ctr1", 9.0);
+  }
+  const std::string json = session.chrome_json();
+  // Top-level shape chrome://tracing and Perfetto both accept.
+  EXPECT_EQ(json.find('{'), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // One complete span with args, one instant with thread scope, one counter.
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\": \"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"span1\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"cat1\""), std::string::npos);
+  EXPECT_NE(json.find("\"k\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"s\": \"v\""), std::string::npos);
+  // Every event carries pid/tid/ts, and the object closes properly.
+  EXPECT_NE(json.find("\"pid\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\""), std::string::npos);
+  EXPECT_EQ(json.rfind('}'), json.size() - (json.back() == '\n' ? 2 : 1));
+}
+
+// -------------------------------------------------------- trace report ---
+
+TEST(TraceReport, BucketsByCategory) {
+  obs::TraceEvent e;
+  e.cat = "lp";
+  e.name = "lp.solve";
+  EXPECT_EQ(analysis::bucket_of(e), analysis::TimeBucket::kSolve);
+  e.cat = "gavel";
+  e.name = "gavel.recompute";
+  EXPECT_EQ(analysis::bucket_of(e), analysis::TimeBucket::kSolve);
+  e.name = "gavel.pack";
+  EXPECT_EQ(analysis::bucket_of(e), analysis::TimeBucket::kPlacement);
+  e.cat = "hadar";
+  e.name = "hadar.dp";
+  EXPECT_EQ(analysis::bucket_of(e), analysis::TimeBucket::kPlacement);
+  e.cat = "sim";
+  e.name = "sim.advance";
+  EXPECT_EQ(analysis::bucket_of(e), analysis::TimeBucket::kBookkeeping);
+}
+
+TEST(TraceReport, SelfTimeExcludesChildren) {
+  // Hand-built trace: run [0,100] > round [10,90] > solve [20,40],
+  // placement [50,70]. Round self time (bookkeeping) = 80 - 20 - 20 = 40.
+  auto mk = [](const char* cat, const char* name, double ts, double dur) {
+    obs::TraceEvent e;
+    e.cat = cat;
+    e.name = name;
+    e.phase = obs::TracePhase::kComplete;
+    e.ts_us = ts;
+    e.dur_us = dur;
+    return e;
+  };
+  std::vector<obs::TraceEvent> events;
+  obs::TraceEvent run = mk("sim", "sim.run", 0.0, 100.0);
+  run.str_key = "scheduler";
+  run.str_value = "Test";
+  events.push_back(run);
+  obs::TraceEvent round = mk("sim", "sim.round", 10.0, 80.0);
+  round.add_arg("round", 1.0);
+  round.add_arg("t", 360.0);
+  events.push_back(round);
+  events.push_back(mk("lp", "lp.solve", 20.0, 20.0));
+  events.push_back(mk("hadar", "hadar.dp", 50.0, 20.0));
+
+  const auto report = analysis::build_trace_report(events);
+  ASSERT_EQ(report.schedulers.size(), 1u);
+  const auto& sb = report.schedulers[0];
+  EXPECT_EQ(sb.scheduler, "Test");
+  ASSERT_EQ(sb.rounds.size(), 1u);
+  const auto& rb = sb.rounds[0];
+  EXPECT_EQ(rb.round, 1);
+  EXPECT_EQ(rb.sim_t, 360.0);
+  EXPECT_DOUBLE_EQ(rb.total_us, 80.0);
+  EXPECT_DOUBLE_EQ(rb.solve_us, 20.0);
+  EXPECT_DOUBLE_EQ(rb.placement_us, 20.0);
+  EXPECT_DOUBLE_EQ(rb.bookkeeping_us, 40.0);
+
+  const std::string rendered = analysis::render_trace_report(report);
+  EXPECT_NE(rendered.find("Test"), std::string::npos);
+  EXPECT_NE(rendered.find("solve"), std::string::npos);
+}
+
+TEST(TraceReport, EmptyTraceRendersPlaceholder) {
+  const auto report = analysis::build_trace_report({});
+  EXPECT_TRUE(report.schedulers.empty());
+  EXPECT_NE(analysis::render_trace_report(report).find("no sim.run"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------- time formatter --
+
+TEST(TimeFormat, AdaptiveUnits) {
+  EXPECT_EQ(common::format_sim_time(0.0), "0.0s");
+  EXPECT_EQ(common::format_sim_time(12.34), "12.3s");
+  EXPECT_EQ(common::format_sim_time(599.9), "599.9s");
+  EXPECT_EQ(common::format_sim_time(600.0), "10.0min");
+  EXPECT_EQ(common::format_sim_time(3600.0), "60.0min");
+  EXPECT_EQ(common::format_sim_time(7200.0), "2.00h");
+  EXPECT_EQ(common::format_sim_time(11700.0), "3.25h");
+  EXPECT_EQ(common::format_sim_time(-90.0), "-90.0s");
+}
+
+// --------------------------------------------------------- determinism ---
+
+/// (name, cat, detail-args) tuple — everything except tid/wall-time.
+using EventKey = std::tuple<std::string, std::string, std::string>;
+
+std::vector<EventKey> event_multiset(const obs::TraceSession& session) {
+  std::vector<EventKey> keys;
+  for (const auto& e : session.snapshot()) {
+    if (e.phase != obs::TracePhase::kComplete &&
+        e.phase != obs::TracePhase::kInstant) {
+      continue;  // counters sample wall-clock-adjacent state; skip
+    }
+    std::string args;
+    for (int i = 0; i < e.num_args; ++i) {
+      args += e.args[i].key;
+      args += '=';
+      args += std::to_string(e.args[i].value);
+      args += ';';
+    }
+    if (e.str_key != nullptr) {
+      args += e.str_key;
+      args += '=';
+      args += e.str_value;
+    }
+    keys.emplace_back(e.name, e.cat, args);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(ObsDeterminism, SameSpanMultisetAcrossThreadCounts) {
+  const auto cfg = runner::paper_static(24, 42);
+  auto run_traced = [&](int threads) {
+    ScopedThreadCount tc(threads);
+    obs::TraceConfig tcfg;
+    tcfg.detail = 2;
+    obs::TraceSession session(tcfg);
+    Installed in(&session);
+    sim::Simulator sim(cfg.sim);
+    auto sched = runner::make_scheduler("hadar");
+    sim.run(cfg.spec, cfg.trace, *sched);
+    return event_multiset(session);
+  };
+  const auto one = run_traced(1);
+  const auto four = run_traced(4);
+  EXPECT_EQ(one, four);
+}
+
+TEST(ObsDeterminism, TracedRunIsBitIdenticalToUntraced) {
+  const auto cfg = runner::paper_static(24, 42);
+  auto run_once = [&](bool traced) {
+    obs::TraceConfig tcfg;
+    tcfg.detail = 2;
+    obs::TraceSession session(tcfg);
+    if (traced) session.install();
+    sim::Simulator sim(cfg.sim);
+    auto sched = runner::make_scheduler("hadar");
+    auto r = sim.run(cfg.spec, cfg.trace, *sched);
+    if (traced) {
+      session.uninstall();
+      EXPECT_GT(session.event_count(), 0u);
+    }
+    return r;
+  };
+  const auto plain = run_once(false);
+  const auto traced = run_once(true);
+  EXPECT_EQ(plain.makespan, traced.makespan);
+  EXPECT_EQ(plain.avg_jct, traced.avg_jct);
+  EXPECT_EQ(plain.p95_jct, traced.p95_jct);
+  EXPECT_EQ(plain.total_preemptions, traced.total_preemptions);
+  EXPECT_EQ(plain.total_reallocations, traced.total_reallocations);
+  ASSERT_EQ(plain.jobs.size(), traced.jobs.size());
+  for (std::size_t i = 0; i < plain.jobs.size(); ++i) {
+    EXPECT_EQ(plain.jobs[i].finish, traced.jobs[i].finish);
+    EXPECT_EQ(plain.jobs[i].gpu_seconds, traced.jobs[i].gpu_seconds);
+  }
+}
+
+// The TSan target: hammer one session from many threads at once. Asserts
+// only counts (the interesting property is the absence of data races).
+TEST(ObsConcurrency, ParallelRecordingIsRaceFree) {
+  obs::TraceSession session;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  {
+    Installed in(&session);
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&session] {
+        for (int i = 0; i < kPerThread; ++i) {
+          HADAR_TRACE_SCOPE("test", "worker_op");
+          obs::count("ops");
+          obs::observe("op.dur", static_cast<double>(i % 7));
+          session.counter("inflight", static_cast<double>(i));
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+  EXPECT_EQ(session.event_count(),
+            static_cast<std::size_t>(kThreads * kPerThread * 2));  // span + counter
+  EXPECT_EQ(session.metrics().counter("ops").value(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  const auto hist = session.metrics().histogram("op.dur", obs::duration_buckets_ms())
+                        .snapshot();
+  EXPECT_EQ(hist.total, static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace hadar
