@@ -1,0 +1,306 @@
+// Service-mode benchmark: drives the durable SchedulerDaemon with Poisson
+// arrival storms at 100x and 1000x the paper's continuous-trace rate and
+// measures what the durability layer costs —
+//   * admission-queue ingest throughput (events/second),
+//   * per-round latency percentiles (p50/p95/p99, includes the changelog
+//     append) and sustained rounds/second,
+//   * crash-recovery time as a function of the changelog tail length
+//     (replayed records vs wall-clock), and
+//   * the EventLog sorted-view maintenance cost per round (the O(new
+//     events) merge structure, guarded against regressing to a full sort).
+//
+// Emits BENCH_SERVICE.json and feeds the stable micros through the same
+// calibration-normalized perf gate as bench_perf_regression (baseline.json
+// keys service_round_median / service_recovery_per_round /
+// event_log_round_delta; HADAR_PERF_GATE / HADAR_PERF_INJECT_SLOWDOWN
+// apply).
+//
+// Knobs: HADAR_BENCH_JOBS (jobs per storm, default 96), HADAR_SERVICE_FSYNC
+// (changelog durability mode for the storm runs, default none).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "perf_gate.hpp"
+#include "runner/experiment.hpp"
+#include "service/daemon.hpp"
+#include "service/recovery.hpp"
+#include "sim/event_log.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/trace_gen.hpp"
+
+using namespace hadar;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The paper's continuous experiments submit ~60 jobs/hour; the storms
+/// multiply that.
+constexpr double kPaperJobsPerHour = 60.0;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string d = (fs::temp_directory_path() / ("hadar_bench_" + name)).string();
+  fs::remove_all(d);
+  return d;
+}
+
+workload::Trace storm_trace(const cluster::ClusterSpec& spec, int jobs, double rate_mult,
+                            std::uint64_t seed) {
+  static const workload::ModelZoo zoo = workload::ModelZoo::paper_default();
+  workload::TraceGenConfig cfg;
+  cfg.num_jobs = jobs;
+  cfg.arrivals = workload::ArrivalPattern::kContinuous;
+  cfg.jobs_per_hour = kPaperJobsPerHour * rate_mult;
+  cfg.seed = seed;
+  return workload::TraceGenerator(&zoo, &spec.types()).generate(cfg);
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+struct StormResult {
+  double rate_mult = 0.0;
+  int jobs = 0;
+  double ingest_events_per_s = 0.0;
+  long long rounds = 0;
+  double run_seconds = 0.0;
+  double rounds_per_s = 0.0;
+  double round_ms_p50 = 0.0;
+  double round_ms_p95 = 0.0;
+  double round_ms_p99 = 0.0;
+  double round_ms_max = 0.0;
+  std::uint64_t changelog_bytes = 0;
+  std::string dir;  ///< durable dir left behind for the recovery curve
+};
+
+StormResult run_storm(const cluster::ClusterSpec& spec, double rate_mult, int jobs,
+                      long long snapshot_interval) {
+  StormResult out;
+  out.rate_mult = rate_mult;
+  out.jobs = jobs;
+  const workload::Trace trace = storm_trace(spec, jobs, rate_mult, 42);
+
+  char tag[64];
+  std::snprintf(tag, sizeof(tag), "storm_%dx", static_cast<int>(rate_mult));
+  out.dir = fresh_dir(tag);
+
+  service::ServiceConfig cfg;
+  cfg.dir = out.dir;
+  cfg.snapshot_interval = snapshot_interval;
+  cfg.queue_depth = static_cast<std::size_t>(jobs);
+  cfg.fsync = service::fsync_mode_from_env("HADAR_SERVICE_FSYNC", service::FsyncMode::kNone);
+  cfg.sim.seed = 42;
+  service::SchedulerDaemon daemon(&spec, runner::make_scheduler("hadar"), cfg);
+
+  // Ingest: the bounded queue absorbing the whole storm in one burst.
+  {
+    common::WallTimer t;
+    for (const auto& j : trace.jobs) {
+      if (!daemon.submit(j)) std::fprintf(stderr, "storm: queue rejected job %d\n", j.id);
+    }
+    const double s = t.seconds();
+    out.ingest_events_per_s = s > 0.0 ? static_cast<double>(jobs) / s : 0.0;
+  }
+
+  // Round loop: every round carries scheduling + advancement + the durable
+  // changelog append.
+  std::vector<double> round_s;
+  common::WallTimer total;
+  while (true) {
+    common::WallTimer t;
+    if (!daemon.run_round().has_value()) break;
+    round_s.push_back(t.seconds());
+  }
+  out.run_seconds = total.seconds();
+  out.rounds = daemon.engine().rounds_completed();
+  out.rounds_per_s =
+      out.run_seconds > 0.0 ? static_cast<double>(out.rounds) / out.run_seconds : 0.0;
+  out.round_ms_p50 = percentile(round_s, 0.50) * 1e3;
+  out.round_ms_p95 = percentile(round_s, 0.95) * 1e3;
+  out.round_ms_p99 = percentile(round_s, 0.99) * 1e3;
+  out.round_ms_max = round_s.empty() ? 0.0 : *std::max_element(round_s.begin(), round_s.end()) * 1e3;
+  for (const auto& e : fs::directory_iterator(out.dir)) {
+    if (e.path().extension() == ".wal") out.changelog_bytes += e.file_size();
+  }
+  return out;
+}
+
+struct RecoveryPoint {
+  long long records = 0;
+  double seconds = 0.0;
+  double rounds_per_s = 0.0;
+};
+
+/// Recovery time vs changelog length: truncate a no-snapshot changelog to a
+/// fraction of its records and time a full genesis replay of the prefix.
+RecoveryPoint time_recovery(const cluster::ClusterSpec& spec, const std::string& src_wal,
+                            const std::vector<std::uint64_t>& record_ends,
+                            std::size_t keep_records) {
+  const std::string dir = fresh_dir("recovery_curve");
+  fs::create_directories(dir);
+  const std::string dst = service::changelog_path(dir, 0);
+  fs::copy_file(src_wal, dst);
+  if (keep_records < record_ends.size()) {
+    service::truncate_changelog(
+        dst, keep_records == 0 ? service::kMagicSize : record_ends[keep_records - 1]);
+  }
+  sim::SimConfig sim;
+  sim.seed = 42;
+  sim::RoundEngine engine(&spec, sim);
+  auto sched = runner::make_scheduler("hadar");
+  sched->reset();
+  const service::RecoveryReport rep = service::recover(dir, engine, *sched);
+  RecoveryPoint p;
+  p.records = rep.replayed_rounds;
+  p.seconds = rep.seconds;
+  p.rounds_per_s = rep.seconds > 0.0 ? static_cast<double>(rep.replayed_rounds) / rep.seconds : 0.0;
+  return p;
+}
+
+/// EventLog sorted-view upkeep per round: append a round's worth of events,
+/// consume the sorted delta — the daemon's notification path. The merge
+/// structure makes this O(new events); a regression to a full per-round sort
+/// shows up as superlinear time and trips the gate.
+double event_log_round_delta_seconds() {
+  constexpr int kRounds = 3000;
+  constexpr int kPerRound = 32;
+  const double s = bench::median_timing([&] {
+    common::WallTimer t;
+    sim::EventLog log;
+    log.set_enabled(true);
+    std::size_t cursor = 0;
+    for (int r = 0; r < kRounds; ++r) {
+      for (int e = 0; e < kPerRound; ++e) {
+        // Timestamps interleave across rounds (arrivals recorded in the
+        // past, finishes in the future) — the merge path, not append-only.
+        const double time = r * 360.0 + ((e * 7919) % 720) - 360.0;
+        log.record(time, e % 3 == 0 ? sim::EventKind::kFinish : sim::EventKind::kStart,
+                   e, "");
+      }
+      const auto delta = log.sorted_since(cursor);
+      cursor = log.size();
+      if (delta.size() != kPerRound) std::fprintf(stderr, "event_log: bad delta\n");
+    }
+    return t.seconds();
+  });
+  return s / kRounds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::TraceGuard trace_guard(argc, argv);
+  const int jobs = bench::bench_jobs(96);
+  const cluster::ClusterSpec spec = cluster::ClusterSpec::simulation_default();
+
+  std::printf("service benchmark — durable daemon under Poisson arrival storms\n\n");
+
+  // ---- arrival storms at 100x / 1000x the paper rate ----
+  std::vector<StormResult> storms;
+  storms.push_back(run_storm(spec, 100.0, jobs, /*snapshot_interval=*/50));
+  storms.push_back(run_storm(spec, 1000.0, jobs, /*snapshot_interval=*/50));
+
+  // ---- recovery-time curve over changelog length ----
+  // A snapshot-free run leaves one changelog holding every round; replaying
+  // prefixes of it is exactly "recover after N durable rounds".
+  const StormResult curve_run = run_storm(spec, 1000.0, jobs, /*snapshot_interval=*/0);
+  const std::string curve_wal = service::changelog_path(curve_run.dir, 0);
+  const service::ChangelogScan curve_scan = service::scan_changelog(curve_wal);
+  std::vector<RecoveryPoint> curve;
+  for (const double frac : {0.25, 0.5, 1.0}) {
+    const auto keep = static_cast<std::size_t>(frac * static_cast<double>(curve_scan.records.size()));
+    curve.push_back(time_recovery(spec, curve_wal, curve_scan.record_ends, keep));
+  }
+
+  // ---- EventLog incremental sorted-view micro ----
+  const double evlog_round_s = event_log_round_delta_seconds();
+
+  common::AsciiTable t("service daemon under arrival storms",
+                       {"rate", "jobs", "ingest ev/s", "rounds", "rounds/s", "round p50",
+                        "round p99", "wal bytes"});
+  for (const auto& s : storms) {
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.0fx", s.rate_mult);
+    t.add_row({rate, std::to_string(s.jobs), common::AsciiTable::num(s.ingest_events_per_s, 0),
+               std::to_string(s.rounds), common::AsciiTable::num(s.rounds_per_s, 1),
+               common::AsciiTable::num(s.round_ms_p50, 2) + " ms",
+               common::AsciiTable::num(s.round_ms_p99, 2) + " ms",
+               std::to_string(s.changelog_bytes)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  common::AsciiTable rt("crash recovery vs changelog length",
+                        {"replayed rounds", "recovery time", "rounds/s"});
+  for (const auto& p : curve) {
+    rt.add_row({std::to_string(p.records), common::AsciiTable::num(p.seconds * 1e3, 1) + " ms",
+                common::AsciiTable::num(p.rounds_per_s, 0)});
+  }
+  std::printf("%s\n", rt.render().c_str());
+  std::printf("event log sorted-view upkeep: %.2f us/round\n\n", evlog_round_s * 1e6);
+
+  // ---- perf gate over the stable micros ----
+  const double calib_s = bench::median_timing([] { return bench::calibration_run(); });
+  const RecoveryPoint& full = curve.back();
+  std::vector<bench::GateMetric> gate_metrics = {
+      {"service_round_median", storms[1].round_ms_p50 * 1e-3, 0.0},
+      {"service_recovery_per_round",
+       full.records > 0 ? full.seconds / static_cast<double>(full.records) : 0.0, 0.0},
+      {"event_log_round_delta", evlog_round_s, 0.0},
+  };
+  const bench::GateResult gate = bench::run_perf_gate(gate_metrics, calib_s);
+  std::printf("%s\n", gate.report.c_str());
+
+  const char* out_path = "BENCH_SERVICE.json";
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "failed to open %s for writing\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"storms\": [\n");
+  for (std::size_t i = 0; i < storms.size(); ++i) {
+    const auto& s = storms[i];
+    std::fprintf(f,
+                 "    {\"rate_mult\": %.0f, \"jobs\": %d, \"ingest_events_per_second\": %.0f,\n"
+                 "     \"rounds\": %lld, \"rounds_per_second\": %.2f,\n"
+                 "     \"round_ms\": {\"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f, \"max\": %.4f},\n"
+                 "     \"changelog_bytes\": %llu}%s\n",
+                 s.rate_mult, s.jobs, s.ingest_events_per_s, s.rounds, s.rounds_per_s,
+                 s.round_ms_p50, s.round_ms_p95, s.round_ms_p99, s.round_ms_max,
+                 static_cast<unsigned long long>(s.changelog_bytes),
+                 i + 1 < storms.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"recovery_curve\": [\n");
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"replayed_rounds\": %lld, \"seconds\": %.6f, \"rounds_per_second\": %.0f}%s\n",
+                 curve[i].records, curve[i].seconds, curve[i].rounds_per_s,
+                 i + 1 < curve.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"event_log\": {\"sorted_view_us_per_round\": %.4f},\n"
+               "  \"perf_gate\": {\"calib_seconds\": %.6f, \"baseline_found\": %s, \"failed\": %s}\n"
+               "}\n",
+               evlog_round_s * 1e6, calib_s, gate.baseline_found ? "true" : "false",
+               gate.failed ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+
+  for (const auto& s : storms) fs::remove_all(s.dir);
+  fs::remove_all(curve_run.dir);
+
+  if (gate.failed && bench::perf_gate_enforced()) {
+    std::fprintf(stderr, "perf gate: FAILED (>25%% slowdown vs baseline)\n");
+    return 3;
+  }
+  return 0;
+}

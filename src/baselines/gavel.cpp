@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "baselines/alloc_util.hpp"
+#include "common/binary.hpp"
 #include "obs/trace.hpp"
 
 namespace hadar::baselines {
@@ -27,6 +28,30 @@ void GavelScheduler::reset() {
   last_caps_.clear();
   y_.clear();
   lp_ctx_.clear();
+}
+
+void GavelScheduler::save_state(common::BinaryWriter& w) const {
+  w.u64(last_epoch_);
+  w.u64(last_cluster_epoch_);
+  common::write_i32_vector(w, active_ids_);
+  common::write_i32_vector(w, last_caps_);
+  w.u32(static_cast<std::uint32_t>(y_.size()));
+  for (const auto& [id, row] : y_) {
+    w.i32(id);
+    common::write_f64_vector(w, row);
+  }
+}
+
+void GavelScheduler::restore_state(common::BinaryReader& r) {
+  reset();
+  last_epoch_ = r.u64();
+  last_cluster_epoch_ = r.u64();
+  active_ids_ = common::read_i32_vector(r);
+  last_caps_ = common::read_i32_vector(r);
+  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) {
+    const JobId id = r.i32();
+    y_[id] = common::read_f64_vector(r);
+  }
 }
 
 std::vector<double> GavelScheduler::allocation_row(JobId id) const {

@@ -58,6 +58,14 @@ class GavelScheduler : public sim::IScheduler {
   cluster::AllocationMap schedule(const sim::SchedulerContext& ctx) override;
   void reset() override;
 
+  /// Cross-round decision state: the Y matrix and the change-detection
+  /// signatures guarding its recomputation. The warm-start LP basis
+  /// (lp_ctx_) is deliberately NOT saved: canonical solution extraction
+  /// makes warm and cold solves bit-identical, so a restored scheduler
+  /// merely pays one cold solve at the next event.
+  void save_state(common::BinaryWriter& w) const override;
+  void restore_state(common::BinaryReader& r) override;
+
   /// Last computed Y row for a job (tests/introspection); empty if unknown.
   std::vector<double> allocation_row(JobId id) const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "baselines/alloc_util.hpp"
+#include "common/binary.hpp"
 #include "obs/trace.hpp"
 
 namespace hadar::baselines {
@@ -15,6 +16,28 @@ void TiresiasScheduler::reset() {
   demoted_.clear();
   promoted_.clear();
   starved_rounds_.clear();
+}
+
+void TiresiasScheduler::save_state(common::BinaryWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(demoted_.size()));
+  for (JobId id : demoted_) w.i32(id);
+  w.u32(static_cast<std::uint32_t>(promoted_.size()));
+  for (JobId id : promoted_) w.i32(id);
+  w.u32(static_cast<std::uint32_t>(starved_rounds_.size()));
+  for (const auto& [id, n] : starved_rounds_) {
+    w.i32(id);
+    w.i32(n);
+  }
+}
+
+void TiresiasScheduler::restore_state(common::BinaryReader& r) {
+  reset();
+  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) demoted_.insert(r.i32());
+  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) promoted_.insert(r.i32());
+  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) {
+    const JobId id = r.i32();
+    starved_rounds_[id] = r.i32();
+  }
 }
 
 cluster::AllocationMap TiresiasScheduler::schedule(const sim::SchedulerContext& ctx) {

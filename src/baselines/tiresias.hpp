@@ -33,6 +33,10 @@ class TiresiasScheduler : public sim::IScheduler {
   cluster::AllocationMap schedule(const sim::SchedulerContext& ctx) override;
   void reset() override;
 
+  /// Cross-round decision state: queue membership and starvation counters.
+  void save_state(common::BinaryWriter& w) const override;
+  void restore_state(common::BinaryReader& r) override;
+
   /// Introspection for tests.
   bool demoted(JobId id) const { return demoted_.count(id) > 0; }
 

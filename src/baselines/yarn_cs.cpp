@@ -1,6 +1,7 @@
 #include "baselines/yarn_cs.hpp"
 
 #include "baselines/alloc_util.hpp"
+#include "common/binary.hpp"
 #include "obs/trace.hpp"
 
 namespace hadar::baselines {
@@ -12,6 +13,24 @@ std::string YarnCsScheduler::name() const { return "YARN-CS"; }
 void YarnCsScheduler::reset() {
   running_.clear();
   last_epoch_ = 0;
+}
+
+void YarnCsScheduler::save_state(common::BinaryWriter& w) const {
+  w.u64(last_epoch_);
+  w.u32(static_cast<std::uint32_t>(running_.size()));
+  for (const auto& [id, alloc] : running_) {
+    w.i32(id);
+    alloc.save(w);
+  }
+}
+
+void YarnCsScheduler::restore_state(common::BinaryReader& r) {
+  reset();
+  last_epoch_ = r.u64();
+  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) {
+    const JobId id = r.i32();
+    running_.emplace(id, cluster::JobAllocation::restore(r));
+  }
 }
 
 cluster::AllocationMap YarnCsScheduler::schedule(const sim::SchedulerContext& ctx) {

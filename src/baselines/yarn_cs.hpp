@@ -27,6 +27,10 @@ class YarnCsScheduler : public sim::IScheduler {
   cluster::AllocationMap schedule(const sim::SchedulerContext& ctx) override;
   void reset() override;
 
+  /// Cross-round decision state: the sticky (non-preemptive) placements.
+  void save_state(common::BinaryWriter& w) const override;
+  void restore_state(common::BinaryReader& r) override;
+
  private:
   YarnConfig cfg_;
   std::map<JobId, cluster::JobAllocation> running_;

@@ -5,6 +5,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "common/binary.hpp"
+
 namespace hadar::cluster {
 
 JobAllocation::JobAllocation(std::vector<TaskPlacement> placements)
@@ -84,6 +86,25 @@ std::string JobAllocation::to_string(const ClusterSpec& spec) const {
     s += std::to_string(p.count);
   }
   return s;
+}
+
+void JobAllocation::save(common::BinaryWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(placements_.size()));
+  for (const auto& p : placements_) {
+    w.i32(p.node);
+    w.i32(p.type);
+    w.i32(p.count);
+  }
+}
+
+JobAllocation JobAllocation::restore(common::BinaryReader& r) {
+  std::vector<TaskPlacement> ps(r.u32());
+  for (auto& p : ps) {
+    p.node = r.i32();
+    p.type = r.i32();
+    p.count = r.i32();
+  }
+  return ps.empty() ? JobAllocation{} : JobAllocation(std::move(ps));
 }
 
 namespace {

@@ -11,6 +11,9 @@
 #include "cluster/cluster_spec.hpp"
 #include "common/types.hpp"
 
+// hadar::common::BinaryWriter/BinaryReader are forward-declared by
+// cluster_spec.hpp (included above).
+
 namespace hadar::cluster {
 
 /// `count` workers of one job on type-`type` GPUs of node `node`.
@@ -56,6 +59,10 @@ class JobAllocation {
 
   /// "n0:V100x2 + n3:K80x1"-style rendering.
   std::string to_string(const ClusterSpec& spec) const;
+
+  /// Bit-exact persistence (changelog records, engine snapshots).
+  void save(common::BinaryWriter& w) const;
+  static JobAllocation restore(common::BinaryReader& r);
 
  private:
   std::vector<TaskPlacement> placements_;

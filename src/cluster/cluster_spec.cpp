@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/binary.hpp"
+
 namespace hadar::cluster {
 
 int NodeSpec::total_gpus() const {
@@ -82,6 +84,24 @@ bool AvailabilityMask::all_available() const {
     if (d != 0) return false;
   }
   return true;
+}
+
+void AvailabilityMask::save(common::BinaryWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(up_.size()));
+  for (char u : up_) w.u8(static_cast<std::uint8_t>(u));
+  w.u32(static_cast<std::uint32_t>(degraded_.size()));
+  for (int d : degraded_) w.i32(d);
+}
+
+void AvailabilityMask::restore(common::BinaryReader& r) {
+  const std::uint32_t nu = r.u32();
+  if (nu != up_.size()) throw std::runtime_error("AvailabilityMask::restore: shape mismatch");
+  for (char& u : up_) u = static_cast<char>(r.u8());
+  const std::uint32_t nd = r.u32();
+  if (nd != degraded_.size()) {
+    throw std::runtime_error("AvailabilityMask::restore: shape mismatch");
+  }
+  for (int& d : degraded_) d = r.i32();
 }
 
 ClusterSpec::ClusterSpec(GpuTypeRegistry types, std::vector<NodeSpec> nodes)

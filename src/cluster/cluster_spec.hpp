@@ -8,6 +8,11 @@
 #include "cluster/gpu_type.hpp"
 #include "common/types.hpp"
 
+namespace hadar::common {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace hadar::common
+
 namespace hadar::cluster {
 
 /// One machine. gpu_capacity[r] == number of type-r devices on this node.
@@ -53,6 +58,12 @@ class AvailabilityMask {
   int live_capacity(NodeId h, GpuTypeId r) const;
   int total_live() const;
   bool all_available() const;
+
+  /// Bit-exact persistence for the durability layer. restore() requires a
+  /// mask already bound to the same spec shape (node/type counts must match,
+  /// else std::runtime_error).
+  void save(common::BinaryWriter& w) const;
+  void restore(common::BinaryReader& r);
 
  private:
   std::size_t index(NodeId h, GpuTypeId r) const;

@@ -1,0 +1,109 @@
+// Little binary (de)serialization layer for the durability subsystem:
+// length-delimited, explicitly-typed primitives appended to a growable
+// buffer, plus the CRC-32 used to checksum changelog records and snapshots.
+//
+// Doubles are serialized as their IEEE-754 bit pattern (via u64), never as
+// text, so a save/restore round trip is bit-exact — the property the
+// deterministic-replay machinery depends on. Integers are fixed-width
+// little-endian, so files transfer between hosts.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hadar::common {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib one) over `size` bytes.
+std::uint32_t crc32(const void* data, std::size_t size);
+inline std::uint32_t crc32(std::string_view s) { return crc32(s.data(), s.size()); }
+
+/// Appends typed primitives to an owned byte buffer.
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  /// Bit-exact: the IEEE-754 pattern, not a decimal rendering.
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  /// u32 length prefix + raw bytes.
+  void str(std::string_view s);
+  void bytes(const void* data, std::size_t size);
+
+  const std::string& data() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a byte span. Every accessor throws
+/// std::runtime_error("BinaryReader: truncated input") past the end, so a
+/// torn record surfaces as a recoverable parse error, never as UB.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool boolean() { return u8() != 0; }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  const char* need(std::size_t n);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// Convenience helpers for the containers the engine state uses.
+
+template <typename T>
+void write_pod_vector(BinaryWriter& w, const std::vector<T>& v,
+                      void (BinaryWriter::*put)(T)) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const T& x : v) (w.*put)(x);
+}
+
+inline void write_f64_vector(BinaryWriter& w, const std::vector<double>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (double x : v) w.f64(x);
+}
+inline std::vector<double> read_f64_vector(BinaryReader& r) {
+  std::vector<double> v(r.u32());
+  for (double& x : v) x = r.f64();
+  return v;
+}
+inline void write_i32_vector(BinaryWriter& w, const std::vector<int>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (int x : v) w.i32(x);
+}
+inline std::vector<int> read_i32_vector(BinaryReader& r) {
+  std::vector<int> v(r.u32());
+  for (int& x : v) x = r.i32();
+  return v;
+}
+
+}  // namespace hadar::common

@@ -30,4 +30,9 @@ int env_int(const char* name, int def, int min_value) {
   return static_cast<int>(v);
 }
 
+std::string env_str(const char* name, const std::string& def) {
+  const char* raw = std::getenv(name);
+  return (raw == nullptr || *raw == '\0') ? def : std::string(raw);
+}
+
 }  // namespace hadar::common

@@ -5,11 +5,16 @@
 // and warn once on stderr before falling back to the default.
 #pragma once
 
+#include <string>
+
 namespace hadar::common {
 
 /// Reads integer env var `name`. Returns `def` when unset. Values that fail
 /// to parse, carry trailing junk, or fall below `min_value` produce a
 /// warning on stderr and return `def`.
 int env_int(const char* name, int def, int min_value = 1);
+
+/// Reads string env var `name`; returns `def` when unset or empty.
+std::string env_str(const char* name, const std::string& def);
 
 }  // namespace hadar::common

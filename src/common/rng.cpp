@@ -77,4 +77,11 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 
 Rng Rng::fork() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
 
+std::uint64_t mix64(std::uint64_t seed, std::uint64_t key) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (key + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace hadar::common

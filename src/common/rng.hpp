@@ -47,8 +47,20 @@ class Rng {
   /// must not perturb the parent stream position).
   Rng fork();
 
+  /// The raw SplitMix64 state. `Rng(state())` reconstructs the stream at
+  /// exactly this position — the durability layer's save/restore hook.
+  std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t s) { state_ = s; }
+
  private:
   std::uint64_t state_;
 };
+
+/// Statistically independent child seed for (seed, key) without consuming
+/// any parent stream position: one SplitMix64 scramble of the pair. Used for
+/// the fork-per-job / fork-per-process streams that make traces and failure
+/// timelines step-invariant (the stream of entity k never depends on how
+/// many draws entities 0..k-1 consumed).
+std::uint64_t mix64(std::uint64_t seed, std::uint64_t key);
 
 }  // namespace hadar::common

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/binary.hpp"
 #include "obs/trace.hpp"
 
 namespace hadar::core {
@@ -20,6 +21,17 @@ void HadarScheduler::reset() {
   last_stats_ = DpStats{};
 }
 
+void HadarScheduler::save_state(common::BinaryWriter& w) const {
+  w.i64(round_);
+  estimator_.save(w);
+}
+
+void HadarScheduler::restore_state(common::BinaryReader& r) {
+  round_ = r.i64();
+  estimator_.restore(r);
+  estimator_bound_ = false;  // re-bind to the live registry on the next round
+}
+
 cluster::AllocationMap HadarScheduler::schedule(const sim::SchedulerContext& ctx) {
   ++round_;
   const int R = ctx.spec->num_types();
@@ -28,7 +40,8 @@ cluster::AllocationMap HadarScheduler::schedule(const sim::SchedulerContext& ctx
   std::vector<sim::JobView> jobs = ctx.jobs;
   if (cfg_.use_estimator) {
     if (!estimator_bound_) {
-      estimator_ = ThroughputEstimator(&ctx.spec->types(), cfg_.estimator);
+      // bind() keeps any tracks restore_state() brought back.
+      estimator_.bind(&ctx.spec->types(), cfg_.estimator);
       estimator_bound_ = true;
     }
     estimator_.observe(ctx);

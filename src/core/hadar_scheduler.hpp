@@ -43,6 +43,13 @@ class HadarScheduler : public sim::IScheduler {
   cluster::AllocationMap schedule(const sim::SchedulerContext& ctx) override;
   void reset() override;
 
+  /// Cross-round decision state: the round counter (phase of the
+  /// full-recompute cycle) and the estimator's measurement tracks. The
+  /// PriceBook carries no cross-round state (bounds are recomputed from the
+  /// live queue every round).
+  void save_state(common::BinaryWriter& w) const override;
+  void restore_state(common::BinaryReader& r) override;
+
   /// Introspection for tests and ablation benches.
   const PriceBook& price_book() const { return prices_; }
   const DpStats& last_dp_stats() const { return last_stats_; }

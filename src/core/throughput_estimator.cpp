@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/binary.hpp"
+
 namespace hadar::core {
 
 ThroughputEstimator::ThroughputEstimator(const cluster::GpuTypeRegistry* registry,
@@ -15,6 +17,38 @@ ThroughputEstimator::ThroughputEstimator(const cluster::GpuTypeRegistry* registr
 }
 
 void ThroughputEstimator::reset() { tracks_.clear(); }
+
+void ThroughputEstimator::bind(const cluster::GpuTypeRegistry* registry, EstimatorConfig cfg) {
+  if (registry == nullptr) throw std::invalid_argument("ThroughputEstimator: null registry");
+  if (cfg.blend <= 0.0 || cfg.blend > 1.0) {
+    throw std::invalid_argument("ThroughputEstimator: blend must be in (0,1]");
+  }
+  registry_ = registry;
+  cfg_ = cfg;
+}
+
+void ThroughputEstimator::save(common::BinaryWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(tracks_.size()));
+  for (const auto& [id, tr] : tracks_) {
+    w.i32(id);
+    w.f64(tr.last_iterations);
+    tr.last_alloc.save(w);
+    common::write_f64_vector(w, tr.measured);
+  }
+}
+
+void ThroughputEstimator::restore(common::BinaryReader& r) {
+  tracks_.clear();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const JobId id = r.i32();
+    Track tr;
+    tr.last_iterations = r.f64();
+    tr.last_alloc = cluster::JobAllocation::restore(r);
+    tr.measured = common::read_f64_vector(r);
+    tracks_.emplace(id, std::move(tr));
+  }
+}
 
 void ThroughputEstimator::observe(const sim::SchedulerContext& ctx) {
   if (registry_ == nullptr) return;

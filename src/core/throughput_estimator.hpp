@@ -13,6 +13,11 @@
 #include "cluster/gpu_type.hpp"
 #include "sim/scheduler.hpp"
 
+namespace hadar::common {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace hadar::common
+
 namespace hadar::core {
 
 struct EstimatorConfig {
@@ -26,6 +31,16 @@ class ThroughputEstimator {
   ThroughputEstimator(const cluster::GpuTypeRegistry* registry, EstimatorConfig cfg = {});
 
   void reset();
+
+  /// Late-binds the registry/config without touching accumulated tracks, so
+  /// a default-constructed (or state-restored) estimator can attach to the
+  /// cluster on the scheduler's first round.
+  void bind(const cluster::GpuTypeRegistry* registry, EstimatorConfig cfg);
+
+  /// Bit-exact persistence of the measurement tracks (the registry binding
+  /// is re-established via bind(); it is a pointer, not state).
+  void save(common::BinaryWriter& w) const;
+  void restore(common::BinaryReader& r);
 
   /// Ingests the new round's context: measures the realized rate of every
   /// job that ran last round and updates its per-type estimates.

@@ -1,0 +1,57 @@
+#include "service/admission_queue.hpp"
+
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+
+namespace hadar::service {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) throw std::invalid_argument("AdmissionQueue: capacity == 0");
+}
+
+bool AdmissionQueue::try_push(workload::JobSpec job) {
+  std::size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (q_.size() >= capacity_) {
+      ++rejected_;
+      obs::count("service.rejected");
+      return false;
+    }
+    q_.push_back(std::move(job));
+    ++accepted_;
+    depth = q_.size();
+  }
+  obs::count("service.ingested");
+  obs::gauge_set("service.queue_depth", static_cast<double>(depth));
+  return true;
+}
+
+std::vector<workload::JobSpec> AdmissionQueue::drain() {
+  std::vector<workload::JobSpec> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.assign(std::make_move_iterator(q_.begin()), std::make_move_iterator(q_.end()));
+    q_.clear();
+  }
+  obs::gauge_set("service.queue_depth", 0.0);
+  return out;
+}
+
+std::size_t AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return q_.size();
+}
+
+std::uint64_t AdmissionQueue::accepted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return accepted_;
+}
+
+std::uint64_t AdmissionQueue::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+}  // namespace hadar::service

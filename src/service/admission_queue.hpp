@@ -1,0 +1,43 @@
+// Bounded admission queue between event producers (trace feeders, RPC
+// front-ends, benchmark drivers) and the daemon's round loop. When the
+// queue is full new submissions are rejected — backpressure the producer
+// can observe — and both outcomes feed the session MetricsRegistry
+// (service.ingested / service.rejected / service.queue_depth).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace hadar::service {
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Enqueues one submission; false (and a bumped rejected counter) when the
+  /// queue is at capacity. Thread-safe.
+  bool try_push(workload::JobSpec job);
+
+  /// Removes and returns every queued submission, in arrival order at the
+  /// queue (FIFO). Thread-safe.
+  std::vector<workload::JobSpec> drain();
+
+  std::size_t size() const;
+  std::uint64_t accepted() const;
+  std::uint64_t rejected() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<workload::JobSpec> q_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace hadar::service

@@ -1,0 +1,223 @@
+#include "service/changelog.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <unistd.h>
+
+#include "common/binary.hpp"
+#include "common/env.hpp"
+
+namespace hadar::service {
+
+namespace {
+
+void fsync_file(std::FILE* f, const std::string& path) {
+  if (std::fflush(f) != 0 || ::fsync(::fileno(f)) != 0) {
+    throw std::runtime_error("changelog: fsync failed for " + path + ": " +
+                             std::strerror(errno));
+  }
+}
+
+std::uint32_t le32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+const char* to_string(FsyncMode m) {
+  switch (m) {
+    case FsyncMode::kNone: return "none";
+    case FsyncMode::kRound: return "round";
+    case FsyncMode::kRotate: return "rotate";
+  }
+  return "?";
+}
+
+FsyncMode parse_fsync_mode(const std::string& s) {
+  if (s == "none") return FsyncMode::kNone;
+  if (s == "round") return FsyncMode::kRound;
+  if (s == "rotate") return FsyncMode::kRotate;
+  throw std::invalid_argument("unknown fsync mode '" + s + "' (none|round|rotate)");
+}
+
+FsyncMode fsync_mode_from_env(const char* name, FsyncMode fallback) {
+  const std::string raw = common::env_str(name, to_string(fallback));
+  try {
+    return parse_fsync_mode(raw);
+  } catch (const std::invalid_argument&) {
+    std::fprintf(stderr, "[hadar] warning: %s='%s' is not none|round|rotate; using %s\n",
+                 name, raw.c_str(), to_string(fallback));
+    return fallback;
+  }
+}
+
+std::string RoundRecord::encode() const {
+  common::BinaryWriter w;
+  w.i64(round);
+  w.f64(start);
+  w.u64(rng_before);
+  w.u64(rng_after);
+  w.u32(static_cast<std::uint32_t>(admitted.size()));
+  for (const auto& j : admitted) j.save(w);
+  w.u32(static_cast<std::uint32_t>(allocations.size()));
+  for (const auto& [id, alloc] : allocations) {
+    w.i32(id);
+    alloc.save(w);
+  }
+  return w.take();
+}
+
+RoundRecord RoundRecord::decode(std::string_view payload) {
+  common::BinaryReader r(payload);
+  RoundRecord rec;
+  rec.round = r.i64();
+  rec.start = r.f64();
+  rec.rng_before = r.u64();
+  rec.rng_after = r.u64();
+  const std::uint32_t na = r.u32();
+  rec.admitted.reserve(na);
+  for (std::uint32_t i = 0; i < na; ++i) rec.admitted.push_back(workload::JobSpec::restore(r));
+  const std::uint32_t nd = r.u32();
+  for (std::uint32_t i = 0; i < nd; ++i) {
+    const JobId id = r.i32();
+    rec.allocations.emplace(id, cluster::JobAllocation::restore(r));
+  }
+  if (!r.done()) throw std::runtime_error("RoundRecord: trailing bytes");
+  return rec;
+}
+
+ChangelogWriter::ChangelogWriter(std::string path, FsyncMode mode, bool append)
+    : path_(std::move(path)), mode_(mode) {
+  if (append) {
+    // Continue a file recovery just validated/truncated. "r+b" fails when
+    // the file is missing; fall through to creation in that case.
+    f_ = std::fopen(path_.c_str(), "r+b");
+  }
+  if (f_ != nullptr) {
+    char magic[kMagicSize];
+    if (std::fread(magic, 1, kMagicSize, f_) != kMagicSize ||
+        std::memcmp(magic, kChangelogMagic, kMagicSize) != 0) {
+      std::fclose(f_);
+      f_ = nullptr;
+      throw std::runtime_error("changelog: bad magic in existing file " + path_);
+    }
+    if (std::fseek(f_, 0, SEEK_END) != 0) {
+      std::fclose(f_);
+      f_ = nullptr;
+      throw std::runtime_error("changelog: seek failed for " + path_);
+    }
+    bytes_ = static_cast<std::uint64_t>(std::ftell(f_));
+    return;
+  }
+  f_ = std::fopen(path_.c_str(), "wb");
+  if (f_ == nullptr) {
+    throw std::runtime_error("changelog: cannot create " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  if (std::fwrite(kChangelogMagic, 1, kMagicSize, f_) != kMagicSize) {
+    throw std::runtime_error("changelog: cannot write magic to " + path_);
+  }
+  bytes_ = kMagicSize;
+}
+
+ChangelogWriter::~ChangelogWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; an fsync failure here was already best
+    // effort (an explicit close() would have surfaced it).
+  }
+}
+
+void ChangelogWriter::append(std::string_view payload) {
+  if (f_ == nullptr) throw std::runtime_error("changelog: append after close");
+  if (payload.size() > kMaxRecordPayload) {
+    throw std::runtime_error("changelog: record exceeds max payload size");
+  }
+  unsigned char header[8];
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = common::crc32(payload.data(), payload.size());
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<unsigned char>(len >> (8 * i));
+  for (int i = 0; i < 4; ++i) header[4 + i] = static_cast<unsigned char>(crc >> (8 * i));
+  if (std::fwrite(header, 1, sizeof(header), f_) != sizeof(header) ||
+      std::fwrite(payload.data(), 1, payload.size(), f_) != payload.size()) {
+    throw std::runtime_error("changelog: write failed for " + path_);
+  }
+  bytes_ += sizeof(header) + payload.size();
+  ++records_;
+  if (mode_ == FsyncMode::kRound) {
+    fsync_file(f_, path_);
+  } else if (std::fflush(f_) != 0) {
+    throw std::runtime_error("changelog: flush failed for " + path_);
+  }
+}
+
+void ChangelogWriter::sync() {
+  if (f_ != nullptr) fsync_file(f_, path_);
+}
+
+void ChangelogWriter::close() {
+  if (f_ == nullptr) return;
+  if (mode_ != FsyncMode::kNone) fsync_file(f_, path_);
+  std::fclose(f_);
+  f_ = nullptr;
+}
+
+ChangelogScan scan_changelog(const std::string& path) {
+  ChangelogScan out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    out.missing = true;
+    return out;
+  }
+
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    out.bad_magic = true;
+    return out;
+  }
+  const std::uint64_t file_size = static_cast<std::uint64_t>(std::ftell(f));
+  std::rewind(f);
+
+  char magic[kMagicSize];
+  if (std::fread(magic, 1, kMagicSize, f) != kMagicSize ||
+      std::memcmp(magic, kChangelogMagic, kMagicSize) != 0) {
+    std::fclose(f);
+    out.bad_magic = true;
+    out.torn_bytes = file_size;
+    return out;
+  }
+
+  std::uint64_t offset = kMagicSize;
+  std::string payload;
+  while (true) {
+    unsigned char header[8];
+    const std::size_t got = std::fread(header, 1, sizeof(header), f);
+    if (got != sizeof(header)) break;  // clean EOF or torn header
+    const std::uint32_t len = le32(header);
+    const std::uint32_t crc = le32(header + 4);
+    if (len > kMaxRecordPayload) break;  // corrupt length prefix
+    payload.resize(len);
+    if (len > 0 && std::fread(payload.data(), 1, len, f) != len) break;  // torn payload
+    if (common::crc32(payload.data(), payload.size()) != crc) break;     // bit rot
+    out.records.push_back(payload);
+    offset += sizeof(header) + len;
+    out.record_ends.push_back(offset);
+  }
+  std::fclose(f);
+  out.valid_bytes = offset;
+  out.torn_bytes = file_size > offset ? file_size - offset : 0;
+  return out;
+}
+
+void truncate_changelog(const std::string& path, std::uint64_t valid_bytes) {
+  if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+    throw std::runtime_error("changelog: truncate failed for " + path + ": " +
+                             std::strerror(errno));
+  }
+}
+
+}  // namespace hadar::service

@@ -1,0 +1,128 @@
+// Write-ahead changelog for the scheduler daemon: an append-only file of
+// length-prefixed, CRC32-checksummed records, one per executed round. Each
+// record captures everything needed to re-execute its round on a restored
+// engine — the events admitted at the boundary, the round's start time and
+// RNG stream position, and the allocation decision — so replaying the tail
+// after a snapshot reproduces the exact pre-crash state bit for bit.
+//
+// On-disk layout:
+//   [8-byte magic "HDRCLG01"]
+//   repeat: [u32 payload_len][u32 crc32(payload)][payload bytes]
+//
+// A crash can tear the tail mid-record; scan_changelog() finds the longest
+// valid record prefix and reports the torn bytes, and truncate_changelog()
+// drops them (recover-to-last-valid). Corruption is detected by the CRC,
+// an impossible length, or a short read — scanning never throws.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/allocation.hpp"
+#include "common/types.hpp"
+#include "workload/job.hpp"
+
+namespace hadar::service {
+
+inline constexpr char kChangelogMagic[8] = {'H', 'D', 'R', 'C', 'L', 'G', '0', '1'};
+inline constexpr std::size_t kMagicSize = 8;
+/// Backstop against absurd length prefixes from corrupt headers (a record
+/// holds one round: admitted specs + one allocation map).
+inline constexpr std::uint32_t kMaxRecordPayload = 64u << 20;
+
+/// When appended bytes are pushed to stable storage.
+enum class FsyncMode {
+  kNone,    ///< never fsync (fastest; durability = OS page-cache policy)
+  kRound,   ///< fsync after every record (every round is durable)
+  kRotate,  ///< fsync only at snapshot/rotation boundaries
+};
+
+const char* to_string(FsyncMode m);
+/// Parses "none" / "round" / "rotate"; throws std::invalid_argument else.
+FsyncMode parse_fsync_mode(const std::string& s);
+/// Reads `name` from the environment; an unknown value warns on stderr and
+/// falls back (the env_int convention — bad knobs never crash).
+FsyncMode fsync_mode_from_env(const char* name, FsyncMode fallback);
+
+/// One executed round, as logged. Replay = admit the events, skip to the
+/// start time, step the scheduler, and check the decision matches.
+struct RoundRecord {
+  long long round = 0;        ///< round index executed
+  Seconds start = 0.0;        ///< engine time when the round ran
+  std::uint64_t rng_before = 0;  ///< engine RNG position entering the round
+  std::uint64_t rng_after = 0;   ///< ... and leaving it (replay invariant)
+  std::vector<workload::JobSpec> admitted;  ///< events admitted at this boundary
+  cluster::AllocationMap allocations;       ///< the decision applied
+
+  std::string encode() const;
+  /// Throws std::runtime_error on a malformed payload (CRC passed but the
+  /// structure does not parse — treated as corruption by the recovery path).
+  static RoundRecord decode(std::string_view payload);
+};
+
+/// Appender over one changelog file. Not thread-safe (the daemon's round
+/// loop is the only writer).
+class ChangelogWriter {
+ public:
+  /// Creates `path` (truncating any previous content) and writes the magic,
+  /// or — when `append` and the file already starts with a valid magic —
+  /// continues after the existing content. Throws std::runtime_error on I/O
+  /// failure or magic mismatch.
+  explicit ChangelogWriter(std::string path, FsyncMode mode = FsyncMode::kNone,
+                           bool append = false);
+  ~ChangelogWriter();
+  ChangelogWriter(const ChangelogWriter&) = delete;
+  ChangelogWriter& operator=(const ChangelogWriter&) = delete;
+
+  /// Appends one length+CRC framed record; fsyncs when mode == kRound.
+  void append(std::string_view payload);
+
+  /// Flushes stdio buffers and fsyncs the file.
+  void sync();
+
+  /// Flushes (and fsyncs under kRound/kRotate) and closes. Idempotent.
+  void close();
+
+  const std::string& path() const { return path_; }
+  /// Total file size in bytes including the magic.
+  std::uint64_t bytes() const { return bytes_; }
+  long long records_appended() const { return records_; }
+
+ private:
+  std::string path_;
+  FsyncMode mode_;
+  std::FILE* f_ = nullptr;
+  std::uint64_t bytes_ = 0;
+  long long records_ = 0;
+};
+
+/// Result of scanning a changelog: the longest valid prefix of records plus
+/// what (if anything) trails it.
+struct ChangelogScan {
+  /// Payloads of every valid record, in file order.
+  std::vector<std::string> records;
+  /// File offset one past records[i] — the truncation point that keeps
+  /// records [0, i] and drops everything after.
+  std::vector<std::uint64_t> record_ends;
+  /// File offset one past the last valid record (== the size a truncated
+  /// file should have). Includes the magic when it was valid.
+  std::uint64_t valid_bytes = 0;
+  /// Bytes present beyond the valid prefix (torn or corrupt tail).
+  std::uint64_t torn_bytes = 0;
+  bool missing = false;    ///< file does not exist
+  bool bad_magic = false;  ///< header missing/garbled: no record is trusted
+  bool clean() const { return !missing && !bad_magic && torn_bytes == 0; }
+};
+
+/// Reads every record, stopping at the first framing/CRC violation. Never
+/// throws on corrupt input.
+ChangelogScan scan_changelog(const std::string& path);
+
+/// Shrinks the file to `valid_bytes` (the recover-to-last-valid step).
+/// Throws std::runtime_error on I/O failure.
+void truncate_changelog(const std::string& path, std::uint64_t valid_bytes);
+
+}  // namespace hadar::service

@@ -1,0 +1,221 @@
+#include "service/recovery.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "common/binary.hpp"
+#include "obs/trace.hpp"
+#include "service/changelog.hpp"
+#include "service/snapshot.hpp"
+
+namespace hadar::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Strictly-numeric middle of "<prefix><n><suffix>", or -1.
+long long parse_indexed(const std::string& name, const std::string& prefix,
+                        const std::string& suffix) {
+  if (name.size() <= prefix.size() + suffix.size()) return -1;
+  if (name.compare(0, prefix.size(), prefix) != 0) return -1;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) return -1;
+  const std::string mid = name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (mid.empty()) return -1;
+  long long v = 0;
+  for (char c : mid) {
+    if (c < '0' || c > '9') return -1;
+    v = v * 10 + (c - '0');
+  }
+  return v;
+}
+
+std::vector<long long> list_indexed(const std::string& dir, const std::string& prefix,
+                                    const std::string& suffix) {
+  std::vector<long long> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const long long v = parse_indexed(entry.path().filename().string(), prefix, suffix);
+    if (v >= 0) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+[[noreturn]] void structural_mismatch(const std::string& what) {
+  throw std::runtime_error(
+      "recovery: durable state does not match this configuration (" + what +
+      "); refusing to continue from it");
+}
+
+}  // namespace
+
+std::string changelog_path(const std::string& dir, long long start_round) {
+  return dir + "/changelog_" + std::to_string(start_round) + ".wal";
+}
+
+std::string snapshot_path(const std::string& dir, long long round) {
+  return dir + "/snapshot_" + std::to_string(round) + ".snap";
+}
+
+std::string RecoveryReport::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "recovered=%d snapshot_round=%lld replayed_rounds=%lld "
+                "replayed_events=%lld truncated_bytes=%llu torn_tail=%d "
+                "discarded_snapshots=%lld removed_orphans=%lld seconds=%.6f",
+                recovered ? 1 : 0, snapshot_round, replayed_rounds, replayed_events,
+                static_cast<unsigned long long>(truncated_bytes), torn_tail ? 1 : 0,
+                discarded_snapshots, removed_orphans, seconds);
+  return buf;
+}
+
+RecoveryReport recover(const std::string& dir, sim::RoundEngine& engine,
+                       sim::IScheduler& scheduler) {
+  obs::ScopedSpan span("service", "service.recover");
+  const double t0 = wall_seconds();
+  RecoveryReport rep;
+
+  fs::create_directories(dir);
+  const std::vector<long long> snaps = list_indexed(dir, "snapshot_", ".snap");
+  const std::vector<long long> wals = list_indexed(dir, "changelog_", ".wal");
+  rep.recovered = !snaps.empty() || !wals.empty();
+
+  // 1. Newest restorable snapshot (corrupt ones are dead weight: remove).
+  long long base = -1;
+  for (auto it = snaps.rbegin(); it != snaps.rend(); ++it) {
+    const std::string path = snapshot_path(dir, *it);
+    if (read_snapshot(path, engine, scheduler)) {
+      base = *it;
+      rep.snapshot_round = base;
+      break;
+    }
+    ++rep.discarded_snapshots;
+    obs::count("recovery.discarded_snapshots");
+    fs::remove(path);
+  }
+
+  // 2. Replay the changelog chain from the restored round on. Each file
+  // covers the rounds from its start index to the next rotation; replay
+  // re-admits the logged events and re-executes every round, cross-checking
+  // the logged RNG positions and decisions.
+  const long long chain_start = base >= 0 ? base : 0;
+  bool cut = false;  // a torn/corrupt point was found; later files are orphans
+  std::string active;
+  for (long long w : wals) {
+    if (w < chain_start) continue;  // pre-snapshot history, already folded in
+    const std::string path = changelog_path(dir, w);
+    if (cut) {
+      fs::remove(path);
+      ++rep.removed_orphans;
+      continue;
+    }
+
+    const ChangelogScan scan = scan_changelog(path);
+    if (scan.missing) continue;
+    if (scan.bad_magic) {
+      // Nothing in the file is trusted. Drop it; a fresh file will be
+      // started at the current round.
+      rep.torn_tail = true;
+      rep.truncated_bytes += scan.torn_bytes;
+      fs::remove(path);
+      ++rep.removed_orphans;
+      cut = true;
+      continue;
+    }
+
+    std::uint64_t keep_bytes = scan.valid_bytes;
+    for (std::size_t i = 0; i < scan.records.size(); ++i) {
+      RoundRecord rec;
+      try {
+        rec = RoundRecord::decode(scan.records[i]);
+      } catch (const std::exception&) {
+        // CRC-valid but unparseable: corruption the checksum missed. Cut
+        // here, keeping the records before it.
+        keep_bytes = i == 0 ? kMagicSize : scan.record_ends[i - 1];
+        cut = true;
+        break;
+      }
+      if (rec.round != engine.rounds_completed()) {
+        if (i == 0) {
+          // A whole file from a lost future (its rounds were rolled back
+          // with a discarded snapshot): orphan.
+          fs::remove(path);
+          ++rep.removed_orphans;
+          cut = true;
+          break;
+        }
+        structural_mismatch("non-contiguous round in " + path);
+      }
+      if (rec.rng_before != engine.rng_state()) {
+        structural_mismatch("RNG stream diverged entering round " +
+                            std::to_string(rec.round));
+      }
+      for (const auto& j : rec.admitted) {
+        engine.admit(j);
+        ++rep.replayed_events;
+      }
+      engine.skip_to(rec.start);
+      if (engine.now() != rec.start) {
+        structural_mismatch("round start time diverged at round " + std::to_string(rec.round));
+      }
+      const sim::RoundOutcome out = engine.step(scheduler);
+      if (engine.rng_state() != rec.rng_after || !(out.allocations == rec.allocations)) {
+        structural_mismatch("replayed decision diverged at round " + std::to_string(rec.round));
+      }
+      ++rep.replayed_rounds;
+      obs::count("recovery.replayed_rounds");
+    }
+
+    if (fs::exists(path)) {
+      if (cut || scan.torn_bytes > 0) {
+        const std::uint64_t file_size = scan.valid_bytes + scan.torn_bytes;
+        if (cut && keep_bytes < scan.valid_bytes) {
+          // decode-level cut inside the framing-valid prefix
+          rep.truncated_bytes += file_size - keep_bytes;
+          truncate_changelog(path, keep_bytes);
+        } else {
+          rep.truncated_bytes += scan.torn_bytes;
+          if (scan.torn_bytes > 0) truncate_changelog(path, scan.valid_bytes);
+        }
+        rep.torn_tail = true;
+        cut = true;  // a torn framing tail also orphans any later file
+      }
+      active = path;
+    }
+  }
+
+  // 3. Snapshots newer than the recovered round reference a lost future.
+  for (long long s : snaps) {
+    if (s > engine.rounds_completed() && fs::exists(snapshot_path(dir, s))) {
+      fs::remove(snapshot_path(dir, s));
+      ++rep.removed_orphans;
+    }
+  }
+
+  if (active.empty()) {
+    // No usable changelog survived: the daemon starts a fresh file at the
+    // last rotation boundary (the restored snapshot round, or genesis).
+    active = changelog_path(dir, chain_start);
+  }
+  rep.active_changelog = active;
+  rep.seconds = wall_seconds() - t0;
+  obs::count("recovery.runs");
+  if (span.active()) {
+    span.arg("replayed_rounds", static_cast<double>(rep.replayed_rounds));
+    span.arg("truncated_bytes", static_cast<double>(rep.truncated_bytes));
+  }
+  return rep;
+}
+
+}  // namespace hadar::service

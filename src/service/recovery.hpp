@@ -1,0 +1,61 @@
+// Crash recovery for the scheduler daemon: restore the newest valid
+// snapshot (falling back to older ones, or to genesis, when CRCs fail),
+// then replay the changelog tail record by record — re-admitting the logged
+// events and re-executing each round through the real scheduler. Because
+// engine and schedulers are deterministic functions of their persisted
+// state, replay reproduces the pre-crash state bit for bit; every record
+// carries the RNG positions and the decision it produced, and replay
+// cross-checks them as it goes.
+//
+// Torn or corrupt tails (partial write, flipped bits) are detected by the
+// framing CRCs and cut off at the last valid record; anything after a cut —
+// later records, later changelog files, later snapshots — is orphaned state
+// from a lost future and is removed. Recovery never throws on corrupt
+// input; it throws only when the durable state structurally mismatches the
+// (spec, config, scheduler) it is being restored into.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/round_engine.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hadar::service {
+
+/// File-name helpers: changelog_<round>.wal / snapshot_<round>.snap in dir.
+std::string changelog_path(const std::string& dir, long long start_round);
+std::string snapshot_path(const std::string& dir, long long round);
+
+struct RecoveryReport {
+  /// Any durable state was found (false = fresh start in an empty dir).
+  bool recovered = false;
+  /// Round of the snapshot restored; -1 when replay started from genesis.
+  long long snapshot_round = -1;
+  long long replayed_rounds = 0;
+  long long replayed_events = 0;  ///< admissions re-applied from the log
+  /// Corrupt snapshots skipped while searching for a restorable one.
+  long long discarded_snapshots = 0;
+  /// Torn/corrupt tail bytes dropped by truncation (0 = clean shutdown).
+  std::uint64_t truncated_bytes = 0;
+  /// Later changelog/snapshot files removed after a mid-chain cut.
+  long long removed_orphans = 0;
+  bool torn_tail = false;
+  double seconds = 0.0;  ///< wall-clock recovery time
+  /// The changelog file the daemon must append to next (it exists and ends
+  /// at a record boundary after recovery).
+  std::string active_changelog;
+
+  std::string to_string() const;
+};
+
+/// Restores `engine` and `scheduler` from the durable state in `dir`.
+/// Both must be freshly constructed/reset over the same (spec, config,
+/// scheduler type) the state was written with. The directory is created if
+/// missing. Never throws on corrupt/torn/missing files — those are
+/// recovered around; throws std::runtime_error on I/O errors and on
+/// structural mismatch with the provided engine/scheduler.
+RecoveryReport recover(const std::string& dir, sim::RoundEngine& engine,
+                       sim::IScheduler& scheduler);
+
+}  // namespace hadar::service

@@ -1,0 +1,79 @@
+#include "service/snapshot.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include <unistd.h>
+
+#include "common/binary.hpp"
+
+namespace hadar::service {
+
+namespace {
+constexpr std::size_t kMagicSize = 8;
+}
+
+void write_snapshot(const std::string& path, const sim::RoundEngine& engine,
+                    const sim::IScheduler& scheduler, bool fsync) {
+  common::BinaryWriter w;
+  engine.save(w);
+  scheduler.save_state(w);
+  const std::string& payload = w.data();
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("snapshot: cannot create " + path + ": " + std::strerror(errno));
+  }
+  unsigned char header[8];
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = common::crc32(payload.data(), payload.size());
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<unsigned char>(len >> (8 * i));
+  for (int i = 0; i < 4; ++i) header[4 + i] = static_cast<unsigned char>(crc >> (8 * i));
+  bool ok = std::fwrite(kSnapshotMagic, 1, kMagicSize, f) == kMagicSize &&
+            std::fwrite(header, 1, sizeof(header), f) == sizeof(header) &&
+            std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
+  if (ok && std::fflush(f) != 0) ok = false;
+  if (ok && fsync && ::fsync(::fileno(f)) != 0) ok = false;
+  std::fclose(f);
+  if (!ok) throw std::runtime_error("snapshot: write failed for " + path);
+}
+
+bool read_snapshot(const std::string& path, sim::RoundEngine& engine,
+                   sim::IScheduler& scheduler) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+
+  char magic[kMagicSize];
+  unsigned char header[8];
+  if (std::fread(magic, 1, kMagicSize, f) != kMagicSize ||
+      std::memcmp(magic, kSnapshotMagic, kMagicSize) != 0 ||
+      std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
+    std::fclose(f);
+    return false;
+  }
+  std::uint32_t len = 0, crc = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  for (int i = 0; i < 4; ++i) crc |= static_cast<std::uint32_t>(header[4 + i]) << (8 * i);
+
+  std::string payload(len, '\0');
+  const bool read_ok = len == 0 || std::fread(payload.data(), 1, len, f) == len;
+  // Trailing bytes after the framed payload mean the file is not one of
+  // ours; a torn tail (short read) is the common crash case. Reject both.
+  const bool at_eof = std::fgetc(f) == EOF;
+  std::fclose(f);
+  if (!read_ok || !at_eof) return false;
+  if (common::crc32(payload.data(), payload.size()) != crc) return false;
+
+  common::BinaryReader r(payload);
+  engine.restore(r);
+  scheduler.restore_state(r);
+  if (!r.done()) {
+    throw std::runtime_error("snapshot: trailing state bytes in " + path +
+                             " (configuration mismatch?)");
+  }
+  return true;
+}
+
+}  // namespace hadar::service

@@ -1,0 +1,30 @@
+// Full-state snapshots of the scheduler daemon: the engine's bit-exact save
+// blob plus the scheduler's cross-round decision state, framed like a single
+// changelog record (magic + length + CRC32). A snapshot at round N pairs
+// with changelog_N.wal — recovery restores the newest valid snapshot and
+// replays that changelog's records. Corrupt snapshots are detected by the
+// CRC and skipped (recovery falls back to an older snapshot, or genesis).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/round_engine.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hadar::service {
+
+inline constexpr char kSnapshotMagic[8] = {'H', 'D', 'R', 'S', 'N', 'P', '0', '1'};
+
+/// Writes engine + scheduler state to `path` (overwriting), optionally
+/// fsyncing before close. Throws std::runtime_error on I/O failure.
+void write_snapshot(const std::string& path, const sim::RoundEngine& engine,
+                    const sim::IScheduler& scheduler, bool fsync);
+
+/// Restores engine + scheduler from `path`. Returns false — leaving both
+/// untouched — when the file is missing, torn, or fails its CRC; throws only
+/// on structural mismatch (a valid snapshot of a different configuration).
+bool read_snapshot(const std::string& path, sim::RoundEngine& engine,
+                   sim::IScheduler& scheduler);
+
+}  // namespace hadar::service

@@ -4,9 +4,18 @@
 #include <cstdio>
 #include <tuple>
 
+#include "common/binary.hpp"
 #include "common/time_format.hpp"
 
 namespace hadar::sim {
+
+namespace {
+
+bool event_before(const Event& a, const Event& b) {
+  return std::tie(a.time, a.kind, a.job) < std::tie(b.time, b.kind, b.job);
+}
+
+}  // namespace
 
 const char* to_string(EventKind k) {
   switch (k) {
@@ -31,11 +40,28 @@ void EventLog::record(Seconds time, EventKind kind, JobId job, std::string detai
   events_.push_back(Event{time, kind, job, std::move(detail)});
 }
 
-std::vector<Event> EventLog::sorted() const {
-  std::vector<Event> out = events_;
-  std::stable_sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
-    return std::tie(a.time, a.kind, a.job) < std::tie(b.time, b.kind, b.job);
-  });
+const std::vector<Event>& EventLog::sorted() const {
+  if (sorted_upto_ < events_.size()) {
+    // Sort only the newly appended run, then merge it into the cached
+    // prefix. Stability: stable_sort within the run plus a stable merge
+    // preserves insertion order among equal keys, matching the previous
+    // full-stable_sort semantics.
+    const std::size_t old_size = sorted_cache_.size();
+    sorted_cache_.insert(sorted_cache_.end(), events_.begin() + static_cast<std::ptrdiff_t>(sorted_upto_),
+                         events_.end());
+    const auto mid = sorted_cache_.begin() + static_cast<std::ptrdiff_t>(old_size);
+    std::stable_sort(mid, sorted_cache_.end(), event_before);
+    std::inplace_merge(sorted_cache_.begin(), mid, sorted_cache_.end(), event_before);
+    sorted_upto_ = events_.size();
+  }
+  return sorted_cache_;
+}
+
+std::vector<Event> EventLog::sorted_since(std::size_t first) const {
+  std::vector<Event> out;
+  if (first >= events_.size()) return out;
+  out.assign(events_.begin() + static_cast<std::ptrdiff_t>(first), events_.end());
+  std::stable_sort(out.begin(), out.end(), event_before);
   return out;
 }
 
@@ -45,6 +71,12 @@ std::vector<Event> EventLog::of_kind(EventKind k) const {
     if (e.kind == k) out.push_back(e);
   }
   return out;
+}
+
+void EventLog::clear() {
+  events_.clear();
+  sorted_cache_.clear();
+  sorted_upto_ = 0;
 }
 
 std::string EventLog::to_string() const {
@@ -67,6 +99,32 @@ std::string EventLog::to_string() const {
     out += '\n';
   }
   return out;
+}
+
+void EventLog::save(common::BinaryWriter& w) const {
+  w.boolean(enabled_);
+  w.u32(static_cast<std::uint32_t>(events_.size()));
+  for (const Event& e : events_) {
+    w.f64(e.time);
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.i32(e.job);
+    w.str(e.detail);
+  }
+}
+
+void EventLog::restore(common::BinaryReader& r) {
+  clear();
+  enabled_ = r.boolean();
+  const std::uint32_t n = r.u32();
+  events_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Event e;
+    e.time = r.f64();
+    e.kind = static_cast<EventKind>(r.u8());
+    e.job = r.i32();
+    e.detail = r.str();
+    events_.push_back(std::move(e));
+  }
 }
 
 }  // namespace hadar::sim

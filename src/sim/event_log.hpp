@@ -1,11 +1,17 @@
-// Optional structured log of simulation events, for debugging, tests, and
-// the example programs' narratives. Disabled by default (zero overhead).
+// Optional structured log of simulation events, for debugging, tests, the
+// example programs' narratives, and the service daemon's per-round
+// completion/failure notifications. Disabled by default (zero overhead).
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "common/types.hpp"
+
+namespace hadar::common {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace hadar::common
 
 namespace hadar::sim {
 
@@ -34,6 +40,8 @@ struct Event {
   EventKind kind = EventKind::kArrival;
   JobId job = kInvalidJob;  ///< kInvalidJob for cluster-level events
   std::string detail;       ///< e.g. the allocation string
+
+  friend bool operator==(const Event&, const Event&) = default;
 };
 
 class EventLog {
@@ -48,21 +56,39 @@ class EventLog {
   /// differ from the round timestamp they were observed in — use sorted()
   /// for a monotone timeline.
   const std::vector<Event>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
 
-  /// Events stable-sorted by (time, kind, job).
-  std::vector<Event> sorted() const;
+  /// Events stable-sorted by (time, kind, job). The sorted view is a
+  /// maintained merge structure, not a fresh full sort: each call sorts only
+  /// the events appended since the previous call and merges that run into
+  /// the cached prefix, so per-round consumers (of_kind, to_string, the
+  /// daemon's notification cursor) pay O(new events) instead of
+  /// O(total log N) per round.
+  const std::vector<Event>& sorted() const;
+
+  /// Events appended at insertion index >= `first`, in (time, kind, job)
+  /// order — the per-round drain used by the service daemon: keep a cursor
+  /// at size() and ask for the delta after each round.
+  std::vector<Event> sorted_since(std::size_t first) const;
 
   /// Events of one kind, in (time, kind, job) order.
   std::vector<Event> of_kind(EventKind k) const;
-  void clear() { events_.clear(); }
+  void clear();
 
   /// One line per event in (time, kind, job) order,
   /// "[t=1234.0s] finish job 7 (...)"; cluster events omit the job field.
   std::string to_string() const;
 
+  /// Bit-exact persistence for snapshots (timestamps as IEEE-754 patterns).
+  void save(common::BinaryWriter& w) const;
+  void restore(common::BinaryReader& r);
+
  private:
   bool enabled_ = false;
   std::vector<Event> events_;
+  /// Lazily maintained (time, kind, job)-sorted copy of events_[0..upto).
+  mutable std::vector<Event> sorted_cache_;
+  mutable std::size_t sorted_upto_ = 0;
 };
 
 }  // namespace hadar::sim

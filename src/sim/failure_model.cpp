@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/binary.hpp"
+
 namespace hadar::sim {
 
 const char* to_string(ClusterEventKind k) {
@@ -90,6 +92,46 @@ bool FailureModel::apply(const ClusterEvent& e) {
     case ClusterEventKind::kGpuRestore: return mask_.degrade(e.node, e.type, -e.count) != 0;
   }
   return false;
+}
+
+void FailureModel::save(common::BinaryWriter& w) const {
+  mask_.save(w);
+  w.u32(static_cast<std::uint32_t>(nodes_.size()));
+  for (const NodeProcess& np : nodes_) {
+    w.u64(np.rng.state());
+    w.f64(np.next_transition);
+  }
+  w.u64(gpu_rng_.state());
+  w.f64(next_gpu_degrade_);
+  w.u32(static_cast<std::uint32_t>(pending_restores_.size()));
+  for (const PendingRestore& pr : pending_restores_) {
+    w.f64(pr.time);
+    w.i32(pr.node);
+    w.i32(pr.type);
+  }
+  w.u64(static_cast<std::uint64_t>(script_cursor_));
+}
+
+void FailureModel::restore(common::BinaryReader& r) {
+  mask_.restore(r);
+  const std::uint32_t n = r.u32();
+  if (n != nodes_.size()) throw std::runtime_error("FailureModel::restore: node count mismatch");
+  for (NodeProcess& np : nodes_) {
+    np.rng.set_state(r.u64());
+    np.next_transition = r.f64();
+  }
+  gpu_rng_.set_state(r.u64());
+  next_gpu_degrade_ = r.f64();
+  pending_restores_.resize(r.u32());
+  for (PendingRestore& pr : pending_restores_) {
+    pr.time = r.f64();
+    pr.node = r.i32();
+    pr.type = r.i32();
+  }
+  script_cursor_ = static_cast<std::size_t>(r.u64());
+  if (script_cursor_ > config_.script.size()) {
+    throw std::runtime_error("FailureModel::restore: script cursor out of range");
+  }
 }
 
 std::vector<ClusterEvent> FailureModel::advance_to(Seconds t) {

@@ -12,6 +12,11 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 
+namespace hadar::common {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace hadar::common
+
 namespace hadar::sim {
 
 enum class ClusterEventKind { kNodeDown, kNodeUp, kGpuDegrade, kGpuRestore };
@@ -62,6 +67,13 @@ class FailureModel {
 
   const cluster::AvailabilityMask& mask() const { return mask_; }
   const FailureConfig& config() const { return config_; }
+
+  /// Bit-exact persistence of the process state (per-node RNG streams, next
+  /// transitions, pending repairs, script cursor, mask) for the durability
+  /// layer. restore() requires a model constructed over the same (spec,
+  /// config); the advancing state is overwritten in place.
+  void save(common::BinaryWriter& w) const;
+  void restore(common::BinaryReader& r);
 
  private:
   static constexpr Seconds kNever = std::numeric_limits<double>::infinity();

@@ -1,0 +1,588 @@
+#include "sim/round_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "cluster/cluster_state.hpp"
+#include "common/binary.hpp"
+#include "obs/trace.hpp"
+
+namespace hadar::sim {
+namespace {
+
+// Namespaces the per-job observation-noise streams away from every other
+// consumer of SimConfig::seed (trace generation forks per job with the raw
+// seed; the failure model has its own seed).
+constexpr std::uint64_t kObsNoiseSalt = 0x6f62736e6f697365ULL;  // "obsnoise"
+
+EventKind to_event_kind(ClusterEventKind k) {
+  switch (k) {
+    case ClusterEventKind::kNodeDown: return EventKind::kNodeDown;
+    case ClusterEventKind::kNodeUp: return EventKind::kNodeUp;
+    case ClusterEventKind::kGpuDegrade: return EventKind::kGpuDegrade;
+    case ClusterEventKind::kGpuRestore: return EventKind::kGpuRestore;
+  }
+  return EventKind::kNodeDown;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void SimConfig::validate() const {
+  if (round_length <= 0.0) throw std::invalid_argument("SimConfig: round_length <= 0");
+  network.validate();
+  if (straggler.probability < 0.0 || straggler.probability > 1.0 ||
+      straggler.slowdown <= 0.0 || straggler.slowdown > 1.0) {
+    throw std::invalid_argument("SimConfig: bad straggler parameters");
+  }
+}
+
+RoundEngine::RoundEngine(const cluster::ClusterSpec* spec, SimConfig config)
+    : nameplate_(spec), config_(std::move(config)), rng_(config_.seed) {
+  if (nameplate_ == nullptr) throw std::invalid_argument("RoundEngine: null cluster spec");
+  config_.validate();
+  log_.set_enabled(config_.enable_event_log);
+
+  // With failures enabled the scheduler sees a live (masked) copy of the
+  // spec. The copy lives in a stable member so pointers schedulers cache
+  // across rounds (ClusterState::spec_, bound type registries) stay valid:
+  // topology changes reassign the object in place, never move it.
+  if (config_.failure.enabled()) {
+    fm_.emplace(*nameplate_, config_.failure);
+    live_spec_storage_ = nameplate_->masked(fm_->mask());
+  }
+  ctx_.spec = fm_ ? &live_spec_storage_ : nameplate_;
+  ctx_.round_length = config_.round_length;
+  ctx_.network = config_.network;
+}
+
+void RoundEngine::admit(const workload::JobSpec& job) {
+  const int R = nameplate_->num_types();
+  job.validate(R);
+  if (index_of_.count(job.id) != 0) {
+    throw std::invalid_argument("RoundEngine: duplicate job id " + std::to_string(job.id));
+  }
+
+  JobRuntime s;
+  s.spec = std::make_unique<workload::JobSpec>(job);
+  s.out.id = job.id;
+  s.out.arrival = job.arrival;
+  s.rounds_on_type.assign(static_cast<std::size_t>(R), 0);
+  s.observed_throughput = job.throughput;
+  if (config_.observation_noise > 0.0) {
+    // Fork-per-job stream: observed throughputs are a pure function of
+    // (seed, job id), independent of admission order and batching.
+    common::Rng nrng(common::mix64(config_.seed ^ kObsNoiseSalt,
+                                   static_cast<std::uint64_t>(job.id)));
+    for (double& x : s.observed_throughput) {
+      if (x > 0.0) x *= std::max(0.05, 1.0 + nrng.normal(0.0, config_.observation_noise));
+    }
+  }
+
+  index_of_[job.id] = js_.size();
+  js_.push_back(std::move(s));
+  ++unfinished_;
+  ++epoch_;
+  log_.record(job.arrival, EventKind::kArrival, job.id);
+}
+
+void RoundEngine::skip_to(Seconds target) {
+  if (target <= t_) return;
+  const Seconds L = config_.round_length;
+  Seconds nt = std::ceil(target / L) * L;
+  if (nt < target) nt += L;  // guard FP rounding
+  if (nt > t_) t_ = nt;
+}
+
+void RoundEngine::apply_failures(RoundOutcome& out) {
+  if (!fm_) return;
+  HADAR_TRACE_SCOPE("sim", "sim.failures", 1);
+  const std::vector<ClusterEvent> fired = fm_->advance_to(t_);
+  if (fired.empty()) return;
+
+  for (const ClusterEvent& e : fired) {
+    switch (e.kind) {
+      case ClusterEventKind::kNodeDown: ++num_node_failures_; break;
+      case ClusterEventKind::kNodeUp: ++num_node_recoveries_; break;
+      case ClusterEventKind::kGpuDegrade: ++num_gpu_degrades_; break;
+      case ClusterEventKind::kGpuRestore: break;
+    }
+    if (log_.enabled()) {
+      std::string detail = "node " + std::to_string(e.node);
+      if (e.kind == ClusterEventKind::kGpuDegrade || e.kind == ClusterEventKind::kGpuRestore) {
+        detail += " " + nameplate_->types().name(e.type) + " x" + std::to_string(e.count);
+      }
+      log_.record(e.time, to_event_kind(e.kind), kInvalidJob, std::move(detail));
+    }
+    if (obs::TraceSession* ts = obs::TraceSession::current()) {
+      ts->instant("fault", sim::to_string(to_event_kind(e.kind)),
+                  {{"node", static_cast<double>(e.node)}, {"sim_t", e.time}});
+      obs::count("fault.events");
+    }
+  }
+  live_spec_storage_ = nameplate_->masked(fm_->mask());
+  ++cluster_epoch_;
+
+  // Re-fit held allocations in job order: survivors keep their placement,
+  // the rest are failure-killed. Deterministic because the iteration order
+  // and the live capacities are. Each victim rolls back to its last
+  // implicit checkpoint and re-enters the queue.
+  cluster::ClusterState live_state(&live_spec_storage_);
+  for (auto& s : js_) {
+    if (s.finished || s.current.empty()) continue;
+    if (live_state.can_allocate(s.current)) {
+      live_state.allocate(s.current);
+      continue;
+    }
+    s.iterations = s.checkpoint_iterations;
+    s.out.lost_gpu_seconds += s.compute_since_checkpoint;
+    s.compute_since_checkpoint = 0.0;
+    ++s.out.failure_kills;
+    s.restart_pending = true;
+    s.current = cluster::JobAllocation{};
+    ++out.failure_kills;
+    log_.record(t_, EventKind::kKill, s.spec->id);
+    if (obs::TraceSession* ts = obs::TraceSession::current()) {
+      ts->instant("fault", "job_kill",
+                  {{"job", static_cast<double>(s.spec->id)}, {"sim_t", t_}});
+    }
+  }
+}
+
+void RoundEngine::refresh_context() {
+  ctx_.now = t_;
+  ctx_.jobs_epoch = epoch_;
+  ctx_.cluster_epoch = cluster_epoch_;
+  if (view_of_.size() != js_.size()) view_of_.resize(js_.size(), -1);
+  if (built_epoch_ != epoch_) {
+    ctx_.jobs.clear();
+    std::fill(view_of_.begin(), view_of_.end(), -1);
+    for (std::size_t i = 0; i < js_.size(); ++i) {
+      auto& s = js_[i];
+      if (s.finished) continue;
+      view_of_[i] = static_cast<int>(ctx_.jobs.size());
+      JobView v;
+      v.spec = s.spec.get();
+      v.iterations_done = s.iterations;
+      v.attained_service = s.attained_service;
+      v.rounds_received = s.rounds_received;
+      v.rounds_on_type = s.rounds_on_type;
+      v.current_allocation = s.current;
+      v.throughput = s.observed_throughput;
+      ctx_.jobs.push_back(std::move(v));
+    }
+    built_epoch_ = epoch_;
+  } else {
+    // Same runnable set as last round: only the dynamic fields moved.
+    // Same-size vector assignments below reuse the views' buffers.
+    for (std::size_t i = 0; i < js_.size(); ++i) {
+      if (view_of_[i] < 0) continue;
+      auto& s = js_[i];
+      JobView& v = ctx_.jobs[static_cast<std::size_t>(view_of_[i])];
+      v.iterations_done = s.iterations;
+      v.attained_service = s.attained_service;
+      v.rounds_received = s.rounds_received;
+      v.rounds_on_type = s.rounds_on_type;
+      v.current_allocation = s.current;
+      // v.spec and v.throughput are per-job constants within a run.
+    }
+  }
+}
+
+void RoundEngine::validate_decision(const cluster::AllocationMap& amap,
+                                    IScheduler& scheduler) const {
+  HADAR_TRACE_SCOPE("sim", "sim.validate", 2);
+  const std::string err = cluster::validate(*ctx_.spec, amap);
+  if (!err.empty()) {
+    throw std::runtime_error(scheduler.name() + ": capacity violation: " + err);
+  }
+  for (const auto& [id, alloc] : amap) {
+    if (alloc.empty()) continue;
+    const auto it = index_of_.find(id);
+    if (it == index_of_.end() || js_[it->second].finished) {
+      throw std::runtime_error(scheduler.name() + ": allocated a non-runnable job " +
+                               std::to_string(id));
+    }
+    const int w = alloc.total_workers();
+    const int want = js_[it->second].spec->num_workers;
+    if (w != want) {
+      throw std::runtime_error(scheduler.name() + ": gang violation for job " +
+                               std::to_string(id) + ": got " + std::to_string(w) +
+                               " workers, requested " + std::to_string(want));
+    }
+  }
+}
+
+RoundOutcome RoundEngine::step(IScheduler& scheduler) {
+  const Seconds L = config_.round_length;
+  const int R = nameplate_->num_types();
+  constexpr int kStallLimit = 100000;
+
+  RoundOutcome out;
+  out.round = rounds_;
+  out.start = t_;
+
+  obs::ScopedSpan round_span("sim", "sim.round");
+  if (round_span.active()) {
+    round_span.arg("round", static_cast<double>(rounds_));
+    round_span.arg("t", t_);
+  }
+
+  // Apply availability changes due at this round boundary, then kill jobs
+  // whose held allocation no longer fits the live cluster.
+  apply_failures(out);
+
+  // Build (or refresh) the scheduler's view.
+  refresh_context();
+  out.runnable = static_cast<int>(ctx_.jobs.size());
+  if (round_span.active()) {
+    round_span.arg("runnable", static_cast<double>(ctx_.jobs.size()));
+  }
+
+  const double t0 = now_seconds();
+  cluster::AllocationMap amap;
+  {
+    obs::ScopedSpan sched_span("sched", "sched.schedule");
+    if (sched_span.active()) {
+      sched_span.str_arg("scheduler", scheduler.name());
+      sched_span.arg("runnable", static_cast<double>(ctx_.jobs.size()));
+    }
+    amap = scheduler.schedule(ctx_);
+  }
+  out.schedule_seconds = now_seconds() - t0;
+  scheduler_seconds_ += out.schedule_seconds;
+  ++scheduler_calls_;
+
+  if (config_.validate_allocations) validate_decision(amap, scheduler);
+
+  // Advance every active job through the round [t, t+L).
+  obs::ScopedSpan advance_span("sim", "sim.advance", 1);
+  bool progressed = false;
+  for (auto& s : js_) {
+    if (s.finished) continue;
+    const auto it = amap.find(s.spec->id);
+    const cluster::JobAllocation alloc =
+        it != amap.end() ? it->second : cluster::JobAllocation{};
+
+    if (alloc.empty()) {
+      if (!s.current.empty()) {
+        ++s.out.preemptions;
+        ++out.preemptions;
+        log_.record(t_, EventKind::kPreempt, s.spec->id);
+      }
+      s.current = cluster::JobAllocation{};
+      continue;
+    }
+
+    ++out.scheduled;
+    const bool changed = !(alloc == s.current);
+    if (s.out.first_start < 0.0) {
+      s.out.first_start = t_;
+      log_.record(t_, EventKind::kStart, s.spec->id, alloc.to_string(*nameplate_));
+    } else if (changed) {
+      ++s.out.reallocations;
+      log_.record(t_, s.current.empty() ? EventKind::kResume : EventKind::kReallocate,
+                  s.spec->id, alloc.to_string(*nameplate_));
+    }
+
+    Seconds penalty = 0.0;
+    if (changed) {
+      // A failure restart skips the save: the checkpoint already exists
+      // (written implicitly at the round boundary before the crash).
+      penalty = config_.use_flat_reallocation_penalty
+                    ? config_.flat_reallocation_penalty
+                    : (s.restart_pending ? s.spec->checkpoint_load
+                                         : s.spec->checkpoint_save + s.spec->checkpoint_load);
+    } else if (config_.charge_periodic_save) {
+      penalty = s.spec->checkpoint_save;
+    }
+    if (changed && s.restart_pending) {
+      if (obs::TraceSession* ts = obs::TraceSession::current()) {
+        ts->instant("checkpoint", "checkpoint_restore",
+                    {{"job", static_cast<double>(s.spec->id)}, {"sim_t", t_}});
+        obs::count("checkpoint.restores");
+      }
+    }
+    s.restart_pending = false;
+    penalty = std::min(penalty, L);
+    const Seconds effective = L - penalty;
+
+    // True bottleneck throughput of this placement (constraint 1b), with
+    // network penalty, optional jitter, and optional straggler slowdown.
+    double x = config_.network.effective_rate(
+        alloc.bottleneck_throughput(s.spec->throughput), alloc.nodes_used(),
+        s.spec->model_size_mb);
+    if (config_.throughput_jitter > 0.0) {
+      const double sigma = config_.throughput_jitter;
+      x *= rng_.lognormal(-0.5 * sigma * sigma, sigma);  // mean-1 jitter
+    }
+    if (config_.straggler.probability > 0.0 && rng_.uniform() < config_.straggler.probability) {
+      x *= config_.straggler.slowdown;
+      log_.record(t_, EventKind::kStraggler, s.spec->id);
+    }
+
+    const int workers = alloc.total_workers();
+    const double rate = x * workers;  // aggregate iterations/s (1a)
+    ++s.rounds_received;
+    ++job_rounds_;
+    if (changed) ++total_reallocations_;
+    for (GpuTypeId r = 0; r < R; ++r) {
+      if (alloc.workers_of_type(r) > 0) ++s.rounds_on_type[static_cast<std::size_t>(r)];
+    }
+
+    // The round boundary is the job's implicit checkpoint: a failure during
+    // this round rolls progress back to here.
+    s.checkpoint_iterations = s.iterations;
+
+    const double remaining = s.spec->total_iterations() - s.iterations;
+    double held, compute;
+    if (rate > 0.0 && remaining / rate <= effective + 1e-12) {
+      const Seconds run_time = remaining / rate;
+      s.iterations = s.spec->total_iterations();
+      s.finished = true;
+      ++epoch_;
+      s.out.finish = t_ + penalty + run_time;
+      held = workers * (penalty + run_time);
+      compute = workers * run_time;
+      --unfinished_;
+      out.finished.push_back(s.spec->id);
+      log_.record(s.out.finish, EventKind::kFinish, s.spec->id);
+      s.current = cluster::JobAllocation{};
+      progressed = true;
+    } else {
+      s.iterations += rate * effective;
+      held = workers * L;
+      compute = workers * effective;
+      s.current = alloc;
+      if (rate > 0.0) progressed = true;
+    }
+    s.compute_since_checkpoint = compute;
+    ++s.out.rounds_run;
+    s.attained_service += held;
+    s.out.gpu_seconds += held;
+    s.out.compute_gpu_seconds += compute;
+    busy_gpu_seconds_ += compute;
+  }
+
+  if (!progressed && !ctx_.jobs.empty()) {
+    if (++stalled_rounds_ > kStallLimit) {
+      throw std::runtime_error(scheduler.name() +
+                               ": simulation stalled (no progress for 100000 rounds)");
+    }
+  } else {
+    stalled_rounds_ = 0;
+  }
+
+  if (obs::TraceSession* ts = obs::TraceSession::current()) {
+    const int queue_depth = static_cast<int>(ctx_.jobs.size()) - out.scheduled;
+    ts->counter("round.queue_depth", queue_depth);
+    ts->counter("round.scheduled_jobs", out.scheduled);
+    obs::count("sim.rounds");
+    obs::count("round.preemptions", static_cast<std::uint64_t>(out.preemptions));
+    obs::count("round.failure_kills", static_cast<std::uint64_t>(out.failure_kills));
+    obs::gauge_set("round.queue_depth", queue_depth);
+    obs::gauge_set("round.scheduled_jobs", out.scheduled);
+    ts->sample_metrics(t_);
+  }
+
+  t_ += L;
+  ++rounds_;
+  out.allocations = std::move(amap);
+  return out;
+}
+
+SimResult RoundEngine::finalize(std::size_t ftf_population, bool truncated) const {
+  SimResult result;
+  result.rounds = rounds_;
+  result.total_reallocations = total_reallocations_;
+  result.scheduler_seconds = scheduler_seconds_;
+  result.scheduler_calls = scheduler_calls_;
+  result.num_node_failures = num_node_failures_;
+  result.num_node_recoveries = num_node_recoveries_;
+  result.num_gpu_degrades = num_gpu_degrades_;
+
+  result.jobs.reserve(js_.size());
+  const double n_jobs =
+      static_cast<double>(ftf_population > 0 ? ftf_population : js_.size());
+  Seconds makespan = 0.0;
+  std::vector<double> jcts, qdelays, ftfs, utils;
+  for (const auto& s : js_) {
+    JobOutcome o = s.out;
+    if (s.finished) {
+      utils.push_back(o.gpu_utilization(s.spec->num_workers));
+      makespan = std::max(makespan, o.finish);
+      jcts.push_back(o.jct());
+      // Themis finish-time fairness: JCT over the runtime with an exclusive
+      // 1/n share of the cluster's best devices.
+      const double x_best = s.spec->max_throughput();
+      const double isolated_rate = x_best * s.spec->num_workers / n_jobs;
+      if (isolated_rate > 0.0) {
+        const double t_id = s.spec->total_iterations() / isolated_rate;
+        o.ftf = o.jct() / t_id;
+        ftfs.push_back(o.ftf);
+      }
+    }
+    if (o.first_start >= 0.0) {
+      qdelays.push_back(o.queueing_delay());
+    } else {
+      ++result.num_never_started;
+    }
+    if (!s.finished) ++result.num_unfinished;
+    result.total_preemptions += o.preemptions;
+    result.total_failure_kills += o.failure_kills;
+    result.lost_gpu_seconds += o.lost_gpu_seconds;
+    result.jobs.push_back(std::move(o));
+  }
+  if (unfinished_ > 0 || truncated) makespan = std::max(makespan, t_);
+  result.makespan = makespan;
+  result.avg_jct = common::mean(jcts);
+  result.median_jct = common::median(jcts);
+  result.min_jct = common::min_of(jcts);
+  result.max_jct = common::max_of(jcts);
+  result.p95_jct = common::percentile(jcts, 95.0);
+  result.avg_queueing_delay = common::mean(qdelays);
+  result.avg_ftf = common::mean(ftfs);
+  result.max_ftf = common::max_of(ftfs);
+  result.avg_job_utilization = common::mean(utils);
+  if (makespan > 0.0 && nameplate_->total_gpus() > 0) {
+    // Both are normalized by nameplate capacity so degradation curves stay
+    // comparable across failure rates; goodput discounts rolled-back work.
+    result.gpu_utilization = busy_gpu_seconds_ / (nameplate_->total_gpus() * makespan);
+    result.goodput =
+        (busy_gpu_seconds_ - result.lost_gpu_seconds) / (nameplate_->total_gpus() * makespan);
+  }
+  if (job_rounds_ > 0) {
+    result.realloc_round_fraction =
+        static_cast<double>(result.total_reallocations) / static_cast<double>(job_rounds_);
+  }
+  return result;
+}
+
+void RoundEngine::save(common::BinaryWriter& w) const {
+  w.u64(rng_.state());
+  w.f64(t_);
+  w.i64(rounds_);
+  w.i32(stalled_rounds_);
+  w.u64(epoch_);
+  w.u64(cluster_epoch_);
+
+  w.u32(static_cast<std::uint32_t>(js_.size()));
+  for (const auto& s : js_) {
+    s.spec->save(w);
+    // JobOutcome (id/arrival derive from the spec, ftf from finalize()).
+    w.f64(s.out.first_start);
+    w.f64(s.out.finish);
+    w.f64(s.out.gpu_seconds);
+    w.f64(s.out.compute_gpu_seconds);
+    w.i32(s.out.rounds_run);
+    w.i32(s.out.preemptions);
+    w.i32(s.out.reallocations);
+    w.i32(s.out.failure_kills);
+    w.f64(s.out.lost_gpu_seconds);
+    w.f64(s.iterations);
+    w.f64(s.attained_service);
+    w.i32(s.rounds_received);
+    common::write_i32_vector(w, s.rounds_on_type);
+    common::write_f64_vector(w, s.observed_throughput);
+    s.current.save(w);
+    w.boolean(s.finished);
+    w.f64(s.checkpoint_iterations);
+    w.f64(s.compute_since_checkpoint);
+    w.boolean(s.restart_pending);
+  }
+
+  w.f64(busy_gpu_seconds_);
+  w.i64(job_rounds_);
+  w.i64(total_reallocations_);
+  w.f64(scheduler_seconds_);
+  w.i64(scheduler_calls_);
+  w.i64(num_node_failures_);
+  w.i64(num_node_recoveries_);
+  w.i64(num_gpu_degrades_);
+
+  w.boolean(fm_.has_value());
+  if (fm_) fm_->save(w);
+  log_.save(w);
+}
+
+void RoundEngine::restore(common::BinaryReader& r) {
+  rng_.set_state(r.u64());
+  t_ = r.f64();
+  rounds_ = r.i64();
+  stalled_rounds_ = r.i32();
+  epoch_ = r.u64();
+  cluster_epoch_ = r.u64();
+
+  const std::uint32_t n = r.u32();
+  js_.clear();
+  index_of_.clear();
+  unfinished_ = 0;
+  js_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    JobRuntime s;
+    s.spec = std::make_unique<workload::JobSpec>(workload::JobSpec::restore(r));
+    s.out.id = s.spec->id;
+    s.out.arrival = s.spec->arrival;
+    s.out.first_start = r.f64();
+    s.out.finish = r.f64();
+    s.out.gpu_seconds = r.f64();
+    s.out.compute_gpu_seconds = r.f64();
+    s.out.rounds_run = r.i32();
+    s.out.preemptions = r.i32();
+    s.out.reallocations = r.i32();
+    s.out.failure_kills = r.i32();
+    s.out.lost_gpu_seconds = r.f64();
+    s.iterations = r.f64();
+    s.attained_service = r.f64();
+    s.rounds_received = r.i32();
+    s.rounds_on_type = common::read_i32_vector(r);
+    s.observed_throughput = common::read_f64_vector(r);
+    s.current = cluster::JobAllocation::restore(r);
+    s.finished = r.boolean();
+    s.checkpoint_iterations = r.f64();
+    s.compute_since_checkpoint = r.f64();
+    s.restart_pending = r.boolean();
+    if (s.rounds_on_type.size() != static_cast<std::size_t>(nameplate_->num_types())) {
+      throw std::runtime_error("RoundEngine::restore: rounds_on_type arity mismatch");
+    }
+    if (!s.finished) ++unfinished_;
+    if (!index_of_.emplace(s.spec->id, js_.size()).second) {
+      throw std::runtime_error("RoundEngine::restore: duplicate job id");
+    }
+    js_.push_back(std::move(s));
+  }
+
+  busy_gpu_seconds_ = r.f64();
+  job_rounds_ = r.i64();
+  total_reallocations_ = r.i64();
+  scheduler_seconds_ = r.f64();
+  scheduler_calls_ = r.i64();
+  num_node_failures_ = r.i64();
+  num_node_recoveries_ = r.i64();
+  num_gpu_degrades_ = r.i64();
+
+  const bool had_fm = r.boolean();
+  if (had_fm != fm_.has_value()) {
+    throw std::runtime_error("RoundEngine::restore: failure-model presence mismatch");
+  }
+  if (fm_) {
+    fm_->restore(r);
+    live_spec_storage_ = nameplate_->masked(fm_->mask());
+  }
+  log_.restore(r);
+  log_.set_enabled(config_.enable_event_log);
+
+  // Force a full JobView rebuild on the next step(): the views hold pointers
+  // into the old js_ storage.
+  built_epoch_ = 0;
+  view_of_.assign(js_.size(), -1);
+  ctx_.jobs.clear();
+}
+
+}  // namespace hadar::sim

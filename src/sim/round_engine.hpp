@@ -1,0 +1,169 @@
+// The incremental round engine: the simulator's per-round core factored into
+// a long-lived object the event-driven service daemon can drive one round at
+// a time. Jobs are admitted individually (event sourcing) instead of being
+// read from a whole trace up front; the engine owns every piece of advancing
+// state — job runtimes, RNG streams, failure model, event log, metric
+// accumulators — and can persist all of it bit-exactly through
+// save()/restore(), which is what makes write-ahead logging + snapshot
+// recovery reproduce the exact round (see src/service/).
+//
+// Simulator::run is now a thin driver over this engine (admit due arrivals,
+// skip idle gaps, step), so the batch simulator and the daemon execute the
+// same code path and stay behaviourally identical.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster_state.hpp"
+#include "common/rng.hpp"
+#include "sim/event_log.hpp"
+#include "sim/failure_model.hpp"
+#include "sim/metrics.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/sim_config.hpp"
+#include "workload/job.hpp"
+
+namespace hadar::common {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace hadar::common
+
+namespace hadar::sim {
+
+/// What one step() did — the unit the service daemon logs per round.
+struct RoundOutcome {
+  long long round = 0;    ///< index of the executed round (0-based)
+  Seconds start = 0.0;    ///< simulated start time of the round
+  int runnable = 0;       ///< jobs visible to the scheduler
+  int scheduled = 0;      ///< jobs that held an allocation
+  int preemptions = 0;
+  int failure_kills = 0;
+  std::vector<JobId> finished;          ///< jobs completed within this round
+  cluster::AllocationMap allocations;   ///< the decision applied
+  double schedule_seconds = 0.0;        ///< wall-clock spent in schedule()
+};
+
+/// Round-at-a-time simulation engine over one cluster. Construct, admit jobs
+/// as they arrive, step() once per round. Non-copyable: the failure model
+/// and scheduler contexts hold stable internal pointers.
+class RoundEngine {
+ public:
+  /// `spec` must outlive the engine.
+  RoundEngine(const cluster::ClusterSpec* spec, SimConfig config);
+  RoundEngine(const RoundEngine&) = delete;
+  RoundEngine& operator=(const RoundEngine&) = delete;
+
+  const SimConfig& config() const { return config_; }
+  const cluster::ClusterSpec& spec() const { return *nameplate_; }
+
+  Seconds now() const { return t_; }
+  long long rounds_completed() const { return rounds_; }
+  std::size_t jobs_admitted() const { return js_.size(); }
+  std::size_t unfinished_admitted() const { return unfinished_; }
+  bool has_runnable() const { return unfinished_ > 0; }
+  const EventLog& event_log() const { return log_; }
+
+  /// Admits one job (its arrival event). Rejects duplicate ids and invalid
+  /// specs with std::invalid_argument. Jobs whose arrival lies in the past
+  /// are admitted as of now (the log still records the true arrival time).
+  void admit(const workload::JobSpec& job);
+
+  /// Advances the clock to the first round boundary at or after `target`
+  /// without executing rounds (the idle skip between arrival bursts).
+  /// Backwards skips are ignored.
+  void skip_to(Seconds target);
+
+  /// Executes one round at the current boundary: failure events, scheduler
+  /// decision, validation, job advancement. Advances the clock by one round.
+  RoundOutcome step(IScheduler& scheduler);
+
+  /// Aggregate metrics over every admitted job. `ftf_population` overrides
+  /// the job count used for the finish-time-fairness 1/n share (0 = the
+  /// admitted count); the batch simulator passes the full trace size so
+  /// never-admitted jobs still dilute the isolated share. `truncated` marks
+  /// a run cut short with work still outstanding beyond the admitted set
+  /// (horizon hit before later arrivals): the makespan then extends to now()
+  /// even if every admitted job finished, as it would had they been admitted.
+  SimResult finalize(std::size_t ftf_population = 0, bool truncated = false) const;
+
+  /// Bit-exact persistence of all advancing state. restore() requires an
+  /// engine constructed over the same (spec, config); throws
+  /// std::runtime_error on shape mismatches.
+  void save(common::BinaryWriter& w) const;
+  void restore(common::BinaryReader& r);
+
+  /// SplitMix64 position of the shared jitter/straggler stream — recorded in
+  /// every changelog record and compared during replay as a cheap
+  /// determinism check.
+  std::uint64_t rng_state() const { return rng_.state(); }
+
+ private:
+  struct JobRuntime {
+    /// Stable storage: JobViews and the outcome vector point into it.
+    std::unique_ptr<workload::JobSpec> spec;
+    JobOutcome out;
+    double iterations = 0.0;
+    double attained_service = 0.0;
+    int rounds_received = 0;
+    std::vector<int> rounds_on_type;
+    std::vector<double> observed_throughput;
+    cluster::JobAllocation current;
+    bool finished = false;
+    /// Iteration count at the last implicit checkpoint (the start of the
+    /// most recent round the job computed in) and the compute done since —
+    /// the progress a failure kill rolls back.
+    double checkpoint_iterations = 0.0;
+    double compute_since_checkpoint = 0.0;
+    /// Set when a failure kill preempted the job; its next restart is
+    /// charged checkpoint_load only (the save happened at the boundary).
+    bool restart_pending = false;
+  };
+
+  void apply_failures(RoundOutcome& out);
+  void refresh_context();
+  void validate_decision(const cluster::AllocationMap& amap, IScheduler& scheduler) const;
+
+  const cluster::ClusterSpec* nameplate_;
+  SimConfig config_;
+  common::Rng rng_;
+  EventLog log_;
+
+  std::vector<JobRuntime> js_;            // admission order
+  std::map<JobId, std::size_t> index_of_; // job id -> js_ slot
+  std::size_t unfinished_ = 0;
+
+  Seconds t_ = 0.0;
+  long long rounds_ = 0;
+  int stalled_rounds_ = 0;
+
+  // Failure machinery (present iff config_.failure.enabled()). The live spec
+  // lives in a stable member so pointers schedulers cache across rounds stay
+  // valid: topology changes reassign the object in place, never move it.
+  std::optional<FailureModel> fm_;
+  cluster::ClusterSpec live_spec_storage_;
+
+  // Scheduler view, rebuilt only when the runnable set changes (epoch bump);
+  // otherwise refreshed in place. view_of_[i] maps js_[i] to its slot in
+  // ctx_.jobs for the current epoch (-1 when not runnable).
+  SchedulerContext ctx_;
+  std::uint64_t epoch_ = 1;          // simulator epochs start at 1; 0 = "unknown"
+  std::uint64_t cluster_epoch_ = 1;
+  std::uint64_t built_epoch_ = 0;
+  std::vector<int> view_of_;
+
+  // Result accumulators (SimResult fields that grow per round).
+  double busy_gpu_seconds_ = 0.0;
+  long long job_rounds_ = 0;
+  long long total_reallocations_ = 0;
+  double scheduler_seconds_ = 0.0;
+  long long scheduler_calls_ = 0;
+  long long num_node_failures_ = 0;
+  long long num_node_recoveries_ = 0;
+  long long num_gpu_degrades_ = 0;
+};
+
+}  // namespace hadar::sim

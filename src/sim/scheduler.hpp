@@ -17,6 +17,11 @@
 #include "cluster/cluster_spec.hpp"
 #include "workload/job.hpp"
 
+namespace hadar::common {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace hadar::common
+
 namespace hadar::sim {
 
 /// Dynamic view of one runnable job as of the current round.
@@ -97,6 +102,17 @@ class IScheduler {
 
   /// Clears internal state; called before every simulation run.
   virtual void reset() {}
+
+  /// Persists the cross-round decision state (queue demotions, time-fraction
+  /// targets, sticky placements, estimator tracks, ...) so a restored
+  /// scheduler reproduces the exact decisions of the original. Speed-only
+  /// caches (warm LP bases, scratch buffers) that cannot change decisions
+  /// need not be saved. The default is for stateless policies; any policy
+  /// whose schedule() reads state written by a previous round MUST override
+  /// both hooks. restore_state() is always called on a freshly reset()
+  /// instance constructed with the same parameters.
+  virtual void save_state(common::BinaryWriter&) const {}
+  virtual void restore_state(common::BinaryReader&) {}
 };
 
 using SchedulerPtr = std::unique_ptr<IScheduler>;

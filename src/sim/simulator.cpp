@@ -1,64 +1,14 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
-#include <chrono>
-#include <cmath>
-#include <optional>
-#include <stdexcept>
+#include <cstddef>
 
-#include "cluster/cluster_state.hpp"
-
-#include "common/logging.hpp"
 #include "obs/trace.hpp"
+#include "sim/round_engine.hpp"
 
 namespace hadar::sim {
-namespace {
-
-struct JobRuntime {
-  const workload::JobSpec* spec = nullptr;
-  JobOutcome out;
-  double iterations = 0.0;
-  double attained_service = 0.0;
-  int rounds_received = 0;
-  std::vector<int> rounds_on_type;
-  std::vector<double> observed_throughput;
-  cluster::JobAllocation current;
-  bool active = false;
-  bool finished = false;
-  /// Iteration count at the last implicit checkpoint (the start of the most
-  /// recent round the job computed in) and the compute done since — the
-  /// progress a failure kill rolls back.
-  double checkpoint_iterations = 0.0;
-  double compute_since_checkpoint = 0.0;
-  /// Set when a failure kill preempted the job; its next restart is charged
-  /// checkpoint_load only (the save happened implicitly at the boundary).
-  bool restart_pending = false;
-};
-
-EventKind to_event_kind(ClusterEventKind k) {
-  switch (k) {
-    case ClusterEventKind::kNodeDown: return EventKind::kNodeDown;
-    case ClusterEventKind::kNodeUp: return EventKind::kNodeUp;
-    case ClusterEventKind::kGpuDegrade: return EventKind::kGpuDegrade;
-    case ClusterEventKind::kGpuRestore: return EventKind::kGpuRestore;
-  }
-  return EventKind::kNodeDown;
-}
-
-double now_seconds() {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 Simulator::Simulator(SimConfig config) : config_(std::move(config)) {
-  if (config_.round_length <= 0.0) throw std::invalid_argument("SimConfig: round_length <= 0");
-  config_.network.validate();
-  if (config_.straggler.probability < 0.0 || config_.straggler.probability > 1.0 ||
-      config_.straggler.slowdown <= 0.0 || config_.straggler.slowdown > 1.0) {
-    throw std::invalid_argument("SimConfig: bad straggler parameters");
-  }
+  config_.validate();
 }
 
 SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace& trace,
@@ -67,25 +17,7 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
   for (const auto& j : trace.jobs) j.validate(R);
 
   scheduler.reset();
-  log_.clear();
-  log_.set_enabled(config_.enable_event_log);
-  common::Rng rng(config_.seed);
-
-  const Seconds L = config_.round_length;
-  std::vector<JobRuntime> js(trace.jobs.size());
-  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
-    auto& s = js[i];
-    s.spec = &trace.jobs[i];
-    s.out.id = s.spec->id;
-    s.out.arrival = s.spec->arrival;
-    s.rounds_on_type.assign(static_cast<std::size_t>(R), 0);
-    s.observed_throughput = s.spec->throughput;
-    if (config_.observation_noise > 0.0) {
-      for (double& x : s.observed_throughput) {
-        if (x > 0.0) x *= std::max(0.05, 1.0 + rng.normal(0.0, config_.observation_noise));
-      }
-    }
-  }
+  RoundEngine engine(&spec, config_);
 
   obs::ScopedSpan run_span("sim", "sim.run");
   if (run_span.active()) {
@@ -93,406 +25,51 @@ SimResult Simulator::run(const cluster::ClusterSpec& spec, const workload::Trace
     run_span.arg("jobs", static_cast<double>(trace.jobs.size()));
   }
 
-  SimResult result;
+  // Drive the engine: admit arrivals due at each round boundary, skip idle
+  // gaps between arrival bursts, step until every admitted job finished and
+  // no arrivals remain (or the horizon hit).
   std::size_t next_arrival = 0;  // trace is arrival-sorted
-  std::size_t unfinished = trace.jobs.size();
-  Seconds t = 0.0;
-  double busy_gpu_seconds = 0.0;
-  long long job_rounds = 0;
-  int stalled_rounds = 0;
-  constexpr int kStallLimit = 100000;
+  while (next_arrival < trace.jobs.size() || engine.unfinished_admitted() > 0) {
+    if (config_.horizon > 0.0 && engine.now() >= config_.horizon) break;
 
-  // With failures enabled the scheduler sees a live (masked) copy of the
-  // spec. The copy lives in a stable local so pointers schedulers cache
-  // across rounds (ClusterState::spec_, bound type registries) stay valid:
-  // topology changes reassign the object in place, never move it.
-  const bool failures_on = config_.failure.enabled();
-  std::optional<FailureModel> fm;
-  cluster::ClusterSpec live_spec_storage;
-  if (failures_on) {
-    fm.emplace(spec, config_.failure);
-    live_spec_storage = spec.masked(fm->mask());
-  }
-
-  SchedulerContext ctx;
-  ctx.spec = failures_on ? &live_spec_storage : &spec;
-  ctx.round_length = L;
-  ctx.network = config_.network;
-  std::uint64_t cluster_epoch = 1;  // 0 = "unknown", as with jobs_epoch
-
-  // ctx.jobs is rebuilt only when the runnable set changes (epoch bump);
-  // otherwise the JobViews from the previous round are refreshed in place,
-  // reusing their rounds_on_type/throughput buffers. view_of[i] maps js[i]
-  // to its slot in ctx.jobs for the current epoch (-1 when not runnable).
-  std::uint64_t epoch = 1;       // simulator epochs start at 1; 0 = "unknown"
-  std::uint64_t built_epoch = 0;
-  std::vector<int> view_of(js.size(), -1);
-
-  while (unfinished > 0) {
-    if (config_.horizon > 0.0 && t >= config_.horizon) break;
-
-    obs::ScopedSpan round_span("sim", "sim.round");
-    if (round_span.active()) {
-      round_span.arg("round", static_cast<double>(result.rounds));
-      round_span.arg("t", t);
-    }
-    int round_preemptions = 0;
-    int round_kills = 0;
-
-    // Apply availability changes due at this round boundary, then kill jobs
-    // whose held allocation no longer fits the live cluster. Each victim
-    // rolls back to its last implicit checkpoint and re-enters the queue.
-    if (failures_on) {
-      HADAR_TRACE_SCOPE("sim", "sim.failures", 1);
-      const std::vector<ClusterEvent> fired = fm->advance_to(t);
-      if (!fired.empty()) {
-        for (const ClusterEvent& e : fired) {
-          switch (e.kind) {
-            case ClusterEventKind::kNodeDown: ++result.num_node_failures; break;
-            case ClusterEventKind::kNodeUp: ++result.num_node_recoveries; break;
-            case ClusterEventKind::kGpuDegrade: ++result.num_gpu_degrades; break;
-            case ClusterEventKind::kGpuRestore: break;
-          }
-          if (log_.enabled()) {
-            std::string detail = "node " + std::to_string(e.node);
-            if (e.kind == ClusterEventKind::kGpuDegrade ||
-                e.kind == ClusterEventKind::kGpuRestore) {
-              detail += " " + spec.types().name(e.type) + " x" + std::to_string(e.count);
-            }
-            log_.record(e.time, to_event_kind(e.kind), kInvalidJob, std::move(detail));
-          }
-          if (obs::TraceSession* ts = obs::TraceSession::current()) {
-            ts->instant("fault", sim::to_string(to_event_kind(e.kind)),
-                        {{"node", static_cast<double>(e.node)}, {"sim_t", e.time}});
-            obs::count("fault.events");
-          }
-        }
-        live_spec_storage = spec.masked(fm->mask());
-        ++cluster_epoch;
-
-        // Re-fit held allocations in job order: survivors keep their
-        // placement, the rest are failure-killed. Deterministic because the
-        // iteration order and the live capacities are.
-        cluster::ClusterState live_state(&live_spec_storage);
-        for (auto& s : js) {
-          if (!s.active || s.finished || s.current.empty()) continue;
-          if (live_state.can_allocate(s.current)) {
-            live_state.allocate(s.current);
-            continue;
-          }
-          s.iterations = s.checkpoint_iterations;
-          s.out.lost_gpu_seconds += s.compute_since_checkpoint;
-          s.compute_since_checkpoint = 0.0;
-          ++s.out.failure_kills;
-          s.restart_pending = true;
-          s.current = cluster::JobAllocation{};
-          ++round_kills;
-          log_.record(t, EventKind::kKill, s.spec->id);
-          if (obs::TraceSession* ts = obs::TraceSession::current()) {
-            ts->instant("fault", "job_kill",
-                        {{"job", static_cast<double>(s.spec->id)}, {"sim_t", t}});
-          }
-        }
-      }
-    }
-
-    // Admit arrivals visible at this round boundary.
     while (next_arrival < trace.jobs.size() &&
-           trace.jobs[next_arrival].arrival <= t + 1e-9) {
-      auto& s = js[next_arrival];
-      s.active = true;
-      ++epoch;
-      log_.record(s.spec->arrival, EventKind::kArrival, s.spec->id);
+           trace.jobs[next_arrival].arrival <= engine.now() + 1e-9) {
+      engine.admit(trace.jobs[next_arrival]);
       ++next_arrival;
     }
 
-    // Nothing runnable: skip ahead to the round containing the next arrival.
-    bool any_active = false;
-    for (const auto& s : js) {
-      if (s.active && !s.finished) {
-        any_active = true;
-        break;
-      }
-    }
-    if (!any_active) {
+    if (!engine.has_runnable()) {
       if (next_arrival >= trace.jobs.size()) break;  // nothing left will arrive
-      const Seconds a = trace.jobs[next_arrival].arrival;
-      t = std::ceil(a / L) * L;
-      if (t < a) t += L;  // guard FP rounding
+      engine.skip_to(trace.jobs[next_arrival].arrival);
       continue;
     }
 
-    // Build (or refresh) the scheduler's view.
-    ctx.now = t;
-    ctx.jobs_epoch = epoch;
-    ctx.cluster_epoch = cluster_epoch;
-    if (built_epoch != epoch) {
-      ctx.jobs.clear();
-      std::fill(view_of.begin(), view_of.end(), -1);
-      for (std::size_t i = 0; i < js.size(); ++i) {
-        auto& s = js[i];
-        if (!s.active || s.finished) continue;
-        view_of[i] = static_cast<int>(ctx.jobs.size());
-        JobView v;
-        v.spec = s.spec;
-        v.iterations_done = s.iterations;
-        v.attained_service = s.attained_service;
-        v.rounds_received = s.rounds_received;
-        v.rounds_on_type = s.rounds_on_type;
-        v.current_allocation = s.current;
-        v.throughput = s.observed_throughput;
-        ctx.jobs.push_back(std::move(v));
-      }
-      built_epoch = epoch;
-    } else {
-      // Same runnable set as last round: only the dynamic fields moved.
-      // Same-size vector assignments below reuse the views' buffers.
-      for (std::size_t i = 0; i < js.size(); ++i) {
-        if (view_of[i] < 0) continue;
-        auto& s = js[i];
-        JobView& v = ctx.jobs[static_cast<std::size_t>(view_of[i])];
-        v.iterations_done = s.iterations;
-        v.attained_service = s.attained_service;
-        v.rounds_received = s.rounds_received;
-        v.rounds_on_type = s.rounds_on_type;
-        v.current_allocation = s.current;
-        // v.spec and v.throughput are per-job constants within a run.
-      }
-    }
-
-    if (round_span.active()) {
-      round_span.arg("runnable", static_cast<double>(ctx.jobs.size()));
-    }
-    const double t0 = now_seconds();
-    cluster::AllocationMap amap;
-    {
-      obs::ScopedSpan sched_span("sched", "sched.schedule");
-      if (sched_span.active()) {
-        sched_span.str_arg("scheduler", scheduler.name());
-        sched_span.arg("runnable", static_cast<double>(ctx.jobs.size()));
-      }
-      amap = scheduler.schedule(ctx);
-    }
-    result.scheduler_seconds += now_seconds() - t0;
-    ++result.scheduler_calls;
-
-    if (config_.validate_allocations) {
-      HADAR_TRACE_SCOPE("sim", "sim.validate", 2);
-      const std::string err = cluster::validate(*ctx.spec, amap);
-      if (!err.empty()) {
-        throw std::runtime_error(scheduler.name() + ": capacity violation: " + err);
-      }
-      for (const auto& [id, alloc] : amap) {
-        if (alloc.empty()) continue;
-        if (id < 0 || static_cast<std::size_t>(id) >= js.size() ||
-            !js[static_cast<std::size_t>(id)].active ||
-            js[static_cast<std::size_t>(id)].finished) {
-          throw std::runtime_error(scheduler.name() + ": allocated a non-runnable job " +
-                                   std::to_string(id));
-        }
-        const int w = alloc.total_workers();
-        const int want = js[static_cast<std::size_t>(id)].spec->num_workers;
-        if (w != want) {
-          throw std::runtime_error(scheduler.name() + ": gang violation for job " +
-                                   std::to_string(id) + ": got " + std::to_string(w) +
-                                   " workers, requested " + std::to_string(want));
-        }
-      }
-    }
-
-    // Advance every active job through the round [t, t+L).
-    obs::ScopedSpan advance_span("sim", "sim.advance", 1);
-    bool progressed = false;
-    int round_scheduled = 0;
-    for (auto& s : js) {
-      if (!s.active || s.finished) continue;
-      const auto it = amap.find(s.spec->id);
-      const cluster::JobAllocation alloc =
-          it != amap.end() ? it->second : cluster::JobAllocation{};
-
-      if (alloc.empty()) {
-        if (!s.current.empty()) {
-          ++s.out.preemptions;
-          ++round_preemptions;
-          log_.record(t, EventKind::kPreempt, s.spec->id);
-        }
-        s.current = cluster::JobAllocation{};
-        continue;
-      }
-
-      ++round_scheduled;
-      const bool changed = !(alloc == s.current);
-      if (s.out.first_start < 0.0) {
-        s.out.first_start = t;
-        log_.record(t, EventKind::kStart, s.spec->id, alloc.to_string(spec));
-      } else if (changed) {
-        ++s.out.reallocations;
-        log_.record(t, s.current.empty() ? EventKind::kResume : EventKind::kReallocate,
-                    s.spec->id, alloc.to_string(spec));
-      }
-
-      Seconds penalty = 0.0;
-      if (changed) {
-        // A failure restart skips the save: the checkpoint already exists
-        // (written implicitly at the round boundary before the crash).
-        penalty = config_.use_flat_reallocation_penalty
-                      ? config_.flat_reallocation_penalty
-                      : (s.restart_pending ? s.spec->checkpoint_load
-                                           : s.spec->checkpoint_save + s.spec->checkpoint_load);
-      } else if (config_.charge_periodic_save) {
-        penalty = s.spec->checkpoint_save;
-      }
-      if (changed && s.restart_pending) {
-        if (obs::TraceSession* ts = obs::TraceSession::current()) {
-          ts->instant("checkpoint", "checkpoint_restore",
-                      {{"job", static_cast<double>(s.spec->id)}, {"sim_t", t}});
-          obs::count("checkpoint.restores");
-        }
-      }
-      s.restart_pending = false;
-      penalty = std::min(penalty, L);
-      const Seconds effective = L - penalty;
-
-      // True bottleneck throughput of this placement (constraint 1b), with
-      // network penalty, optional jitter, and optional straggler slowdown.
-      double x = config_.network.effective_rate(
-          alloc.bottleneck_throughput(s.spec->throughput), alloc.nodes_used(),
-          s.spec->model_size_mb);
-      if (config_.throughput_jitter > 0.0) {
-        const double sigma = config_.throughput_jitter;
-        x *= rng.lognormal(-0.5 * sigma * sigma, sigma);  // mean-1 jitter
-      }
-      if (config_.straggler.probability > 0.0 &&
-          rng.uniform() < config_.straggler.probability) {
-        x *= config_.straggler.slowdown;
-        log_.record(t, EventKind::kStraggler, s.spec->id);
-      }
-
-      const int workers = alloc.total_workers();
-      const double rate = x * workers;  // aggregate iterations/s (1a)
-      ++s.rounds_received;
-      ++job_rounds;
-      if (changed) ++result.total_reallocations;
-      for (GpuTypeId r = 0; r < R; ++r) {
-        if (alloc.workers_of_type(r) > 0) ++s.rounds_on_type[static_cast<std::size_t>(r)];
-      }
-
-      // The round boundary is the job's implicit checkpoint: a failure during
-      // this round rolls progress back to here.
-      s.checkpoint_iterations = s.iterations;
-
-      const double remaining = s.spec->total_iterations() - s.iterations;
-      double held, compute;
-      if (rate > 0.0 && remaining / rate <= effective + 1e-12) {
-        const Seconds run_time = remaining / rate;
-        s.iterations = s.spec->total_iterations();
-        s.finished = true;
-        ++epoch;
-        s.out.finish = t + penalty + run_time;
-        held = workers * (penalty + run_time);
-        compute = workers * run_time;
-        --unfinished;
-        log_.record(s.out.finish, EventKind::kFinish, s.spec->id);
-        s.current = cluster::JobAllocation{};
-        progressed = true;
-      } else {
-        s.iterations += rate * effective;
-        held = workers * L;
-        compute = workers * effective;
-        s.current = alloc;
-        if (rate > 0.0) progressed = true;
-      }
-      s.compute_since_checkpoint = compute;
-      ++s.out.rounds_run;
-      s.attained_service += held;
-      s.out.gpu_seconds += held;
-      s.out.compute_gpu_seconds += compute;
-      busy_gpu_seconds += compute;
-    }
-
-    if (!progressed) {
-      if (++stalled_rounds > kStallLimit) {
-        throw std::runtime_error(scheduler.name() +
-                                 ": simulation stalled (no progress for 100000 rounds)");
-      }
-    } else {
-      stalled_rounds = 0;
-    }
-
-    if (obs::TraceSession* ts = obs::TraceSession::current()) {
-      const int queue_depth = static_cast<int>(ctx.jobs.size()) - round_scheduled;
-      ts->counter("round.queue_depth", queue_depth);
-      ts->counter("round.scheduled_jobs", round_scheduled);
-      obs::count("sim.rounds");
-      obs::count("round.preemptions", static_cast<std::uint64_t>(round_preemptions));
-      obs::count("round.failure_kills", static_cast<std::uint64_t>(round_kills));
-      obs::gauge_set("round.queue_depth", queue_depth);
-      obs::gauge_set("round.scheduled_jobs", round_scheduled);
-      ts->sample_metrics(t);
-    }
-
-    t += L;
-    ++result.rounds;
+    engine.step(scheduler);
   }
 
   if (run_span.active()) {
-    run_span.arg("rounds", static_cast<double>(result.rounds));
-    run_span.arg("scheduler_calls", static_cast<double>(result.scheduler_calls));
+    run_span.arg("rounds", static_cast<double>(engine.rounds_completed()));
+    run_span.arg("scheduler_calls", static_cast<double>(engine.rounds_completed()));
   }
 
-  // ---- finalize metrics ----
-  result.jobs.reserve(js.size());
-  const double n_jobs = static_cast<double>(trace.jobs.size());
-  Seconds makespan = 0.0;
-  std::vector<double> jcts, qdelays, ftfs, utils;
-  for (auto& s : js) {
-    if (s.finished) {
-      utils.push_back(s.out.gpu_utilization(s.spec->num_workers));
-      makespan = std::max(makespan, s.out.finish);
-      jcts.push_back(s.out.jct());
-      // Themis finish-time fairness: JCT over the runtime with an exclusive
-      // 1/n share of the cluster's best devices.
-      const double x_best = s.spec->max_throughput();
-      const double isolated_rate = x_best * s.spec->num_workers / n_jobs;
-      if (isolated_rate > 0.0) {
-        const double t_id = s.spec->total_iterations() / isolated_rate;
-        s.out.ftf = s.out.jct() / t_id;
-        ftfs.push_back(s.out.ftf);
-      }
-    }
-    if (s.out.first_start >= 0.0) {
-      qdelays.push_back(s.out.queueing_delay());
-    } else {
-      ++result.num_never_started;
-    }
-    if (!s.finished) ++result.num_unfinished;
-    result.total_preemptions += s.out.preemptions;
-    result.total_failure_kills += s.out.failure_kills;
-    result.lost_gpu_seconds += s.out.lost_gpu_seconds;
-    result.jobs.push_back(s.out);
+  // The FTF 1/n share divides by the full trace population, so jobs the
+  // horizon kept out of admission still dilute the isolated share. A run
+  // that ended with arrivals never admitted is truncated: its makespan
+  // extends to the stop time, as it always did.
+  SimResult result = engine.finalize(trace.jobs.size(), next_arrival < trace.jobs.size());
+
+  // Jobs never admitted (horizon hit before their arrival) still get an
+  // outcome row, as they always did.
+  for (std::size_t i = next_arrival; i < trace.jobs.size(); ++i) {
+    JobOutcome o;
+    o.id = trace.jobs[i].id;
+    o.arrival = trace.jobs[i].arrival;
+    result.jobs.push_back(o);
+    ++result.num_never_started;
+    ++result.num_unfinished;
   }
-  if (unfinished > 0) makespan = std::max(makespan, t);
-  result.makespan = makespan;
-  result.avg_jct = common::mean(jcts);
-  result.median_jct = common::median(jcts);
-  result.min_jct = common::min_of(jcts);
-  result.max_jct = common::max_of(jcts);
-  result.p95_jct = common::percentile(jcts, 95.0);
-  result.avg_queueing_delay = common::mean(qdelays);
-  result.avg_ftf = common::mean(ftfs);
-  result.max_ftf = common::max_of(ftfs);
-  result.avg_job_utilization = common::mean(utils);
-  if (makespan > 0.0 && spec.total_gpus() > 0) {
-    // Both are normalized by nameplate capacity so degradation curves stay
-    // comparable across failure rates; goodput discounts rolled-back work.
-    result.gpu_utilization = busy_gpu_seconds / (spec.total_gpus() * makespan);
-    result.goodput =
-        (busy_gpu_seconds - result.lost_gpu_seconds) / (spec.total_gpus() * makespan);
-  }
-  if (job_rounds > 0) {
-    result.realloc_round_fraction =
-        static_cast<double>(result.total_reallocations) / static_cast<double>(job_rounds);
-  }
+
+  log_ = engine.event_log();
   return result;
 }
 

@@ -6,73 +6,19 @@
 // jobs whose allocation changed, and (5) advances every scheduled job at its
 // bottleneck throughput (constraint 1b) for the round's effective compute
 // time, finishing jobs mid-round when their iteration budget is exhausted.
+//
+// The per-round mechanics live in sim::RoundEngine (round_engine.hpp), which
+// the service daemon also drives; Simulator is the batch driver that feeds a
+// whole trace through an engine. SimConfig moved to sim/sim_config.hpp.
 #pragma once
 
-#include <cstdint>
-
-#include "common/rng.hpp"
 #include "sim/event_log.hpp"
-#include "sim/failure_model.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/sim_config.hpp"
 #include "workload/job.hpp"
 
 namespace hadar::sim {
-
-/// Random per-round slowdowns standing in for the stragglers the paper's
-/// continuous experiments mention. A struck job's effective throughput is
-/// multiplied by `slowdown` for that round only.
-struct StragglerConfig {
-  double probability = 0.0;  ///< per job-round
-  double slowdown = 0.5;     ///< multiplicative (0 < slowdown <= 1)
-};
-
-struct SimConfig {
-  Seconds round_length = 360.0;  ///< 6 minutes (Sec. IV-A)
-
-  /// Checkpoint-restart charged when a job's allocation changes. When
-  /// `use_flat_reallocation_penalty`, a flat 10 s is used (Sec. IV-A);
-  /// otherwise the per-model Table IV costs (save + load) apply.
-  bool use_flat_reallocation_penalty = true;
-  Seconds flat_reallocation_penalty = 10.0;
-  /// Periodic checkpoint save charged every scheduled round even without
-  /// reallocation (Table IV "w/o reallocation" column). Off for the trace
-  /// simulations to match the paper's flat-penalty setup.
-  bool charge_periodic_save = false;
-
-  /// Throughput multiplier per extra node a placement spans.
-  NetworkModel network;
-
-  /// Multiplicative log-normal throughput jitter (sigma of log); models
-  /// testbed noise in the "physical cluster" reproduction. 0 disables.
-  double throughput_jitter = 0.0;
-
-  StragglerConfig straggler;
-
-  /// Gaussian relative error applied to the throughputs schedulers observe
-  /// (the profiling-based estimator path). 0 = oracle values.
-  double observation_noise = 0.0;
-
-  std::uint64_t seed = 1;
-
-  /// Hard stop (simulated seconds); 0 = run to completion. Runs that hit the
-  /// horizon leave jobs unfinished (SimResult::all_finished() == false).
-  Seconds horizon = 0.0;
-
-  /// Fault injection (node crash/recover, GPU degrade). Disabled by default:
-  /// with `failure.enabled() == false` the engine is bit-identical to a
-  /// failure-free build. Failures are applied at round boundaries; a job on
-  /// a failed node rolls back to its last implicit checkpoint (the previous
-  /// round boundary), is force-preempted, and re-enters the runnable set,
-  /// paying the normal reallocation penalty when it restarts.
-  FailureConfig failure;
-
-  /// Validate every allocation map (capacity + gang). Throws on violation —
-  /// keep on; scheduling bugs must never silently corrupt results.
-  bool validate_allocations = true;
-
-  bool enable_event_log = false;
-};
 
 /// Trace-driven simulation engine. Stateless between run() calls.
 class Simulator {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/binary.hpp"
+
 namespace hadar::workload {
 
 const char* to_string(SizeClass c) {
@@ -63,6 +65,36 @@ void JobSpec::validate(int num_types) const {
     throw std::invalid_argument("JobSpec: negative checkpoint cost");
   }
   if (model_size_mb < 0.0) throw std::invalid_argument("JobSpec: negative model size");
+}
+
+void JobSpec::save(common::BinaryWriter& w) const {
+  w.i32(id);
+  w.str(model);
+  w.f64(arrival);
+  w.i32(num_workers);
+  w.i64(epochs);
+  w.i64(chunks_per_epoch);
+  common::write_f64_vector(w, throughput);
+  w.f64(checkpoint_save);
+  w.f64(checkpoint_load);
+  w.f64(model_size_mb);
+  w.u8(static_cast<std::uint8_t>(size_class));
+}
+
+JobSpec JobSpec::restore(common::BinaryReader& r) {
+  JobSpec j;
+  j.id = r.i32();
+  j.model = r.str();
+  j.arrival = r.f64();
+  j.num_workers = r.i32();
+  j.epochs = r.i64();
+  j.chunks_per_epoch = r.i64();
+  j.throughput = common::read_f64_vector(r);
+  j.checkpoint_save = r.f64();
+  j.checkpoint_load = r.f64();
+  j.model_size_mb = r.f64();
+  j.size_class = static_cast<SizeClass>(r.u8());
+  return j;
 }
 
 void Trace::finalize() {

@@ -9,6 +9,11 @@
 #include "cluster/gpu_type.hpp"
 #include "common/types.hpp"
 
+namespace hadar::common {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace hadar::common
+
 namespace hadar::workload {
 
 /// GPU-time size classes used to synthesize the Microsoft trace workloads
@@ -54,6 +59,12 @@ struct JobSpec {
   /// Throws std::invalid_argument when any field is inconsistent (W<=0,
   /// no positive throughput, ...). Called by the trace loaders.
   void validate(int num_types) const;
+
+  /// Bit-exact persistence (changelog records, engine snapshots).
+  void save(common::BinaryWriter& w) const;
+  static JobSpec restore(common::BinaryReader& r);
+
+  friend bool operator==(const JobSpec&, const JobSpec&) = default;
 };
 
 /// A trace is an arrival-ordered list of jobs with dense ids.

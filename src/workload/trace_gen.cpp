@@ -4,6 +4,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "common/binary.hpp"
+
 namespace hadar::workload {
 
 TraceGenerator::TraceGenerator(const ModelZoo* zoo, const cluster::GpuTypeRegistry* registry)
@@ -14,6 +16,18 @@ TraceGenerator::TraceGenerator(const ModelZoo* zoo, const cluster::GpuTypeRegist
 }
 
 namespace {
+
+void validate_config(const TraceGenConfig& cfg) {
+  if (cfg.worker_counts.size() != cfg.worker_weights.size() || cfg.worker_counts.empty()) {
+    throw std::invalid_argument("TraceGenerator: worker count/weight mismatch");
+  }
+  if (cfg.arrivals == ArrivalPattern::kContinuous && cfg.jobs_per_hour <= 0.0) {
+    throw std::invalid_argument("TraceGenerator: non-positive arrival rate");
+  }
+  if (cfg.diurnal_amplitude < 0.0 || cfg.diurnal_amplitude >= 1.0) {
+    throw std::invalid_argument("TraceGenerator: diurnal_amplitude must be in [0,1)");
+  }
+}
 
 SizeClass pick_class(common::Rng& rng, const TraceGenConfig& cfg) {
   const std::vector<double> w = {cfg.small_weight, cfg.medium_weight, cfg.large_weight,
@@ -38,77 +52,93 @@ std::pair<double, double> class_range(const TraceGenConfig& cfg, SizeClass c) {
 
 }  // namespace
 
-Trace TraceGenerator::generate(const TraceGenConfig& cfg) const {
-  if (cfg.num_jobs <= 0) throw std::invalid_argument("TraceGenerator: num_jobs <= 0");
-  if (cfg.worker_counts.size() != cfg.worker_weights.size() || cfg.worker_counts.empty()) {
-    throw std::invalid_argument("TraceGenerator: worker count/weight mismatch");
+TraceStream::TraceStream(const ModelZoo* zoo, const cluster::GpuTypeRegistry* registry,
+                         TraceGenConfig cfg)
+    : zoo_(zoo), registry_(registry), cfg_(std::move(cfg)) {
+  if (zoo_ == nullptr || registry_ == nullptr) {
+    throw std::invalid_argument("TraceStream: null dependency");
   }
-  if (cfg.arrivals == ArrivalPattern::kContinuous && cfg.jobs_per_hour <= 0.0) {
-    throw std::invalid_argument("TraceGenerator: non-positive arrival rate");
-  }
-  if (cfg.diurnal_amplitude < 0.0 || cfg.diurnal_amplitude >= 1.0) {
-    throw std::invalid_argument("TraceGenerator: diurnal_amplitude must be in [0,1)");
+  validate_config(cfg_);
+}
+
+JobSpec TraceStream::next() {
+  // Every draw for job i comes from a stream forked from (seed, i), so the
+  // job is a pure function of (config, index) and the running Poisson clock
+  // — the step-invariance contract.
+  common::Rng rng(common::mix64(cfg_.seed, static_cast<std::uint64_t>(index_)));
+
+  const SizeClass cls = pick_class(rng, cfg_);
+
+  const ModelProfile* profile = nullptr;
+  if (cfg_.fixed_model) {
+    profile = zoo_->find(*cfg_.fixed_model);
+    if (profile == nullptr) {
+      throw std::invalid_argument("TraceStream: unknown fixed model " + *cfg_.fixed_model);
+    }
+  } else {
+    auto candidates = zoo_->by_size(cls);
+    if (candidates.empty()) {
+      // No Table II model in this class (cannot happen with paper_default,
+      // but custom zoos may be sparse): fall back to any model.
+      for (int m = 0; m < zoo_->size(); ++m) candidates.push_back(&zoo_->profile(m));
+    }
+    profile = candidates[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
   }
 
-  common::Rng rng(cfg.seed);
-  Trace trace;
-  trace.jobs.reserve(static_cast<std::size_t>(cfg.num_jobs));
+  const int workers = cfg_.worker_counts[rng.weighted_index(cfg_.worker_weights)];
 
-  Seconds clock = 0.0;
-  for (int i = 0; i < cfg.num_jobs; ++i) {
-    const SizeClass cls = pick_class(rng, cfg);
+  // Log-uniform GPU-hours within the class range, converted to an ideal
+  // runtime (all workers on the fastest type).
+  const auto [lo, hi] = class_range(cfg_, cls);
+  const double gpu_hours = std::exp(rng.uniform(std::log(lo), std::log(hi)));
+  const Seconds ideal_runtime = gpu_hours * 3600.0 / workers;
 
-    const ModelProfile* profile = nullptr;
-    if (cfg.fixed_model) {
-      profile = zoo_->find(*cfg.fixed_model);
-      if (profile == nullptr) {
-        throw std::invalid_argument("TraceGenerator: unknown fixed model " + *cfg.fixed_model);
+  Seconds arrival = 0.0;
+  if (cfg_.arrivals == ArrivalPattern::kContinuous) {
+    if (cfg_.diurnal_amplitude > 0.0) {
+      // Thinning: candidate events at the peak rate, accepted with the
+      // instantaneous relative intensity. The variable number of rejected
+      // candidates only consumes this job's forked stream.
+      const double peak = cfg_.jobs_per_hour * (1.0 + cfg_.diurnal_amplitude) / 3600.0;
+      for (;;) {
+        clock_ += rng.exponential(peak);
+        const double rel = (1.0 + cfg_.diurnal_amplitude *
+                                      std::sin(2.0 * std::numbers::pi * clock_ / 86400.0)) /
+                           (1.0 + cfg_.diurnal_amplitude);
+        if (rng.uniform() < rel) break;
       }
     } else {
-      auto candidates = zoo_->by_size(cls);
-      if (candidates.empty()) {
-        // No Table II model in this class (cannot happen with paper_default,
-        // but custom zoos may be sparse): fall back to any model.
-        for (int m = 0; m < zoo_->size(); ++m) candidates.push_back(&zoo_->profile(m));
-      }
-      profile =
-          candidates[static_cast<std::size_t>(
-              rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+      clock_ += rng.exponential(cfg_.jobs_per_hour / 3600.0);
     }
-
-    const int workers =
-        cfg.worker_counts[rng.weighted_index(cfg.worker_weights)];
-
-    // Log-uniform GPU-hours within the class range, converted to an ideal
-    // runtime (all workers on the fastest type).
-    const auto [lo, hi] = class_range(cfg, cls);
-    const double gpu_hours = std::exp(rng.uniform(std::log(lo), std::log(hi)));
-    const Seconds ideal_runtime = gpu_hours * 3600.0 / workers;
-
-    Seconds arrival = 0.0;
-    if (cfg.arrivals == ArrivalPattern::kContinuous) {
-      if (cfg.diurnal_amplitude > 0.0) {
-        // Thinning: candidate events at the peak rate, accepted with the
-        // instantaneous relative intensity.
-        const double peak = cfg.jobs_per_hour * (1.0 + cfg.diurnal_amplitude) / 3600.0;
-        for (;;) {
-          clock += rng.exponential(peak);
-          const double rel = (1.0 + cfg.diurnal_amplitude *
-                                        std::sin(2.0 * std::numbers::pi * clock / 86400.0)) /
-                             (1.0 + cfg.diurnal_amplitude);
-          if (rng.uniform() < rel) break;
-        }
-      } else {
-        clock += rng.exponential(cfg.jobs_per_hour / 3600.0);
-      }
-      arrival = clock;
-    }
-
-    JobSpec job = zoo_->make_job(profile->name, *registry_, workers, ideal_runtime, arrival);
-    job.size_class = cls;
-    trace.jobs.push_back(std::move(job));
+    arrival = clock_;
   }
 
+  JobSpec job = zoo_->make_job(profile->name, *registry_, workers, ideal_runtime, arrival);
+  job.size_class = cls;
+  job.id = static_cast<JobId>(index_);
+  ++index_;
+  return job;
+}
+
+void TraceStream::save(common::BinaryWriter& w) const {
+  w.i32(index_);
+  w.f64(clock_);
+}
+
+void TraceStream::restore(common::BinaryReader& r) {
+  index_ = r.i32();
+  clock_ = r.f64();
+}
+
+Trace TraceGenerator::generate(const TraceGenConfig& cfg) const {
+  if (cfg.num_jobs <= 0) throw std::invalid_argument("TraceGenerator: num_jobs <= 0");
+  validate_config(cfg);
+
+  TraceStream stream(zoo_, registry_, cfg);
+  Trace trace;
+  trace.jobs.reserve(static_cast<std::size_t>(cfg.num_jobs));
+  for (int i = 0; i < cfg.num_jobs; ++i) trace.jobs.push_back(stream.next());
   trace.finalize();
   return trace;
 }

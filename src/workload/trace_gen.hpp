@@ -6,12 +6,25 @@
 // The public trace is not redistributable, so we synthesize jobs directly
 // from those published distributions: per-class GPU-hour ranges, uniform
 // class sampling, heavy-tailed worker counts, and static or Poisson arrivals.
+//
+// Step-invariance: every job draws from its own SplitMix64 stream forked
+// from (seed, job index) — the same scheme as sim::FailureModel's
+// fork-per-process streams — so job k's attributes never depend on how many
+// draws jobs 0..k-1 consumed. Generating a spec in one batch, in chunks, or
+// through a TraceStream resumed from a saved cursor yields the identical
+// trace, which is what lets the service daemon regenerate the not-yet-
+// admitted suffix of an arrival stream after a crash.
 #pragma once
 
 #include <optional>
 
 #include "common/rng.hpp"
 #include "workload/model_zoo.hpp"
+
+namespace hadar::common {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace hadar::common
 
 namespace hadar::workload {
 
@@ -53,12 +66,43 @@ struct TraceGenConfig {
   std::optional<std::string> fixed_model;
 };
 
+/// Incremental generator over the same distribution `TraceGenerator::
+/// generate` samples: next() yields job `index()` with a dense id equal to
+/// its index (arrival-ordered by construction for Poisson streams). The
+/// cursor (index, Poisson clock) is the stream's entire mutable state;
+/// save()/restore() make the stream resumable across a daemon crash, and
+/// the fork-per-job RNG scheme guarantees the resumed suffix is identical
+/// to an uninterrupted generation.
+class TraceStream {
+ public:
+  TraceStream(const ModelZoo* zoo, const cluster::GpuTypeRegistry* registry,
+              TraceGenConfig cfg);
+
+  /// Generates the next job of the stream and advances the cursor. Streams
+  /// are unbounded: cfg.num_jobs does not limit next().
+  JobSpec next();
+
+  int index() const { return index_; }        ///< jobs generated so far
+  Seconds clock() const { return clock_; }    ///< Poisson arrival clock
+
+  void save(common::BinaryWriter& w) const;
+  void restore(common::BinaryReader& r);
+
+ private:
+  const ModelZoo* zoo_;
+  const cluster::GpuTypeRegistry* registry_;
+  TraceGenConfig cfg_;
+  int index_ = 0;
+  Seconds clock_ = 0.0;
+};
+
 /// Deterministic (seeded) trace generator over a model zoo and GPU registry.
 class TraceGenerator {
  public:
   TraceGenerator(const ModelZoo* zoo, const cluster::GpuTypeRegistry* registry);
 
-  /// Generates a finalized trace (arrival-sorted, dense ids).
+  /// Generates a finalized trace (arrival-sorted, dense ids). Equivalent to
+  /// draining a TraceStream for cfg.num_jobs jobs.
   Trace generate(const TraceGenConfig& cfg) const;
 
   /// The 10-job mixed workload of the prototype experiments (Sec. IV-B):

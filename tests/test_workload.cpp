@@ -5,6 +5,7 @@
 #include <cmath>
 #include <map>
 
+#include "common/binary.hpp"
 #include "workload/model_zoo.hpp"
 #include "workload/trace_gen.hpp"
 #include "workload/trace_io.hpp"
@@ -377,6 +378,50 @@ TEST_F(TraceGenTest, CsvRejectsMissingThroughputColumn) {
       "ckpt_save_s,ckpt_load_s,model_size_mb\n"
       "0,LSTM,0,1,1,1,S,1,1,1\n";
   EXPECT_THROW(trace_from_csv(csv, reg_), std::runtime_error);
+}
+
+// Regression for the step-invariance bug: arrival streams used to share one
+// RNG, so job k's attributes depended on how many draws jobs 0..k-1 made and
+// a stream resumed from a cursor diverged from batch generation. Every job
+// now forks its own stream from (seed, index).
+TEST_F(TraceGenTest, StreamMatchesBatchGeneration) {
+  TraceGenConfig cfg;
+  cfg.num_jobs = 40;
+  cfg.arrivals = ArrivalPattern::kContinuous;
+  cfg.jobs_per_hour = 90.0;
+  cfg.seed = 1234;
+  const Trace batch = TraceGenerator(&zoo_, &reg_).generate(cfg);
+  TraceStream stream(&zoo_, &reg_, cfg);
+  for (int i = 0; i < cfg.num_jobs; ++i) {
+    EXPECT_EQ(stream.next(), batch.jobs[static_cast<std::size_t>(i)]) << "job " << i;
+  }
+}
+
+TEST_F(TraceGenTest, StreamResumedFromSavedCursorIsIdentical) {
+  TraceGenConfig cfg;
+  cfg.num_jobs = 30;
+  cfg.arrivals = ArrivalPattern::kContinuous;
+  cfg.jobs_per_hour = 120.0;
+  cfg.diurnal_amplitude = 0.4;
+  cfg.seed = 77;
+  TraceStream full(&zoo_, &reg_, cfg);
+  TraceStream head(&zoo_, &reg_, cfg);
+  std::vector<JobSpec> expected;
+  for (int i = 0; i < 30; ++i) expected.push_back(full.next());
+  for (int i = 0; i < 11; ++i) EXPECT_EQ(head.next(), expected[static_cast<std::size_t>(i)]);
+
+  common::BinaryWriter w;
+  head.save(w);
+  const std::string blob = w.take();
+  // A crash between job 11 and 12: a fresh stream restored from the durable
+  // cursor must emit the identical suffix.
+  TraceStream resumed(&zoo_, &reg_, cfg);
+  common::BinaryReader r(blob);
+  resumed.restore(r);
+  EXPECT_EQ(resumed.index(), 11);
+  for (int i = 11; i < 30; ++i) {
+    EXPECT_EQ(resumed.next(), expected[static_cast<std::size_t>(i)]) << "job " << i;
+  }
 }
 
 TEST_F(TraceGenTest, ReadTraceFileRejectsMissingPath) {
