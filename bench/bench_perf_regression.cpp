@@ -253,6 +253,23 @@ int main() {
     gavel_round_us = time_per_call([&] { (void)gavel.schedule(lp_scn.ctx); }) * 1e6;
   }
 
+  // ---- micro: per-round live-view refresh (masked_into, zero-alloc) ----
+  // RoundEngine refreshes its live ClusterSpec in place each round instead
+  // of constructing masked() copies; this pins the refresh cost on a
+  // ~1k-node cluster with a degraded mask (the worst realistic case).
+  double masked_refresh_us = 0.0;
+  {
+    const auto big = cluster::ClusterSpec::scaled(334);
+    cluster::AvailabilityMask mask(big);
+    for (NodeId h = 0; h < big.num_nodes(); h += 7) mask.set_node_up(h, false);
+    for (NodeId h = 1; h < big.num_nodes(); h += 11) mask.degrade(h, 0, 1);
+    cluster::ClusterSpec live = big.masked(mask);
+    masked_refresh_us = bench::median_timing([&] {
+                          return time_per_call([&] { big.masked_into(mask, &live); });
+                        }) *
+                        1e6;
+  }
+
   // ---- end-to-end: fig04-style Gavel max-sum, warm vs cold LP context ----
   double gavel_e2e_cold_s = 0.0, gavel_e2e_warm_s = 0.0;
   bool gavel_e2e_identical = false;
@@ -370,6 +387,8 @@ int main() {
   t.add_row({"warm-basis hit rate", common::AsciiTable::percent(lp_warm.warm_hit_rate)});
   t.add_row({"gavel round loop (no event)",
              common::AsciiTable::num(gavel_round_us, 1) + " us"});
+  t.add_row({"masked_into refresh, ~1k nodes",
+             common::AsciiTable::num(masked_refresh_us, 1) + " us"});
   t.add_row({"gavel max-sum e2e, cold ctx",
              common::AsciiTable::num(gavel_e2e_cold_s, 2) + " s"});
   t.add_row({"gavel max-sum e2e, warm ctx",
@@ -399,6 +418,7 @@ int main() {
       {"lp_event_revised_cold", lp_cold.ms_per_event * 1e-3, 0.0},
       {"lp_event_revised_warm", lp_warm.ms_per_event * 1e-3, 0.0},
       {"gavel_round_loop", gavel_round_us * 1e-6, 0.0},
+      {"masked_refresh", masked_refresh_us * 1e-6, 0.0},
       {"hadar_e2e_untraced", sim_plain_s, 0.0},
   };
   const bench::GateResult gate = bench::run_perf_gate(gate_metrics, calib_s);

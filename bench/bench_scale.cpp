@@ -1,0 +1,230 @@
+// Scale bench for sharded hierarchical scheduling: drives the RoundEngine
+// directly with Hadar on clusters from ~100 to 10,000 nodes and job sets
+// from 1k to 100k, unsharded vs cell-sharded (sim/sharded.hpp), and reports
+// rounds/second plus per-round p50/p99 latency. Emits BENCH_SCALE.json and
+// feeds the calibration-normalized scale_round_* metrics into the perf gate
+// (bench/baseline.json), so a regression in the sharded hot path fails CI
+// like any other perf metric.
+//
+// Sweep (mode x config):
+//   ~100 nodes / 1k jobs     flat + sharded
+//   ~1k  nodes / 10k jobs    flat + sharded   (the >=2x speedup comparison)
+//   ~10k nodes / 100k jobs   sharded; flat only with HADAR_SCALE_FULL=1
+//                            (an unsharded 10k-node round is minutes, not
+//                            milliseconds — exactly the wall the sharding
+//                            decomposition removes)
+//
+// Knobs: HADAR_SCALE_ROUNDS (measured rounds per config, default 4),
+// HADAR_SCALE_FULL=1 (adds the unsharded 10k-node run),
+// HADAR_SCALE_MAX_NODES (skip sweep configs above this node count; the CI
+// gate self-test caps at ~1k so the injected slowdown trips on the 1k
+// metrics without paying for the 10k run twice), HADAR_THREADS,
+// HADAR_CELLS (0 = auto; applies to the sharded runs), plus the perf-gate
+// family HADAR_PERF_BASELINE / HADAR_PERF_GATE / HADAR_PERF_INJECT_SLOWDOWN
+// / HADAR_PERF_WRITE_BASELINE (see perf_gate.hpp).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "runner/experiment.hpp"
+#include "perf_gate.hpp"
+#include "sim/round_engine.hpp"
+#include "sim/sharded.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/trace_gen.hpp"
+
+using namespace hadar;
+
+namespace {
+
+struct ScaleResult {
+  std::string mode;  ///< "flat" or "sharded"
+  int nodes = 0;
+  int jobs = 0;
+  int cells = 1;
+  int rounds = 0;
+  double total_s = 0.0;
+  double rounds_per_s = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+};
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto idx = static_cast<std::size_t>(p * (static_cast<double>(xs.size()) - 1.0) + 0.5);
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
+/// One measured configuration: admit `trace` into a fresh RoundEngine and
+/// step `rounds` rounds (after one untimed warmup round), timing each step.
+ScaleResult run_config(const cluster::ClusterSpec& spec, const workload::Trace& trace,
+                       bool sharded, sim::ShardConfig shard, int rounds) {
+  ScaleResult res;
+  res.mode = sharded ? "sharded" : "flat";
+  res.nodes = spec.num_nodes();
+  res.jobs = static_cast<int>(trace.jobs.size());
+  res.rounds = rounds;
+
+  sim::SimConfig cfg;
+  cfg.validate_allocations = false;  // time the scheduler, not the referee
+  cfg.enable_event_log = false;
+  sim::RoundEngine engine(&spec, cfg);
+  for (const auto& j : trace.jobs) engine.admit(j);
+
+  sim::SchedulerPtr sched =
+      sharded ? runner::make_sharded_scheduler("hadar", shard)
+              : runner::make_flat_scheduler("hadar");
+
+  engine.step(*sched);  // warmup: partitioning, context build, warm caches
+  if (sharded) {
+    if (auto* s = dynamic_cast<sim::ShardedScheduler*>(sched.get())) {
+      res.cells = s->num_cells();
+    }
+  }
+
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(rounds));
+  common::WallTimer total;
+  for (int i = 0; i < rounds; ++i) {
+    common::WallTimer t;
+    engine.step(*sched);
+    samples.push_back(t.seconds());
+  }
+  res.total_s = total.seconds();
+  res.rounds_per_s = res.total_s > 0.0 ? rounds / res.total_s : 0.0;
+  res.p50_s = percentile(samples, 0.50);
+  res.p99_s = percentile(samples, 0.99);
+  return res;
+}
+
+workload::Trace make_trace(const cluster::ClusterSpec& spec, int jobs, std::uint64_t seed) {
+  static const workload::ModelZoo zoo = workload::ModelZoo::paper_default();
+  workload::TraceGenerator gen(&zoo, &spec.types());
+  workload::TraceGenConfig cfg;
+  cfg.num_jobs = jobs;
+  cfg.arrivals = workload::ArrivalPattern::kStatic;
+  cfg.seed = seed;
+  return gen.generate(cfg);
+}
+
+}  // namespace
+
+int main() {
+  const int threads = common::ThreadPool::configured_concurrency();
+  const int rounds = common::env_int("HADAR_SCALE_ROUNDS", 4, 1);
+  const bool full = common::env_int("HADAR_SCALE_FULL", 0, 0) != 0;
+  const int max_nodes = common::env_int("HADAR_SCALE_MAX_NODES", 20000, 1);
+  const sim::ShardConfig shard = sim::ShardConfig::from_env(
+      [] {
+        sim::ShardConfig s;
+        s.cells = 0;  // auto-size from the cluster unless HADAR_CELLS says otherwise
+        return s;
+      }());
+
+  struct Config {
+    int nodes_per_type;
+    int jobs;
+    bool flat;  ///< also run the unsharded mode
+  };
+  const std::vector<Config> sweep = {
+      {34, 1000, true},             // ~100 nodes
+      {334, 10000, true},           // ~1k nodes: the speedup comparison point
+      {3334, 100000, full},         // ~10k nodes: flat only on request
+  };
+
+  std::vector<ScaleResult> results;
+  for (const auto& c : sweep) {
+    if (c.nodes_per_type * 3 > max_nodes) {
+      std::printf("skipping ~%d-node config (HADAR_SCALE_MAX_NODES=%d)\n\n",
+                  c.nodes_per_type * 3, max_nodes);
+      continue;
+    }
+    const cluster::ClusterSpec spec = cluster::ClusterSpec::scaled(c.nodes_per_type);
+    const workload::Trace trace = make_trace(spec, c.jobs, 97);
+    std::printf("config: %s, %d jobs, %d measured rounds\n", spec.summary().c_str(),
+                c.jobs, rounds);
+    if (c.flat) {
+      results.push_back(run_config(spec, trace, false, shard, rounds));
+      std::printf("  flat    : %.2f rounds/s (p50 %.3fs, p99 %.3fs)\n",
+                  results.back().rounds_per_s, results.back().p50_s, results.back().p99_s);
+    }
+    results.push_back(run_config(spec, trace, true, shard, rounds));
+    std::printf("  sharded : %.2f rounds/s (p50 %.3fs, p99 %.3fs, %d cells)\n\n",
+                results.back().rounds_per_s, results.back().p50_s, results.back().p99_s,
+                results.back().cells);
+  }
+
+  // The headline number: sharded vs flat rounds/s at the 1k-node point.
+  const ScaleResult* flat_1k = nullptr;
+  const ScaleResult* sharded_1k = nullptr;
+  const ScaleResult* sharded_10k = nullptr;
+  for (const auto& r : results) {
+    if (r.nodes > 500 && r.nodes <= 1500) {
+      (r.mode == "flat" ? flat_1k : sharded_1k) = &r;
+    }
+    if (r.nodes > 5000 && r.mode == "sharded") sharded_10k = &r;
+  }
+  const double speedup_1k = (flat_1k != nullptr && sharded_1k != nullptr &&
+                             sharded_1k->rounds_per_s > 0.0)
+                                ? sharded_1k->rounds_per_s / flat_1k->rounds_per_s
+                                : 0.0;
+
+  common::AsciiTable t("scale sweep (" + std::to_string(threads) + " threads)",
+                       {"nodes", "jobs", "mode", "cells", "rounds/s", "p50", "p99"});
+  for (const auto& r : results) {
+    t.add_row({std::to_string(r.nodes), std::to_string(r.jobs), r.mode,
+               std::to_string(r.cells), common::AsciiTable::num(r.rounds_per_s, 2),
+               common::AsciiTable::num(r.p50_s, 3) + " s",
+               common::AsciiTable::num(r.p99_s, 3) + " s"});
+  }
+  if (speedup_1k > 0.0) {
+    t.set_footnote("sharded speedup at ~1k nodes: " +
+                   common::AsciiTable::speedup(speedup_1k, 2));
+  }
+  std::printf("%s\n", t.render().c_str());
+  if (speedup_1k > 0.0 && speedup_1k < 2.0) {
+    std::printf("WARNING: sharded speedup at ~1k nodes is %.2fx (< 2x target)\n", speedup_1k);
+  }
+
+  // ---- perf gate: the sharded rounds at the 1k-node point ----
+  const double calib_s = bench::median_timing([] { return bench::calibration_run(); });
+  std::vector<bench::GateMetric> gate_metrics;
+  if (sharded_1k != nullptr) {
+    gate_metrics.push_back({"scale_round_p50_1k", sharded_1k->p50_s, 0.0});
+    gate_metrics.push_back({"scale_round_p99_1k", sharded_1k->p99_s, 0.0});
+  }
+  if (sharded_10k != nullptr) {
+    gate_metrics.push_back({"scale_round_p99_10k", sharded_10k->p99_s, 0.0});
+  }
+  const bench::GateResult gate = bench::run_perf_gate(gate_metrics, calib_s);
+  std::printf("%s\n", gate.report.c_str());
+
+  if (std::FILE* f = std::fopen("BENCH_SCALE.json", "w")) {
+    std::fprintf(f, "{\n  \"threads\": %d,\n  \"measured_rounds\": %d,\n", threads, rounds);
+    std::fprintf(f, "  \"speedup_1k\": %.3f,\n", speedup_1k);
+    std::fprintf(f, "  \"configs\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      std::fprintf(f,
+                   "    {\"nodes\": %d, \"jobs\": %d, \"mode\": \"%s\", \"cells\": %d,"
+                   " \"rounds_per_s\": %.4f, \"round_p50_s\": %.4f, \"round_p99_s\": %.4f}%s\n",
+                   r.nodes, r.jobs, r.mode.c_str(), r.cells, r.rounds_per_s, r.p50_s,
+                   r.p99_s, i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_SCALE.json\n");
+  }
+
+  if (bench::perf_gate_enforced() && gate.failed) {
+    std::printf("perf gate: FAIL (HADAR_PERF_GATE enforced)\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,31 +1,14 @@
-// Placement helpers shared by the baseline schedulers: gang-sized grabs of
-// free devices with consolidation-first node choice.
+// Back-compat shim: the gang-placement helpers moved to cluster/placement.*
+// so layers below baselines (the sharded cell orchestrator in sim/) can use
+// them. Baseline schedulers and tests keep their historical names.
 #pragma once
 
-#include <optional>
-#include <vector>
-
-#include "cluster/cluster_state.hpp"
+#include "cluster/placement.hpp"
 
 namespace hadar::baselines {
 
-/// Takes exactly `workers` type-`r` devices, preferring nodes with the most
-/// free devices of that type (fewest nodes spanned). nullopt if infeasible.
-std::optional<cluster::JobAllocation> take_homogeneous(const cluster::ClusterState& state,
-                                                       GpuTypeId r, int workers);
-
-/// Takes exactly `workers` devices following `type_order` (devices of
-/// type_order[0] first, then type_order[1], ...), consolidation-first within
-/// each type. May mix types. nullopt if infeasible.
-std::optional<cluster::JobAllocation> take_in_type_order(
-    const cluster::ClusterState& state, const std::vector<GpuTypeId>& type_order, int workers);
-
-/// Heterogeneity-unaware gang fill as a production scheduler would do it:
-/// prefer a single device pool (the usable type with the most free devices
-/// that fits the whole gang — device affinity, no throughput awareness),
-/// fall back to mixing types only when no single pool fits.
-std::optional<cluster::JobAllocation> take_unaware(const cluster::ClusterState& state,
-                                                   const std::vector<GpuTypeId>& usable,
-                                                   int workers);
+using cluster::take_homogeneous;
+using cluster::take_in_type_order;
+using cluster::take_unaware;
 
 }  // namespace hadar::baselines

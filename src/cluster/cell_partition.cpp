@@ -1,0 +1,80 @@
+#include "cluster/cell_partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hadar::cluster {
+
+int auto_cells(int num_nodes) {
+  if (num_nodes <= 0) return 1;
+  return std::clamp(num_nodes / 128, 1, 64);
+}
+
+CellLayout partition_cells(const ClusterSpec& spec, int num_cells) {
+  const int H = spec.num_nodes();
+  if (H == 0) throw std::invalid_argument("partition_cells: empty cluster");
+  const int K = std::clamp(num_cells, 1, H);
+
+  // Order nodes by (dominant type, id): the deal below then stripes every
+  // type pool across cells instead of concentrating a type in one cell.
+  std::vector<NodeId> order(static_cast<std::size_t>(H));
+  for (NodeId h = 0; h < H; ++h) order[static_cast<std::size_t>(h)] = h;
+  auto dominant = [&spec](NodeId h) {
+    const NodeSpec& n = spec.node(h);
+    GpuTypeId best = 0;
+    int best_cap = -1;
+    for (GpuTypeId r = 0; r < spec.num_types(); ++r) {
+      if (n.capacity(r) > best_cap) {
+        best_cap = n.capacity(r);
+        best = r;
+      }
+    }
+    return best;
+  };
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    const GpuTypeId da = dominant(a), db = dominant(b);
+    return da != db ? da < db : a < b;
+  });
+
+  CellLayout layout;
+  layout.num_cells = K;
+  layout.cell_of_node.assign(static_cast<std::size_t>(H), 0);
+  layout.nodes.resize(static_cast<std::size_t>(K));
+
+  // Greedy balanced deal: each node lands on the cell with the least total
+  // capacity so far (ties to the lowest cell index, so the result is a pure
+  // function of the spec).
+  std::vector<long long> cap(static_cast<std::size_t>(K), 0);
+  std::vector<std::size_t> count(static_cast<std::size_t>(K), 0);
+  for (const NodeId h : order) {
+    int best = 0;
+    for (int c = 1; c < K; ++c) {
+      const auto bc = static_cast<std::size_t>(best);
+      const auto cc = static_cast<std::size_t>(c);
+      if (cap[cc] < cap[bc] || (cap[cc] == cap[bc] && count[cc] < count[bc])) best = c;
+    }
+    const auto b = static_cast<std::size_t>(best);
+    layout.cell_of_node[static_cast<std::size_t>(h)] = best;
+    layout.nodes[b].push_back(h);
+    cap[b] += spec.node(h).total_gpus();
+    ++count[b];
+  }
+
+  // Materialize per-cell specs with dense local ids in global-node order.
+  layout.specs.reserve(static_cast<std::size_t>(K));
+  for (int c = 0; c < K; ++c) {
+    auto& cell_nodes = layout.nodes[static_cast<std::size_t>(c)];
+    std::sort(cell_nodes.begin(), cell_nodes.end());
+    std::vector<NodeSpec> local;
+    local.reserve(cell_nodes.size());
+    for (std::size_t i = 0; i < cell_nodes.size(); ++i) {
+      NodeSpec n = spec.node(cell_nodes[i]);
+      n.id = static_cast<NodeId>(i);
+      local.push_back(std::move(n));
+    }
+    layout.specs.emplace_back(spec.types(), std::move(local));
+  }
+  return layout;
+}
+
+}  // namespace hadar::cluster

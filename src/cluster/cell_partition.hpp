@@ -1,0 +1,52 @@
+// Scheduling cells: a deterministic partition of a cluster's nodes into K
+// disjoint sub-clusters ("cells"), each materialized as a dense-id
+// ClusterSpec of its own. The sharded scheduler (sim/sharded.hpp) solves an
+// independent per-cell scheduling problem on every cell concurrently and
+// merges the results, which turns the per-round cost from
+// O(solve(H, J)) into O(max_cell solve(H/K, J/K)) — the decomposition the
+// 10k-node scale target needs.
+//
+// Partitioning policy: nodes are keyed by their dominant GPU type (argmax
+// capacity, ties to the lower type id) and dealt type-by-type onto the cell
+// with the least total capacity so far. Each cell therefore receives an
+// approximately proportional slice of every type pool ("GPU-type affinity,
+// balanced capacity"): a cell looks like a scaled-down copy of the whole
+// cluster, so any per-cell policy sees the same heterogeneity mix the
+// unsharded policy would.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster_spec.hpp"
+
+namespace hadar::cluster {
+
+/// The result of partitioning one ClusterSpec into cells. Local node i of
+/// cell c is global node nodes[c][i]; ids within a cell preserve global
+/// order, so local->global remapping is a vector lookup.
+struct CellLayout {
+  int num_cells = 0;
+  /// Global node id -> owning cell index.
+  std::vector<int> cell_of_node;
+  /// Cell -> its global node ids, ascending.
+  std::vector<std::vector<NodeId>> nodes;
+  /// Cell -> local dense-id ClusterSpec (shares the global type registry
+  /// arity; local node i maps to nodes[c][i]).
+  std::vector<ClusterSpec> specs;
+
+  /// Total devices of cell c (over its local spec).
+  int cell_capacity(int c) const { return specs[static_cast<std::size_t>(c)].total_gpus(); }
+};
+
+/// Partitions `spec` into `num_cells` cells (clamped to [1, num_nodes]).
+/// Deterministic: the same spec and cell count always produce the same
+/// layout, independent of thread count or call history.
+CellLayout partition_cells(const ClusterSpec& spec, int num_cells);
+
+/// Heuristic cell count for a cluster size: one cell per ~128 nodes, capped
+/// at 64 cells, at least 1. The sharding sweet spot: cells small enough that
+/// per-cell solves are cheap, large enough that every cell still carries a
+/// representative slice of each GPU-type pool.
+int auto_cells(int num_nodes);
+
+}  // namespace hadar::cluster

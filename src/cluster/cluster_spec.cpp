@@ -149,14 +149,30 @@ std::string ClusterSpec::summary() const {
 }
 
 ClusterSpec ClusterSpec::masked(const AvailabilityMask& mask) const {
-  std::vector<NodeSpec> nodes = nodes_;
-  for (NodeSpec& n : nodes) {
-    n.available = mask.node_up(n.id);
+  ClusterSpec out;
+  masked_into(mask, &out);
+  return out;
+}
+
+void ClusterSpec::masked_into(const AvailabilityMask& mask, ClusterSpec* out) const {
+  if (out == nullptr) throw std::invalid_argument("ClusterSpec::masked_into: null out");
+  if (out == this) throw std::invalid_argument("ClusterSpec::masked_into: out aliases source");
+  const auto R = static_cast<std::size_t>(num_types());
+  if (out->types_.size() != num_types()) out->types_ = types_;
+  out->nodes_.resize(nodes_.size());
+  out->totals_.assign(R, 0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeSpec& src = nodes_[i];
+    NodeSpec& dst = out->nodes_[i];
+    dst.id = src.id;
+    dst.available = mask.node_up(src.id);
+    dst.gpu_capacity.resize(R);
     for (GpuTypeId r = 0; r < num_types(); ++r) {
-      n.gpu_capacity[static_cast<std::size_t>(r)] = mask.live_capacity(n.id, r);
+      const int live = mask.live_capacity(src.id, r);
+      dst.gpu_capacity[static_cast<std::size_t>(r)] = live;
+      out->totals_[static_cast<std::size_t>(r)] += live;
     }
   }
-  return ClusterSpec(types_, std::move(nodes));
 }
 
 ClusterSpec ClusterSpec::from_counts(GpuTypeRegistry types,

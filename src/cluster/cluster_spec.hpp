@@ -98,6 +98,13 @@ class ClusterSpec {
   /// Node ids stay dense so allocations keyed by NodeId remain meaningful.
   ClusterSpec masked(const AvailabilityMask& mask) const;
 
+  /// In-place masked(): rewrites `*out` to the live view, reusing its node
+  /// and capacity buffers when shapes already match — the per-round refresh
+  /// then allocates nothing. `out` is typically a previously masked copy of
+  /// *this (its address must stay stable for schedulers caching spec
+  /// pointers); it must not alias *this.
+  void masked_into(const AvailabilityMask& mask, ClusterSpec* out) const;
+
   /// Builder: `counts_per_node[i][r]` gives node i's type-r capacity.
   static ClusterSpec from_counts(GpuTypeRegistry types,
                                  const std::vector<std::vector<int>>& counts_per_node);

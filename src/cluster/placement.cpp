@@ -1,11 +1,11 @@
-#include "baselines/alloc_util.hpp"
+#include "cluster/placement.hpp"
 
 #include <algorithm>
 
-namespace hadar::baselines {
+namespace hadar::cluster {
 
-std::optional<cluster::JobAllocation> take_homogeneous(const cluster::ClusterState& state,
-                                                       GpuTypeId r, int workers) {
+std::optional<JobAllocation> take_homogeneous(const ClusterState& state, GpuTypeId r,
+                                              int workers) {
   const auto& spec = state.spec();
   if (r < 0 || r >= spec.num_types() || workers <= 0) return std::nullopt;
   if (state.total_free_of_type(r) < workers) return std::nullopt;
@@ -19,7 +19,7 @@ std::optional<cluster::JobAllocation> take_homogeneous(const cluster::ClusterSta
     return a.first != b.first ? a.first > b.first : a.second < b.second;
   });
 
-  std::vector<cluster::TaskPlacement> pl;
+  std::vector<TaskPlacement> pl;
   int need = workers;
   for (const auto& [free, h] : nodes) {
     if (need == 0) break;
@@ -28,12 +28,12 @@ std::optional<cluster::JobAllocation> take_homogeneous(const cluster::ClusterSta
     need -= take;
   }
   if (need != 0) return std::nullopt;
-  return cluster::JobAllocation(std::move(pl));
+  return JobAllocation(std::move(pl));
 }
 
-std::optional<cluster::JobAllocation> take_in_type_order(
-    const cluster::ClusterState& state, const std::vector<GpuTypeId>& type_order,
-    int workers) {
+std::optional<JobAllocation> take_in_type_order(const ClusterState& state,
+                                                const std::vector<GpuTypeId>& type_order,
+                                                int workers) {
   const auto& spec = state.spec();
   if (workers <= 0) return std::nullopt;
 
@@ -41,7 +41,7 @@ std::optional<cluster::JobAllocation> take_in_type_order(
   for (GpuTypeId r : type_order) total_free += state.total_free_of_type(r);
   if (total_free < workers) return std::nullopt;
 
-  std::vector<cluster::TaskPlacement> pl;
+  std::vector<TaskPlacement> pl;
   int need = workers;
   for (GpuTypeId r : type_order) {
     if (need == 0) break;
@@ -61,12 +61,12 @@ std::optional<cluster::JobAllocation> take_in_type_order(
     }
   }
   if (need != 0) return std::nullopt;
-  return cluster::JobAllocation(std::move(pl));
+  return JobAllocation(std::move(pl));
 }
 
-std::optional<cluster::JobAllocation> take_unaware(const cluster::ClusterState& state,
-                                                   const std::vector<GpuTypeId>& usable,
-                                                   int workers) {
+std::optional<JobAllocation> take_unaware(const ClusterState& state,
+                                          const std::vector<GpuTypeId>& usable,
+                                          int workers) {
   // Single pool first: usable types by descending free count.
   std::vector<std::pair<int, GpuTypeId>> by_free;
   for (GpuTypeId r : usable) by_free.emplace_back(state.total_free_of_type(r), r);
@@ -83,4 +83,4 @@ std::optional<cluster::JobAllocation> take_unaware(const cluster::ClusterState& 
   return take_in_type_order(state, order, workers);
 }
 
-}  // namespace hadar::baselines
+}  // namespace hadar::cluster

@@ -30,6 +30,27 @@ int env_int(const char* name, int def, int min_value) {
   return static_cast<int>(v);
 }
 
+double env_double(const char* name, double def, double min_value, double max_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return def;
+
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "[hadar] warning: %s='%s' is not a number; using %g\n",
+                 name, raw, def);
+    return def;
+  }
+  if (v < min_value || v > max_value) {
+    std::fprintf(stderr,
+                 "[hadar] warning: %s=%g is outside [%g, %g]; using %g\n",
+                 name, v, min_value, max_value, def);
+    return def;
+  }
+  return v;
+}
+
 std::string env_str(const char* name, const std::string& def) {
   const char* raw = std::getenv(name);
   return (raw == nullptr || *raw == '\0') ? def : std::string(raw);

@@ -14,6 +14,11 @@ namespace hadar::common {
 /// warning on stderr and return `def`.
 int env_int(const char* name, int def, int min_value = 1);
 
+/// Reads floating-point env var `name`. Returns `def` when unset. Values
+/// that fail to parse, carry trailing junk, or fall outside
+/// [min_value, max_value] produce a warning on stderr and return `def`.
+double env_double(const char* name, double def, double min_value, double max_value);
+
 /// Reads string env var `name`; returns `def` when unset or empty.
 std::string env_str(const char* name, const std::string& def);
 

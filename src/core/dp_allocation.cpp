@@ -63,8 +63,11 @@ DpResult dp_allocation(const std::vector<const sim::JobView*>& queue,
     // works on its own scratch ClusterState, so the search tree never shares
     // mutable cluster state across threads; results land by beam index,
     // which keeps the expansion order — and therefore the final schedule —
-    // bit-identical to the serial path.
-    auto evals = common::parallel_map(beam.size(), [&](std::size_t i) {
+    // bit-identical to the serial path. Levels with fewer branches than
+    // parallel lanes (the first few of every decision, and most levels of a
+    // small cell's solve) skip pool dispatch outright: waking the pool costs
+    // more than evaluating the handful of branches in place.
+    auto eval_include = [&](std::size_t i) {
       IncludeEval e;
       cluster::ClusterState scratch(spec);
       scratch.restore(beam[i].usage);
@@ -76,7 +79,14 @@ DpResult dp_allocation(const std::vector<const sim::JobView*>& queue,
         e.usage = scratch.snapshot();
       }
       return e;
-    });
+    };
+    std::vector<IncludeEval> evals;
+    if (beam.size() < static_cast<std::size_t>(common::ThreadPool::global().concurrency())) {
+      evals.reserve(beam.size());
+      for (std::size_t i = 0; i < beam.size(); ++i) evals.push_back(eval_include(i));
+    } else {
+      evals = common::parallel_map(beam.size(), eval_include);
+    }
 
     std::vector<BeamState> next;
     next.reserve(beam.size() * 2);

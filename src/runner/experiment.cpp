@@ -15,7 +15,7 @@ namespace hadar::runner {
 const std::vector<std::string> kPaperSchedulers = {"hadar", "gavel", "tiresias", "yarn"};
 const std::vector<std::string> kPreemptiveSchedulers = {"hadar", "gavel", "tiresias"};
 
-sim::SchedulerPtr make_scheduler(const std::string& name) {
+sim::SchedulerPtr make_flat_scheduler(const std::string& name) {
   using core::HadarConfig;
   using core::HadarScheduler;
   using core::UtilityKind;
@@ -73,6 +73,20 @@ sim::SchedulerPtr make_scheduler(const std::string& name) {
   }
   if (name == "srtf") return std::make_unique<baselines::SrtfScheduler>();
   throw std::invalid_argument("make_scheduler: unknown scheduler '" + name + "'");
+}
+
+sim::SchedulerPtr make_sharded_scheduler(const std::string& name, sim::ShardConfig cfg) {
+  // Validate the name eagerly so a typo still throws here, not on the first
+  // schedule() inside a worker thread.
+  make_flat_scheduler(name);
+  return std::make_unique<sim::ShardedScheduler>(
+      [name] { return make_flat_scheduler(name); }, cfg);
+}
+
+sim::SchedulerPtr make_scheduler(const std::string& name) {
+  const sim::ShardConfig cfg = sim::ShardConfig::from_env();
+  if (cfg.cells == 1) return make_flat_scheduler(name);
+  return make_sharded_scheduler(name, cfg);
 }
 
 std::vector<SchedulerRun> compare(const ExperimentConfig& cfg,

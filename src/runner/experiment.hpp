@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cluster/cluster_spec.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 #include "workload/job.hpp"
 
@@ -31,7 +32,21 @@ struct ExperimentConfig {
 ///   "yarn" | "yarn-backfill"                      strict FIFO / backfill
 ///   "srtf"
 /// Throws std::invalid_argument for unknown names.
+///
+/// Honors the sharding environment overlay (HADAR_CELLS /
+/// HADAR_CELL_MIGRATION, see sim/sharded.hpp): with HADAR_CELLS != 1 the
+/// named policy comes back wrapped in a ShardedScheduler, so every consumer
+/// of the factory — benches, examples, the service daemon — gets cell-level
+/// parallel scheduling from the environment alone.
 sim::SchedulerPtr make_scheduler(const std::string& name);
+
+/// make_scheduler() without the environment overlay: always the flat
+/// (unsharded) policy.
+sim::SchedulerPtr make_flat_scheduler(const std::string& name);
+
+/// The named policy wrapped for cell-sharded scheduling with an explicit
+/// config (cfg.cells == 1 behaves exactly like the flat policy).
+sim::SchedulerPtr make_sharded_scheduler(const std::string& name, sim::ShardConfig cfg);
 
 /// Result of running one scheduler on an experiment.
 struct SchedulerRun {

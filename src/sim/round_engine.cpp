@@ -55,7 +55,8 @@ RoundEngine::RoundEngine(const cluster::ClusterSpec* spec, SimConfig config)
   // topology changes reassign the object in place, never move it.
   if (config_.failure.enabled()) {
     fm_.emplace(*nameplate_, config_.failure);
-    live_spec_storage_ = nameplate_->masked(fm_->mask());
+    nameplate_->masked_into(fm_->mask(), &live_spec_storage_);
+    refit_state_.emplace(&live_spec_storage_);
   }
   ctx_.spec = fm_ ? &live_spec_storage_ : nameplate_;
   ctx_.round_length = config_.round_length;
@@ -126,14 +127,15 @@ void RoundEngine::apply_failures(RoundOutcome& out) {
       obs::count("fault.events");
     }
   }
-  live_spec_storage_ = nameplate_->masked(fm_->mask());
+  nameplate_->masked_into(fm_->mask(), &live_spec_storage_);
   ++cluster_epoch_;
 
   // Re-fit held allocations in job order: survivors keep their placement,
   // the rest are failure-killed. Deterministic because the iteration order
   // and the live capacities are. Each victim rolls back to its last
   // implicit checkpoint and re-enters the queue.
-  cluster::ClusterState live_state(&live_spec_storage_);
+  refit_state_->clear();
+  cluster::ClusterState& live_state = *refit_state_;
   for (auto& s : js_) {
     if (s.finished || s.current.empty()) continue;
     if (live_state.can_allocate(s.current)) {
@@ -573,7 +575,7 @@ void RoundEngine::restore(common::BinaryReader& r) {
   }
   if (fm_) {
     fm_->restore(r);
-    live_spec_storage_ = nameplate_->masked(fm_->mask());
+    nameplate_->masked_into(fm_->mask(), &live_spec_storage_);
   }
   log_.restore(r);
   log_.set_enabled(config_.enable_event_log);

@@ -145,6 +145,10 @@ class RoundEngine {
   // valid: topology changes reassign the object in place, never move it.
   std::optional<FailureModel> fm_;
   cluster::ClusterSpec live_spec_storage_;
+  /// Scratch for apply_failures()' re-fit pass, kept across rounds so a
+  /// failure round neither copies the spec (masked_into reuses
+  /// live_spec_storage_'s buffers) nor allocates a fresh usage vector.
+  std::optional<cluster::ClusterState> refit_state_;
 
   // Scheduler view, rebuilt only when the runnable set changes (epoch bump);
   // otherwise refreshed in place. view_of_[i] maps js_[i] to its slot in
