@@ -1,8 +1,13 @@
 // Micro-benchmarks of the core building blocks plus the DESIGN.md ablation
 // targets: price evaluation, FIND_ALLOC, DP_allocation (beam vs greedy,
-// mixing on/off), the LP and filling max-min solvers, and trace generation.
+// mixing on/off), pool dispatch overhead, DP branch bookkeeping (snapshot
+// copy vs undo log), the LP and filling max-min solvers, and trace
+// generation.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
+#include "common/thread_pool.hpp"
 #include "core/dp_allocation.hpp"
 #include "core/hadar_scheduler.hpp"
 #include "solver/maxmin.hpp"
@@ -141,6 +146,54 @@ void BM_MaxMinFilling(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MaxMinFilling)->Arg(64)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+// Cost of fanning a trivial 64-way parallel_for across a private pool: the
+// DP dispatches one of these per beam level, so enqueue overhead (now a
+// single refcounted run descriptor instead of a std::function per lane) is
+// hot-path relevant.
+void BM_PoolDispatch(benchmark::State& state) {
+  common::ThreadPool pool(static_cast<int>(state.range(0)) - 1);
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    common::parallel_for(
+        64, [&](std::size_t i) { sink.fetch_add(i, std::memory_order_relaxed); }, &pool);
+  }
+  benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_PoolDispatch)->Arg(1)->Arg(4);
+
+// DP branch bookkeeping, old way: materialize a snapshot, restore it into a
+// scratch state, hash it from scratch.
+void BM_DpBranchSnapshotCopy(benchmark::State& state) {
+  World w(8);
+  cluster::ClusterState st(&w.spec);
+  const cluster::JobAllocation alloc({{0, 0, 2}, {1, 1, 1}});
+  for (auto _ : state) {
+    cluster::ClusterState scratch(&w.spec);
+    scratch.restore(st.snapshot());
+    scratch.allocate(alloc);
+    const auto snap = scratch.snapshot();
+    benchmark::DoNotOptimize(cluster::ClusterState::hash(snap));
+    scratch.restore(st.snapshot());
+  }
+}
+BENCHMARK(BM_DpBranchSnapshotCopy);
+
+// DP branch bookkeeping, new way: undo-log mark/rollback with the
+// incrementally maintained O(1) hash.
+void BM_DpBranchUndo(benchmark::State& state) {
+  World w(8);
+  cluster::ClusterState st(&w.spec);
+  st.set_undo_enabled(true);
+  const cluster::JobAllocation alloc({{0, 0, 2}, {1, 1, 1}});
+  for (auto _ : state) {
+    const auto m = st.mark();
+    st.allocate_unchecked(alloc);
+    benchmark::DoNotOptimize(st.hash());
+    st.rollback(m);
+  }
+}
+BENCHMARK(BM_DpBranchUndo);
 
 void BM_TraceGeneration(benchmark::State& state) {
   const auto spec = cluster::ClusterSpec::simulation_default();

@@ -1,10 +1,12 @@
 // Perf-regression harness: times the hot paths this repo's evaluation is
 // wall-clock-bound by — FIND_ALLOC, DP_allocation, and the Gavel LP
 // re-solve — plus an end-to-end fig07-style four-way comparison sweep, at
-// HADAR_THREADS=1 and at the configured thread count. Emits BENCH_PR3.json
+// HADAR_THREADS=1 and at the configured thread count. Emits BENCH_PR8.json
 // (wall-clock, rounds/sec, speedup vs serial, LP engine comparison,
-// determinism checks) keeping the PR2 micro/end_to_end keys so the perf
-// trajectory stays comparable across PRs.
+// determinism checks) keeping the earlier micro/end_to_end keys so the perf
+// trajectory stays comparable across PRs. PR 8 adds the hot-path rows the
+// SoA/undo-log/arena pass targets: thread-pool dispatch overhead and the
+// per-branch DP bookkeeping cost (mark/apply/hash/rollback).
 //
 // The run doubles as the perf-regression *gate*: the stable micro timings
 // are calibration-normalized (see perf_gate.hpp) and compared against the
@@ -18,6 +20,7 @@
 // HADAR_PERF_BASELINE / HADAR_PERF_GATE / HADAR_PERF_INJECT_SLOWDOWN /
 // HADAR_PERF_WRITE_BASELINE (see perf_gate.hpp).
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -213,7 +216,7 @@ int main() {
     auto r = core::dp_allocation(queue, state, book, utility, 0.0, network, {});
     (void)r;
   };
-  double dp_serial_ms = 0.0, dp_parallel_ms = 0.0;
+  double dp_serial_ms = 0.0, dp_parallel_ms = 0.0, dp_parallel4_ms = 0.0;
   {
     common::ScopedThreadCount one(1);
     dp_serial_ms = bench::median_timing([&] { return time_per_call(dp_once); }) * 1e3;
@@ -221,6 +224,61 @@ int main() {
   {
     common::ScopedThreadCount many(threads);
     dp_parallel_ms = time_per_call(dp_once) * 1e3;
+  }
+  {
+    // Pinned 4-lane run so the speedup figure is comparable across hosts
+    // (the acceptance bar is "> 1.3x at 4 threads on a multi-core box").
+    common::ScopedThreadCount four(4);
+    dp_parallel4_ms = time_per_call(dp_once) * 1e3;
+  }
+
+  // ---- micro: thread-pool dispatch overhead ----
+  // A trivial 64-way parallel_for on a private 4-lane pool: what one DP beam
+  // level pays just to fan out. The function_ref-style dispatch enqueues raw
+  // fn/arg tasks, so this is the descriptor + wakeup cost, no heap
+  // std::function per lane.
+  double pool_dispatch_us = 0.0;
+  {
+    common::ThreadPool pool(3);  // 4 lanes: 3 workers + the calling thread
+    std::atomic<std::uint64_t> dispatch_sink{0};
+    pool_dispatch_us =
+        bench::median_timing([&] {
+          return time_per_call([&] {
+            common::parallel_for(
+                64,
+                [&](std::size_t i) {
+                  dispatch_sink.fetch_add(i, std::memory_order_relaxed);
+                },
+                &pool);
+          });
+        }) *
+        1e6;
+  }
+
+  // ---- micro: DP branch bookkeeping (undo log + incremental hash) ----
+  // Per-branch cost of the snapshot replacement: mark, apply a two-node
+  // allocation unchecked, read the O(1) state hash, roll back. This is what
+  // every explored DP state pays instead of a full Snapshot copy + rehash.
+  double dp_branch_ns = 0.0;
+  {
+    cluster::ClusterState branch_state(&micro.spec);
+    branch_state.set_undo_enabled(true);
+    const cluster::JobAllocation branch_alloc({{0, 0, 2}, {5, 1, 1}});
+    constexpr int kBranches = 1024;
+    volatile std::uint64_t hash_sink = 0;
+    dp_branch_ns = bench::median_timing([&] {
+                     return time_per_call([&] {
+                       for (int i = 0; i < kBranches; ++i) {
+                         const auto m = branch_state.mark();
+                         branch_state.allocate_unchecked(branch_alloc);
+                         hash_sink = branch_state.hash();
+                         branch_state.rollback(m);
+                       }
+                     });
+                   }) *
+                   1e9 / kBranches;
+    (void)hash_sink;
+    branch_state.set_undo_enabled(false);
   }
 
   // ---- micro: Gavel LP event-resolve, dense vs revised vs warm ----
@@ -372,11 +430,17 @@ int main() {
   const double rounds_per_s =
       e2e_parallel_s > 0.0 ? static_cast<double>(total_rounds) / e2e_parallel_s : 0.0;
 
-  common::AsciiTable t("perf regression (PR 3)", {"metric", "value"});
+  common::AsciiTable t("perf regression (PR 8)", {"metric", "value"});
   t.add_row({"find_alloc / call", common::AsciiTable::num(find_alloc_us, 2) + " us"});
   t.add_row({"dp_allocation (1 thread)", common::AsciiTable::num(dp_serial_ms, 2) + " ms"});
   t.add_row({"dp_allocation (" + std::to_string(threads) + " threads)",
              common::AsciiTable::num(dp_parallel_ms, 2) + " ms"});
+  t.add_row({"dp_allocation (4 threads, pinned)",
+             common::AsciiTable::num(dp_parallel4_ms, 2) + " ms"});
+  t.add_row({"pool dispatch, 64-way / 4 lanes",
+             common::AsciiTable::num(pool_dispatch_us, 2) + " us"});
+  t.add_row({"dp branch mark/apply/hash/rollback",
+             common::AsciiTable::num(dp_branch_ns, 1) + " ns"});
   t.add_row({"gavel LP event re-solve, dense cold",
              common::AsciiTable::num(lp_dense.ms_per_event, 2) + " ms"});
   t.add_row({"gavel LP event re-solve, revised cold",
@@ -415,6 +479,8 @@ int main() {
   std::vector<bench::GateMetric> gate_metrics = {
       {"find_alloc_call", find_alloc_us * 1e-6, 0.0},
       {"dp_allocation_serial", dp_serial_ms * 1e-3, 0.0},
+      {"dp_branch_snapshot", dp_branch_ns * 1e-9, 0.0},
+      {"pool_dispatch", pool_dispatch_us * 1e-6, 0.0},
       {"lp_event_revised_cold", lp_cold.ms_per_event * 1e-3, 0.0},
       {"lp_event_revised_warm", lp_warm.ms_per_event * 1e-3, 0.0},
       {"gavel_round_loop", gavel_round_us * 1e-6, 0.0},
@@ -430,18 +496,22 @@ int main() {
     std::printf("wrote perf_gate_current.json\n");
   }
 
-  const char* out_path = "BENCH_PR3.json";
+  const char* out_path = "BENCH_PR8.json";
   if (std::FILE* f = std::fopen(out_path, "w")) {
     std::fprintf(f,
                  "{\n"
-                 "  \"pr\": 3,\n"
+                 "  \"pr\": 8,\n"
                  "  \"threads\": %d,\n"
                  "  \"hardware_concurrency\": %d,\n"
                  "  \"micro\": {\n"
                  "    \"find_alloc_us_per_call\": %.3f,\n"
                  "    \"dp_allocation_ms_serial\": %.3f,\n"
                  "    \"dp_allocation_ms_parallel\": %.3f,\n"
-                 "    \"dp_allocation_speedup\": %.3f\n"
+                 "    \"dp_allocation_speedup\": %.3f,\n"
+                 "    \"dp_allocation_ms_parallel4\": %.3f,\n"
+                 "    \"dp_allocation_speedup_4t\": %.3f,\n"
+                 "    \"pool_dispatch_us\": %.3f,\n"
+                 "    \"dp_branch_snapshot_ns\": %.1f\n"
                  "  },\n"
                  "  \"lp\": {\n"
                  "    \"jobs\": %zu,\n"
@@ -485,7 +555,10 @@ int main() {
                  "}\n",
                  threads, hw, find_alloc_us, dp_serial_ms, dp_parallel_ms,
                  dp_parallel_ms > 0.0 ? dp_serial_ms / dp_parallel_ms : 0.0,
-                 lp_scn.ctx.jobs.size(), lp_problems.size() - 1, lp_dense.ms_per_event,
+                 dp_parallel4_ms,
+                 dp_parallel4_ms > 0.0 ? dp_serial_ms / dp_parallel4_ms : 0.0,
+                 pool_dispatch_us, dp_branch_ns, lp_scn.ctx.jobs.size(),
+                 lp_problems.size() - 1, lp_dense.ms_per_event,
                  lp_cold.ms_per_event, lp_warm.ms_per_event, lp_warm_speedup,
                  lp_warm.warm_hit_rate, gavel_round_us, e2e_jobs, gavel_e2e_cold_s,
                  gavel_e2e_warm_s, gavel_e2e_speedup,

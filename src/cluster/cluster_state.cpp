@@ -4,49 +4,92 @@
 
 namespace hadar::cluster {
 
+namespace {
+
+// Per-cell hash term: a SplitMix64-style finalizer over (cell index, count).
+// The state hash is the XOR of these terms over all cells, which makes
+// incremental maintenance O(1) per touched cell (XOR the old term out, the
+// new one in) and the value independent of the order mutations happened in.
+std::uint64_t cell_term(std::size_t cell, int used) {
+  std::uint64_t x = (static_cast<std::uint64_t>(cell) << 32) ^
+                    static_cast<std::uint64_t>(static_cast<std::uint32_t>(used));
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+constexpr std::uint64_t kHashSeed = 1469598103934665603ULL;
+
+}  // namespace
+
 ClusterState::ClusterState(const ClusterSpec* spec) : spec_(spec) {
   if (spec_ == nullptr) throw std::invalid_argument("ClusterState: null spec");
-  used_.assign(static_cast<std::size_t>(spec_->num_nodes()) *
-                   static_cast<std::size_t>(spec_->num_types()),
-               0);
+  clear();
 }
 
 std::size_t ClusterState::index(NodeId h, GpuTypeId r) const {
-  if (h < 0 || h >= spec_->num_nodes() || r < 0 || r >= spec_->num_types()) {
+  if (h < 0 || h >= num_nodes_ || r < 0 || r >= num_types_) {
     throw std::out_of_range("ClusterState: bad (node, type)");
   }
-  return static_cast<std::size_t>(h) * static_cast<std::size_t>(spec_->num_types()) +
+  return static_cast<std::size_t>(h) * static_cast<std::size_t>(num_types_) +
          static_cast<std::size_t>(r);
 }
 
 int ClusterState::free_count(NodeId h, GpuTypeId r) const {
-  return spec_->node(h).capacity(r) - used_[index(h, r)];
+  const std::size_t i = index(h, r);
+  return cap_[i] - used_[i];
 }
 
 int ClusterState::used_count(NodeId h, GpuTypeId r) const { return used_[index(h, r)]; }
 
 int ClusterState::total_free_of_type(GpuTypeId r) const {
-  int n = 0;
-  for (NodeId h = 0; h < spec_->num_nodes(); ++h) n += free_count(h, r);
-  return n;
+  if (r < 0 || r >= num_types_) throw std::out_of_range("ClusterState: bad type");
+  return free_of_type_[static_cast<std::size_t>(r)];
 }
 
-int ClusterState::total_free() const {
-  int n = 0;
-  for (GpuTypeId r = 0; r < spec_->num_types(); ++r) n += total_free_of_type(r);
-  return n;
+int ClusterState::node_free(NodeId h) const {
+  if (h < 0 || h >= num_nodes_) throw std::out_of_range("ClusterState: bad node");
+  return node_free_[static_cast<std::size_t>(h)];
+}
+
+void ClusterState::set_cell(std::size_t cell, int v) {
+  const int old = used_[cell];
+  if (old == v) return;
+  const int delta = v - old;
+  used_[cell] = v;
+  free_of_type_[cell % static_cast<std::size_t>(num_types_)] -= delta;
+  node_free_[cell / static_cast<std::size_t>(num_types_)] -= delta;
+  total_free_ -= delta;
+  hash_ ^= cell_term(cell, old) ^ cell_term(cell, v);
+}
+
+void ClusterState::mutate_cell(std::size_t cell, int v) {
+  if (undo_enabled_ && used_[cell] != v) {
+    undo_.emplace_back(static_cast<std::uint32_t>(cell), used_[cell]);
+  }
+  set_cell(cell, v);
 }
 
 void ClusterState::allocate(const JobAllocation& alloc) {
   if (!can_allocate(alloc)) throw std::runtime_error("ClusterState::allocate: over capacity");
-  for (const auto& p : alloc.placements()) used_[index(p.node, p.type)] += p.count;
+  allocate_unchecked(alloc);
+}
+
+void ClusterState::allocate_unchecked(const JobAllocation& alloc) {
+  for (const auto& p : alloc.placements()) {
+    const std::size_t i = index(p.node, p.type);
+    mutate_cell(i, used_[i] + p.count);
+  }
 }
 
 void ClusterState::release(const JobAllocation& alloc) {
   for (const auto& p : alloc.placements()) {
-    auto& u = used_[index(p.node, p.type)];
-    if (u < p.count) throw std::runtime_error("ClusterState::release: underflow");
-    u -= p.count;
+    const std::size_t i = index(p.node, p.type);
+    if (used_[i] < p.count) throw std::runtime_error("ClusterState::release: underflow");
+    mutate_cell(i, used_[i] - p.count);
   }
 }
 
@@ -54,28 +97,69 @@ bool ClusterState::can_allocate(const JobAllocation& alloc) const {
   // Placements are normalized (one entry per (node, type)), so a per-entry
   // check is exact.
   for (const auto& p : alloc.placements()) {
-    if (p.node < 0 || p.node >= spec_->num_nodes()) return false;
-    if (p.type < 0 || p.type >= spec_->num_types()) return false;
-    if (free_count(p.node, p.type) < p.count) return false;
+    if (p.node < 0 || p.node >= num_nodes_) return false;
+    if (p.type < 0 || p.type >= num_types_) return false;
+    const std::size_t i = static_cast<std::size_t>(p.node) *
+                              static_cast<std::size_t>(num_types_) +
+                          static_cast<std::size_t>(p.type);
+    if (cap_[i] - used_[i] < p.count) return false;
   }
   return true;
 }
 
-void ClusterState::clear() { std::fill(used_.begin(), used_.end(), 0); }
+void ClusterState::clear() {
+  num_nodes_ = spec_->num_nodes();
+  num_types_ = spec_->num_types();
+  const std::size_t cells =
+      static_cast<std::size_t>(num_nodes_) * static_cast<std::size_t>(num_types_);
+  used_.assign(cells, 0);
+  cap_.resize(cells);
+  free_of_type_.assign(static_cast<std::size_t>(num_types_), 0);
+  node_free_.assign(static_cast<std::size_t>(num_nodes_), 0);
+  total_free_ = 0;
+  usable_.clear();
+  std::uint64_t h = kHashSeed;
+  std::size_t i = 0;
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    const NodeSpec& node = spec_->node(n);
+    for (GpuTypeId r = 0; r < num_types_; ++r, ++i) {
+      const int c = node.capacity(r);
+      cap_[i] = c;
+      free_of_type_[static_cast<std::size_t>(r)] += c;
+      node_free_[static_cast<std::size_t>(n)] += c;
+      total_free_ += c;
+      h ^= cell_term(i, 0);
+      if (c > 0 && node.available) {
+        usable_.push_back(UsableSlot{n, r, static_cast<std::int32_t>(i)});
+      }
+    }
+  }
+  hash_ = h;
+  undo_.clear();
+}
 
 void ClusterState::restore(const Snapshot& snap) {
   if (snap.size() != used_.size()) throw std::invalid_argument("ClusterState::restore: arity");
-  used_ = snap;
+  for (std::size_t i = 0; i < snap.size(); ++i) mutate_cell(i, snap[i]);
 }
 
-std::uint64_t ClusterState::hash() const { return hash(used_); }
+void ClusterState::set_undo_enabled(bool on) {
+  undo_enabled_ = on;
+  undo_.clear();
+}
+
+void ClusterState::rollback(UndoMark m) {
+  if (m > undo_.size()) throw std::invalid_argument("ClusterState::rollback: bad mark");
+  while (undo_.size() > m) {
+    const auto [cell, prev] = undo_.back();
+    undo_.pop_back();
+    set_cell(cell, prev);
+  }
+}
 
 std::uint64_t ClusterState::hash(const Snapshot& snap) {
-  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
-  for (int u : snap) {
-    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(u));
-    h *= 1099511628211ULL;  // FNV prime
-  }
+  std::uint64_t h = kHashSeed;
+  for (std::size_t i = 0; i < snap.size(); ++i) h ^= cell_term(i, snap[i]);
   return h;
 }
 

@@ -1,0 +1,132 @@
+// Monotonic scratch allocator for per-round buffers. A scheduling round
+// allocates many short-lived vectors (candidate queues, job-view copies,
+// per-cell scratch); bump allocation from a reusable block makes those
+// effectively free, and reset() reclaims everything at once at the round
+// boundary.
+//
+// Lifetime rule: nothing allocated from an arena may outlive the next
+// reset(). The owner (sim::RoundEngine for the top-level context, each
+// ShardedScheduler cell for its own) resets at the start of every round, so
+// arena-backed containers must be strictly round-local.
+//
+// Not thread-safe: one arena serves one thread of execution. Concurrent
+// consumers (sharded cells solved in parallel) each get their own arena.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace hadar::common {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t block_bytes = 64 * 1024)
+      : default_block_(block_bytes < 256 ? 256 : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  // Movable so owners can live in resizable containers (sharded cells).
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+
+  /// Bump-allocates `bytes` with the given alignment. Never returns null
+  /// (grows by appending blocks); alignment must be a power of two.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    while (current_ < blocks_.size()) {
+      if (void* p = take_from(blocks_[current_], bytes, align)) return p;
+      ++current_;
+      offset_ = 0;
+    }
+    const std::size_t size = bytes + align > default_block_ ? bytes + align : default_block_;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    current_ = blocks_.size() - 1;
+    offset_ = 0;
+    return take_from(blocks_.back(), bytes, align);  // fresh block always fits
+  }
+
+  /// Rewinds to empty, keeping every block for reuse. O(1).
+  void reset() {
+    current_ = 0;
+    offset_ = 0;
+    allocated_ = 0;
+  }
+
+  /// Bytes handed out since the last reset() (diagnostics/tests).
+  std::size_t bytes_allocated() const { return allocated_; }
+  /// Total bytes held across blocks (high-water capacity).
+  std::size_t bytes_reserved() const {
+    std::size_t n = 0;
+    for (const auto& b : blocks_) n += b.size;
+    return n;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Carves `bytes` out of `b` at the current cursor, or returns null when
+  /// the block cannot hold it. Alignment is computed on the absolute address
+  /// so it holds regardless of the block base's own alignment.
+  void* take_from(Block& b, std::size_t bytes, std::size_t align) {
+    const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+    const std::uintptr_t aligned = (base + offset_ + align - 1) & ~(align - 1);
+    const std::size_t start = static_cast<std::size_t>(aligned - base);
+    if (start + bytes > b.size) return nullptr;
+    offset_ = start + bytes;
+    allocated_ += bytes;
+    return b.data.get() + start;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;
+  std::size_t offset_ = 0;
+  std::size_t default_block_;
+  std::size_t allocated_ = 0;
+};
+
+/// std::allocator adapter over an Arena. A null arena degrades to the global
+/// heap, so containers parameterized on it work with hand-built contexts
+/// (tests) that carry no arena. Deallocation is a no-op on the arena path —
+/// memory comes back wholesale at reset().
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+  }
+
+  Arena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator<U>& b) noexcept {
+    return a.arena() == b.arena();
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+/// Round-local vector: heap-compatible when no arena is supplied.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace hadar::common

@@ -21,27 +21,71 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit_raw(void (*fn)(void*), void* arg) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(Task{fn, arg});
   }
   cv_.notify_one();
 }
 
+void ThreadPool::submit(std::function<void()> task) {
+  auto owned = std::make_unique<std::function<void()>>(std::move(task));
+  submit_raw(
+      [](void* arg) {
+        std::unique_ptr<std::function<void()>> fn(static_cast<std::function<void()>*>(arg));
+        (*fn)();
+      },
+      owned.release());
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ and drained
-      task = std::move(queue_.front());
+      task = queue_.front();
       queue_.pop_front();
     }
-    task();
+    task.fn(task.arg);
   }
 }
+
+namespace detail {
+
+void drain(ParallelRun& run) {
+  for (;;) {
+    const std::size_t i = run.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= run.n) return;
+    if (!run.failed.load(std::memory_order_relaxed)) {
+      try {
+        run.invoke(run.body, i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(run.mu);
+        if (!run.error) run.error = std::current_exception();
+        run.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (run.done.fetch_add(1, std::memory_order_acq_rel) + 1 == run.n) {
+      std::lock_guard<std::mutex> lock(run.mu);
+      run.cv.notify_all();
+    }
+  }
+}
+
+void release(ParallelRun& run) {
+  if (run.refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete &run;
+}
+
+void helper_entry(void* arg) {
+  auto* run = static_cast<ParallelRun*>(arg);
+  drain(*run);
+  release(*run);
+}
+
+}  // namespace detail
 
 int ThreadPool::configured_concurrency() {
   const int hw = static_cast<int>(std::thread::hardware_concurrency());

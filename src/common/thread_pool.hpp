@@ -11,6 +11,12 @@
 // output order (and therefore every consumer's behaviour) is independent of
 // the thread count; determinism is the contract the scheduler relies on.
 //
+// Dispatch cost: tasks are (function pointer, void*) pairs and the shared
+// run descriptor is a single heap node refcounted by caller + helpers, so a
+// parallel_for performs one allocation total instead of one std::function
+// per lane. The DP dispatches a parallel_for per beam level, so this is on
+// the scheduler's hot path.
+//
 // Sizing: HADAR_THREADS sets the total concurrency (workers + caller);
 // unset => std::thread::hardware_concurrency(). HADAR_THREADS=1 disables
 // the pool entirely (pure serial execution).
@@ -44,7 +50,12 @@ class ThreadPool {
   /// Total parallel lanes a parallel_for can use: workers + the caller.
   int concurrency() const { return size() + 1; }
 
-  /// Enqueues one task; runs on some worker thread eventually.
+  /// Enqueues fn(arg) without allocating; runs on some worker thread
+  /// eventually. The caller guarantees `arg` stays valid until the task has
+  /// run (parallel_for refcounts its run descriptor for this).
+  void submit_raw(void (*fn)(void*), void* arg);
+
+  /// Enqueues an arbitrary callable (one heap allocation to type-erase it).
   void submit(std::function<void()> task);
 
   /// The shared pool, created on first use with HADAR_THREADS - 1 workers.
@@ -57,10 +68,16 @@ class ThreadPool {
   friend class ScopedThreadCount;
   static std::unique_ptr<ThreadPool>& global_slot();
 
+  /// Type-erased unit of work; POD so the queue never allocates per task.
+  struct Task {
+    void (*fn)(void*) = nullptr;
+    void* arg = nullptr;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
@@ -85,37 +102,31 @@ class ScopedThreadCount {
 namespace detail {
 
 /// Shared progress of one parallel_for: indices are claimed via `next`,
-/// `done` counts finished ones, and the first exception wins.
+/// `done` counts finished ones, and the first exception wins. Heap-
+/// allocated and intrusively refcounted (caller + one ref per helper task);
+/// the callable is reached through the raw (body, invoke) pair, so neither
+/// enqueueing a lane nor running it allocates. Stragglers dequeued after
+/// the caller returned find the index range exhausted and never touch
+/// `body`; the last reference frees the descriptor.
 struct ParallelRun {
   std::size_t n = 0;
+  void* body = nullptr;
+  void (*invoke)(void*, std::size_t) = nullptr;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::atomic<bool> failed{false};
+  std::atomic<int> refs{1};
   std::exception_ptr error;
   std::mutex mu;
   std::condition_variable cv;
 };
 
-template <typename Fn>
-void drain(const std::shared_ptr<ParallelRun>& run, Fn* fn) {
-  for (;;) {
-    const std::size_t i = run->next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= run->n) return;
-    if (!run->failed.load(std::memory_order_relaxed)) {
-      try {
-        (*fn)(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(run->mu);
-        if (!run->error) run->error = std::current_exception();
-        run->failed.store(true, std::memory_order_relaxed);
-      }
-    }
-    if (run->done.fetch_add(1, std::memory_order_acq_rel) + 1 == run->n) {
-      std::lock_guard<std::mutex> lock(run->mu);
-      run->cv.notify_all();
-    }
-  }
-}
+/// Claims and runs indices until the range is exhausted.
+void drain(ParallelRun& run);
+/// Drops one reference; the last one deletes the run.
+void release(ParallelRun& run);
+/// Pool-side entry point for one helper lane: drain, then release.
+void helper_entry(void* arg);
 
 }  // namespace detail
 
@@ -132,24 +143,29 @@ void parallel_for(std::size_t n, Fn&& fn, ThreadPool* pool = nullptr) {
     return;
   }
 
-  auto run = std::make_shared<detail::ParallelRun>();
-  run->n = n;
   using F = std::remove_reference_t<Fn>;
-  F* body = std::addressof(fn);
+  auto* run = new detail::ParallelRun;
+  run->n = n;
+  run->body = const_cast<void*>(static_cast<const void*>(std::addressof(fn)));
+  run->invoke = [](void* body, std::size_t i) { (*static_cast<F*>(body))(i); };
 
   // Helpers only ever claim indices from `run`; once the caller has seen
-  // done == n no helper can touch `fn` again, so capturing its address is
+  // done == n no helper can touch `fn` again, so handing out its address is
   // safe even though stragglers may still be dequeued later.
   const std::size_t helpers =
       std::min<std::size_t>(static_cast<std::size_t>(p.size()), n - 1);
-  for (std::size_t h = 0; h < helpers; ++h) {
-    p.submit([run, body] { detail::drain(run, body); });
-  }
-  detail::drain(run, body);
+  run->refs.store(1 + static_cast<int>(helpers), std::memory_order_relaxed);
+  for (std::size_t h = 0; h < helpers; ++h) p.submit_raw(&detail::helper_entry, run);
+  detail::drain(*run);
 
-  std::unique_lock<std::mutex> lock(run->mu);
-  run->cv.wait(lock, [&] { return run->done.load(std::memory_order_acquire) == n; });
-  if (run->error) std::rethrow_exception(run->error);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(run->mu);
+    run->cv.wait(lock, [&] { return run->done.load(std::memory_order_acquire) == n; });
+    error = run->error;  // copied before releasing our reference
+  }
+  detail::release(*run);
+  if (error) std::rethrow_exception(error);
 }
 
 /// parallel_for that materializes fn(i) into a vector indexed by i. The

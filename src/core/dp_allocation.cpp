@@ -1,7 +1,9 @@
 #include "core/dp_allocation.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <optional>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -14,12 +16,16 @@ namespace {
 // One partial decision over the queue prefix. `seq` is the state's position
 // in the deterministic exclude-then-include expansion order; it breaks
 // payoff ties so pruning is a unique total order, identical at every thread
-// count.
+// count. The cluster usage of the state is not stored — `chosen` IS the
+// delta from the caller's base state, replayed into a per-thread scratch on
+// demand; `hash`/`free_left` carry the O(1) summaries (dedup key, fullness)
+// that used to require materializing a snapshot per branch.
 struct BeamState {
-  cluster::ClusterState::Snapshot usage;
   double payoff = 0.0;
   int jobs = 0;
   std::size_t seq = 0;
+  std::uint64_t hash = 0;  ///< ClusterState hash of base + chosen
+  int free_left = 0;       ///< free devices remaining under base + chosen
   std::vector<std::pair<JobId, cluster::JobAllocation>> chosen;
 };
 
@@ -27,12 +33,33 @@ struct BeamState {
 struct IncludeEval {
   bool attempted = false;  ///< state had free capacity => find_alloc ran
   std::optional<AllocCandidate> cand;
-  cluster::ClusterState::Snapshot usage;  ///< post-allocation snapshot
+  std::uint64_t hash = 0;  ///< post-allocation state hash
+  int free_left = 0;       ///< post-allocation free total
 };
+
+// Monotonic id per dp_allocation() call, used to stamp per-thread scratch:
+// a lane resyncs its scratch state to the caller's base exactly when it is
+// working for a different call than last time (covers interleaved evals of
+// nested solves — sharded cells dispatching onto the shared pool).
+std::atomic<std::uint64_t> g_dp_call{0};
+
+// Per-thread scratch ClusterState for include-branch evaluation. Reusing it
+// across beam levels and calls (copy assignment recycles its buffers)
+// removes the state construction + full restore() that used to run once per
+// branch; the undo log rolls each eval back to base in O(touched cells).
+struct DpScratch {
+  std::uint64_t generation = 0;
+  std::optional<cluster::ClusterState> state;
+};
+
+DpScratch& dp_scratch() {
+  static thread_local DpScratch s;
+  return s;
+}
 
 }  // namespace
 
-DpResult dp_allocation(const std::vector<const sim::JobView*>& queue,
+DpResult dp_allocation(std::span<const sim::JobView* const> queue,
                        cluster::ClusterState& state, const PriceBook& prices,
                        const UtilityFunction& utility, Seconds now,
                        const sim::NetworkModel& network,
@@ -41,15 +68,14 @@ DpResult dp_allocation(const std::vector<const sim::JobView*>& queue,
   if (cfg.queue_window < 0) throw std::invalid_argument("DpConfig: queue_window < 0");
 
   DpResult result;
-  const auto base = state.snapshot();
-  const cluster::ClusterSpec* spec = &state.spec();
+  const std::uint64_t call_gen = g_dp_call.fetch_add(1) + 1;
 
   const int window =
       std::min<int>(cfg.queue_window, static_cast<int>(queue.size()));
 
   // ---- beam DP over the branching window ----
   std::vector<BeamState> beam;
-  beam.push_back(BeamState{base, 0.0, 0, 0, {}});
+  beam.push_back(BeamState{0.0, 0, 0, state.hash(), state.total_free(), {}});
 
   for (int idx = 0; idx < window; ++idx) {
     const sim::JobView& job = *queue[static_cast<std::size_t>(idx)];
@@ -69,15 +95,28 @@ DpResult dp_allocation(const std::vector<const sim::JobView*>& queue,
     // more than evaluating the handful of branches in place.
     auto eval_include = [&](std::size_t i) {
       IncludeEval e;
-      cluster::ClusterState scratch(spec);
-      scratch.restore(beam[i].usage);
-      if (scratch.is_full()) return e;
+      const BeamState& bs = beam[i];
+      if (bs.free_left == 0) return e;  // full state: include cannot fit
       e.attempted = true;
+
+      DpScratch& ds = dp_scratch();
+      if (ds.generation != call_gen) {
+        ds.state = state;                  // copy of the caller's base usage
+        ds.state->set_undo_enabled(true);  // also clears any stale log
+        ds.generation = call_gen;
+      }
+      cluster::ClusterState& scratch = *ds.state;
+      const auto m = scratch.mark();
+      // Replay this branch's decisions; they were feasible when chosen on an
+      // identical usage trajectory, so the unchecked path is safe.
+      for (const auto& [id, alloc] : bs.chosen) scratch.allocate_unchecked(alloc);
       e.cand = find_alloc(job, scratch, prices, utility, now, network, cfg.find_alloc);
       if (e.cand && e.cand->payoff > 0.0) {
-        scratch.allocate(e.cand->alloc);
-        e.usage = scratch.snapshot();
+        scratch.allocate_unchecked(e.cand->alloc);
+        e.hash = scratch.hash();
+        e.free_left = scratch.total_free();
       }
+      scratch.rollback(m);  // back to base
       return e;
     };
     std::vector<IncludeEval> evals;
@@ -97,22 +136,24 @@ DpResult dp_allocation(const std::vector<const sim::JobView*>& queue,
 
       // Exclude branch: state unchanged.
       bs.seq = next.size();
-      next.push_back(bs);
+      next.push_back(std::move(bs));
 
       // Include branch, if it survived the admission filter (line 30).
       if (!e.attempted || !e.cand || e.cand->payoff <= 0.0) continue;
       BeamState inc;
-      inc.usage = std::move(e.usage);
       inc.payoff = next.back().payoff + e.cand->payoff;
       inc.jobs = next.back().jobs + 1;
       inc.seq = next.size();
+      inc.hash = e.hash;
+      inc.free_left = e.free_left;
       inc.chosen = next.back().chosen;
       inc.chosen.emplace_back(job.id(), std::move(e.cand->alloc));
       next.push_back(std::move(inc));
     }
 
     // Deduplicate identical cluster states, keeping the better payoff
-    // (the memoization of Algorithm 2 lines 16-21).
+    // (the memoization of Algorithm 2 lines 16-21). The key is the
+    // incrementally maintained hash captured when the branch was built.
     std::sort(next.begin(), next.end(), [](const BeamState& a, const BeamState& b) {
       if (a.payoff != b.payoff) return a.payoff > b.payoff;
       if (a.jobs != b.jobs) return a.jobs > b.jobs;
@@ -121,8 +162,7 @@ DpResult dp_allocation(const std::vector<const sim::JobView*>& queue,
     std::vector<BeamState> dedup;
     std::unordered_set<std::uint64_t> seen;
     for (auto& bs : next) {
-      const auto h = cluster::ClusterState::hash(bs.usage);
-      if (seen.insert(h).second) {
+      if (seen.insert(bs.hash).second) {
         dedup.push_back(std::move(bs));
         if (static_cast<int>(dedup.size()) >= cfg.beam_width) break;
       }
@@ -134,7 +174,13 @@ DpResult dp_allocation(const std::vector<const sim::JobView*>& queue,
   BeamState best = std::move(beam.front());
 
   // ---- greedy tail beyond the window ----
-  state.restore(best.usage);
+  // The winning branch is applied through the undo log and rolled back at
+  // the end, so the caller's state (and any log it already carries) is left
+  // untouched without the two full-vector restores this used to cost.
+  const bool undo_was = state.undo_enabled();
+  if (!undo_was) state.set_undo_enabled(true);
+  const auto tail_mark = state.mark();
+  for (const auto& [id, alloc] : best.chosen) state.allocate_unchecked(alloc);
   for (std::size_t idx = static_cast<std::size_t>(window); idx < queue.size(); ++idx) {
     if (state.is_full()) break;
     const sim::JobView& job = *queue[idx];
@@ -147,8 +193,8 @@ DpResult dp_allocation(const std::vector<const sim::JobView*>& queue,
     best.jobs += 1;
     best.chosen.emplace_back(job.id(), cand->alloc);
   }
-
-  state.restore(base);  // leave caller's state untouched
+  state.rollback(tail_mark);  // leave caller's state untouched
+  if (!undo_was) state.set_undo_enabled(false);
 
   result.total_payoff = best.payoff;
   result.jobs_scheduled = best.jobs;

@@ -23,6 +23,7 @@
 // are identical at every thread count.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/find_alloc.hpp"
@@ -49,8 +50,8 @@ struct DpResult {
 
 /// Runs the allocation decision over `queue` (highest priority first).
 /// `state` carries pre-existing allocations (pinned running jobs) and is
-/// left unchanged on return.
-DpResult dp_allocation(const std::vector<const sim::JobView*>& queue,
+/// left unchanged on return (its undo log, if enabled, is preserved).
+DpResult dp_allocation(std::span<const sim::JobView* const> queue,
                        cluster::ClusterState& state, const PriceBook& prices,
                        const UtilityFunction& utility, Seconds now,
                        const sim::NetworkModel& network,

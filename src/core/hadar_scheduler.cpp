@@ -1,7 +1,9 @@
 #include "core/hadar_scheduler.hpp"
 
 #include <algorithm>
+#include <span>
 
+#include "common/arena.hpp"
 #include "common/binary.hpp"
 #include "obs/trace.hpp"
 
@@ -36,8 +38,13 @@ cluster::AllocationMap HadarScheduler::schedule(const sim::SchedulerContext& ctx
   ++round_;
   const int R = ctx.spec->num_types();
 
-  // Optionally swap in profiled throughput estimates.
-  std::vector<sim::JobView> jobs = ctx.jobs;
+  // Optionally swap in profiled throughput estimates. The common
+  // (estimator-off) configuration reads the context's jobs in place; the
+  // estimator path copies them into round-local arena storage so that the
+  // per-round JobView clone never hits the heap.
+  const common::ArenaAllocator<sim::JobView> jv_alloc(ctx.arena);
+  common::ArenaVector<sim::JobView> estimated(jv_alloc);
+  std::span<const sim::JobView> jobs(ctx.jobs);
   if (cfg_.use_estimator) {
     if (!estimator_bound_) {
       // bind() keeps any tracks restore_state() brought back.
@@ -45,18 +52,18 @@ cluster::AllocationMap HadarScheduler::schedule(const sim::SchedulerContext& ctx
       estimator_bound_ = true;
     }
     estimator_.observe(ctx);
-    for (auto& j : jobs) j.throughput = estimator_.estimate(j);
+    estimated.assign(ctx.jobs.begin(), ctx.jobs.end());
+    for (auto& j : estimated) j.throughput = estimator_.estimate(j);
+    jobs = std::span<const sim::JobView>(estimated.data(), estimated.size());
   }
 
   const UtilityFunction utility(cfg_.utility, static_cast<double>(jobs.size()));
 
   // Recompute the dual price bounds from the live queue (Eqs. 6-8).
-  sim::SchedulerContext view = ctx;
-  view.jobs = jobs;
   if (!prices_.ready()) prices_ = PriceBook(R, cfg_.pricing);
   {
     HADAR_TRACE_SCOPE("hadar", "hadar.price_bounds", 1);
-    prices_.compute_bounds(view, utility);
+    prices_.compute_bounds(*ctx.spec, jobs, ctx.now, ctx.round_length, utility);
   }
 
   cluster::ClusterState state(ctx.spec);
@@ -64,7 +71,8 @@ cluster::AllocationMap HadarScheduler::schedule(const sim::SchedulerContext& ctx
 
   // ---- incremental update: pin running jobs between full recomputes ----
   const bool full_recompute = !cfg_.sticky || (round_ % cfg_.full_recompute_period == 0);
-  std::vector<const sim::JobView*> queue;
+  const common::ArenaAllocator<const sim::JobView*> q_alloc(ctx.arena);
+  common::ArenaVector<const sim::JobView*> queue(q_alloc);
   queue.reserve(jobs.size());
   for (const auto& j : jobs) {
     if (!full_recompute && !j.current_allocation.empty() &&

@@ -1,22 +1,75 @@
 #include "core/pricing.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 
 namespace hadar::core {
+
+namespace {
+
+// Process-wide monotonic id for price-bound recomputations. Every PriceBook
+// instance draws from the same counter, so a (book address, version) pair can
+// never alias across instances even when an address is reused.
+std::atomic<std::uint64_t> g_price_version{0};
+
+std::uint64_t next_price_version() { return g_price_version.fetch_add(1) + 1; }
+
+std::uint64_t double_bits(double d) {
+  std::uint64_t u = 0;
+  static_assert(sizeof(u) == sizeof(d));
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+}  // namespace
+
+void PriceCache::sync(const PriceBook& book) {
+  if (book_ == &book && version_ == book.bounds_version() && !table_.empty()) return;
+  table_.assign(kSlots, Entry{});
+  book_ = &book;
+  version_ = book.bounds_version();
+}
+
+double PriceCache::price(const PriceBook& book, GpuTypeId r, double frac) {
+  const std::uint64_t fb = double_bits(frac);
+  // SplitMix64-ish mix of (type, fraction bits) to pick a slot; the entry
+  // stores both inputs verbatim so a hit is exact, never a hash collision.
+  std::uint64_t x = fb ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r)) *
+                          0x9E3779B97F4A7C15ULL);
+  x ^= x >> 31;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 29;
+  Entry& e = table_[static_cast<std::size_t>(x) & (kSlots - 1)];
+  if (e.type == r && e.frac_bits == fb) return e.value;
+  const double v = book.price_at_fraction(r, frac);
+  e.type = r;
+  e.frac_bits = fb;
+  e.value = v;
+  return v;
+}
 
 PriceBook::PriceBook(int num_types, PricingConfig cfg) : cfg_(cfg) {
   if (num_types <= 0) throw std::invalid_argument("PriceBook: num_types <= 0");
   if (cfg_.eta <= 0.0) throw std::invalid_argument("PriceBook: eta <= 0");
   u_max_.assign(static_cast<std::size_t>(num_types), 1.0);
   u_min_.assign(static_cast<std::size_t>(num_types), cfg_.min_price);
+  version_ = next_price_version();
 }
 
 void PriceBook::compute_bounds(const sim::SchedulerContext& ctx,
                                const UtilityFunction& utility) {
-  const int R = ctx.spec->num_types();
+  compute_bounds(*ctx.spec, std::span<const sim::JobView>(ctx.jobs), ctx.now,
+                 ctx.round_length, utility);
+}
+
+void PriceBook::compute_bounds(const cluster::ClusterSpec& spec,
+                               std::span<const sim::JobView> jobs, Seconds now,
+                               Seconds round_length, const UtilityFunction& utility) {
+  const int R = spec.num_types();
   if (static_cast<std::size_t>(R) != u_max_.size()) {
     u_max_.assign(static_cast<std::size_t>(R), 1.0);
     u_min_.assign(static_cast<std::size_t>(R), cfg_.min_price);
@@ -24,18 +77,18 @@ void PriceBook::compute_bounds(const sim::SchedulerContext& ctx,
 
   // Horizon proxy for Eq. 7's T: serial worst-case drain time of the queue.
   Seconds horizon = 0.0;
-  for (const auto& job : ctx.jobs) {
+  for (const auto& job : jobs) {
     const double x_min = job.spec->min_throughput();
     if (x_min > 0.0) {
       horizon += job.remaining_iterations() / (x_min * job.spec->num_workers);
     }
   }
-  horizon = std::max(horizon, ctx.round_length);
+  horizon = std::max(horizon, round_length);
 
   for (GpuTypeId r = 0; r < R; ++r) {
     double umax = 0.0;
     double umin = std::numeric_limits<double>::infinity();
-    for (const auto& job : ctx.jobs) {
+    for (const auto& job : jobs) {
       if (job.throughput_on(r) <= 0.0) continue;  // job cannot use type r
       const double w = job.spec->num_workers;
       // Per-unit-resource utility *on type r*: the job's value scaled by how
@@ -45,13 +98,13 @@ void PriceBook::compute_bounds(const sim::SchedulerContext& ctx,
       const double type_value = job.throughput_on(r) / job.max_throughput();
 
       // Eq. 6: max_j U_j(t_min) / W_j.
-      umax = std::max(umax, type_value * utility.best_case(job, ctx.now) / w);
+      umax = std::max(umax, type_value * utility.best_case(job, now) / w);
 
       // Eq. 7: (1/4 eta) * min_j U_j(T - a_j) / (t_max * sum_r w_j^r).
       const double x_min = job.spec->min_throughput();
       if (x_min > 0.0) {
         const Seconds t_max = job.remaining_iterations() / (x_min * w);
-        const double u_worst = type_value * utility.worst_case(job, ctx.now, horizon);
+        const double u_worst = type_value * utility.worst_case(job, now, horizon);
         umin = std::min(umin, u_worst / (4.0 * cfg_.eta * std::max<Seconds>(t_max, 1.0) * w));
       }
     }
@@ -63,6 +116,7 @@ void PriceBook::compute_bounds(const sim::SchedulerContext& ctx,
     u_max_[static_cast<std::size_t>(r)] = umax;
     u_min_[static_cast<std::size_t>(r)] = std::max(umin, cfg_.min_price);
   }
+  version_ = next_price_version();
 }
 
 double PriceBook::price_at_fraction(GpuTypeId r, double frac) const {
@@ -107,23 +161,36 @@ double blended_fraction(const cluster::ClusterState& state, NodeId h, GpuTypeId 
 }  // namespace
 
 double PriceBook::marginal_price(const cluster::ClusterState& state, NodeId h,
-                                 GpuTypeId r) const {
+                                 GpuTypeId r, PriceCache* cache) const {
   if (state.spec().node(h).capacity(r) <= 0) return std::numeric_limits<double>::infinity();
-  return price_at_fraction(r, blended_fraction(state, h, r, 0, 0));
+  const double frac = blended_fraction(state, h, r, 0, 0);
+  if (cache != nullptr) return cache->price(*this, r, frac);
+  return price_at_fraction(r, frac);
 }
 
 double PriceBook::allocation_cost(const cluster::ClusterState& state,
                                   const cluster::JobAllocation& alloc) const {
+  return allocation_cost(state, std::span<const cluster::TaskPlacement>(alloc.placements()),
+                         nullptr);
+}
+
+double PriceBook::allocation_cost(const cluster::ClusterState& state,
+                                  std::span<const cluster::TaskPlacement> placements,
+                                  PriceCache* cache) const {
   double cost = 0.0;
-  std::vector<int> extra_of_type(u_max_.size(), 0);
-  for (const auto& p : alloc.placements()) {
+  // Per-call scratch; thread-local so the hot path never heap-allocates.
+  static thread_local std::vector<int> extra_of_type;
+  extra_of_type.assign(u_max_.size(), 0);
+  for (const auto& p : placements) {
     if (state.spec().node(p.node).capacity(p.type) <= 0) {
       return std::numeric_limits<double>::infinity();
     }
     auto& extra = extra_of_type[static_cast<std::size_t>(p.type)];
     // Devices are claimed one at a time along the rising curve.
     for (int i = 0; i < p.count; ++i) {
-      cost += price_at_fraction(p.type, blended_fraction(state, p.node, p.type, i, extra));
+      const double frac = blended_fraction(state, p.node, p.type, i, extra);
+      cost += cache != nullptr ? cache->price(*this, p.type, frac)
+                               : price_at_fraction(p.type, frac);
       ++extra;
     }
   }

@@ -6,6 +6,8 @@
 // this is what yields the 2*alpha competitive ratio (Theorem 2).
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cluster/cluster_state.hpp"
@@ -13,6 +15,37 @@
 #include "sim/scheduler.hpp"
 
 namespace hadar::core {
+
+class PriceBook;
+
+/// Memo for Eq. 5 evaluations: (type, utilization-fraction bits) -> price.
+/// The exponential is by far the most expensive instruction on the
+/// FIND_ALLOC hot path, and the fractions recur heavily (ratios of small
+/// integer counts), so a small lossy direct-mapped table converts most pow
+/// calls into a load. Bit-safe by construction: a hit returns the double
+/// previously computed for the exact same (bounds version, type, fraction)
+/// inputs. Callers keep one cache per thread; sync() must be called before
+/// use so a bounds recompute invalidates stale entries.
+class PriceCache {
+ public:
+  /// Drops all entries when `book` is a different instance or its bounds
+  /// changed since the last sync.
+  void sync(const PriceBook& book);
+
+  /// Memoized PriceBook::price_at_fraction(r, frac).
+  double price(const PriceBook& book, GpuTypeId r, double frac);
+
+ private:
+  static constexpr std::size_t kSlots = 512;  // power of two
+  struct Entry {
+    std::uint64_t frac_bits = 0;
+    double value = 0.0;
+    GpuTypeId type = -1;  // -1 == empty slot
+  };
+  std::vector<Entry> table_;
+  const PriceBook* book_ = nullptr;
+  std::uint64_t version_ = 0;
+};
 
 struct PricingConfig {
   /// Eq. 7 scaling factor eta (>0). Larger eta lowers the admission floor.
@@ -31,6 +64,10 @@ class PriceBook {
   /// horizon proxy for "ends at T" is now + the queue's serial worst-case
   /// runtime (an online stand-in for the offline T).
   void compute_bounds(const sim::SchedulerContext& ctx, const UtilityFunction& utility);
+  /// Same recomputation from a job span, so callers with an unmaterialized
+  /// context (HadarScheduler's no-copy round path) avoid cloning one.
+  void compute_bounds(const cluster::ClusterSpec& spec, std::span<const sim::JobView> jobs,
+                      Seconds now, Seconds round_length, const UtilityFunction& utility);
 
   /// Eq. 5: k_h^r given the allocated count gamma and the capacity c of the
   /// (h, r) pool. For c == 0 the pool does not exist => +inf.
@@ -40,13 +77,21 @@ class PriceBook {
   double price_at_fraction(GpuTypeId r, double frac) const;
 
   /// Price of one *additional* device on (h, r) given current state: the
-  /// marginal Eq. 5 price evaluated at the pre-allocation gamma.
-  double marginal_price(const cluster::ClusterState& state, NodeId h, GpuTypeId r) const;
+  /// marginal Eq. 5 price evaluated at the pre-allocation gamma. `cache`
+  /// (optional) memoizes the exponential per thread.
+  double marginal_price(const cluster::ClusterState& state, NodeId h, GpuTypeId r,
+                        PriceCache* cache = nullptr) const;
 
   /// Total priced cost of an allocation against `state` (devices priced at
   /// the marginal rate as they are claimed one by one).
   double allocation_cost(const cluster::ClusterState& state,
                          const cluster::JobAllocation& alloc) const;
+  /// Same cost over a raw placement span. The span MUST be in normalized
+  /// order (ascending (node, type), one entry per pair) — the summation
+  /// order is part of the result's bit pattern.
+  double allocation_cost(const cluster::ClusterState& state,
+                         std::span<const cluster::TaskPlacement> placements,
+                         PriceCache* cache = nullptr) const;
 
   double u_max(GpuTypeId r) const { return u_max_.at(static_cast<std::size_t>(r)); }
   double u_min(GpuTypeId r) const { return u_min_.at(static_cast<std::size_t>(r)); }
@@ -56,10 +101,15 @@ class PriceBook {
 
   bool ready() const { return !u_max_.empty(); }
 
+  /// Monotonic id of the current bounds, unique across every PriceBook
+  /// instance in the process; PriceCache keys its validity on it.
+  std::uint64_t bounds_version() const { return version_; }
+
  private:
   PricingConfig cfg_;
   std::vector<double> u_max_;
   std::vector<double> u_min_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace hadar::core

@@ -240,7 +240,11 @@ RoundOutcome RoundEngine::step(IScheduler& scheduler) {
   // whose held allocation no longer fits the live cluster.
   apply_failures(out);
 
-  // Build (or refresh) the scheduler's view.
+  // Build (or refresh) the scheduler's view. The round-scratch arena is
+  // rewound here — everything handed out last round is dead by contract —
+  // and re-attached each step so the pointer survives engine moves.
+  arena_.reset();
+  ctx_.arena = &arena_;
   refresh_context();
   out.runnable = static_cast<int>(ctx_.jobs.size());
   if (round_span.active()) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cluster/cluster_state.hpp"
+#include "common/arena.hpp"
 #include "common/rng.hpp"
 #include "sim/event_log.hpp"
 #include "sim/failure_model.hpp"
@@ -154,6 +155,9 @@ class RoundEngine {
   // otherwise refreshed in place. view_of_[i] maps js_[i] to its slot in
   // ctx_.jobs for the current epoch (-1 when not runnable).
   SchedulerContext ctx_;
+  /// Round-local scratch backing ctx_.arena; reset at every step() so
+  /// scheduler-side per-round buffers recycle the same blocks.
+  common::Arena arena_;
   std::uint64_t epoch_ = 1;          // simulator epochs start at 1; 0 = "unknown"
   std::uint64_t cluster_epoch_ = 1;
   std::uint64_t built_epoch_ = 0;

@@ -18,6 +18,7 @@
 #include "workload/job.hpp"
 
 namespace hadar::common {
+class Arena;
 class BinaryWriter;
 class BinaryReader;
 }  // namespace hadar::common
@@ -79,6 +80,11 @@ struct SchedulerContext {
   std::uint64_t cluster_epoch = 0;
   /// Runnable jobs: arrived and not finished. Order is arrival order.
   std::vector<JobView> jobs;
+  /// Round-local scratch arena, reset by the context's owner at the start of
+  /// every round. Null for hand-built contexts (tests): arena-backed
+  /// containers then fall back to the heap. Nothing allocated from it may
+  /// outlive the round (see common/arena.hpp).
+  common::Arena* arena = nullptr;
 
   const JobView* find(JobId id) const {
     for (const auto& j : jobs) {

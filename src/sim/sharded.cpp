@@ -73,6 +73,7 @@ void ShardedScheduler::reset() {
   topo_version_ = 1;
   seen_cluster_epoch_ = 0;
   cap_signature_.clear();
+  merge_state_.clear();  // held spec pointers die with layout_
 }
 
 void ShardedScheduler::ensure_cells(const SchedulerContext& ctx) {
@@ -124,8 +125,10 @@ void ShardedScheduler::route_jobs(const SchedulerContext& ctx) {
   const int K = resolved_cells_;
   job_cell_.assign(ctx.jobs.size(), -1);
 
-  std::vector<double> load(static_cast<std::size_t>(K), 0.0);
-  std::vector<double> cap(static_cast<std::size_t>(K), 1.0);
+  auto& load = route_load_;
+  auto& cap = route_cap_;
+  load.assign(static_cast<std::size_t>(K), 0.0);
+  cap.assign(static_cast<std::size_t>(K), 1.0);
   for (int c = 0; c < K; ++c) {
     cap[static_cast<std::size_t>(c)] = std::max(1, L.cell_capacity(c));
   }
@@ -190,6 +193,11 @@ void ShardedScheduler::build_cell_contexts(const SchedulerContext& ctx) {
     cell.ctx.round_length = ctx.round_length;
     cell.ctx.network = ctx.network;
     cell.ctx.jobs.clear();
+    // Each cell solves on its own round-scratch arena (cells run on separate
+    // pool lanes; arenas are single-threaded). Re-attached every round
+    // because vector<Cell> growth moves cells.
+    cell.arena.reset();
+    cell.ctx.arena = &cell.arena;
   }
 
   for (std::size_t i = 0; i < ctx.jobs.size(); ++i) {
@@ -275,15 +283,28 @@ cluster::AllocationMap ShardedScheduler::schedule(const SchedulerContext& ctx) {
   });
 
   // Deterministic merge in ascending cell order; keep cell-local usage
-  // states around for the refinement pass.
+  // states around for the refinement pass. The states are persistent
+  // scratch: while the layout is unchanged they are clear()ed in place
+  // instead of reconstructed (K usage-vector allocations per round saved);
+  // a repartition (new spec objects) rebuilds them.
   cluster::AllocationMap out;
-  std::vector<cluster::ClusterState> state;
-  state.reserve(static_cast<std::size_t>(K));
-  std::vector<double> used(static_cast<std::size_t>(K), 0.0);
+  auto& state = merge_state_;
+  bool reuse = static_cast<int>(state.size()) == K;
+  for (int c = 0; reuse && c < K; ++c) {
+    reuse = &state[static_cast<std::size_t>(c)].spec() == &L.specs[static_cast<std::size_t>(c)];
+  }
+  if (!reuse) {
+    state.clear();
+    state.reserve(static_cast<std::size_t>(K));
+    for (int c = 0; c < K; ++c) state.emplace_back(&L.specs[static_cast<std::size_t>(c)]);
+  } else {
+    for (auto& s : state) s.clear();
+  }
+  auto& used = merge_used_;
+  used.assign(static_cast<std::size_t>(K), 0.0);
   for (int c = 0; c < K; ++c) {
-    state.emplace_back(&L.specs[static_cast<std::size_t>(c)]);
     for (const auto& [id, alloc] : locals[static_cast<std::size_t>(c)]) {
-      state.back().allocate(alloc);
+      state[static_cast<std::size_t>(c)].allocate(alloc);
       used[static_cast<std::size_t>(c)] += alloc.total_workers();
       out.emplace(id, to_global(c, alloc));
     }
@@ -312,11 +333,13 @@ cluster::AllocationMap ShardedScheduler::schedule(const SchedulerContext& ctx) {
   // them greedily wherever they fit, home cell and threshold included.
   long long moved = 0;
   if (cfg_.migration_threshold < 1.0 || cfg_.starvation_rounds > 0) {
-    std::vector<double> cap(static_cast<std::size_t>(K), 1.0);
+    auto& cap = mig_cap_;
+    cap.assign(static_cast<std::size_t>(K), 1.0);
     for (int c = 0; c < K; ++c) {
       cap[static_cast<std::size_t>(c)] = std::max(1, L.cell_capacity(c));
     }
-    std::vector<int> order(static_cast<std::size_t>(K));
+    auto& order = mig_order_;
+    order.assign(static_cast<std::size_t>(K), 0);
     for (std::size_t i = 0; i < ctx.jobs.size(); ++i) {
       const JobView& j = ctx.jobs[i];
       if (out.count(j.id()) != 0) continue;

@@ -36,6 +36,8 @@
 #include <vector>
 
 #include "cluster/cell_partition.hpp"
+#include "cluster/cluster_state.hpp"
+#include "common/arena.hpp"
 #include "sim/scheduler.hpp"
 
 namespace hadar::sim {
@@ -95,6 +97,7 @@ class ShardedScheduler final : public IScheduler {
   struct Cell {
     SchedulerPtr scheduler;
     SchedulerContext ctx;              ///< reused across rounds (no realloc)
+    common::Arena arena;               ///< round scratch for this cell's solve
     std::vector<JobId> last_ids;       ///< job set of the previous round
     std::uint64_t jobs_epoch = 1;      ///< bumped when last_ids changes
   };
@@ -127,6 +130,17 @@ class ShardedScheduler final : public IScheduler {
   std::uint64_t seen_cluster_epoch_ = 0;
   std::vector<int> cap_signature_;
   std::vector<int> cap_scratch_;
+
+  // Per-round merge/refinement scratch, persistent so the hot path stops
+  // reconstructing K ClusterStates (and assorted vectors) every round.
+  // merge_state_ is reused only while it still points at the live layout's
+  // cell specs; a repartition rebuilds it.
+  std::vector<cluster::ClusterState> merge_state_;
+  std::vector<double> merge_used_;
+  std::vector<double> route_load_;
+  std::vector<double> route_cap_;
+  std::vector<double> mig_cap_;
+  std::vector<int> mig_order_;
 };
 
 }  // namespace hadar::sim

@@ -1,0 +1,352 @@
+// PR 8 safety net for the hot-path data-layout rewrite:
+//  1. Randomized equivalence of the SoA ClusterState (O(1) aggregates,
+//     usable-slot table, incremental hash) against a scan-based reference.
+//  2. Undo-log mark/rollback restores counters, aggregates, and hash exactly,
+//     including nested marks and interleaved release().
+//  3. The incrementally maintained hash always agrees with the from-scratch
+//     hash of the same snapshot under randomized allocate/release/restore.
+//  4. Golden bit-identity: full simulation digests for all four schedulers,
+//     sharded (cells 1 and 4) at 1 and 4 threads, pinned to the values
+//     captured on the pre-SoA implementation. Any FP-order or
+//     candidate-order drift in the allocation hot paths trips these.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "cluster/cluster_state.hpp"
+#include "common/thread_pool.hpp"
+#include "runner/scenarios.hpp"
+#include "sim/simulator.hpp"
+
+using namespace hadar;
+
+namespace {
+
+// Scan-based reference: a bare usage vector over the spec; every query is
+// recomputed from first principles.
+struct RefState {
+  const cluster::ClusterSpec* spec;
+  std::vector<int> used;  // dense [node][type], same layout as Snapshot
+
+  explicit RefState(const cluster::ClusterSpec* s) : spec(s) { clear(); }
+
+  std::size_t index(NodeId h, GpuTypeId r) const {
+    return static_cast<std::size_t>(h) * static_cast<std::size_t>(spec->num_types()) +
+           static_cast<std::size_t>(r);
+  }
+  int cap(NodeId h, GpuTypeId r) const {
+    const auto& n = spec->node(h);
+    return n.available ? n.capacity(r) : 0;
+  }
+  int free_count(NodeId h, GpuTypeId r) const { return cap(h, r) - used[index(h, r)]; }
+  int total_free_of_type(GpuTypeId r) const {
+    int n = 0;
+    for (NodeId h = 0; h < spec->num_nodes(); ++h) n += free_count(h, r);
+    return n;
+  }
+  int total_free() const {
+    int n = 0;
+    for (GpuTypeId r = 0; r < spec->num_types(); ++r) n += total_free_of_type(r);
+    return n;
+  }
+  int node_free(NodeId h) const {
+    int n = 0;
+    for (GpuTypeId r = 0; r < spec->num_types(); ++r) n += free_count(h, r);
+    return n;
+  }
+  bool can_allocate(const cluster::JobAllocation& a) const {
+    std::vector<int> scratch = used;
+    for (const auto& p : a.placements()) {
+      scratch[index(p.node, p.type)] += p.count;
+      if (scratch[index(p.node, p.type)] > cap(p.node, p.type)) return false;
+    }
+    return true;
+  }
+  void allocate(const cluster::JobAllocation& a) {
+    for (const auto& p : a.placements()) used[index(p.node, p.type)] += p.count;
+  }
+  void release(const cluster::JobAllocation& a) {
+    for (const auto& p : a.placements()) used[index(p.node, p.type)] -= p.count;
+  }
+  void clear() {
+    used.assign(static_cast<std::size_t>(spec->num_nodes()) *
+                    static_cast<std::size_t>(spec->num_types()),
+                0);
+  }
+};
+
+// Draws a feasible allocation of 1..3 distinct (node, type) placements, or
+// nullopt when the cluster is too full to host one.
+std::optional<cluster::JobAllocation> random_alloc(const cluster::ClusterState& st,
+                                                   std::mt19937& rng) {
+  const auto& usable = st.usable_slots();
+  if (usable.empty()) return std::nullopt;
+  std::vector<cluster::TaskPlacement> ps;
+  std::vector<std::size_t> taken;
+  const int want = 1 + static_cast<int>(rng() % 3);
+  for (int k = 0; k < want; ++k) {
+    const auto& slot = usable[rng() % usable.size()];
+    bool dup = false;
+    for (const std::size_t c : taken) dup = dup || c == static_cast<std::size_t>(slot.cell);
+    if (dup) continue;
+    const int free = st.free_in_cell(static_cast<std::size_t>(slot.cell));
+    if (free <= 0) continue;
+    ps.push_back({slot.node, slot.type, 1 + static_cast<int>(rng() % free)});
+    taken.push_back(static_cast<std::size_t>(slot.cell));
+  }
+  if (ps.empty()) return std::nullopt;
+  return cluster::JobAllocation(ps);
+}
+
+void expect_matches_reference(const cluster::ClusterState& st, const RefState& ref) {
+  ASSERT_EQ(st.snapshot(), ref.used);
+  int total = 0;
+  for (NodeId h = 0; h < ref.spec->num_nodes(); ++h) {
+    ASSERT_EQ(st.node_free(h), ref.node_free(h)) << "node " << h;
+    for (GpuTypeId r = 0; r < ref.spec->num_types(); ++r) {
+      ASSERT_EQ(st.free_count(h, r), ref.free_count(h, r)) << h << "," << r;
+      ASSERT_EQ(st.used_count(h, r), ref.used[ref.index(h, r)]) << h << "," << r;
+    }
+  }
+  for (GpuTypeId r = 0; r < ref.spec->num_types(); ++r) {
+    ASSERT_EQ(st.total_free_of_type(r), ref.total_free_of_type(r)) << "type " << r;
+    total += ref.total_free_of_type(r);
+  }
+  ASSERT_EQ(st.total_free(), total);
+  ASSERT_EQ(st.is_full(), total == 0);
+  ASSERT_EQ(st.hash(), cluster::ClusterState::hash(st.snapshot()));
+}
+
+std::vector<cluster::ClusterSpec> test_specs() {
+  std::vector<cluster::ClusterSpec> specs;
+  specs.push_back(cluster::ClusterSpec::simulation_default());
+  specs.push_back(cluster::ClusterSpec::aws_prototype());
+  specs.push_back(cluster::ClusterSpec::scaled(3, 2));
+  // A masked view exercises unavailable nodes and degraded cells in the
+  // usable-slot table.
+  {
+    auto big = cluster::ClusterSpec::scaled(4, 3);
+    cluster::AvailabilityMask mask(big);
+    mask.set_node_up(1, false);
+    mask.set_node_up(7, false);
+    mask.degrade(2, 0, 2);
+    specs.push_back(big.masked(mask));
+  }
+  return specs;
+}
+
+TEST(ClusterStateSoa, RandomizedEquivalenceVsReference) {
+  for (const auto& spec : test_specs()) {
+    cluster::ClusterState st(&spec);
+    RefState ref(&spec);
+    std::mt19937 rng(1234);
+    std::vector<cluster::JobAllocation> live;
+    expect_matches_reference(st, ref);
+    for (int step = 0; step < 400; ++step) {
+      const int op = static_cast<int>(rng() % 10);
+      if (op < 5) {
+        if (auto a = random_alloc(st, rng)) {
+          ASSERT_TRUE(st.can_allocate(*a));
+          ASSERT_TRUE(ref.can_allocate(*a));
+          st.allocate(*a);
+          ref.allocate(*a);
+          live.push_back(*a);
+        }
+      } else if (op < 8 && !live.empty()) {
+        const std::size_t i = rng() % live.size();
+        st.release(live[i]);
+        ref.release(live[i]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      } else if (op == 8) {
+        st.clear();
+        ref.clear();
+        live.clear();
+      }
+      // can_allocate must agree on arbitrary (often infeasible) requests too.
+      if (auto probe = random_alloc(st, rng)) {
+        ASSERT_EQ(st.can_allocate(*probe), ref.can_allocate(*probe));
+      }
+      ASSERT_NO_FATAL_FAILURE(expect_matches_reference(st, ref));
+    }
+  }
+}
+
+TEST(ClusterStateSoa, RestoreRewindsToSnapshotExactly) {
+  const auto spec = cluster::ClusterSpec::simulation_default();
+  cluster::ClusterState st(&spec);
+  std::mt19937 rng(77);
+  for (int i = 0; i < 5; ++i) {
+    if (auto a = random_alloc(st, rng)) st.allocate(*a);
+  }
+  const auto snap = st.snapshot();
+  const auto hash_at_snap = st.hash();
+  const int free_at_snap = st.total_free();
+  for (int i = 0; i < 5; ++i) {
+    if (auto a = random_alloc(st, rng)) st.allocate(*a);
+  }
+  st.restore(snap);
+  ASSERT_EQ(st.snapshot(), snap);
+  ASSERT_EQ(st.hash(), hash_at_snap);
+  ASSERT_EQ(st.total_free(), free_at_snap);
+  ASSERT_EQ(st.hash(), cluster::ClusterState::hash(snap));
+}
+
+TEST(ClusterStateSoa, UndoRollbackRestoresCountersAggregatesAndHash) {
+  const auto spec = cluster::ClusterSpec::simulation_default();
+  cluster::ClusterState st(&spec);
+  std::mt19937 rng(4242);
+  if (auto a = random_alloc(st, rng)) st.allocate(*a);  // non-trivial base
+
+  st.set_undo_enabled(true);
+  ASSERT_TRUE(st.undo_enabled());
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto base_snap = st.snapshot();
+    const auto base_hash = st.hash();
+    const auto outer = st.mark();
+    std::vector<cluster::JobAllocation> applied;
+    for (int i = 0; i < 4; ++i) {
+      if (auto a = random_alloc(st, rng)) {
+        st.allocate_unchecked(*a);
+        applied.push_back(*a);
+      }
+    }
+    // Nested mark: roll back an inner probe first, then the outer branch.
+    const auto inner = st.mark();
+    if (auto a = random_alloc(st, rng)) st.allocate_unchecked(*a);
+    st.rollback(inner);
+    if (!applied.empty()) {
+      st.release(applied.back());  // release() is undo-recorded too
+      applied.pop_back();
+    }
+    st.rollback(outer);
+    ASSERT_EQ(st.snapshot(), base_snap);
+    ASSERT_EQ(st.hash(), base_hash);
+    ASSERT_EQ(st.hash(), cluster::ClusterState::hash(st.snapshot()));
+    ASSERT_EQ(st.mark(), outer);  // log fully popped
+  }
+  // Disabling clears the log; the state itself is untouched.
+  const auto snap = st.snapshot();
+  st.set_undo_enabled(false);
+  ASSERT_EQ(st.mark(), 0u);
+  ASSERT_EQ(st.snapshot(), snap);
+}
+
+TEST(ClusterStateSoa, IncrementalHashMatchesFromScratch) {
+  for (const auto& spec : test_specs()) {
+    cluster::ClusterState st(&spec);
+    std::mt19937 rng(99);
+    std::vector<cluster::JobAllocation> live;
+    std::vector<cluster::ClusterState::Snapshot> snaps;
+    for (int step = 0; step < 300; ++step) {
+      const int op = static_cast<int>(rng() % 10);
+      if (op < 5) {
+        if (auto a = random_alloc(st, rng)) {
+          st.allocate(*a);
+          live.push_back(*a);
+        }
+      } else if (op < 7 && !live.empty()) {
+        const std::size_t i = rng() % live.size();
+        st.release(live[i]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      } else if (op == 7 && !snaps.empty()) {
+        st.restore(snaps[rng() % snaps.size()]);
+        live.clear();  // releases below the snapshot could underflow
+      } else if (op == 8) {
+        snaps.push_back(st.snapshot());
+      }
+      ASSERT_EQ(st.hash(), cluster::ClusterState::hash(st.snapshot()))
+          << "divergence at step " << step;
+    }
+  }
+}
+
+// ---- golden bit-identity of full runs --------------------------------------
+
+void fold(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ULL;
+}
+
+std::uint64_t bits(double d) {
+  std::uint64_t u;
+  static_assert(sizeof(u) == sizeof(d));
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+std::uint64_t digest(const sim::SimResult& r) {
+  std::uint64_t h = 1469598103934665603ULL;
+  fold(h, static_cast<std::uint64_t>(r.rounds));
+  fold(h, static_cast<std::uint64_t>(r.total_reallocations));
+  fold(h, static_cast<std::uint64_t>(r.total_preemptions));
+  fold(h, bits(r.makespan));
+  fold(h, bits(r.avg_jct));
+  fold(h, bits(r.avg_ftf));
+  for (const auto& j : r.jobs) {
+    fold(h, static_cast<std::uint64_t>(j.id));
+    fold(h, bits(j.first_start));
+    fold(h, bits(j.finish));
+    fold(h, bits(j.gpu_seconds));
+    fold(h, static_cast<std::uint64_t>(j.preemptions));
+    fold(h, static_cast<std::uint64_t>(j.reallocations));
+  }
+  return h;
+}
+
+struct GoldenCase {
+  int cells;
+  int threads;
+  std::uint64_t want;
+};
+
+// Digests captured on the pre-PR8 (vector-of-vectors state, snapshot-copy DP)
+// implementation over runner::paper_static(48, 42). The refactor must keep
+// every one of these bit-identical: same digest across cells=1/4 configs at
+// both thread counts, and the same values as before the rewrite.
+void run_golden(const char* scheduler, const std::vector<GoldenCase>& cases) {
+  const auto cfg = runner::paper_static(48, 42);
+  for (const auto& c : cases) {
+    common::ScopedThreadCount tc(c.threads);
+    sim::ShardConfig sc;
+    sc.cells = c.cells;
+    auto sched = runner::make_sharded_scheduler(scheduler, sc);
+    sim::Simulator simulator(cfg.sim);
+    const auto res = simulator.run(cfg.spec, cfg.trace, *sched);
+    EXPECT_EQ(digest(res), c.want)
+        << scheduler << " cells=" << c.cells << " threads=" << c.threads;
+  }
+}
+
+TEST(GoldenSchedules, Hadar) {
+  run_golden("hadar", {{1, 1, 0xeb450380668af1ebULL},
+                       {1, 4, 0xeb450380668af1ebULL},
+                       {4, 1, 0x7904d60fbee5d204ULL},
+                       {4, 4, 0x7904d60fbee5d204ULL}});
+}
+
+TEST(GoldenSchedules, Gavel) {
+  run_golden("gavel", {{1, 1, 0x1794860897048e93ULL},
+                       {1, 4, 0x1794860897048e93ULL},
+                       {4, 1, 0x40851bc4e0c3d36bULL},
+                       {4, 4, 0x40851bc4e0c3d36bULL}});
+}
+
+TEST(GoldenSchedules, Tiresias) {
+  run_golden("tiresias", {{1, 1, 0x72841aae2da1cdedULL},
+                          {1, 4, 0x72841aae2da1cdedULL},
+                          {4, 1, 0xc00b5cea6a37e9f4ULL},
+                          {4, 4, 0xc00b5cea6a37e9f4ULL}});
+}
+
+TEST(GoldenSchedules, Yarn) {
+  run_golden("yarn", {{1, 1, 0x5a80765775e201edULL},
+                      {1, 4, 0x5a80765775e201edULL},
+                      {4, 1, 0x0a680be5a30a58b8ULL},
+                      {4, 4, 0x0a680be5a30a58b8ULL}});
+}
+
+}  // namespace
