@@ -1,12 +1,16 @@
 // Perf-regression harness: times the hot paths this repo's evaluation is
 // wall-clock-bound by — FIND_ALLOC, DP_allocation, and the Gavel LP
 // re-solve — plus an end-to-end fig07-style four-way comparison sweep, at
-// HADAR_THREADS=1 and at the configured thread count. Emits BENCH_PR8.json
+// HADAR_THREADS=1 and at the configured thread count. Emits BENCH_PR9.json
 // (wall-clock, rounds/sec, speedup vs serial, LP engine comparison,
 // determinism checks) keeping the earlier micro/end_to_end keys so the perf
-// trajectory stays comparable across PRs. PR 8 adds the hot-path rows the
+// trajectory stays comparable across PRs. PR 8 added the hot-path rows the
 // SoA/undo-log/arena pass targets: thread-pool dispatch overhead and the
-// per-branch DP bookkeeping cost (mark/apply/hash/rollback).
+// per-branch DP bookkeeping cost (mark/apply/hash/rollback). PR 9 adds the
+// staged-pipeline rows: the per-round scaffolding cost of the StagedScheduler
+// driver (gated as staged_round_overhead, and required to stay under 2% of
+// the real Hadar staged round) plus the per-stage
+// admission/priority/allocation/placement/preemption split of that round.
 //
 // The run doubles as the perf-regression *gate*: the stable micro timings
 // are calibration-normalized (see perf_gate.hpp) and compared against the
@@ -20,8 +24,10 @@
 // HADAR_PERF_BASELINE / HADAR_PERF_GATE / HADAR_PERF_INJECT_SLOWDOWN /
 // HADAR_PERF_WRITE_BASELINE (see perf_gate.hpp).
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,8 +36,10 @@
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "core/dp_allocation.hpp"
+#include "core/hadar_scheduler.hpp"
 #include "obs/trace.hpp"
 #include "perf_gate.hpp"
+#include "pipeline/staged_scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "solver/maxmin.hpp"
 #include "workload/model_zoo.hpp"
@@ -117,6 +125,44 @@ std::vector<runner::SweepCase> four_way_cases(int jobs) {
     }
   }
   return cases;
+}
+
+// ---- staged-pipeline scaffolding microbench --------------------------------
+
+// Five empty stages: a round through them is 100% pipeline scaffolding —
+// the ClusterState clear, the RoundState reset, per-stage span + virtual
+// dispatch, and the result move — with zero policy work. Its per-round cost
+// is an upper bound on what the StagedScheduler driver adds to any of the
+// former monolithic rounds.
+struct NullAdmission final : pipeline::IAdmissionStage {
+  std::string name() const override { return "bench.null"; }
+  void admit(pipeline::RoundState&) override {}
+};
+struct NullPriority final : pipeline::IPriorityStage {
+  std::string name() const override { return "bench.null"; }
+  void prioritize(pipeline::RoundState&) override {}
+};
+struct NullAllocation final : pipeline::IAllocationStage {
+  std::string name() const override { return "bench.null"; }
+  void allocate(pipeline::RoundState&) override {}
+};
+struct NullPlacement final : pipeline::IPlacementStage {
+  std::string name() const override { return "bench.null"; }
+  void place(pipeline::RoundState&) override {}
+};
+struct NullPreemption final : pipeline::IPreemptionStage {
+  std::string name() const override { return "bench.null"; }
+  void preempt(pipeline::RoundState&) override {}
+};
+
+pipeline::StageSet null_stages() {
+  pipeline::StageSet s;
+  s.admission = std::make_shared<NullAdmission>();
+  s.priority = std::make_shared<NullPriority>();
+  s.allocation = std::make_shared<NullAllocation>();
+  s.placement = std::make_shared<NullPlacement>();
+  s.preemption = std::make_shared<NullPreemption>();
+  return s;
 }
 
 // ---- Gavel LP event-resolve microbench -------------------------------------
@@ -328,6 +374,43 @@ int main() {
                         1e6;
   }
 
+  // ---- micro: staged-pipeline scaffolding + per-stage round split ----
+  // PR 9 re-expressed every scheduler as a StagedScheduler assembly; the 16
+  // golden digests pin bit-identity, this pins the wall-clock side. The
+  // empty-stage round is pure driver scaffolding, gated absolutely below as
+  // staged_round_overhead and required to stay under 2% of the real Hadar
+  // staged round on the same 96-job context. Stage timing on the Hadar round
+  // yields the per-stage split.
+  double staged_overhead_us = 0.0;
+  double hadar_round_ms = 0.0;
+  std::array<double, pipeline::kNumStages> hadar_stage_us{};
+  {
+    common::ScopedThreadCount one(1);
+    pipeline::StagedScheduler nul("bench-null", null_stages());
+    nul.reset();
+    (void)nul.schedule(lp_scn.ctx);
+    staged_overhead_us = bench::median_timing([&] {
+                           return time_per_call([&] { (void)nul.schedule(lp_scn.ctx); });
+                         }) *
+                         1e6;
+
+    core::HadarScheduler hadar;
+    hadar.reset();
+    (void)hadar.schedule(lp_scn.ctx);  // warm: price bounds + estimator state
+    hadar.enable_stage_timing(true);
+    hadar_round_ms = time_per_call([&] { (void)hadar.schedule(lp_scn.ctx); }) * 1e3;
+    const double rounds = static_cast<double>(hadar.timed_rounds());
+    for (int i = 0; i < pipeline::kNumStages; ++i) {
+      hadar_stage_us[static_cast<std::size_t>(i)] =
+          rounds > 0.0
+              ? hadar.stage_seconds()[static_cast<std::size_t>(i)] / rounds * 1e6
+              : 0.0;
+    }
+  }
+  const double staged_overhead_frac =
+      hadar_round_ms > 0.0 ? staged_overhead_us / (hadar_round_ms * 1e3) : 0.0;
+  const bool staged_overhead_ok = staged_overhead_frac < 0.02;
+
   // ---- end-to-end: fig04-style Gavel max-sum, warm vs cold LP context ----
   double gavel_e2e_cold_s = 0.0, gavel_e2e_warm_s = 0.0;
   bool gavel_e2e_identical = false;
@@ -430,7 +513,7 @@ int main() {
   const double rounds_per_s =
       e2e_parallel_s > 0.0 ? static_cast<double>(total_rounds) / e2e_parallel_s : 0.0;
 
-  common::AsciiTable t("perf regression (PR 8)", {"metric", "value"});
+  common::AsciiTable t("perf regression (PR 9)", {"metric", "value"});
   t.add_row({"find_alloc / call", common::AsciiTable::num(find_alloc_us, 2) + " us"});
   t.add_row({"dp_allocation (1 thread)", common::AsciiTable::num(dp_serial_ms, 2) + " ms"});
   t.add_row({"dp_allocation (" + std::to_string(threads) + " threads)",
@@ -453,6 +536,19 @@ int main() {
              common::AsciiTable::num(gavel_round_us, 1) + " us"});
   t.add_row({"masked_into refresh, ~1k nodes",
              common::AsciiTable::num(masked_refresh_us, 1) + " us"});
+  t.add_row({"staged pipeline scaffolding / round",
+             common::AsciiTable::num(staged_overhead_us, 2) + " us"});
+  t.add_row({"hadar staged round (96 jobs)",
+             common::AsciiTable::num(hadar_round_ms, 2) + " ms"});
+  for (int i = 0; i < pipeline::kNumStages; ++i) {
+    t.add_row({std::string("  stage ") +
+                   pipeline::to_string(static_cast<pipeline::StageKind>(i)),
+               common::AsciiTable::num(hadar_stage_us[static_cast<std::size_t>(i)], 1) +
+                   " us"});
+  }
+  t.add_row({"pipeline overhead vs hadar round",
+             common::AsciiTable::percent(staged_overhead_frac)});
+  t.add_row({"pipeline overhead < 2%", staged_overhead_ok ? "yes" : "NO"});
   t.add_row({"gavel max-sum e2e, cold ctx",
              common::AsciiTable::num(gavel_e2e_cold_s, 2) + " s"});
   t.add_row({"gavel max-sum e2e, warm ctx",
@@ -485,6 +581,7 @@ int main() {
       {"lp_event_revised_warm", lp_warm.ms_per_event * 1e-3, 0.0},
       {"gavel_round_loop", gavel_round_us * 1e-6, 0.0},
       {"masked_refresh", masked_refresh_us * 1e-6, 0.0},
+      {"staged_round_overhead", staged_overhead_us * 1e-6, 0.0},
       {"hadar_e2e_untraced", sim_plain_s, 0.0},
   };
   const bench::GateResult gate = bench::run_perf_gate(gate_metrics, calib_s);
@@ -496,11 +593,11 @@ int main() {
     std::printf("wrote perf_gate_current.json\n");
   }
 
-  const char* out_path = "BENCH_PR8.json";
+  const char* out_path = "BENCH_PR9.json";
   if (std::FILE* f = std::fopen(out_path, "w")) {
     std::fprintf(f,
                  "{\n"
-                 "  \"pr\": 8,\n"
+                 "  \"pr\": 9,\n"
                  "  \"threads\": %d,\n"
                  "  \"hardware_concurrency\": %d,\n"
                  "  \"micro\": {\n"
@@ -539,6 +636,19 @@ int main() {
                  "    \"rounds_per_second\": %.1f,\n"
                  "    \"deterministic_across_threads\": %s\n"
                  "  },\n"
+                 "  \"pipeline\": {\n"
+                 "    \"staged_round_overhead_us\": %.3f,\n"
+                 "    \"hadar_staged_round_ms\": %.3f,\n"
+                 "    \"stage_us\": {\n"
+                 "      \"admission\": %.2f,\n"
+                 "      \"priority\": %.2f,\n"
+                 "      \"allocation\": %.2f,\n"
+                 "      \"placement\": %.2f,\n"
+                 "      \"preemption\": %.2f\n"
+                 "    },\n"
+                 "    \"overhead_vs_hadar_round\": %.5f,\n"
+                 "    \"overhead_under_2pct\": %s\n"
+                 "  },\n"
                  "  \"obs\": {\n"
                  "    \"disabled_scope_ns\": %.3f,\n"
                  "    \"hadar_e2e_untraced_seconds\": %.3f,\n"
@@ -564,7 +674,11 @@ int main() {
                  gavel_e2e_warm_s, gavel_e2e_speedup,
                  gavel_e2e_identical ? "true" : "false", e2e_jobs, cases.size(),
                  e2e_serial_s, e2e_parallel_s, speedup, rounds_per_s,
-                 deterministic ? "true" : "false", ns_per_disabled_scope, sim_plain_s,
+                 deterministic ? "true" : "false", staged_overhead_us,
+                 hadar_round_ms, hadar_stage_us[0], hadar_stage_us[1],
+                 hadar_stage_us[2], hadar_stage_us[3], hadar_stage_us[4],
+                 staged_overhead_frac, staged_overhead_ok ? "true" : "false",
+                 ns_per_disabled_scope, sim_plain_s,
                  sim_traced_s, tracing_overhead, traced_events,
                  traced_identical ? "true" : "false", calib_s,
                  gate.baseline_found ? "true" : "false", gate.failed ? "true" : "false");
@@ -578,5 +692,7 @@ int main() {
     std::fprintf(stderr, "perf gate: FAILED (>25%% slowdown vs baseline)\n");
     return 3;
   }
-  return deterministic && gavel_e2e_identical && traced_identical ? 0 : 2;
+  return deterministic && gavel_e2e_identical && traced_identical && staged_overhead_ok
+             ? 0
+             : 2;
 }

@@ -54,6 +54,17 @@ std::string fmt_share(double part_us, double total_us) {
 TimeBucket bucket_of(const obs::TraceEvent& e) {
   const std::string cat = e.cat;
   const std::string name = e.name;
+  // Pipeline stage spans wrap the per-policy spans, so only their *self*
+  // time lands here: priority (model refresh) and the allocation solve are
+  // solve work, placement/preemption are placement work, admission is
+  // bookkeeping.
+  if (cat == "pipeline") {
+    if (name == "stage.priority" || name == "stage.allocation") return TimeBucket::kSolve;
+    if (name == "stage.placement" || name == "stage.preemption") {
+      return TimeBucket::kPlacement;
+    }
+    return TimeBucket::kBookkeeping;
+  }
   if (cat == "lp" || name == "gavel.recompute") return TimeBucket::kSolve;
   if (cat == "hadar" || cat == "tiresias" || cat == "yarn" || name == "gavel.pack") {
     return TimeBucket::kPlacement;

@@ -38,9 +38,11 @@ struct TraceReport {
 };
 
 /// Buckets a span's *self* time (duration minus same-thread children) by its
-/// category: "lp" and gavel.recompute count as solve; hadar.* search spans,
-/// tiresias queue maintenance, and the packing loops count as placement;
-/// everything else inside a round is bookkeeping. Exposed for tests.
+/// category: "lp", gavel.recompute, and the pipeline priority/allocation
+/// stages count as solve; hadar.* search spans, tiresias queue maintenance,
+/// the packing loops, and the pipeline placement/preemption stages count as
+/// placement; everything else inside a round (admission included) is
+/// bookkeeping. Exposed for tests.
 enum class TimeBucket { kSolve, kPlacement, kBookkeeping };
 TimeBucket bucket_of(const obs::TraceEvent& e);
 

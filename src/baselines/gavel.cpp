@@ -2,9 +2,9 @@
 
 #include <algorithm>
 
-#include "baselines/alloc_util.hpp"
 #include "common/binary.hpp"
 #include "obs/trace.hpp"
+#include "pipeline/stages.hpp"
 
 namespace hadar::baselines {
 
@@ -17,54 +17,87 @@ const char* to_string(GavelPolicy p) {
   return "?";
 }
 
-GavelScheduler::GavelScheduler(GavelConfig cfg) : cfg_(cfg) {}
+// ------------------------------------------------------------- priority ---
 
-std::string GavelScheduler::name() const { return "Gavel"; }
-
-void GavelScheduler::reset() {
-  last_epoch_ = 0;
-  last_cluster_epoch_ = 0;
-  active_ids_.clear();
-  last_caps_.clear();
-  y_.clear();
-  lp_ctx_.clear();
-}
-
-void GavelScheduler::save_state(common::BinaryWriter& w) const {
-  w.u64(last_epoch_);
-  w.u64(last_cluster_epoch_);
-  common::write_i32_vector(w, active_ids_);
-  common::write_i32_vector(w, last_caps_);
-  w.u32(static_cast<std::uint32_t>(y_.size()));
-  for (const auto& [id, row] : y_) {
-    w.i32(id);
-    common::write_f64_vector(w, row);
+bool GavelChangeStage::job_set_changed(const sim::SchedulerContext& ctx) {
+  GavelPipelineState& s = *st_;
+  if (ctx.jobs_epoch != 0) {
+    // The simulator bumps the epoch exactly when the runnable set changes,
+    // so one integer compare replaces the per-round id-set rebuild.
+    const bool changed = ctx.jobs_epoch != s.last_epoch;
+    s.last_epoch = ctx.jobs_epoch;
+    return changed;
   }
+  // Epoch-less context (hand-built in tests/tools): id-signature fallback.
+  s.ids_scratch.clear();
+  for (const auto& j : ctx.jobs) s.ids_scratch.push_back(j.id());
+  if (s.ids_scratch == s.active_ids) return false;
+  s.active_ids.swap(s.ids_scratch);
+  return true;
 }
 
-void GavelScheduler::restore_state(common::BinaryReader& r) {
-  reset();
-  last_epoch_ = r.u64();
-  last_cluster_epoch_ = r.u64();
-  active_ids_ = common::read_i32_vector(r);
-  last_caps_ = common::read_i32_vector(r);
-  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) {
-    const JobId id = r.i32();
-    y_[id] = common::read_f64_vector(r);
+bool GavelChangeStage::cluster_changed(const sim::SchedulerContext& ctx) {
+  GavelPipelineState& s = *st_;
+  if (ctx.cluster_epoch != 0) {
+    const bool changed = ctx.cluster_epoch != s.last_cluster_epoch;
+    s.last_cluster_epoch = ctx.cluster_epoch;
+    return changed;
   }
+  // Epoch-less context: per-type capacity signature fallback.
+  s.caps_scratch.clear();
+  for (GpuTypeId r = 0; r < ctx.spec->num_types(); ++r) {
+    s.caps_scratch.push_back(ctx.spec->total_of_type(r));
+  }
+  if (s.caps_scratch == s.last_caps) return false;
+  s.last_caps.swap(s.caps_scratch);
+  return true;
 }
 
-std::vector<double> GavelScheduler::allocation_row(JobId id) const {
-  const auto it = y_.find(id);
-  return it != y_.end() ? it->second : std::vector<double>{};
+void GavelChangeStage::prioritize(pipeline::RoundState& rs) {
+  GavelPipelineState& s = *st_;
+  // Refresh Y on job arrival/completion events and topology changes. A
+  // topology change also drops the warm-start basis: the cached LP operated
+  // on different capacities, so its basis may be infeasible for the new one.
+  const bool jobs_changed = job_set_changed(*rs.ctx);
+  const bool topo_changed = cluster_changed(*rs.ctx);
+  if (topo_changed) s.lp_ctx.clear();
+  s.needs_solve = jobs_changed || topo_changed;
 }
 
-void GavelScheduler::recompute_allocation(const sim::SchedulerContext& ctx) {
+void GavelChangeStage::reset() {
+  GavelPipelineState& s = *st_;
+  s.last_epoch = 0;
+  s.last_cluster_epoch = 0;
+  s.active_ids.clear();
+  s.last_caps.clear();
+  s.needs_solve = false;
+}
+
+void GavelChangeStage::save_state(common::BinaryWriter& w) const {
+  const GavelPipelineState& s = *st_;
+  w.u64(s.last_epoch);
+  w.u64(s.last_cluster_epoch);
+  common::write_i32_vector(w, s.active_ids);
+  common::write_i32_vector(w, s.last_caps);
+}
+
+void GavelChangeStage::restore_state(common::BinaryReader& r) {
+  GavelPipelineState& s = *st_;
+  s.last_epoch = r.u64();
+  s.last_cluster_epoch = r.u64();
+  s.active_ids = common::read_i32_vector(r);
+  s.last_caps = common::read_i32_vector(r);
+}
+
+// ----------------------------------------------------------- allocation ---
+
+void GavelLpStage::recompute_allocation(const sim::SchedulerContext& ctx) {
+  GavelPipelineState& s = *st_;
   obs::ScopedSpan span("gavel", "gavel.recompute", 1);
   if (span.active()) span.arg("jobs", static_cast<double>(ctx.jobs.size()));
   obs::count("gavel.recomputes");
   const int R = ctx.spec->num_types();
-  solver::MaxMinProblem& p = problem_;  // reused across events
+  solver::MaxMinProblem& p = s.problem;  // reused across events
   p.cap.assign(static_cast<std::size_t>(R), 0.0);
   for (GpuTypeId r = 0; r < R; ++r) {
     p.cap[static_cast<std::size_t>(r)] = ctx.spec->total_of_type(r);
@@ -81,7 +114,7 @@ void GavelScheduler::recompute_allocation(const sim::SchedulerContext& ctx) {
       row[static_cast<std::size_t>(r)] = job.throughput_on(r) * job.spec->num_workers;
     }
     p.demand.push_back(job.spec->num_workers);
-    if (cfg_.policy == GavelPolicy::kMinMakespan) {
+    if (s.cfg.policy == GavelPolicy::kMinMakespan) {
       // Normalize by remaining work: equalizing work-normalized throughput
       // aligns completion times, which is what minimizes the makespan.
       p.scale.push_back(std::max(1.0, job.remaining_iterations()));
@@ -94,66 +127,30 @@ void GavelScheduler::recompute_allocation(const sim::SchedulerContext& ctx) {
     p.key.push_back(job.id());
   }
 
-  solver::MaxMinContext* lp_ctx = cfg_.warm_start ? &lp_ctx_ : nullptr;
-  const solver::MaxMinSolution sol = cfg_.policy == GavelPolicy::kMaxSumThroughput
-                                         ? solver::solve_max_sum(p, cfg_.solver, lp_ctx)
-                                         : solver::solve_max_min(p, cfg_.solver, lp_ctx);
-  y_.clear();
+  solver::MaxMinContext* lp_ctx = s.cfg.warm_start ? &s.lp_ctx : nullptr;
+  const solver::MaxMinSolution sol = s.cfg.policy == GavelPolicy::kMaxSumThroughput
+                                         ? solver::solve_max_sum(p, s.cfg.solver, lp_ctx)
+                                         : solver::solve_max_min(p, s.cfg.solver, lp_ctx);
+  s.y.clear();
   for (std::size_t i = 0; i < ctx.jobs.size(); ++i) {
-    y_[ctx.jobs[i].id()] =
+    s.y[ctx.jobs[i].id()] =
         sol.feasible ? sol.y[i] : std::vector<double>(static_cast<std::size_t>(R), 0.0);
   }
 }
 
-bool GavelScheduler::job_set_changed(const sim::SchedulerContext& ctx) {
-  if (ctx.jobs_epoch != 0) {
-    // The simulator bumps the epoch exactly when the runnable set changes,
-    // so one integer compare replaces the per-round id-set rebuild.
-    const bool changed = ctx.jobs_epoch != last_epoch_;
-    last_epoch_ = ctx.jobs_epoch;
-    return changed;
-  }
-  // Epoch-less context (hand-built in tests/tools): id-signature fallback.
-  ids_scratch_.clear();
-  for (const auto& j : ctx.jobs) ids_scratch_.push_back(j.id());
-  if (ids_scratch_ == active_ids_) return false;
-  active_ids_.swap(ids_scratch_);
-  return true;
-}
-
-bool GavelScheduler::cluster_changed(const sim::SchedulerContext& ctx) {
-  if (ctx.cluster_epoch != 0) {
-    const bool changed = ctx.cluster_epoch != last_cluster_epoch_;
-    last_cluster_epoch_ = ctx.cluster_epoch;
-    return changed;
-  }
-  // Epoch-less context: per-type capacity signature fallback.
-  caps_scratch_.clear();
-  for (GpuTypeId r = 0; r < ctx.spec->num_types(); ++r) {
-    caps_scratch_.push_back(ctx.spec->total_of_type(r));
-  }
-  if (caps_scratch_ == last_caps_) return false;
-  last_caps_.swap(caps_scratch_);
-  return true;
-}
-
-cluster::AllocationMap GavelScheduler::schedule(const sim::SchedulerContext& ctx) {
+void GavelLpStage::allocate(pipeline::RoundState& rs) {
+  GavelPipelineState& s = *st_;
+  const sim::SchedulerContext& ctx = *rs.ctx;
   const int R = ctx.spec->num_types();
 
-  // Refresh Y on job arrival/completion events and topology changes. A
-  // topology change also drops the warm-start basis: the cached LP operated
-  // on different capacities, so its basis may be infeasible for the new one.
-  const bool jobs_changed = job_set_changed(ctx);
-  const bool topo_changed = cluster_changed(ctx);
-  if (topo_changed) lp_ctx_.clear();
-  if (jobs_changed || topo_changed) recompute_allocation(ctx);
+  if (s.needs_solve) recompute_allocation(ctx);
+  s.needs_solve = false;
 
   // Priority list over (job, type): Y / (rounds received on that type).
-  entries_.clear();
-  entries_.reserve(ctx.jobs.size() * static_cast<std::size_t>(R));
+  rs.ranked.reserve(ctx.jobs.size() * static_cast<std::size_t>(R));
   for (const auto& job : ctx.jobs) {
-    const auto it = y_.find(job.id());
-    if (it == y_.end()) continue;
+    const auto it = s.y.find(job.id());
+    if (it == s.y.end()) continue;
     for (GpuTypeId r = 0; r < R; ++r) {
       if (job.throughput_on(r) <= 0.0) continue;
       const double y = it->second[static_cast<std::size_t>(r)];
@@ -162,32 +159,79 @@ cluster::AllocationMap GavelScheduler::schedule(const sim::SchedulerContext& ctx
                                 : job.rounds_on_type[static_cast<std::size_t>(r)];
       // Tiny floor keeps zero-Y rows schedulable when capacity would
       // otherwise idle (Gavel breaks ties the same way via water-filling).
-      const double pr = std::max(y, 1e-6) / (rounds + cfg_.rounds_epsilon);
-      entries_.push_back({&job, r, pr});
+      const double pr = std::max(y, 1e-6) / (rounds + s.cfg.rounds_epsilon);
+      rs.ranked.push_back(pipeline::RoundState::Candidate{&job, r, pr});
     }
   }
-  std::sort(entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
+  using Candidate = pipeline::RoundState::Candidate;
+  std::sort(rs.ranked.begin(), rs.ranked.end(), [](const Candidate& a, const Candidate& b) {
     if (a.priority != b.priority) return a.priority > b.priority;
     if (a.job->id() != b.job->id()) return a.job->id() < b.job->id();
     return a.type < b.type;
   });
+}
 
-  HADAR_TRACE_SCOPE("gavel", "gavel.pack", 1);
-  if (!state_ || &state_->spec() != ctx.spec) {
-    state_.emplace(ctx.spec);
-  } else {
-    state_->clear();
+void GavelLpStage::reset() {
+  st_->y.clear();
+  st_->lp_ctx.clear();
+}
+
+void GavelLpStage::save_state(common::BinaryWriter& w) const {
+  const GavelPipelineState& s = *st_;
+  w.u32(static_cast<std::uint32_t>(s.y.size()));
+  for (const auto& [id, row] : s.y) {
+    w.i32(id);
+    common::write_f64_vector(w, row);
   }
-  cluster::ClusterState& state = *state_;
-  cluster::AllocationMap result;
-  for (const Entry& e : entries_) {
-    if (result.count(e.job->id())) continue;  // one type per job per round
-    auto alloc = take_homogeneous(state, e.type, e.job->spec->num_workers);
-    if (!alloc) continue;  // job-level all-or-nothing on this type
-    state.allocate(*alloc);
-    result.emplace(e.job->id(), std::move(*alloc));
+}
+
+void GavelLpStage::restore_state(common::BinaryReader& r) {
+  GavelPipelineState& s = *st_;
+  s.y.clear();
+  s.lp_ctx.clear();
+  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) {
+    const JobId id = r.i32();
+    s.y[id] = common::read_f64_vector(r);
   }
-  return result;
+}
+
+// ------------------------------------------------------------- assembly ---
+
+namespace {
+
+pipeline::StageSet gavel_stages_for(const std::shared_ptr<GavelPipelineState>& st) {
+  pipeline::StageSet set;
+  set.admission = std::make_shared<pipeline::PassThroughAdmissionStage>();
+  set.priority = std::make_shared<GavelChangeStage>(st);
+  set.allocation = std::make_shared<GavelLpStage>(st);
+  set.placement = std::make_shared<pipeline::GreedyPlacementStage>();
+  set.preemption = std::make_shared<pipeline::NoPreemptionStage>();
+  return set;
+}
+
+std::shared_ptr<GavelPipelineState> gavel_state_for(GavelConfig cfg) {
+  auto st = std::make_shared<GavelPipelineState>();
+  st->cfg = cfg;
+  return st;
+}
+
+}  // namespace
+
+pipeline::StageSet make_gavel_stages(GavelConfig cfg,
+                                     std::shared_ptr<GavelPipelineState>* state) {
+  auto st = gavel_state_for(cfg);
+  if (state != nullptr) *state = st;
+  return gavel_stages_for(st);
+}
+
+GavelScheduler::GavelScheduler(GavelConfig cfg) : GavelScheduler(gavel_state_for(cfg)) {}
+
+GavelScheduler::GavelScheduler(std::shared_ptr<GavelPipelineState> st)
+    : StagedScheduler("Gavel", gavel_stages_for(st)), st_(std::move(st)) {}
+
+std::vector<double> GavelScheduler::allocation_row(JobId id) const {
+  const auto it = st_->y.find(id);
+  return it != st_->y.end() ? it->second : std::vector<double>{};
 }
 
 }  // namespace hadar::baselines

@@ -1,4 +1,5 @@
-// Gavel [1] baseline: job-level heterogeneity-aware scheduling.
+// Gavel [1] baseline: job-level heterogeneity-aware scheduling, expressed
+// as a round pipeline (src/pipeline/).
 //
 // Gavel computes an optimal time-fraction matrix Y[j][r] (the share of
 // wall-clock time job j should spend on GPU type r) by solving a max-min
@@ -8,20 +9,20 @@
 // runs on ONE device type (job-level homogeneity) — the limitation Hadar's
 // task-level mixing removes.
 //
-// The Y matrix is recomputed only when the active job set changes (Gavel's
-// event-driven refresh, detected via SchedulerContext::jobs_epoch with a
-// job-id signature fallback for epoch-less contexts); small instances use
-// the exact LP — warm-started across events through a solver::MaxMinContext
-// — larger ones the progressive-filling solver.
+// Stage split: the priority stage detects job-set/topology change events
+// (SchedulerContext::jobs_epoch with an id-signature fallback) and flags a
+// refresh; the allocation stage runs the LP solve — warm-started across
+// events through a solver::MaxMinContext — rebuilds Y, and emits the sorted
+// (job, type) priority entries; the shared greedy placement stage packs
+// them with take_homogeneous().
 #pragma once
 
 #include <cstdint>
 #include <map>
-#include <optional>
+#include <memory>
 #include <vector>
 
-#include "cluster/cluster_state.hpp"
-#include "sim/scheduler.hpp"
+#include "pipeline/staged_scheduler.hpp"
 #include "solver/maxmin.hpp"
 
 namespace hadar::baselines {
@@ -50,48 +51,77 @@ struct GavelConfig {
   bool warm_start = true;
 };
 
-class GavelScheduler : public sim::IScheduler {
+/// The core the Gavel stages share. The change-detection signatures are
+/// owned (reset/persisted) by the priority stage, the Y matrix by the
+/// allocation stage; needs_solve is a per-round flag the priority stage
+/// writes and the allocation stage consumes.
+struct GavelPipelineState {
+  GavelConfig cfg;
+  std::uint64_t last_epoch = 0;             ///< last ctx.jobs_epoch acted on
+  std::uint64_t last_cluster_epoch = 0;     ///< last ctx.cluster_epoch acted on
+  std::vector<JobId> active_ids;            ///< signature for epoch-less contexts
+  std::vector<JobId> ids_scratch;
+  std::vector<int> last_caps;               ///< per-type capacity signature
+  std::vector<int> caps_scratch;
+  std::map<JobId, std::vector<double>> y;   ///< time-fraction rows
+  solver::MaxMinContext lp_ctx;             ///< warm-start basis across events
+  solver::MaxMinProblem problem;            ///< reused LP input buffers
+  bool needs_solve = false;                 ///< per-round: refresh Y this round
+};
+
+/// Priority: event detection. Flags a Y refresh on job-set changes and
+/// topology changes (the latter also drops the warm-start basis: the cached
+/// LP operated on different capacities, so its basis may be infeasible).
+class GavelChangeStage final : public pipeline::IPriorityStage {
  public:
-  explicit GavelScheduler(GavelConfig cfg = {});
-
-  std::string name() const override;
-  cluster::AllocationMap schedule(const sim::SchedulerContext& ctx) override;
+  explicit GavelChangeStage(std::shared_ptr<GavelPipelineState> st) : st_(std::move(st)) {}
+  std::string name() const override { return "gavel.refresh-detect"; }
+  void prioritize(pipeline::RoundState& rs) override;
   void reset() override;
-
-  /// Cross-round decision state: the Y matrix and the change-detection
-  /// signatures guarding its recomputation. The warm-start LP basis
-  /// (lp_ctx_) is deliberately NOT saved: canonical solution extraction
-  /// makes warm and cold solves bit-identical, so a restored scheduler
-  /// merely pays one cold solve at the next event.
   void save_state(common::BinaryWriter& w) const override;
   void restore_state(common::BinaryReader& r) override;
+
+ private:
+  bool job_set_changed(const sim::SchedulerContext& ctx);
+  bool cluster_changed(const sim::SchedulerContext& ctx);
+
+  std::shared_ptr<GavelPipelineState> st_;
+};
+
+/// Allocation: the LP solve. Recomputes Y when flagged, then emits the
+/// round's ranked (job, type) entries — Y / (rounds received on that type),
+/// sorted best-first — for the shared greedy placement stage.
+class GavelLpStage final : public pipeline::IAllocationStage {
+ public:
+  explicit GavelLpStage(std::shared_ptr<GavelPipelineState> st) : st_(std::move(st)) {}
+  std::string name() const override { return "gavel.lp"; }
+  void allocate(pipeline::RoundState& rs) override;
+  void reset() override;
+  void save_state(common::BinaryWriter& w) const override;
+  void restore_state(common::BinaryReader& r) override;
+
+ private:
+  void recompute_allocation(const sim::SchedulerContext& ctx);
+
+  std::shared_ptr<GavelPipelineState> st_;
+};
+
+/// The Gavel stage assembly. `state`, when non-null, receives the shared
+/// core (tests compose mixed pipelines from these stages).
+pipeline::StageSet make_gavel_stages(GavelConfig cfg,
+                                     std::shared_ptr<GavelPipelineState>* state = nullptr);
+
+class GavelScheduler final : public pipeline::StagedScheduler {
+ public:
+  explicit GavelScheduler(GavelConfig cfg = {});
 
   /// Last computed Y row for a job (tests/introspection); empty if unknown.
   std::vector<double> allocation_row(JobId id) const;
 
  private:
-  void recompute_allocation(const sim::SchedulerContext& ctx);
-  bool job_set_changed(const sim::SchedulerContext& ctx);
-  bool cluster_changed(const sim::SchedulerContext& ctx);
+  explicit GavelScheduler(std::shared_ptr<GavelPipelineState> st);
 
-  struct Entry {
-    const sim::JobView* job;
-    GpuTypeId type;
-    double priority;
-  };
-
-  GavelConfig cfg_;
-  std::uint64_t last_epoch_ = 0;             // last ctx.jobs_epoch acted on
-  std::uint64_t last_cluster_epoch_ = 0;     // last ctx.cluster_epoch acted on
-  std::vector<JobId> active_ids_;            // signature for epoch-less contexts
-  std::vector<JobId> ids_scratch_;
-  std::vector<int> last_caps_;               // per-type capacity signature
-  std::vector<int> caps_scratch_;
-  std::map<JobId, std::vector<double>> y_;   // time-fraction rows
-  solver::MaxMinContext lp_ctx_;             // warm-start basis across events
-  solver::MaxMinProblem problem_;            // reused LP input buffers
-  std::vector<Entry> entries_;               // reused per-round priority list
-  std::optional<cluster::ClusterState> state_;  // reused per-round free map
+  std::shared_ptr<GavelPipelineState> st_;
 };
 
 }  // namespace hadar::baselines

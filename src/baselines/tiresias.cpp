@@ -2,47 +2,15 @@
 
 #include <algorithm>
 
-#include "baselines/alloc_util.hpp"
 #include "common/binary.hpp"
 #include "obs/trace.hpp"
+#include "pipeline/stages.hpp"
 
 namespace hadar::baselines {
 
-TiresiasScheduler::TiresiasScheduler(TiresiasConfig cfg) : cfg_(cfg) {}
-
-std::string TiresiasScheduler::name() const { return "Tiresias"; }
-
-void TiresiasScheduler::reset() {
-  demoted_.clear();
-  promoted_.clear();
-  starved_rounds_.clear();
-}
-
-void TiresiasScheduler::save_state(common::BinaryWriter& w) const {
-  w.u32(static_cast<std::uint32_t>(demoted_.size()));
-  for (JobId id : demoted_) w.i32(id);
-  w.u32(static_cast<std::uint32_t>(promoted_.size()));
-  for (JobId id : promoted_) w.i32(id);
-  w.u32(static_cast<std::uint32_t>(starved_rounds_.size()));
-  for (const auto& [id, n] : starved_rounds_) {
-    w.i32(id);
-    w.i32(n);
-  }
-}
-
-void TiresiasScheduler::restore_state(common::BinaryReader& r) {
-  reset();
-  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) demoted_.insert(r.i32());
-  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) promoted_.insert(r.i32());
-  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) {
-    const JobId id = r.i32();
-    starved_rounds_[id] = r.i32();
-  }
-}
-
-cluster::AllocationMap TiresiasScheduler::schedule(const sim::SchedulerContext& ctx) {
+void TiresiasQueueStage::prioritize(pipeline::RoundState& rs) {
   obs::ScopedSpan queues_span("tiresias", "tiresias.queues", 1);
-  for (const auto& job : ctx.jobs) {
+  for (const auto& job : rs.jobs) {
     // PromoteKnob (disabled by default, as in the paper's evaluation):
     // a demoted job starved of service long enough is promoted back and
     // shielded from re-demotion until it actually runs again.
@@ -65,37 +33,88 @@ cluster::AllocationMap TiresiasScheduler::schedule(const sim::SchedulerContext& 
   }
 
   // Priority: high queue first, FIFO (arrival == id order) within a queue.
-  order_.clear();
-  order_.reserve(ctx.jobs.size());
-  for (const auto& job : ctx.jobs) order_.push_back(&job);
-  std::stable_sort(order_.begin(), order_.end(),
-                   [this](const sim::JobView* a, const sim::JobView* b) {
-                     const bool da = demoted_.count(a->id()) > 0;
-                     const bool db = demoted_.count(b->id()) > 0;
-                     if (da != db) return !da;  // high queue before low queue
-                     return a->id() < b->id();  // FIFO
+  using Candidate = pipeline::RoundState::Candidate;
+  rs.ranked.reserve(rs.queue.size());
+  for (const sim::JobView* job : rs.queue) {
+    rs.ranked.push_back(Candidate{job, -1, 0.0});
+  }
+  std::stable_sort(rs.ranked.begin(), rs.ranked.end(),
+                   [this](const Candidate& a, const Candidate& b) {
+                     const bool da = demoted_.count(a.job->id()) > 0;
+                     const bool db = demoted_.count(b.job->id()) > 0;
+                     if (da != db) return !da;            // high queue before low queue
+                     return a.job->id() < b.job->id();    // FIFO
                    });
 
   if (queues_span.active()) {
     queues_span.arg("demoted", static_cast<double>(demoted_.size()));
     obs::gauge_set("tiresias.demoted_jobs", static_cast<double>(demoted_.size()));
   }
-  HADAR_TRACE_SCOPE("tiresias", "tiresias.pack", 1);
-  cluster::ClusterState state(ctx.spec);
-  cluster::AllocationMap result;
-  for (const sim::JobView* job : order_) {
-    // Restrict to types the job can actually run on (rate > 0); a zero-rate
-    // device would stall the gang's synchronization barrier forever.
-    usable_.clear();
-    for (GpuTypeId r = 0; r < ctx.spec->num_types(); ++r) {
-      if (job->throughput_on(r) > 0.0) usable_.push_back(r);
-    }
-    auto alloc = take_unaware(state, usable_, job->spec->num_workers);
-    if (!alloc) continue;
-    state.allocate(*alloc);
-    result.emplace(job->id(), std::move(*alloc));
-  }
-  return result;
 }
+
+void TiresiasQueueStage::reset() {
+  demoted_.clear();
+  promoted_.clear();
+  starved_rounds_.clear();
+}
+
+void TiresiasQueueStage::save_state(common::BinaryWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(demoted_.size()));
+  for (JobId id : demoted_) w.i32(id);
+  w.u32(static_cast<std::uint32_t>(promoted_.size()));
+  for (JobId id : promoted_) w.i32(id);
+  w.u32(static_cast<std::uint32_t>(starved_rounds_.size()));
+  for (const auto& [id, n] : starved_rounds_) {
+    w.i32(id);
+    w.i32(n);
+  }
+}
+
+void TiresiasQueueStage::restore_state(common::BinaryReader& r) {
+  reset();
+  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) demoted_.insert(r.i32());
+  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) promoted_.insert(r.i32());
+  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) {
+    const JobId id = r.i32();
+    starved_rounds_[id] = r.i32();
+  }
+}
+
+void TiresiasPreemptionStage::preempt(pipeline::RoundState& rs) {
+  // Any short job left waiting this round?
+  bool short_job_waiting = false;
+  for (const auto& job : rs.jobs) {
+    if (job.attained_service < cfg_.queue_threshold && rs.result.count(job.id()) == 0) {
+      short_job_waiting = true;
+      break;
+    }
+  }
+  if (!short_job_waiting) return;
+
+  // Revoke fresh grants to over-threshold jobs (they were not running, so
+  // taking the grant back costs no checkpoint churn).
+  for (const auto& job : rs.jobs) {
+    if (job.attained_service < cfg_.queue_threshold) continue;
+    if (!job.current_allocation.empty()) continue;  // running: never disturbed
+    const auto it = rs.result.find(job.id());
+    if (it == rs.result.end()) continue;
+    rs.state->release(it->second);
+    rs.result.erase(it);
+  }
+}
+
+TiresiasScheduler::TiresiasScheduler(TiresiasConfig cfg)
+    : TiresiasScheduler(std::make_shared<TiresiasQueueStage>(cfg)) {}
+
+TiresiasScheduler::TiresiasScheduler(std::shared_ptr<TiresiasQueueStage> queues)
+    : StagedScheduler("Tiresias",
+                      pipeline::StageSet{
+                          std::make_shared<pipeline::PassThroughAdmissionStage>(),
+                          queues,
+                          std::make_shared<pipeline::NoSolveStage>(),
+                          std::make_shared<pipeline::GreedyPlacementStage>(),
+                          std::make_shared<pipeline::NoPreemptionStage>(),
+                      }),
+      queues_(std::move(queues)) {}
 
 }  // namespace hadar::baselines

@@ -1,18 +1,26 @@
 // Tiresias [4] baseline: two-queue Discretized 2D-LAS, configured as in the
 // paper's evaluation (two priority queues, PromoteKnob disabled — demoted
-// jobs never return to the high queue).
+// jobs never return to the high queue), expressed as a round pipeline.
 //
 // A job's priority attribute is its attained service (GPU-seconds). Jobs
 // below `queue_threshold` sit in the high-priority queue; above it they are
 // demoted. Within a queue order is FIFO by arrival. Tiresias is
 // heterogeneity-UNAWARE: it fills a gang from whatever devices are free in
 // a fixed node/type order, never consulting throughput.
+//
+// Stage split: all policy state (queue membership, starvation counters)
+// lives in the priority stage; admission passes every job through, there is
+// no optimization solve, and the shared greedy placement stage packs the
+// ranked list with take_unaware(). TiresiasPreemptionStage is an optional
+// composable stage (the LAS discipline as a preemption pass) for mixing
+// into other pipelines.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <set>
 
-#include "sim/scheduler.hpp"
+#include "pipeline/staged_scheduler.hpp"
 
 namespace hadar::baselines {
 
@@ -25,19 +33,18 @@ struct TiresiasConfig {
   int promote_after_starved_rounds = 0;
 };
 
-class TiresiasScheduler : public sim::IScheduler {
+/// Priority: the 2-queue LAS bookkeeping (demotion/promotion/starvation)
+/// plus the ranked order — high queue first, FIFO within a queue. Owns all
+/// of Tiresias' cross-round state.
+class TiresiasQueueStage final : public pipeline::IPriorityStage {
  public:
-  explicit TiresiasScheduler(TiresiasConfig cfg = {});
-
-  std::string name() const override;
-  cluster::AllocationMap schedule(const sim::SchedulerContext& ctx) override;
+  explicit TiresiasQueueStage(TiresiasConfig cfg = {}) : cfg_(cfg) {}
+  std::string name() const override { return "tiresias.queues"; }
+  void prioritize(pipeline::RoundState& rs) override;
   void reset() override;
-
-  /// Cross-round decision state: queue membership and starvation counters.
   void save_state(common::BinaryWriter& w) const override;
   void restore_state(common::BinaryReader& r) override;
 
-  /// Introspection for tests.
   bool demoted(JobId id) const { return demoted_.count(id) > 0; }
 
  private:
@@ -45,8 +52,35 @@ class TiresiasScheduler : public sim::IScheduler {
   std::set<JobId> demoted_;
   std::set<JobId> promoted_;             // shielded until served again
   std::map<JobId, int> starved_rounds_;  // consecutive rounds without a gang
-  std::vector<const sim::JobView*> order_;  // reused per-round sort buffer
-  std::vector<GpuTypeId> usable_;           // reused per-job scratch
+};
+
+/// The LAS discipline as a composable preemption stage: when the round
+/// leaves an under-threshold (short) job waiting, fresh grants handed to
+/// over-threshold jobs are revoked — the freed devices go to the short job
+/// in a following round. Jobs that already held devices are never disturbed
+/// here, so a pipeline mixing this into a sticky policy keeps its
+/// no-needless-churn property. Stateless.
+class TiresiasPreemptionStage final : public pipeline::IPreemptionStage {
+ public:
+  explicit TiresiasPreemptionStage(TiresiasConfig cfg = {}) : cfg_(cfg) {}
+  std::string name() const override { return "tiresias.preempt"; }
+  void preempt(pipeline::RoundState& rs) override;
+
+ private:
+  TiresiasConfig cfg_;
+};
+
+class TiresiasScheduler final : public pipeline::StagedScheduler {
+ public:
+  explicit TiresiasScheduler(TiresiasConfig cfg = {});
+
+  /// Introspection for tests.
+  bool demoted(JobId id) const { return queues_->demoted(id); }
+
+ private:
+  explicit TiresiasScheduler(std::shared_ptr<TiresiasQueueStage> queues);
+
+  std::shared_ptr<TiresiasQueueStage> queues_;
 };
 
 }  // namespace hadar::baselines

@@ -1,39 +1,13 @@
 #include "baselines/yarn_cs.hpp"
 
-#include "baselines/alloc_util.hpp"
 #include "common/binary.hpp"
-#include "obs/trace.hpp"
+#include "pipeline/stages.hpp"
 
 namespace hadar::baselines {
 
-YarnCsScheduler::YarnCsScheduler(YarnConfig cfg) : cfg_(cfg) {}
+void YarnAdmissionStage::admit(pipeline::RoundState& rs) {
+  const sim::SchedulerContext& ctx = *rs.ctx;
 
-std::string YarnCsScheduler::name() const { return "YARN-CS"; }
-
-void YarnCsScheduler::reset() {
-  running_.clear();
-  last_epoch_ = 0;
-}
-
-void YarnCsScheduler::save_state(common::BinaryWriter& w) const {
-  w.u64(last_epoch_);
-  w.u32(static_cast<std::uint32_t>(running_.size()));
-  for (const auto& [id, alloc] : running_) {
-    w.i32(id);
-    alloc.save(w);
-  }
-}
-
-void YarnCsScheduler::restore_state(common::BinaryReader& r) {
-  reset();
-  last_epoch_ = r.u64();
-  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) {
-    const JobId id = r.i32();
-    running_.emplace(id, cluster::JobAllocation::restore(r));
-  }
-}
-
-cluster::AllocationMap YarnCsScheduler::schedule(const sim::SchedulerContext& ctx) {
   // Drop finished jobs (present in running_, absent from the context). The
   // O(running * jobs) scan only pays off when the runnable set actually
   // changed; epoch-less contexts (jobs_epoch == 0) always scan.
@@ -48,45 +22,75 @@ cluster::AllocationMap YarnCsScheduler::schedule(const sim::SchedulerContext& ct
     }
   }
 
-  cluster::ClusterState state(ctx.spec);
-  cluster::AllocationMap result;
   for (auto it = running_.begin(); it != running_.end();) {
     // Running jobs are never disturbed — unless their node died under them
     // (the simulator clears such jobs' allocations, so they also reappear in
     // the queue below and wait for readmission like any other arrival).
-    if (!state.can_allocate(it->second)) {
+    if (!rs.state->can_allocate(it->second)) {
       it = running_.erase(it);
       continue;
     }
-    state.allocate(it->second);
-    result.emplace(it->first, it->second);
+    rs.state->allocate(it->second);
+    rs.result.emplace(it->first, it->second);
     ++it;
   }
 
-  // Strict FIFO admission with head-of-line blocking.
-  obs::ScopedSpan pack_span("yarn", "yarn.pack", 1);
-  int admitted = 0;
-  for (const auto& job : ctx.jobs) {  // ctx.jobs is arrival-ordered
+  // Everyone else waits in strict arrival order.
+  rs.queue.reserve(rs.jobs.size());
+  for (const auto& job : rs.jobs) {
     if (running_.count(job.id())) continue;
-    usable_.clear();
-    for (GpuTypeId r = 0; r < ctx.spec->num_types(); ++r) {
-      if (job.throughput_on(r) > 0.0) usable_.push_back(r);
-    }
-    auto alloc = take_unaware(state, usable_, job.spec->num_workers);
-    if (!alloc) {
-      if (!cfg_.backfill) break;  // the queue head waits; nobody jumps it
-      continue;                   // backfill: later jobs may slot in
-    }
-    state.allocate(*alloc);
-    running_.emplace(job.id(), *alloc);
-    result.emplace(job.id(), std::move(*alloc));
-    ++admitted;
+    rs.queue.push_back(&job);
   }
-  if (pack_span.active()) {
-    pack_span.arg("admitted", static_cast<double>(admitted));
-    pack_span.arg("running", static_cast<double>(running_.size()));
-  }
-  return result;
 }
+
+void YarnAdmissionStage::note_placed(JobId id, const cluster::JobAllocation& alloc) {
+  running_.emplace(id, alloc);
+}
+
+void YarnAdmissionStage::reset() {
+  running_.clear();
+  last_epoch_ = 0;
+}
+
+void YarnAdmissionStage::save_state(common::BinaryWriter& w) const {
+  w.u64(last_epoch_);
+  w.u32(static_cast<std::uint32_t>(running_.size()));
+  for (const auto& [id, alloc] : running_) {
+    w.i32(id);
+    alloc.save(w);
+  }
+}
+
+void YarnAdmissionStage::restore_state(common::BinaryReader& r) {
+  reset();
+  last_epoch_ = r.u64();
+  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) {
+    const JobId id = r.i32();
+    running_.emplace(id, cluster::JobAllocation::restore(r));
+  }
+}
+
+namespace {
+
+pipeline::StageSet yarn_stages(YarnConfig cfg) {
+  auto admission = std::make_shared<YarnAdmissionStage>();
+  pipeline::GreedyPlacementOptions opts;
+  opts.stop_on_first_failure = !cfg.backfill;  // head-of-line blocking
+  pipeline::StageSet set;
+  set.admission = admission;
+  set.priority = std::make_shared<pipeline::ArrivalOrderPriorityStage>();
+  set.allocation = std::make_shared<pipeline::NoSolveStage>();
+  set.placement = std::make_shared<pipeline::GreedyPlacementStage>(
+      opts, [admission](JobId id, const cluster::JobAllocation& alloc) {
+        admission->note_placed(id, alloc);
+      });
+  set.preemption = std::make_shared<pipeline::NoPreemptionStage>();
+  return set;
+}
+
+}  // namespace
+
+YarnCsScheduler::YarnCsScheduler(YarnConfig cfg)
+    : StagedScheduler("YARN-CS", yarn_stages(cfg)) {}
 
 }  // namespace hadar::baselines

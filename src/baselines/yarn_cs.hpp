@@ -1,14 +1,24 @@
-// YARN capacity scheduler (YARN-CS [6]) baseline as configured in the paper:
-// a single-queue FIFO, NON-preemptive scheduler. A job admitted to the
-// cluster keeps exactly the same devices until it finishes; the queue head
-// blocks until its full gang fits (head-of-line blocking), which is what
-// costs YARN-CS its 7-15x JCT gap despite near-perfect GPU utilization.
+// YARN capacity scheduler (YARN-CS [6]) baseline as configured in the
+// paper: a single-queue FIFO, NON-preemptive scheduler, expressed as a
+// round pipeline. A job admitted to the cluster keeps exactly the same
+// devices until it finishes; the queue head blocks until its full gang fits
+// (head-of-line blocking), which is what costs YARN-CS its 7-15x JCT gap
+// despite near-perfect GPU utilization.
+//
+// Stage split: the admission stage owns the sticky running set — it prunes
+// finished jobs, re-commits every surviving placement, and queues only the
+// waiting jobs; the shared FIFO priority stage ranks them in arrival order;
+// the shared greedy placement stage packs with take_unaware(), stopping at
+// the first failure (head-of-line blocking) unless backfill is on, and
+// records every new placement back into the running set via the placement
+// hook.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 
-#include "sim/scheduler.hpp"
+#include "pipeline/staged_scheduler.hpp"
 
 namespace hadar::baselines {
 
@@ -19,23 +29,28 @@ struct YarnConfig {
   bool backfill = false;
 };
 
-class YarnCsScheduler : public sim::IScheduler {
+/// Admission: the non-preemptive running set. Surviving placements are
+/// pinned straight into state/result; everything else queues FIFO.
+class YarnAdmissionStage final : public pipeline::IAdmissionStage {
  public:
-  explicit YarnCsScheduler(YarnConfig cfg = {});
-
-  std::string name() const override;
-  cluster::AllocationMap schedule(const sim::SchedulerContext& ctx) override;
+  std::string name() const override { return "yarn.admission"; }
+  void admit(pipeline::RoundState& rs) override;
   void reset() override;
-
-  /// Cross-round decision state: the sticky (non-preemptive) placements.
   void save_state(common::BinaryWriter& w) const override;
   void restore_state(common::BinaryReader& r) override;
 
+  /// The placement stage's hook target: a freshly admitted job becomes
+  /// sticky from the next round on.
+  void note_placed(JobId id, const cluster::JobAllocation& alloc);
+
  private:
-  YarnConfig cfg_;
   std::map<JobId, cluster::JobAllocation> running_;
   std::uint64_t last_epoch_ = 0;  // skip the finished-job prune when unchanged
-  std::vector<GpuTypeId> usable_;  // reused per-job scratch
+};
+
+class YarnCsScheduler final : public pipeline::StagedScheduler {
+ public:
+  explicit YarnCsScheduler(YarnConfig cfg = {});
 };
 
 }  // namespace hadar::baselines

@@ -5,14 +5,18 @@
 // and warn once on stderr before falling back to the default.
 #pragma once
 
+#include <limits>
 #include <string>
 
 namespace hadar::common {
 
 /// Reads integer env var `name`. Returns `def` when unset. Values that fail
-/// to parse, carry trailing junk, or fall below `min_value` produce a
-/// warning on stderr and return `def`.
-int env_int(const char* name, int def, int min_value = 1);
+/// to parse or carry trailing junk produce a warning on stderr and return
+/// `def`; so do values below `min_value` when the caller sets a floor. The
+/// default imposes no floor — zero and negative values are legitimate for
+/// several knobs (HADAR_CELLS=0 means auto-size, HADAR_SERVICE_SNAPSHOT=0
+/// disables snapshots), so callers opt into a minimum explicitly.
+int env_int(const char* name, int def, int min_value = std::numeric_limits<int>::min());
 
 /// Reads floating-point env var `name`. Returns `def` when unset. Values
 /// that fail to parse, carry trailing junk, or fall outside

@@ -2,128 +2,161 @@
 
 #include <algorithm>
 #include <span>
+#include <utility>
 
-#include "common/arena.hpp"
 #include "common/binary.hpp"
 #include "obs/trace.hpp"
+#include "pipeline/stages.hpp"
 
 namespace hadar::core {
 
-HadarScheduler::HadarScheduler(HadarConfig cfg) : cfg_(std::move(cfg)) {
-  if (cfg_.full_recompute_period < 1) cfg_.full_recompute_period = 1;
+HadarPipelineState::HadarPipelineState(HadarConfig c) : cfg(std::move(c)) {
+  if (cfg.full_recompute_period < 1) cfg.full_recompute_period = 1;
 }
 
-std::string HadarScheduler::name() const { return "Hadar"; }
+// ------------------------------------------------------------ admission ---
 
-void HadarScheduler::reset() {
-  prices_ = PriceBook();
-  estimator_.reset();
-  estimator_bound_ = false;
-  round_ = 0;
-  last_stats_ = DpStats{};
-}
-
-void HadarScheduler::save_state(common::BinaryWriter& w) const {
-  w.i64(round_);
-  estimator_.save(w);
-}
-
-void HadarScheduler::restore_state(common::BinaryReader& r) {
-  round_ = r.i64();
-  estimator_.restore(r);
-  estimator_bound_ = false;  // re-bind to the live registry on the next round
-}
-
-cluster::AllocationMap HadarScheduler::schedule(const sim::SchedulerContext& ctx) {
-  ++round_;
-  const int R = ctx.spec->num_types();
+void HadarAdmissionStage::admit(pipeline::RoundState& rs) {
+  HadarPipelineState& s = *st_;
+  const sim::SchedulerContext& ctx = *rs.ctx;
+  ++s.round;
 
   // Optionally swap in profiled throughput estimates. The common
-  // (estimator-off) configuration reads the context's jobs in place; the
-  // estimator path copies them into round-local arena storage so that the
-  // per-round JobView clone never hits the heap.
-  const common::ArenaAllocator<sim::JobView> jv_alloc(ctx.arena);
-  common::ArenaVector<sim::JobView> estimated(jv_alloc);
-  std::span<const sim::JobView> jobs(ctx.jobs);
-  if (cfg_.use_estimator) {
-    if (!estimator_bound_) {
+  // (estimator-off) configuration keeps rs.jobs pointing at the context's
+  // jobs; the estimator path repoints it at a per-round clone held in the
+  // shared core (storage reused across rounds).
+  if (s.cfg.use_estimator) {
+    if (!s.estimator_bound) {
       // bind() keeps any tracks restore_state() brought back.
-      estimator_.bind(&ctx.spec->types(), cfg_.estimator);
-      estimator_bound_ = true;
+      s.estimator.bind(&ctx.spec->types(), s.cfg.estimator);
+      s.estimator_bound = true;
     }
-    estimator_.observe(ctx);
-    estimated.assign(ctx.jobs.begin(), ctx.jobs.end());
-    for (auto& j : estimated) j.throughput = estimator_.estimate(j);
-    jobs = std::span<const sim::JobView>(estimated.data(), estimated.size());
+    s.estimator.observe(ctx);
+    s.estimated.assign(ctx.jobs.begin(), ctx.jobs.end());
+    for (auto& j : s.estimated) j.throughput = s.estimator.estimate(j);
+    rs.jobs = std::span<const sim::JobView>(s.estimated);
   }
 
-  const UtilityFunction utility(cfg_.utility, static_cast<double>(jobs.size()));
-
-  // Recompute the dual price bounds from the live queue (Eqs. 6-8).
-  if (!prices_.ready()) prices_ = PriceBook(R, cfg_.pricing);
-  {
-    HADAR_TRACE_SCOPE("hadar", "hadar.price_bounds", 1);
-    prices_.compute_bounds(*ctx.spec, jobs, ctx.now, ctx.round_length, utility);
-  }
-
-  cluster::ClusterState state(ctx.spec);
-  cluster::AllocationMap result;
+  s.utility = UtilityFunction(s.cfg.utility, static_cast<double>(rs.jobs.size()));
 
   // ---- incremental update: pin running jobs between full recomputes ----
-  const bool full_recompute = !cfg_.sticky || (round_ % cfg_.full_recompute_period == 0);
-  const common::ArenaAllocator<const sim::JobView*> q_alloc(ctx.arena);
-  common::ArenaVector<const sim::JobView*> queue(q_alloc);
-  queue.reserve(jobs.size());
-  for (const auto& j : jobs) {
+  const bool full_recompute = !s.cfg.sticky || (s.round % s.cfg.full_recompute_period == 0);
+  rs.queue.reserve(rs.jobs.size());
+  for (const auto& j : rs.jobs) {
     if (!full_recompute && !j.current_allocation.empty() &&
-        state.can_allocate(j.current_allocation)) {
-      state.allocate(j.current_allocation);
-      result.emplace(j.id(), j.current_allocation);
+        rs.state->can_allocate(j.current_allocation)) {
+      rs.state->allocate(j.current_allocation);
+      rs.result.emplace(j.id(), j.current_allocation);
     } else {
-      queue.push_back(&j);
+      rs.queue.push_back(&j);
     }
+  }
+}
+
+void HadarAdmissionStage::reset() {
+  st_->round = 0;
+  st_->estimator.reset();
+  st_->estimator_bound = false;
+}
+
+void HadarAdmissionStage::save_state(common::BinaryWriter& w) const {
+  w.i64(st_->round);
+  st_->estimator.save(w);
+}
+
+void HadarAdmissionStage::restore_state(common::BinaryReader& r) {
+  st_->round = r.i64();
+  st_->estimator.restore(r);
+  st_->estimator_bound = false;  // re-bind to the live registry on the next round
+}
+
+// ------------------------------------------------------------- priority ---
+
+void HadarPricingStage::prioritize(pipeline::RoundState& rs) {
+  HadarPipelineState& s = *st_;
+  const sim::SchedulerContext& ctx = *rs.ctx;
+
+  // Recompute the dual price bounds from the live queue (Eqs. 6-8).
+  if (!s.prices.ready()) s.prices = PriceBook(ctx.spec->num_types(), s.cfg.pricing);
+  {
+    HADAR_TRACE_SCOPE("hadar", "hadar.price_bounds", 1);
+    s.prices.compute_bounds(*ctx.spec, rs.jobs, ctx.now, ctx.round_length, s.utility);
   }
 
   // ---- objective-specific priority order (see UtilityFunction::priority) --
-  std::sort(queue.begin(), queue.end(), [&](const sim::JobView* a, const sim::JobView* b) {
-    const double pa = utility.priority(*a, ctx.now);
-    const double pb = utility.priority(*b, ctx.now);
-    if (pa != pb) return pa > pb;
-    return a->id() < b->id();
-  });
+  std::sort(rs.queue.begin(), rs.queue.end(),
+            [&](const sim::JobView* a, const sim::JobView* b) {
+              const double pa = s.utility.priority(*a, ctx.now);
+              const double pb = s.utility.priority(*b, ctx.now);
+              if (pa != pb) return pa > pb;
+              return a->id() < b->id();
+            });
+}
 
-  // ---- DP over the queue (Algorithm 2) ----
+void HadarPricingStage::reset() { st_->prices = PriceBook(); }
+
+// ----------------------------------------------------------- allocation ---
+
+void HadarDpStage::allocate(pipeline::RoundState& rs) {
+  HadarPipelineState& s = *st_;
   DpResult dp;
   {
     obs::ScopedSpan dp_span("hadar", "hadar.dp", 1);
-    if (dp_span.active()) dp_span.arg("queue", static_cast<double>(queue.size()));
-    dp = dp_allocation(queue, state, prices_, utility, ctx.now, ctx.network, cfg_.dp);
+    if (dp_span.active()) dp_span.arg("queue", static_cast<double>(rs.queue.size()));
+    dp = dp_allocation(rs.queue, *rs.state, s.prices, s.utility, rs.ctx->now,
+                       rs.ctx->network, s.cfg.dp);
     if (dp_span.active()) {
       dp_span.arg("states_explored", static_cast<double>(dp.stats.states_explored));
       dp_span.arg("allocated", static_cast<double>(dp.allocs.size()));
       obs::count("hadar.dp_states", static_cast<std::uint64_t>(dp.stats.states_explored));
     }
   }
-  last_stats_ = dp.stats;
-  for (auto& [id, alloc] : dp.allocs) {
-    state.allocate(alloc);
-    result.emplace(id, std::move(alloc));
-  }
+  s.last_stats = dp.stats;
+  rs.proposed.reserve(dp.allocs.size());
+  for (auto& [id, alloc] : dp.allocs) rs.proposed.emplace_back(id, std::move(alloc));
+}
 
-  // ---- liveness guard ----
-  if (cfg_.ensure_progress && result.empty() && !queue.empty()) {
-    for (const sim::JobView* j : queue) {
-      const auto cand = find_alloc(*j, state, prices_, utility, ctx.now,
-                                   ctx.network, cfg_.dp.find_alloc);
-      if (cand) {
-        state.allocate(cand->alloc);
-        result.emplace(j->id(), cand->alloc);
-        break;
-      }
+void HadarDpStage::reset() { st_->last_stats = DpStats{}; }
+
+// ----------------------------------------------------------- preemption ---
+
+void HadarGuardStage::preempt(pipeline::RoundState& rs) {
+  HadarPipelineState& s = *st_;
+  if (!s.cfg.ensure_progress || !rs.result.empty() || rs.queue.empty()) return;
+  for (const sim::JobView* j : rs.queue) {
+    const auto cand = find_alloc(*j, *rs.state, s.prices, s.utility, rs.ctx->now,
+                                 rs.ctx->network, s.cfg.dp.find_alloc);
+    if (cand) {
+      rs.state->allocate(cand->alloc);
+      rs.result.emplace(j->id(), cand->alloc);
+      break;
     }
   }
-
-  return result;
 }
+
+// ------------------------------------------------------------- assembly ---
+
+pipeline::StageSet hadar_stages_for(const std::shared_ptr<HadarPipelineState>& st) {
+  pipeline::StageSet set;
+  set.admission = std::make_shared<HadarAdmissionStage>(st);
+  set.priority = std::make_shared<HadarPricingStage>(st);
+  set.allocation = std::make_shared<HadarDpStage>(st);
+  set.placement = std::make_shared<pipeline::GreedyPlacementStage>();
+  set.preemption = std::make_shared<HadarGuardStage>(st);
+  return set;
+}
+
+pipeline::StageSet make_hadar_stages(HadarConfig cfg,
+                                     std::shared_ptr<HadarPipelineState>* state) {
+  auto st = std::make_shared<HadarPipelineState>(std::move(cfg));
+  if (state != nullptr) *state = st;
+  return hadar_stages_for(st);
+}
+
+HadarScheduler::HadarScheduler(HadarConfig cfg)
+    : HadarScheduler(std::make_shared<HadarPipelineState>(std::move(cfg))) {}
+
+HadarScheduler::HadarScheduler(std::shared_ptr<HadarPipelineState> st)
+    : StagedScheduler("Hadar", hadar_stages_for(st)), st_(std::move(st)) {}
 
 }  // namespace hadar::core

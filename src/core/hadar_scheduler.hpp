@@ -1,15 +1,21 @@
-// The Hadar online scheduler (Algorithm 1): at every round it recomputes
-// the dual price bounds from the live queue, pins running jobs when their
-// placements remain worthwhile (the paper's incremental allocation-update
-// policy — only ~30% of rounds change an average job's allocation), and runs
-// DP_allocation over the waiting jobs in utility-density order.
+// The Hadar online scheduler (Algorithm 1) expressed as a round pipeline
+// (src/pipeline/): at every round the admission stage pins running jobs when
+// their placements remain worthwhile (the paper's incremental
+// allocation-update policy — only ~30% of rounds change an average job's
+// allocation), the priority stage recomputes the dual price bounds from the
+// live queue and orders it by utility density, the allocation stage runs
+// DP_allocation over the waiting jobs, the shared greedy placement stage
+// commits the DP's placements, and the preemption slot carries the liveness
+// guard. The stages share one HadarPipelineState core.
 #pragma once
+
+#include <memory>
 
 #include "core/dp_allocation.hpp"
 #include "core/pricing.hpp"
 #include "core/throughput_estimator.hpp"
 #include "core/utility.hpp"
-#include "sim/scheduler.hpp"
+#include "pipeline/staged_scheduler.hpp"
 
 namespace hadar::core {
 
@@ -35,33 +41,97 @@ struct HadarConfig {
   bool ensure_progress = true;
 };
 
-class HadarScheduler : public sim::IScheduler {
+/// The core the Hadar stages share. Cross-round decision state (round
+/// counter, estimator tracks) is owned by the stage that persists it; the
+/// per-round fields (utility, the estimator's job view) are rebuilt by the
+/// admission stage every round and are only valid within one round.
+struct HadarPipelineState {
+  explicit HadarPipelineState(HadarConfig c);
+
+  HadarConfig cfg;
+  PriceBook prices;                    ///< owned by the priority stage
+  ThroughputEstimator estimator;       ///< owned by the admission stage
+  bool estimator_bound = false;
+  long long round = 0;                 ///< owned by the admission stage
+  DpStats last_stats;                  ///< owned by the allocation stage
+
+  // ---- per-round products (admission writes, later stages read) ----
+  UtilityFunction utility;
+  std::vector<sim::JobView> estimated;  ///< estimator view storage, reused
+};
+
+/// Admission: round counter, optional estimator view swap, utility
+/// construction, and sticky pinning of running jobs between full recomputes.
+class HadarAdmissionStage final : public pipeline::IAdmissionStage {
  public:
-  explicit HadarScheduler(HadarConfig cfg = {});
-
-  std::string name() const override;
-  cluster::AllocationMap schedule(const sim::SchedulerContext& ctx) override;
+  explicit HadarAdmissionStage(std::shared_ptr<HadarPipelineState> st) : st_(std::move(st)) {}
+  std::string name() const override { return "hadar.admission"; }
+  void admit(pipeline::RoundState& rs) override;
   void reset() override;
-
-  /// Cross-round decision state: the round counter (phase of the
-  /// full-recompute cycle) and the estimator's measurement tracks. The
-  /// PriceBook carries no cross-round state (bounds are recomputed from the
-  /// live queue every round).
   void save_state(common::BinaryWriter& w) const override;
   void restore_state(common::BinaryReader& r) override;
 
-  /// Introspection for tests and ablation benches.
-  const PriceBook& price_book() const { return prices_; }
-  const DpStats& last_dp_stats() const { return last_stats_; }
-  const HadarConfig& config() const { return cfg_; }
+ private:
+  std::shared_ptr<HadarPipelineState> st_;
+};
+
+/// Priority: recomputes the dual price bounds (Eqs. 6-8) from the live
+/// queue and sorts it by objective-specific utility density.
+class HadarPricingStage final : public pipeline::IPriorityStage {
+ public:
+  explicit HadarPricingStage(std::shared_ptr<HadarPipelineState> st) : st_(std::move(st)) {}
+  std::string name() const override { return "hadar.pricing"; }
+  void prioritize(pipeline::RoundState& rs) override;
+  void reset() override;
 
  private:
-  HadarConfig cfg_;
-  PriceBook prices_;
-  ThroughputEstimator estimator_;
-  bool estimator_bound_ = false;
-  long long round_ = 0;
-  DpStats last_stats_;
+  std::shared_ptr<HadarPipelineState> st_;
+};
+
+/// Allocation: DP over the queue (Algorithm 2) -> proposed placements.
+class HadarDpStage final : public pipeline::IAllocationStage {
+ public:
+  explicit HadarDpStage(std::shared_ptr<HadarPipelineState> st) : st_(std::move(st)) {}
+  std::string name() const override { return "hadar.dp"; }
+  void allocate(pipeline::RoundState& rs) override;
+  void reset() override;
+
+ private:
+  std::shared_ptr<HadarPipelineState> st_;
+};
+
+/// Preemption slot: the liveness guard. When the payoff filter admitted
+/// nothing while jobs wait, force in the top-priority feasible job.
+class HadarGuardStage final : public pipeline::IPreemptionStage {
+ public:
+  explicit HadarGuardStage(std::shared_ptr<HadarPipelineState> st) : st_(std::move(st)) {}
+  std::string name() const override { return "hadar.guard"; }
+  void preempt(pipeline::RoundState& rs) override;
+
+ private:
+  std::shared_ptr<HadarPipelineState> st_;
+};
+
+/// The Hadar stage assembly over an existing shared core (tests compose
+/// mixed pipelines from these stages).
+pipeline::StageSet hadar_stages_for(const std::shared_ptr<HadarPipelineState>& st);
+/// Convenience: builds the core from `cfg` and hands it back via `state`.
+pipeline::StageSet make_hadar_stages(HadarConfig cfg,
+                                     std::shared_ptr<HadarPipelineState>* state = nullptr);
+
+class HadarScheduler final : public pipeline::StagedScheduler {
+ public:
+  explicit HadarScheduler(HadarConfig cfg = {});
+
+  /// Introspection for tests and ablation benches.
+  const PriceBook& price_book() const { return st_->prices; }
+  const DpStats& last_dp_stats() const { return st_->last_stats; }
+  const HadarConfig& config() const { return st_->cfg; }
+
+ private:
+  explicit HadarScheduler(std::shared_ptr<HadarPipelineState> st);
+
+  std::shared_ptr<HadarPipelineState> st_;
 };
 
 }  // namespace hadar::core

@@ -6,17 +6,19 @@
 #include <cstring>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace hadar::core {
 
 namespace {
 
-// Process-wide monotonic id for price-bound recomputations. Every PriceBook
-// instance draws from the same counter, so a (book address, version) pair can
-// never alias across instances even when an address is reused.
-std::atomic<std::uint64_t> g_price_version{0};
+// Process-wide identity allocator for PriceBook objects. Identities start
+// at 1 (0 means "cache never synced") and are never reused, so a stale
+// PriceCache can never mistake a new book for the one it memoized — even
+// when the new book lands on the old one's address.
+std::atomic<std::uint64_t> g_book_identity{0};
 
-std::uint64_t next_price_version() { return g_price_version.fetch_add(1) + 1; }
+std::uint64_t next_book_identity() { return g_book_identity.fetch_add(1) + 1; }
 
 std::uint64_t double_bits(double d) {
   std::uint64_t u = 0;
@@ -28,10 +30,12 @@ std::uint64_t double_bits(double d) {
 }  // namespace
 
 void PriceCache::sync(const PriceBook& book) {
-  if (book_ == &book && version_ == book.bounds_version() && !table_.empty()) return;
+  if (book_id_ == book.identity() && bump_ == book.bounds_version() && !table_.empty()) {
+    return;
+  }
   table_.assign(kSlots, Entry{});
-  book_ = &book;
-  version_ = book.bounds_version();
+  book_id_ = book.identity();
+  bump_ = book.bounds_version();
 }
 
 double PriceCache::price(const PriceBook& book, GpuTypeId r, double frac) {
@@ -52,12 +56,50 @@ double PriceCache::price(const PriceBook& book, GpuTypeId r, double frac) {
   return v;
 }
 
-PriceBook::PriceBook(int num_types, PricingConfig cfg) : cfg_(cfg) {
+PriceBook::PriceBook() : id_(next_book_identity()) {}
+
+PriceBook::PriceBook(int num_types, PricingConfig cfg)
+    : cfg_(cfg), id_(next_book_identity()), bump_(1) {
   if (num_types <= 0) throw std::invalid_argument("PriceBook: num_types <= 0");
   if (cfg_.eta <= 0.0) throw std::invalid_argument("PriceBook: eta <= 0");
   u_max_.assign(static_cast<std::size_t>(num_types), 1.0);
   u_min_.assign(static_cast<std::size_t>(num_types), cfg_.min_price);
-  version_ = next_price_version();
+}
+
+// Copies and moves are new logical books: they draw a fresh identity so an
+// (identity, bump) pair observed by a PriceCache can never later name a
+// different bounds snapshot. Assignment keeps the target's identity — the
+// same logical book with changed bounds — and bumps its counter.
+PriceBook::PriceBook(const PriceBook& other)
+    : cfg_(other.cfg_),
+      u_max_(other.u_max_),
+      u_min_(other.u_min_),
+      id_(next_book_identity()),
+      bump_(other.bump_) {}
+
+PriceBook::PriceBook(PriceBook&& other) noexcept
+    : cfg_(other.cfg_),
+      u_max_(std::move(other.u_max_)),
+      u_min_(std::move(other.u_min_)),
+      id_(next_book_identity()),
+      bump_(other.bump_) {}
+
+PriceBook& PriceBook::operator=(const PriceBook& other) {
+  if (this == &other) return *this;
+  cfg_ = other.cfg_;
+  u_max_ = other.u_max_;
+  u_min_ = other.u_min_;
+  ++bump_;
+  return *this;
+}
+
+PriceBook& PriceBook::operator=(PriceBook&& other) noexcept {
+  if (this == &other) return *this;
+  cfg_ = other.cfg_;
+  u_max_ = std::move(other.u_max_);
+  u_min_ = std::move(other.u_min_);
+  ++bump_;
+  return *this;
 }
 
 void PriceBook::compute_bounds(const sim::SchedulerContext& ctx,
@@ -116,7 +158,7 @@ void PriceBook::compute_bounds(const cluster::ClusterSpec& spec,
     u_max_[static_cast<std::size_t>(r)] = umax;
     u_min_[static_cast<std::size_t>(r)] = std::max(umin, cfg_.min_price);
   }
-  version_ = next_price_version();
+  ++bump_;
 }
 
 double PriceBook::price_at_fraction(GpuTypeId r, double frac) const {

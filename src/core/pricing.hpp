@@ -23,13 +23,15 @@ class PriceBook;
 /// FIND_ALLOC hot path, and the fractions recur heavily (ratios of small
 /// integer counts), so a small lossy direct-mapped table converts most pow
 /// calls into a load. Bit-safe by construction: a hit returns the double
-/// previously computed for the exact same (bounds version, type, fraction)
-/// inputs. Callers keep one cache per thread; sync() must be called before
-/// use so a bounds recompute invalidates stale entries.
+/// previously computed for the exact same (book identity, bounds bump,
+/// type, fraction) inputs — never for a different book that happens to
+/// reuse an address (per-cell books under sharding, concurrent Simulators).
+/// Callers keep one cache per thread; sync() must be called before use so a
+/// bounds recompute invalidates stale entries.
 class PriceCache {
  public:
-  /// Drops all entries when `book` is a different instance or its bounds
-  /// changed since the last sync.
+  /// Drops all entries when `book` is a different logical book or its
+  /// bounds changed since the last sync.
   void sync(const PriceBook& book);
 
   /// Memoized PriceBook::price_at_fraction(r, frac).
@@ -43,8 +45,8 @@ class PriceCache {
     GpuTypeId type = -1;  // -1 == empty slot
   };
   std::vector<Entry> table_;
-  const PriceBook* book_ = nullptr;
-  std::uint64_t version_ = 0;
+  std::uint64_t book_id_ = 0;  // 0 == never synced (identities start at 1)
+  std::uint64_t bump_ = 0;
 };
 
 struct PricingConfig {
@@ -55,10 +57,21 @@ struct PricingConfig {
 };
 
 /// Per-type price bounds + the Eq. 5 price curve over a ClusterState.
+///
+/// Version scheme: every construction (default, sized, copy, move) draws a
+/// fresh process-unique identity, and every bounds change bumps a per-book
+/// counter. Two live books therefore never share an identity, and an
+/// (identity, bump) pair names exactly one bounds snapshot — the property
+/// PriceCache validity rests on. Assignment keeps the target's identity but
+/// bumps it (its bounds changed).
 class PriceBook {
  public:
-  PriceBook() = default;
+  PriceBook();
   PriceBook(int num_types, PricingConfig cfg);
+  PriceBook(const PriceBook& other);
+  PriceBook(PriceBook&& other) noexcept;
+  PriceBook& operator=(const PriceBook& other);
+  PriceBook& operator=(PriceBook&& other) noexcept;
 
   /// Recomputes U_max^r / U_min^r (Eqs. 6-8) from the current queue. The
   /// horizon proxy for "ends at T" is now + the queue's serial worst-case
@@ -101,15 +114,18 @@ class PriceBook {
 
   bool ready() const { return !u_max_.empty(); }
 
-  /// Monotonic id of the current bounds, unique across every PriceBook
-  /// instance in the process; PriceCache keys its validity on it.
-  std::uint64_t bounds_version() const { return version_; }
+  /// Process-unique id of this book object (never 0, never reused).
+  std::uint64_t identity() const { return id_; }
+  /// Per-book counter of bounds changes; (identity(), bounds_version())
+  /// names exactly one bounds snapshot.
+  std::uint64_t bounds_version() const { return bump_; }
 
  private:
   PricingConfig cfg_;
   std::vector<double> u_max_;
   std::vector<double> u_min_;
-  std::uint64_t version_ = 0;
+  std::uint64_t id_;        ///< assigned at construction, immutable
+  std::uint64_t bump_ = 0;  ///< incremented on every bounds change
 };
 
 }  // namespace hadar::core

@@ -21,9 +21,12 @@
 // (tests/test_obs.cpp pins this).
 //
 // Span taxonomy (DESIGN.md §10): sim.run > sim.round > {sim.failures,
-// sched.schedule > {hadar.price_bounds, hadar.dp > hadar.beam_level,
+// sched.schedule > stage.{admission,priority,allocation,placement,
+// preemption} > {hadar.price_bounds, hadar.dp > hadar.beam_level,
 // gavel.recompute > lp.solve > {lp.phase1, lp.phase2, lp.canonicalize},
 // *.pack}, sim.advance}, plus fault/lifecycle instants and "C" counters.
+// The stage.* spans (category "pipeline") wrap each StagedScheduler stage
+// and record pipeline.<stage>_ms metrics (DESIGN.md §14).
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,170 @@
+// The Blox-style round pipeline (Agarwal et al.): one scheduling round is
+// factored into five stages with stable interfaces —
+//
+//   admission  -> priority/utility -> allocation solve -> placement -> preemption
+//
+// so a policy is a *composition of stages* rather than a monolithic
+// schedule() body. Hadar's FIND_ALLOC/DP is an allocation stage, Gavel's LP
+// another; the packing loops the baselines used to duplicate live in one
+// shared GreedyPlacementStage. New policies (deadline, quota, elastic) become
+// stage swaps instead of new schedulers.
+//
+// Data flow: the StagedScheduler driver owns a RoundState that threads the
+// round's intermediate products between stages. Each stage reads the fields
+// earlier stages produced and writes its own:
+//
+//   admission   ctx/jobs -> jobs (may swap in an estimator view), queue,
+//               and any pinned allocations committed straight into
+//               state/result (non-preemptive or sticky policies).
+//   priority    queue/jobs -> a sorted `queue` (solver-bound policies) or a
+//               `ranked` candidate list (greedy policies), plus any
+//               cross-round model refresh (price bounds, LP change detection).
+//   allocation  queue -> `proposed` placements (the optimization solve).
+//               Greedy policies with no solve leave `proposed` empty.
+//   placement   commits `proposed` into state/result, then realizes `ranked`
+//               candidates against the remaining free devices.
+//   preemption  may revoke or force entries in `result` (liveness guards,
+//               service-based preemption).
+//
+// State ownership (DESIGN.md §14): RoundState and the ClusterState it points
+// at are owned by the driver and valid only inside one schedule() call.
+// Stages own their cross-round policy state exclusively; reset() clears it
+// and save_state()/restore_state() persist it. Per-round scratch a stage
+// keeps for reuse (sort buffers, LP problem storage) is speed-only state:
+// it must never change a decision and need not be persisted.
+//
+// Bit-identity contract: the driver invokes stages in the fixed order above,
+// exactly once per round, with no reordering or elision — the 16 golden
+// digests in tests/test_cluster_state_soa.cpp pin that schedules through the
+// pipeline are bit-identical to the former monolithic schedulers.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster_state.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hadar::common {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace hadar::common
+
+namespace hadar::pipeline {
+
+/// Everything one round threads between stages. Owned by the driver and
+/// reused across rounds (buffers keep their capacity); begin_round() resets
+/// the per-round fields. Nothing in here survives schedule() returning.
+struct RoundState {
+  /// The simulator's context for this round (never null inside a stage).
+  const sim::SchedulerContext* ctx = nullptr;
+
+  /// The round's job view. Defaults to ctx->jobs; an admission stage may
+  /// repoint it at a policy-transformed copy (e.g. Hadar's estimator view).
+  /// The pointee must stay alive until the round ends.
+  std::span<const sim::JobView> jobs;
+
+  /// Jobs still waiting after admission (arrival order until a priority
+  /// stage reorders it). Pinned jobs are already in `result`, not here.
+  std::vector<const sim::JobView*> queue;
+
+  /// One placement intent emitted by a priority stage for greedy
+  /// realization. `type` >= 0 restricts the candidate to that device type
+  /// (job-level homogeneity, Gavel); `type` < 0 lets the placement stage
+  /// fill the gang from any type the job can use (Tiresias/YARN).
+  struct Candidate {
+    const sim::JobView* job = nullptr;
+    GpuTypeId type = -1;
+    double priority = 0.0;
+  };
+  /// Ranked placement intents, best first. May hold several entries per job;
+  /// the placement stage realizes at most one.
+  std::vector<Candidate> ranked;
+
+  /// Allocation-stage output: concrete placements awaiting commit, in the
+  /// order the placement stage must apply them.
+  std::vector<std::pair<JobId, cluster::JobAllocation>> proposed;
+
+  /// Driver-owned device usage for the round; every allocation that lands in
+  /// `result` must be applied here first (capacity bookkeeping).
+  cluster::ClusterState* state = nullptr;
+
+  /// The round's decision as built so far; schedule() returns it.
+  cluster::AllocationMap result;
+
+  void begin_round(const sim::SchedulerContext& c, cluster::ClusterState* st) {
+    ctx = &c;
+    jobs = std::span<const sim::JobView>(c.jobs);
+    queue.clear();
+    ranked.clear();
+    proposed.clear();
+    state = st;
+    result.clear();
+  }
+};
+
+/// Base of every stage. A stage owns its cross-round policy state
+/// exclusively: reset() clears it, save_state()/restore_state() persist the
+/// decision-relevant part (same contract as sim::IScheduler). Stages are
+/// invoked from one thread at a time (the driver), never concurrently.
+class IStage {
+ public:
+  virtual ~IStage() = default;
+  virtual std::string name() const = 0;
+  virtual void reset() {}
+  virtual void save_state(common::BinaryWriter&) const {}
+  virtual void restore_state(common::BinaryReader&) {}
+};
+
+/// Decides who participates this round: fills rs.queue, may transform
+/// rs.jobs, and may pin allocations straight into rs.state/rs.result
+/// (sticky and non-preemptive policies commit their held placements here).
+class IAdmissionStage : public IStage {
+ public:
+  virtual void admit(RoundState& rs) = 0;
+};
+
+/// Orders the work: sorts rs.queue and/or emits rs.ranked candidates.
+/// Cross-round models that feed the ordering (price bounds, Gavel's Y
+/// refresh detection) are maintained here.
+class IPriorityStage : public IStage {
+ public:
+  virtual void prioritize(RoundState& rs) = 0;
+};
+
+/// The optimization solve: consumes rs.queue (and the models the priority
+/// stage refreshed) and emits rs.proposed. Policies without a solve use a
+/// no-op stage and rely on ranked + placement.
+class IAllocationStage : public IStage {
+ public:
+  virtual void allocate(RoundState& rs) = 0;
+};
+
+/// Realizes decisions against free devices: commits rs.proposed, then packs
+/// rs.ranked greedily. Everything it places must go through rs.state.
+class IPlacementStage : public IStage {
+ public:
+  virtual void place(RoundState& rs) = 0;
+};
+
+/// Post-pass over the round's result: revoke grants (service-based
+/// preemption) or force progress (liveness guards). Runs last.
+class IPreemptionStage : public IStage {
+ public:
+  virtual void preempt(RoundState& rs) = 0;
+};
+
+/// One full pipeline. Stages are shared_ptr so assemblies can share a policy
+/// core between their stages and tests can mix stages across policies.
+struct StageSet {
+  std::shared_ptr<IAdmissionStage> admission;
+  std::shared_ptr<IPriorityStage> priority;
+  std::shared_ptr<IAllocationStage> allocation;
+  std::shared_ptr<IPlacementStage> placement;
+  std::shared_ptr<IPreemptionStage> preemption;
+};
+
+}  // namespace hadar::pipeline

@@ -1,0 +1,114 @@
+#include "pipeline/staged_scheduler.hpp"
+
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "obs/trace.hpp"
+
+namespace hadar::pipeline {
+
+namespace {
+
+struct StageMeta {
+  const char* label;        // to_string(kind)
+  const char* span;         // per-stage trace span (DESIGN.md §10)
+  const char* metric;       // per-stage duration histogram (milliseconds)
+};
+
+constexpr StageMeta kMeta[kNumStages] = {
+    {"admission", "stage.admission", "pipeline.admission_ms"},
+    {"priority", "stage.priority", "pipeline.priority_ms"},
+    {"allocation", "stage.allocation", "pipeline.allocation_ms"},
+    {"placement", "stage.placement", "pipeline.placement_ms"},
+    {"preemption", "stage.preemption", "pipeline.preemption_ms"},
+};
+
+}  // namespace
+
+const char* to_string(StageKind k) { return kMeta[static_cast<int>(k)].label; }
+
+StagedScheduler::StagedScheduler(std::string name, StageSet stages)
+    : name_(std::move(name)), stages_(std::move(stages)) {
+  if (!stages_.admission || !stages_.priority || !stages_.allocation ||
+      !stages_.placement || !stages_.preemption) {
+    throw std::invalid_argument("StagedScheduler: every stage slot must be filled");
+  }
+}
+
+std::string StagedScheduler::name() const { return name_; }
+
+IStage* StagedScheduler::slot(int i) const {
+  switch (static_cast<StageKind>(i)) {
+    case StageKind::kAdmission: return stages_.admission.get();
+    case StageKind::kPriority: return stages_.priority.get();
+    case StageKind::kAllocation: return stages_.allocation.get();
+    case StageKind::kPlacement: return stages_.placement.get();
+    case StageKind::kPreemption: return stages_.preemption.get();
+  }
+  return nullptr;
+}
+
+bool StagedScheduler::first_occurrence(int i) const {
+  for (int j = 0; j < i; ++j) {
+    if (slot(j) == slot(i)) return false;
+  }
+  return true;
+}
+
+template <typename Fn>
+void StagedScheduler::run_stage(StageKind kind, RoundState& rs, Fn&& fn) {
+  const StageMeta& m = kMeta[static_cast<int>(kind)];
+  obs::ScopedSpan span("pipeline", m.span, 1);
+  if (timing_ || span.active()) {
+    common::WallTimer t;
+    fn();
+    const double s = t.seconds();
+    if (timing_) stage_seconds_[static_cast<int>(kind)] += s;
+    if (span.active()) obs::observe(m.metric, s * 1e3);
+  } else {
+    fn();
+  }
+  if (observer_) observer_(kind, rs);
+}
+
+cluster::AllocationMap StagedScheduler::schedule(const sim::SchedulerContext& ctx) {
+  if (ctx.spec == nullptr) throw std::invalid_argument("StagedScheduler: null spec");
+  if (!state_ || &state_->spec() != ctx.spec) {
+    state_.emplace(ctx.spec);
+  } else {
+    state_->clear();
+  }
+  rs_.begin_round(ctx, &*state_);
+
+  run_stage(StageKind::kAdmission, rs_, [&] { stages_.admission->admit(rs_); });
+  run_stage(StageKind::kPriority, rs_, [&] { stages_.priority->prioritize(rs_); });
+  run_stage(StageKind::kAllocation, rs_, [&] { stages_.allocation->allocate(rs_); });
+  run_stage(StageKind::kPlacement, rs_, [&] { stages_.placement->place(rs_); });
+  run_stage(StageKind::kPreemption, rs_, [&] { stages_.preemption->preempt(rs_); });
+  if (timing_) ++timed_rounds_;
+
+  return std::move(rs_.result);
+}
+
+void StagedScheduler::reset() {
+  for (int i = 0; i < kNumStages; ++i) {
+    if (first_occurrence(i)) slot(i)->reset();
+  }
+  state_.reset();
+  stage_seconds_.fill(0.0);
+  timed_rounds_ = 0;
+}
+
+void StagedScheduler::save_state(common::BinaryWriter& w) const {
+  for (int i = 0; i < kNumStages; ++i) {
+    if (first_occurrence(i)) slot(i)->save_state(w);
+  }
+}
+
+void StagedScheduler::restore_state(common::BinaryReader& r) {
+  for (int i = 0; i < kNumStages; ++i) {
+    if (first_occurrence(i)) slot(i)->restore_state(r);
+  }
+}
+
+}  // namespace hadar::pipeline

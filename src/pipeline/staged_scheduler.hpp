@@ -1,0 +1,82 @@
+// Drives a StageSet through one round: admission -> priority -> allocation
+// -> placement -> preemption, with per-stage trace spans and metrics. This
+// is the only place the stage order lives; every staged policy (Hadar and
+// all baselines) is an assembly of stages handed to this driver, so
+// ShardedScheduler, RoundEngine, and the service daemon drive staged
+// schedulers through the unchanged sim::IScheduler interface.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "pipeline/stage.hpp"
+
+namespace hadar::pipeline {
+
+/// Stage slots in driver order. Also indexes stage_seconds().
+enum class StageKind : int {
+  kAdmission = 0,
+  kPriority = 1,
+  kAllocation = 2,
+  kPlacement = 3,
+  kPreemption = 4,
+};
+inline constexpr int kNumStages = 5;
+
+const char* to_string(StageKind k);
+
+/// sim::IScheduler implemented as a stage pipeline. Owns the RoundState and
+/// the per-round ClusterState (reused across rounds: clear()ed in place
+/// while the spec pointer is stable, reconstructed when it changes — both
+/// paths rebuild from the live spec, so the contents are identical either
+/// way and topology changes are picked up).
+class StagedScheduler : public sim::IScheduler {
+ public:
+  StagedScheduler(std::string name, StageSet stages);
+
+  std::string name() const override;
+  cluster::AllocationMap schedule(const sim::SchedulerContext& ctx) override;
+
+  /// reset()/save_state()/restore_state() delegate to every distinct stage
+  /// object once, in driver order; a stage shared between slots is visited
+  /// only at its first slot. Policy assemblies therefore keep byte-stable
+  /// state formats as long as their stage ownership is stable.
+  void reset() override;
+  void save_state(common::BinaryWriter& w) const override;
+  void restore_state(common::BinaryReader& r) override;
+
+  const StageSet& stages() const { return stages_; }
+
+  /// Test hook: invoked after each stage with the stage's RoundState output.
+  /// Costs one branch per stage when unset; never set it on hot paths.
+  using StageObserver = std::function<void(StageKind, const RoundState&)>;
+  void set_stage_observer(StageObserver cb) { observer_ = std::move(cb); }
+
+  /// Bench hook: accumulate per-stage wall time. Off by default (the hot
+  /// path then takes no clock reads beyond tracing's own).
+  void enable_stage_timing(bool on) { timing_ = on; }
+  /// Accumulated seconds per StageKind since enable_stage_timing(true).
+  const std::array<double, kNumStages>& stage_seconds() const { return stage_seconds_; }
+  std::uint64_t timed_rounds() const { return timed_rounds_; }
+
+ private:
+  template <typename Fn>
+  void run_stage(StageKind kind, RoundState& rs, Fn&& fn);
+  IStage* slot(int i) const;
+  /// True when slot i holds the first occurrence of its stage object.
+  bool first_occurrence(int i) const;
+
+  std::string name_;
+  StageSet stages_;
+  std::optional<cluster::ClusterState> state_;
+  RoundState rs_;
+  StageObserver observer_;
+  bool timing_ = false;
+  std::array<double, kNumStages> stage_seconds_{};
+  std::uint64_t timed_rounds_ = 0;
+};
+
+}  // namespace hadar::pipeline

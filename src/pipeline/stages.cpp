@@ -1,0 +1,62 @@
+#include "pipeline/stages.hpp"
+
+#include <utility>
+
+#include "cluster/placement.hpp"
+
+namespace hadar::pipeline {
+
+void PassThroughAdmissionStage::admit(RoundState& rs) {
+  rs.queue.reserve(rs.jobs.size());
+  for (const auto& j : rs.jobs) rs.queue.push_back(&j);
+}
+
+void ArrivalOrderPriorityStage::prioritize(RoundState& rs) {
+  rs.ranked.reserve(rs.queue.size());
+  for (const sim::JobView* j : rs.queue) {
+    if (rs.result.count(j->id())) continue;  // already pinned by admission
+    rs.ranked.push_back(RoundState::Candidate{j, -1, 0.0});
+  }
+}
+
+GreedyPlacementStage::GreedyPlacementStage(GreedyPlacementOptions opts, PlacedHook on_place)
+    : opts_(opts), on_place_(std::move(on_place)) {}
+
+void GreedyPlacementStage::place(RoundState& rs) {
+  cluster::ClusterState& state = *rs.state;
+
+  // Solver output first, verbatim and in proposal order.
+  for (auto& [id, alloc] : rs.proposed) {
+    state.allocate(alloc);
+    if (on_place_) on_place_(id, alloc);
+    rs.result.emplace(id, std::move(alloc));
+  }
+  rs.proposed.clear();
+
+  // Then the greedy pack over ranked candidates.
+  for (const RoundState::Candidate& c : rs.ranked) {
+    const JobId id = c.job->id();
+    if (rs.result.count(id)) continue;  // at most one placement per job
+    std::optional<cluster::JobAllocation> alloc;
+    if (c.type >= 0) {
+      alloc = cluster::take_homogeneous(state, c.type, c.job->spec->num_workers);
+    } else {
+      // Restrict to types the job can actually run on (rate > 0); a
+      // zero-rate device would stall the gang's synchronization barrier.
+      usable_.clear();
+      for (GpuTypeId r = 0; r < rs.ctx->spec->num_types(); ++r) {
+        if (c.job->throughput_on(r) > 0.0) usable_.push_back(r);
+      }
+      alloc = cluster::take_unaware(state, usable_, c.job->spec->num_workers);
+    }
+    if (!alloc) {
+      if (opts_.stop_on_first_failure) break;  // the queue head blocks everyone
+      continue;
+    }
+    state.allocate(*alloc);
+    if (on_place_) on_place_(id, *alloc);
+    rs.result.emplace(id, std::move(*alloc));
+  }
+}
+
+}  // namespace hadar::pipeline

@@ -1,0 +1,73 @@
+// Shared stages extracted from the formerly duplicated per-scheduler code:
+// the pass-through admission every non-sticky policy used implicitly, the
+// FIFO priority order, the greedy packing loop (Gavel/Tiresias/YARN all
+// carried a copy), and the no-op allocation/preemption slots greedy policies
+// leave empty. Policy assemblies combine these with their own stages.
+#pragma once
+
+#include <functional>
+
+#include "pipeline/stage.hpp"
+
+namespace hadar::pipeline {
+
+/// Admits every runnable job unchanged: rs.queue = all of rs.jobs in
+/// context (arrival) order. Stateless.
+class PassThroughAdmissionStage final : public IAdmissionStage {
+ public:
+  std::string name() const override { return "admit.pass-through"; }
+  void admit(RoundState& rs) override;
+};
+
+/// Ranks the queue FIFO (context order is arrival order), one any-type
+/// candidate per job that is not already holding a result entry. Stateless.
+class ArrivalOrderPriorityStage final : public IPriorityStage {
+ public:
+  std::string name() const override { return "priority.arrival-order"; }
+  void prioritize(RoundState& rs) override;
+};
+
+/// No optimization solve: rs.proposed stays empty (greedy policies place
+/// straight from rs.ranked). Stateless.
+class NoSolveStage final : public IAllocationStage {
+ public:
+  std::string name() const override { return "allocate.none"; }
+  void allocate(RoundState&) override {}
+};
+
+struct GreedyPlacementOptions {
+  /// Stop packing at the first candidate whose gang does not fit (YARN-CS
+  /// head-of-line blocking). Default: skip it and keep going (backfill).
+  bool stop_on_first_failure = false;
+};
+
+/// The shared packing loop: first commits rs.proposed verbatim (solver
+/// output), then walks rs.ranked best-first and places at most one candidate
+/// per job — take_homogeneous() when the candidate pins a type,
+/// take_unaware() over the job's usable types (rate > 0, ascending type
+/// order) otherwise. `on_place` fires for every allocation this stage
+/// commits (policies hook their sticky bookkeeping here, e.g. YARN's
+/// running set). Holds only reusable scratch.
+class GreedyPlacementStage final : public IPlacementStage {
+ public:
+  using PlacedHook = std::function<void(JobId, const cluster::JobAllocation&)>;
+  explicit GreedyPlacementStage(GreedyPlacementOptions opts = {}, PlacedHook on_place = {});
+
+  std::string name() const override { return "place.greedy"; }
+  void place(RoundState& rs) override;
+
+ private:
+  GreedyPlacementOptions opts_;
+  PlacedHook on_place_;
+  std::vector<GpuTypeId> usable_;  // reused per-candidate scratch
+};
+
+/// No preemption pass: round-based policies preempt implicitly (a job absent
+/// from the result is paused by the simulator). Stateless.
+class NoPreemptionStage final : public IPreemptionStage {
+ public:
+  std::string name() const override { return "preempt.none"; }
+  void preempt(RoundState&) override {}
+};
+
+}  // namespace hadar::pipeline

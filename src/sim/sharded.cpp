@@ -58,7 +58,12 @@ std::string ShardedScheduler::name() const {
 
 int ShardedScheduler::cell_of_job(JobId id) const {
   const auto it = home_.find(id);
-  return it == home_.end() ? -1 : it->second;
+  return it == home_.end() ? -1 : it->second.value;
+}
+
+int ShardedScheduler::starved_rounds(JobId id) const {
+  const auto it = starved_.find(id);
+  return it == starved_.end() ? 0 : it->second.value;
 }
 
 void ShardedScheduler::reset() {
@@ -133,12 +138,14 @@ void ShardedScheduler::route_jobs(const SchedulerContext& ctx) {
     cap[static_cast<std::size_t>(c)] = std::max(1, L.cell_capacity(c));
   }
 
-  std::map<JobId, int> fresh;
+  std::map<JobId, JobEntry> fresh;
 
   // Pass 1 — forced and sticky routing. A job holding devices is pinned to
   // the cell that owns them (preempting it to rebalance would burn a
   // reallocation penalty the policy never asked for); a known job keeps its
-  // previous cell so per-cell policy state stays meaningful.
+  // previous cell so per-cell policy state stays meaningful. "Known" means
+  // the sticky entry's arrival matches: a recycled JobId belongs to a new
+  // job and must be routed fresh, not sent to the dead job's cell.
   for (std::size_t i = 0; i < ctx.jobs.size(); ++i) {
     const JobView& j = ctx.jobs[i];
     int cell = -1;
@@ -154,12 +161,15 @@ void ShardedScheduler::route_jobs(const SchedulerContext& ctx) {
     }
     if (cell < 0) {
       const auto it = home_.find(j.id());
-      if (it != home_.end() && it->second >= 0 && it->second < K) cell = it->second;
+      if (it != home_.end() && same_job(it->second, j) && it->second.value >= 0 &&
+          it->second.value < K) {
+        cell = it->second.value;
+      }
     }
     if (cell >= 0) {
       job_cell_[i] = cell;
       load[static_cast<std::size_t>(cell)] += j.spec->num_workers;
-      fresh.emplace(j.id(), cell);
+      fresh.emplace(j.id(), JobEntry{cell, j.spec->arrival});
     }
   }
 
@@ -176,7 +186,7 @@ void ShardedScheduler::route_jobs(const SchedulerContext& ctx) {
     }
     job_cell_[i] = best;
     load[static_cast<std::size_t>(best)] += j.spec->num_workers;
-    fresh.emplace(j.id(), best);
+    fresh.emplace(j.id(), JobEntry{best, j.spec->arrival});
   }
 
   home_.swap(fresh);
@@ -313,13 +323,17 @@ cluster::AllocationMap ShardedScheduler::schedule(const SchedulerContext& ctx) {
   // Track per-job starvation: rounds in a row the cell's policy left the
   // job unplaced. A starved job is a structural casualty of sharding (its
   // gang may not fit any cell the way the policy wants to place it), so the
-  // refinement below eventually force-places it.
+  // refinement below eventually force-places it. Rebuilding the map from
+  // the live job set prunes completed/killed jobs; the arrival guard keeps
+  // a recycled id from resuming the dead job's count mid-way.
   {
-    std::map<JobId, int> fresh;
+    std::map<JobId, JobEntry> fresh;
     for (const auto& j : ctx.jobs) {
       if (out.count(j.id()) != 0) continue;
       const auto it = starved_.find(j.id());
-      fresh.emplace(j.id(), it == starved_.end() ? 1 : it->second + 1);
+      const int prev =
+          it != starved_.end() && same_job(it->second, j) ? it->second.value : 0;
+      fresh.emplace(j.id(), JobEntry{prev + 1, j.spec->arrival});
     }
     starved_.swap(fresh);
   }
@@ -353,7 +367,7 @@ cluster::AllocationMap ShardedScheduler::schedule(const SchedulerContext& ctx) {
       }
       const auto sit = starved_.find(j.id());
       const bool starving = cfg_.starvation_rounds > 0 && sit != starved_.end() &&
-                            sit->second >= cfg_.starvation_rounds;
+                            sit->second.value >= cfg_.starvation_rounds;
       const bool cramped = home_free < W && cfg_.migration_threshold < 1.0;
       if (!cramped && !starving) continue;  // the policy chose to pause this job
 
@@ -379,7 +393,7 @@ cluster::AllocationMap ShardedScheduler::schedule(const SchedulerContext& ctx) {
         used[static_cast<std::size_t>(cand)] += W;
         out.emplace(j.id(), to_global(cand, *got));
         if (cand != home) {
-          home_[j.id()] = cand;
+          home_[j.id()] = JobEntry{cand, j.spec->arrival};
           job_cell_[i] = cand;
           ++moved;
         }
@@ -404,19 +418,21 @@ void ShardedScheduler::save_state(common::BinaryWriter& w) const {
     flat_->save_state(w);
     return;
   }
-  w.u8(1);  // sharded-state version
+  w.u8(2);  // sharded-state version (2: + per-entry arrival guards)
   w.i32(resolved_cells_);
   w.u64(topo_version_);
   w.i64(migrations_);
   w.u32(static_cast<std::uint32_t>(home_.size()));
-  for (const auto& [id, cell] : home_) {
+  for (const auto& [id, e] : home_) {
     w.i32(id);
-    w.i32(cell);
+    w.i32(e.value);
+    w.f64(e.arrival);
   }
   w.u32(static_cast<std::uint32_t>(starved_.size()));
-  for (const auto& [id, rounds] : starved_) {
+  for (const auto& [id, e] : starved_) {
     w.i32(id);
-    w.i32(rounds);
+    w.i32(e.value);
+    w.f64(e.arrival);
   }
   if (resolved_cells_ > 1) {
     for (const Cell& cell : cells_) {
@@ -435,23 +451,29 @@ void ShardedScheduler::restore_state(common::BinaryReader& r) {
     return;
   }
   const std::uint8_t version = r.u8();
-  if (version != 1) throw std::runtime_error("ShardedScheduler: unknown state version");
+  if (version != 1 && version != 2) {
+    throw std::runtime_error("ShardedScheduler: unknown state version");
+  }
   resolved_cells_ = r.i32();
   topo_version_ = r.u64();
   migrations_ = r.i64();
+  // Version-1 entries carry no arrival guard; restore them with the
+  // match-anything sentinel so legacy snapshots stay loadable.
   home_.clear();
   const std::uint32_t n = r.u32();
   for (std::uint32_t i = 0; i < n; ++i) {
     const JobId id = r.i32();
     const int cell = r.i32();
-    home_.emplace(id, cell);
+    const Seconds arrival = version >= 2 ? r.f64() : kAnyArrival;
+    home_.emplace(id, JobEntry{cell, arrival});
   }
   starved_.clear();
   const std::uint32_t ns = r.u32();
   for (std::uint32_t i = 0; i < ns; ++i) {
     const JobId id = r.i32();
     const int rounds = r.i32();
-    starved_.emplace(id, rounds);
+    const Seconds arrival = version >= 2 ? r.f64() : kAnyArrival;
+    starved_.emplace(id, JobEntry{rounds, arrival});
   }
   cells_.clear();
   layout_.reset();  // rebuilt from the spec on the next schedule()

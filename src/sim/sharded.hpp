@@ -90,6 +90,9 @@ class ShardedScheduler final : public IScheduler {
   }
   /// Cell a job was last routed to, or -1 when unknown.
   int cell_of_job(JobId id) const;
+  /// Consecutive rounds the job has gone policy-unplaced (0 when placed or
+  /// unknown). Exposed for the churn/bounded-state regression tests.
+  int starved_rounds(JobId id) const;
   /// Cross-cell migrations performed since construction/reset().
   long long migrations() const { return migrations_; }
 
@@ -116,12 +119,32 @@ class ShardedScheduler final : public IScheduler {
   ShardConfig cfg_;
   SchedulerPtr flat_;  ///< passthrough instance; also provides name()
 
+  /// Bookkeeping entry guarded by the owning job's arrival time: both maps
+  /// are rebuilt from the live job set every round (so completed/killed jobs
+  /// are pruned and state size stays bounded by the runnable set), and the
+  /// arrival guard keeps a recycled JobId — a fresh job reusing a finished
+  /// job's id in service mode — from inheriting the dead job's sticky cell
+  /// or starvation counter.
+  struct JobEntry {
+    int value = 0;        ///< home cell, resp. consecutive unplaced rounds
+    Seconds arrival = 0;  ///< arrival of the job this entry belongs to
+  };
+  /// Arrival sentinel for entries restored from version-1 state (which
+  /// lacked the guard): matches any job. Real arrivals are never negative.
+  static constexpr Seconds kAnyArrival = -1.0;
+
+  /// True when `e` was recorded for this job and not for a finished job
+  /// whose id got recycled.
+  static bool same_job(const JobEntry& e, const JobView& j) {
+    return e.arrival == kAnyArrival || e.arrival == j.spec->arrival;
+  }
+
   int resolved_cells_ = 0;
   std::optional<cluster::CellLayout> layout_;
   std::vector<Cell> cells_;
-  std::map<JobId, int> home_;        ///< sticky job -> cell routing
-  std::map<JobId, int> starved_;     ///< consecutive policy-unplaced rounds
-  std::vector<int> job_cell_;        ///< per-round: cell of ctx.jobs[i]
+  std::map<JobId, JobEntry> home_;     ///< sticky job -> cell routing
+  std::map<JobId, JobEntry> starved_;  ///< consecutive policy-unplaced rounds
+  std::vector<int> job_cell_;          ///< per-round: cell of ctx.jobs[i]
   long long migrations_ = 0;
 
   /// Topology-change detection: cluster_epoch when available, else a dense

@@ -347,11 +347,23 @@ TEST(EnvInt, RejectsGarbageAndTrailingJunk) {
   unsetenv("HADAR_TEST_ENV_INT");
 }
 
-TEST(EnvInt, EnforcesMinimum) {
+TEST(EnvInt, EnforcesMinimumOnlyWhenCallerSetsAFloor) {
   setenv("HADAR_TEST_ENV_INT", "0", 1);
-  EXPECT_EQ(env_int("HADAR_TEST_ENV_INT", 7, 1), 7);
+  EXPECT_EQ(env_int("HADAR_TEST_ENV_INT", 7, 1), 7);  // warns, falls back
   setenv("HADAR_TEST_ENV_INT", "-3", 1);
   EXPECT_EQ(env_int("HADAR_TEST_ENV_INT", 7, 1), 7);
+  EXPECT_EQ(env_int("HADAR_TEST_ENV_INT", 7, 0), 7);
+  unsetenv("HADAR_TEST_ENV_INT");
+}
+
+TEST(EnvInt, DefaultAcceptsZeroAndNegativeValues) {
+  // Zero/negative are legitimate for knobs like HADAR_CELLS=0 (auto) and
+  // HADAR_SERVICE_SNAPSHOT=0 (off): without an explicit floor they must be
+  // returned verbatim, not clamped to the default.
+  setenv("HADAR_TEST_ENV_INT", "0", 1);
+  EXPECT_EQ(env_int("HADAR_TEST_ENV_INT", 7), 0);
+  setenv("HADAR_TEST_ENV_INT", "-3", 1);
+  EXPECT_EQ(env_int("HADAR_TEST_ENV_INT", 7), -3);
   unsetenv("HADAR_TEST_ENV_INT");
 }
 

@@ -262,6 +262,19 @@ TEST(TraceReport, BucketsByCategory) {
   e.cat = "sim";
   e.name = "sim.advance";
   EXPECT_EQ(analysis::bucket_of(e), analysis::TimeBucket::kBookkeeping);
+  // Pipeline stage spans: priority/allocation self time is solve work,
+  // placement/preemption is placement, admission is bookkeeping.
+  e.cat = "pipeline";
+  e.name = "stage.priority";
+  EXPECT_EQ(analysis::bucket_of(e), analysis::TimeBucket::kSolve);
+  e.name = "stage.allocation";
+  EXPECT_EQ(analysis::bucket_of(e), analysis::TimeBucket::kSolve);
+  e.name = "stage.placement";
+  EXPECT_EQ(analysis::bucket_of(e), analysis::TimeBucket::kPlacement);
+  e.name = "stage.preemption";
+  EXPECT_EQ(analysis::bucket_of(e), analysis::TimeBucket::kPlacement);
+  e.name = "stage.admission";
+  EXPECT_EQ(analysis::bucket_of(e), analysis::TimeBucket::kBookkeeping);
 }
 
 TEST(TraceReport, SelfTimeExcludesChildren) {

@@ -1,0 +1,291 @@
+// Tests for the Blox-style round pipeline (src/pipeline/): driver contracts
+// (stage order, observer, per-stage timing, save/restore), per-stage golden
+// digests pinning every extracted stage's output bit-for-bit over the same
+// workload the end-to-end golden digests use, and mixed pipelines composed
+// of stages from different policies (the point of the stage interfaces).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/tiresias.hpp"
+#include "common/binary.hpp"
+#include "common/thread_pool.hpp"
+#include "core/hadar_scheduler.hpp"
+#include "pipeline/staged_scheduler.hpp"
+#include "pipeline/stages.hpp"
+#include "runner/experiment.hpp"
+#include "runner/scenarios.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace hadar {
+namespace {
+
+using common::ScopedThreadCount;
+using pipeline::RoundState;
+using pipeline::StagedScheduler;
+using pipeline::StageKind;
+using pipeline::StageSet;
+using test::ContextBuilder;
+
+// ------------------------------------------------------------- digests ----
+
+void fold(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ULL;
+}
+
+std::uint64_t bits(double d) {
+  std::uint64_t u;
+  static_assert(sizeof(u) == sizeof(d));
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+void fold_alloc(std::uint64_t& h, const cluster::JobAllocation& a) {
+  for (const auto& p : a.placements()) {
+    fold(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(p.node)));
+    fold(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(p.type)));
+    fold(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(p.count)));
+  }
+}
+
+/// Folds every stage-visible product of one stage invocation: the queue, the
+/// ranked candidates, the proposed placements, and the running result. Any
+/// behavioral drift in any stage of any policy moves at least one digest.
+struct StageDigests {
+  std::array<std::uint64_t, pipeline::kNumStages> h;
+  StageDigests() { h.fill(1469598103934665603ULL); }
+
+  void observe(StageKind k, const RoundState& rs) {
+    auto& d = h[static_cast<std::size_t>(k)];
+    fold(d, rs.queue.size());
+    for (const sim::JobView* j : rs.queue) {
+      fold(d, static_cast<std::uint64_t>(static_cast<std::int64_t>(j->id())));
+    }
+    fold(d, rs.ranked.size());
+    for (const auto& c : rs.ranked) {
+      fold(d, static_cast<std::uint64_t>(static_cast<std::int64_t>(c.job->id())));
+      fold(d, static_cast<std::uint64_t>(static_cast<std::int64_t>(c.type)));
+      fold(d, bits(c.priority));
+    }
+    fold(d, rs.proposed.size());
+    for (const auto& [id, alloc] : rs.proposed) {
+      fold(d, static_cast<std::uint64_t>(static_cast<std::int64_t>(id)));
+      fold_alloc(d, alloc);
+    }
+    fold(d, rs.result.size());
+    for (const auto& [id, alloc] : rs.result) {
+      fold(d, static_cast<std::uint64_t>(static_cast<std::int64_t>(id)));
+      fold_alloc(d, alloc);
+    }
+  }
+};
+
+/// Runs the end-to-end golden workload (runner::paper_static(48, 42) — the
+/// same one tests/test_cluster_state_soa.cpp pins) through the flat staged
+/// scheduler and digests every stage's output. Set HADAR_PIPELINE_PRINT=1
+/// to print the table for refreshing the constants after an *intended*
+/// behavior change.
+StageDigests run_stage_golden(const std::string& scheduler) {
+  ScopedThreadCount tc(1);
+  const auto cfg = runner::paper_static(48, 42);
+  auto sched = runner::make_flat_scheduler(scheduler);
+  auto* staged = dynamic_cast<StagedScheduler*>(sched.get());
+  EXPECT_NE(staged, nullptr) << scheduler << " is not a StagedScheduler";
+  StageDigests d;
+  staged->set_stage_observer([&d](StageKind k, const RoundState& rs) { d.observe(k, rs); });
+  sim::Simulator simulator(cfg.sim);
+  (void)simulator.run(cfg.spec, cfg.trace, *sched);
+  if (std::getenv("HADAR_PIPELINE_PRINT") != nullptr) {
+    for (int i = 0; i < pipeline::kNumStages; ++i) {
+      std::printf("%s %s 0x%016llx\n", scheduler.c_str(),
+                  pipeline::to_string(static_cast<StageKind>(i)),
+                  static_cast<unsigned long long>(d.h[static_cast<std::size_t>(i)]));
+    }
+  }
+  return d;
+}
+
+void expect_stage_digests(const std::string& scheduler,
+                          const std::array<std::uint64_t, pipeline::kNumStages>& want) {
+  const StageDigests got = run_stage_golden(scheduler);
+  for (int i = 0; i < pipeline::kNumStages; ++i) {
+    EXPECT_EQ(got.h[static_cast<std::size_t>(i)], want[static_cast<std::size_t>(i)])
+        << scheduler << " stage " << pipeline::to_string(static_cast<StageKind>(i));
+  }
+}
+
+// Pinned on the first staged implementation (this PR): each value folds one
+// stage's outputs over every round of the golden workload. The end-to-end
+// digests in test_cluster_state_soa.cpp prove the pipeline matches the
+// monolithic schedulers; these pin each extracted stage individually, so a
+// future stage edit that shifts work between stages (same end result,
+// different intermediate products) is caught and must be intentional.
+TEST(PerStageGolden, Hadar) {
+  expect_stage_digests("hadar",
+                       {0x310ba7e6a9b98630ULL, 0xbe987c0ef8ace394ULL, 0xb5f069abdc531775ULL,
+                        0xff081758f307f45fULL, 0xff081758f307f45fULL});
+}
+
+TEST(PerStageGolden, Gavel) {
+  expect_stage_digests("gavel",
+                       {0x2f5bfb384b04d664ULL, 0x2f5bfb384b04d664ULL, 0xfc5d17767b5ff1feULL,
+                        0x734d384c51130bf7ULL, 0x734d384c51130bf7ULL});
+}
+
+TEST(PerStageGolden, Tiresias) {
+  expect_stage_digests("tiresias",
+                       {0x140515a907cf0344ULL, 0xeb7184abc23fa586ULL, 0xeb7184abc23fa586ULL,
+                        0x74221784998de8d1ULL, 0x74221784998de8d1ULL});
+}
+
+TEST(PerStageGolden, Yarn) {
+  expect_stage_digests("yarn",
+                       {0xad5529c4f432c078ULL, 0x9ace0c55489e2855ULL, 0x9ace0c55489e2855ULL,
+                        0xb744963735cfa021ULL, 0xb744963735cfa021ULL});
+}
+
+// -------------------------------------------------------------- driver ----
+
+TEST(StagedScheduler, RunsStagesInFixedOrderOncePerRound) {
+  StageSet set;
+  set.admission = std::make_shared<pipeline::PassThroughAdmissionStage>();
+  set.priority = std::make_shared<pipeline::ArrivalOrderPriorityStage>();
+  set.allocation = std::make_shared<pipeline::NoSolveStage>();
+  set.placement = std::make_shared<pipeline::GreedyPlacementStage>();
+  set.preemption = std::make_shared<pipeline::NoPreemptionStage>();
+  StagedScheduler sched("fifo", std::move(set));
+  sched.enable_stage_timing(true);
+
+  std::vector<StageKind> order;
+  sched.set_stage_observer([&order](StageKind k, const RoundState&) { order.push_back(k); });
+
+  const cluster::ClusterSpec spec = cluster::ClusterSpec::scaled(2);
+  ContextBuilder b(&spec);
+  b.add_job(2, 1e5, {8.0, 4.0, 2.0});
+  b.add_job(1, 1e5, {8.0, 4.0, 2.0});
+  const auto ctx = b.build();
+
+  const auto out = sched.schedule(ctx);
+  EXPECT_EQ(out.size(), 2u);  // both jobs fit a 24-GPU cluster
+  ASSERT_EQ(order.size(), 5u);
+  for (int i = 0; i < pipeline::kNumStages; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], static_cast<StageKind>(i));
+  }
+  (void)sched.schedule(ctx);
+  EXPECT_EQ(order.size(), 10u);
+  EXPECT_EQ(sched.timed_rounds(), 2u);
+}
+
+// ------------------------------------------------------ mixed pipelines ----
+
+/// Hadar's admission/pricing/DP with Tiresias' LAS preemption pass in the
+/// preemption slot — the stage-swap composition the pipeline exists for.
+std::unique_ptr<StagedScheduler> make_mixed(double queue_threshold = 3600.0) {
+  StageSet set = core::make_hadar_stages(core::HadarConfig{});
+  baselines::TiresiasConfig tc;
+  tc.queue_threshold = queue_threshold;
+  set.preemption = std::make_shared<baselines::TiresiasPreemptionStage>(tc);
+  return std::make_unique<StagedScheduler>("hadar+las-preempt", std::move(set));
+}
+
+TEST(MixedPipeline, HadarAllocationWithTiresiasPreemptionRunsDeterministically) {
+  const auto cfg = runner::paper_static(32, 7);
+  ASSERT_TRUE(cfg.sim.validate_allocations);
+  sim::SimResult a, b;
+  {
+    sim::Simulator simulator(cfg.sim);
+    auto sched = make_mixed();
+    a = simulator.run(cfg.spec, cfg.trace, *sched);
+  }
+  {
+    sim::Simulator simulator(cfg.sim);
+    auto sched = make_mixed();
+    b = simulator.run(cfg.spec, cfg.trace, *sched);
+  }
+  EXPECT_EQ(a.num_unfinished, 0);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.avg_jct, b.avg_jct);
+  EXPECT_EQ(a.rounds, b.rounds);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].finish, b.jobs[i].finish);
+  }
+}
+
+TEST(MixedPipeline, SaveRestoreRoundTripsAcrossPolicies) {
+  const cluster::ClusterSpec spec = cluster::ClusterSpec::scaled(2);
+  ContextBuilder b(&spec);
+  for (int i = 0; i < 8; ++i) b.add_job(1 + i % 3, 1e5, {8.0, 4.0, 2.0});
+  const auto ctx = b.build();
+
+  auto original = make_mixed();
+  (void)original->schedule(ctx);
+  (void)original->schedule(ctx);
+
+  common::BinaryWriter w;
+  original->save_state(w);
+  auto restored = make_mixed();
+  common::BinaryReader r(w.data());
+  restored->restore_state(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(original->schedule(ctx), restored->schedule(ctx));
+}
+
+// Synthetic single-round check that the Tiresias preemption stage actually
+// revokes: an over-threshold job's *fresh* grant is taken back when a short
+// job is left waiting, and kept when nothing short waits.
+TEST(MixedPipeline, TiresiasPreemptionStageRevokesFreshGrants) {
+  const cluster::ClusterSpec spec = cluster::ClusterSpec::from_counts(
+      cluster::GpuTypeRegistry::simulation_default(), {{4, 0, 0}});
+
+  const auto make_fifo_las = [] {
+    StageSet set;
+    set.admission = std::make_shared<pipeline::PassThroughAdmissionStage>();
+    set.priority = std::make_shared<pipeline::ArrivalOrderPriorityStage>();
+    set.allocation = std::make_shared<pipeline::NoSolveStage>();
+    set.placement = std::make_shared<pipeline::GreedyPlacementStage>();
+    set.preemption =
+        std::make_shared<baselines::TiresiasPreemptionStage>(baselines::TiresiasConfig{});
+    return std::make_unique<StagedScheduler>("fifo+las-preempt", std::move(set));
+  };
+
+  // Job 0 (long: 2 GPU-hours attained, currently paused) grabs 2 of the 4
+  // devices; job 1's 4-gang no longer fits and waits. The preemption pass
+  // must revoke job 0's fresh grant.
+  {
+    ContextBuilder b(&spec);
+    b.add_job(2, 1e5, {8.0, 0.0, 0.0});
+    b.add_job(4, 1e5, {8.0, 0.0, 0.0});
+    auto ctx = b.build();
+    ctx.jobs[0].attained_service = 7200.0;  // over the 3600 s threshold
+    auto sched = make_fifo_las();
+    const auto out = sched->schedule(ctx);
+    EXPECT_EQ(out.count(0), 0u);
+    EXPECT_EQ(out.count(1), 0u);  // still waiting; devices free next round
+  }
+
+  // Same jobs, but the short job fits alongside: nothing waits, the long
+  // job's grant stands.
+  {
+    ContextBuilder b(&spec);
+    b.add_job(2, 1e5, {8.0, 0.0, 0.0});
+    b.add_job(2, 1e5, {8.0, 0.0, 0.0});
+    auto ctx = b.build();
+    ctx.jobs[0].attained_service = 7200.0;
+    auto sched = make_fifo_las();
+    const auto out = sched->schedule(ctx);
+    EXPECT_EQ(out.count(0), 1u);
+    EXPECT_EQ(out.count(1), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace hadar

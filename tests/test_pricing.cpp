@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
+#include <utility>
 
 #include "core/pricing.hpp"
 #include "test_util.hpp"
@@ -219,6 +221,87 @@ TEST(PriceBook, RejectsBadConfig) {
   EXPECT_THROW(PriceBook(0, PricingConfig{}), std::invalid_argument);
   PriceBook book(3, PricingConfig{});
   EXPECT_THROW(book.price(5, 0, 4), std::out_of_range);
+}
+
+// ---- PriceCache keying: per-book identity, no cross-book aliasing ----
+
+TEST(PriceBook, IdentityIsFreshPerConstructionAndStablePerAssignment) {
+  PriceBook a(3, PricingConfig{});
+  PriceBook b(3, PricingConfig{});
+  EXPECT_NE(a.identity(), 0u);
+  EXPECT_NE(b.identity(), 0u);
+  EXPECT_NE(a.identity(), b.identity());
+
+  PriceBook copy(a);  // a new logical book: fresh identity, same bounds
+  EXPECT_NE(copy.identity(), a.identity());
+  EXPECT_EQ(copy.bounds_version(), a.bounds_version());
+  PriceBook moved(std::move(copy));
+  EXPECT_NE(moved.identity(), a.identity());
+
+  // Assignment is the same logical book with changed bounds: identity is
+  // kept, the bounds version bumps.
+  const auto id = a.identity();
+  const auto v = a.bounds_version();
+  a = b;
+  EXPECT_EQ(a.identity(), id);
+  EXPECT_GT(a.bounds_version(), v);
+  a = PriceBook(3, PricingConfig{});
+  EXPECT_EQ(a.identity(), id);
+}
+
+// Two live books (per-cell books under sharding, two Simulators in one
+// process) at the *same* bounds-version count must never serve each other's
+// prices through a shared cache.
+TEST(PriceCache, TwoLiveBooksShareOneCacheWithoutAliasing) {
+  ContextBuilder b(&sim_spec());
+  b.add_job(2, 5000.0, {10.0, 5.0, 1.0});
+  const auto ctx = b.build();
+  const UtilityFunction u;
+  PricingConfig low;
+  low.eta = 1.0;
+  PricingConfig high;
+  high.eta = 100.0;
+  PriceBook cheap(3, high), dear(3, low);
+  cheap.compute_bounds(ctx, u);
+  dear.compute_bounds(ctx, u);
+  ASSERT_NE(cheap.price_at_fraction(0, 0.5), dear.price_at_fraction(0, 0.5));
+  ASSERT_EQ(cheap.bounds_version(), dear.bounds_version());  // identity must split them
+
+  PriceCache cache;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const PriceBook* book : {&cheap, &dear}) {
+      cache.sync(*book);
+      for (const double f : {0.0, 0.25, 0.5, 0.5, 1.0}) {
+        EXPECT_EQ(cache.price(*book, 0, f), book->price_at_fraction(0, f));
+      }
+    }
+  }
+}
+
+// A new book constructed at a dead book's address (with an equal
+// bounds-version count) must invalidate a cache synced to the old one.
+TEST(PriceCache, AddressReuseDoesNotServeStalePrices) {
+  ContextBuilder b(&sim_spec());
+  b.add_job(2, 5000.0, {10.0, 5.0, 1.0});
+  const auto ctx = b.build();
+  const UtilityFunction u;
+  PricingConfig low;
+  low.eta = 1.0;
+  PricingConfig high;
+  high.eta = 100.0;
+
+  std::optional<PriceBook> slot;
+  slot.emplace(3, high);
+  slot->compute_bounds(ctx, u);
+  PriceCache cache;
+  cache.sync(*slot);
+  const double stale = cache.price(*slot, 0, 0.5);
+
+  slot.emplace(3, low);  // same address, same bump count, different bounds
+  slot->compute_bounds(ctx, u);
+  cache.sync(*slot);
+  EXPECT_EQ(cache.price(*slot, 0, 0.5), slot->price_at_fraction(0, 0.5));
+  EXPECT_NE(cache.price(*slot, 0, 0.5), stale);
 }
 
 TEST(PriceBook, AlphaMatchesLogRatio) {

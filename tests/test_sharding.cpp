@@ -276,6 +276,135 @@ TEST(Sharding, SaveRestoreReproducesDecisions) {
   EXPECT_EQ(a, b);
 }
 
+// ---------------------------------------------------------- bookkeeping ----
+
+// Owns JobSpecs with caller-chosen ids and arrivals (ContextBuilder always
+// numbers jobs from zero), so churn and id recycling are expressible.
+class ChurnContext {
+ public:
+  explicit ChurnContext(const ClusterSpec* spec) : spec_(spec) {}
+
+  ChurnContext& add(JobId id, Seconds arrival, int workers) {
+    auto j = std::make_unique<workload::JobSpec>();
+    j->id = id;
+    j->model = "churn-" + std::to_string(id);
+    j->arrival = arrival;
+    j->num_workers = workers;
+    j->epochs = 1000000;
+    j->chunks_per_epoch = 1;
+    j->throughput.assign(static_cast<std::size_t>(spec_->num_types()), 4.0);
+    specs_.push_back(std::move(j));
+    return *this;
+  }
+
+  sim::SchedulerContext build(Seconds now) const {
+    sim::SchedulerContext ctx;
+    ctx.spec = spec_;
+    ctx.now = now;
+    ctx.round_length = 360.0;
+    for (const auto& s : specs_) {
+      sim::JobView v;
+      v.spec = s.get();
+      v.throughput = s->throughput;
+      v.rounds_on_type.assign(static_cast<std::size_t>(spec_->num_types()), 0);
+      ctx.jobs.push_back(std::move(v));
+    }
+    return ctx;
+  }
+
+ private:
+  const ClusterSpec* spec_;
+  std::vector<std::unique_ptr<workload::JobSpec>> specs_;
+};
+
+// Service-mode churn: hundreds of jobs arrive and retire, yet the
+// orchestrator's sticky-routing and starvation maps must stay sized by the
+// *live* job set — persisted state must not grow with run history.
+TEST(Sharding, ChurnWorkloadKeepsBookkeepingStateBounded) {
+  const ClusterSpec spec = ClusterSpec::scaled(4);  // 12 nodes
+  ShardConfig shard;
+  shard.cells = 3;
+  ShardedScheduler sched([] { return runner::make_flat_scheduler("yarn"); }, shard);
+
+  const auto state_bytes = [&sched] {
+    common::BinaryWriter w;
+    sched.save_state(w);
+    return w.data().size();
+  };
+
+  // Every round retires the previous window of jobs and admits a fresh one
+  // (always-new ids), plus one gang no cell can ever fit (stays starved).
+  std::size_t mid = 0;
+  JobId next_id = 0;
+  for (int round = 0; round < 40; ++round) {
+    ChurnContext cc(&spec);
+    cc.add(100000, 0.0, 64);  // unplaceable: exceeds the whole cluster
+    for (int k = 0; k < 5; ++k) cc.add(next_id++, round * 360.0, 1 + k % 3);
+    const auto ctx = cc.build(round * 360.0);
+    (void)sched.schedule(ctx);
+    if (round == 19) mid = state_bytes();
+  }
+  // 200 jobs churned through; state size at round 40 matches round 20.
+  EXPECT_GT(mid, 0u);
+  EXPECT_EQ(state_bytes(), mid);
+  EXPECT_EQ(sched.starved_rounds(100000), 40);  // the live starved job
+  EXPECT_EQ(sched.starved_rounds(0), 0);        // retired jobs are pruned
+}
+
+// A fresh job that recycles a finished job's id (external id allocators do
+// this in service mode) must not inherit the dead job's starvation counter
+// or sticky cell. Entries are guarded by the owning job's arrival time.
+TEST(Sharding, RecycledJobIdGetsFreshRoutingAndStarvationCounter) {
+  const ClusterSpec spec = ClusterSpec::from_counts(
+      cluster::GpuTypeRegistry::simulation_default(),
+      {{4, 0, 0}, {4, 0, 0}, {4, 0, 0}, {4, 0, 0}});
+  ShardConfig shard;
+  shard.cells = 2;
+  shard.migration_threshold = 1.0;  // isolate routing from refinement
+  shard.starvation_rounds = 0;
+  ShardedScheduler sched([] { return runner::make_flat_scheduler("yarn"); }, shard);
+
+  // Rounds 1-3: job 7 is an unplaceable 20-gang; its counter climbs.
+  for (int round = 1; round <= 3; ++round) {
+    ChurnContext cc(&spec);
+    cc.add(7, 0.0, 20);
+    (void)sched.schedule(cc.build(round * 360.0));
+    EXPECT_EQ(sched.starved_rounds(7), round);
+  }
+
+  // Round 4: id 7 now names a *new* job (later arrival). The counter
+  // restarts at 1 instead of resuming at 4.
+  {
+    ChurnContext cc(&spec);
+    cc.add(7, 1000.0, 20);
+    (void)sched.schedule(cc.build(4 * 360.0));
+    EXPECT_EQ(sched.starved_rounds(7), 1);
+  }
+
+  // Sticky routing must likewise forget the dead job's cell. Round 1 parks
+  // job 7 in cell 1 (the 8-gang fills cell 0 first). Round 2 loads both
+  // cells equally with fresh 8-gangs, so least-load routing with its
+  // low-cell tie-break sends a *fresh* job to cell 0 — the recycled id must
+  // take that path, not the stale sticky entry for cell 1.
+  sched.reset();
+  {
+    ChurnContext cc(&spec);
+    cc.add(3, 0.0, 8);  // ties break low: routed to cell 0
+    cc.add(7, 0.0, 2);  // load 8 vs 0: routed to cell 1
+    (void)sched.schedule(cc.build(360.0));
+    EXPECT_EQ(sched.cell_of_job(3), 0);
+    EXPECT_EQ(sched.cell_of_job(7), 1);
+  }
+  {
+    ChurnContext cc(&spec);
+    cc.add(9, 2000.0, 8);   // cell 0 (tie)
+    cc.add(10, 2000.0, 8);  // cell 1
+    cc.add(7, 2000.0, 2);   // recycled id: fresh tie-break -> cell 0
+    (void)sched.schedule(cc.build(2160.0));
+    EXPECT_EQ(sched.cell_of_job(7), 0);
+  }
+}
+
 // --------------------------------------------------------------- config ----
 
 TEST(ShardConfig, FromEnvOverlaysAndFallsBackOnBadValues) {
