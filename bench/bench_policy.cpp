@@ -1,0 +1,75 @@
+// Policy auto-tuner bench (DESIGN.md §15): grid-searches (deadline_weight,
+// fairness_weight, quota_strictness) for one scheduler over the deadline/
+// tenant slo_static scenario and emits BENCH_POLICY.json with every grid
+// point and the winning weight vector. The tuner is deterministic — the
+// grid order, the positional sweep contract, and the first-best tie-break
+// make the winner identical at any HADAR_THREADS — and this bench proves it
+// by running the grid twice and diffing the verdicts.
+//
+// Knobs: HADAR_BENCH_JOBS (trace size, default 96), HADAR_POLICY_SCHED
+// (scheduler name, default hadar), HADAR_POLICY_QUOTA_GPH (per-tenant
+// GPU-hour budget; default sized to half a fair share of the trace load so
+// the quota axis actually binds).
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "runner/tune_policy.hpp"
+
+using namespace hadar;
+
+int main(int argc, char** argv) {
+  bench::TraceGuard trace_guard(argc, argv);
+
+  const int jobs = bench::bench_jobs(96);
+  const int tenants = 3;
+  const runner::ExperimentConfig cfg = runner::slo_static(jobs, 42, 0.5, tenants);
+  bench::print_header("bench_policy", "deadline/quota weight auto-tuner", cfg);
+
+  runner::TuneGrid grid;
+  // Half a fair per-tenant share: tight enough that the strictness axis
+  // changes schedules, loose enough that the idle guard rarely fires.
+  const double fair_share = cfg.trace.total_gpu_hours() / tenants;
+  grid.quota_gpu_hours =
+      common::env_double("HADAR_POLICY_QUOTA_GPH", 0.5 * fair_share, 0.0, 1e12);
+  const std::string sched = common::env_str("HADAR_POLICY_SCHED", "hadar");
+
+  const runner::TuneResult result = runner::tune_policy(sched, cfg, grid);
+  const runner::TuneResult replay = runner::tune_policy(sched, cfg, grid);
+
+  common::AsciiTable t("policy grid (" + sched + ", " + std::to_string(jobs) + " jobs, " +
+                           std::to_string(tenants) + " tenants)",
+                       {"dw", "fw", "qs", "score", "attain", "tard(s)", "imbal", "jct(s)"});
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    const runner::TunePoint& p = result.points[i];
+    t.add_row({common::AsciiTable::num(p.policy.deadline_weight, 2),
+               common::AsciiTable::num(p.policy.fairness_weight, 2),
+               common::AsciiTable::num(p.policy.quota_strictness, 2),
+               common::AsciiTable::num(p.score, 4),
+               common::AsciiTable::num(p.deadline_attainment, 3),
+               common::AsciiTable::num(p.avg_tardiness, 0),
+               common::AsciiTable::num(p.tenant_imbalance, 3),
+               common::AsciiTable::num(p.avg_jct, 0)});
+  }
+  const runner::TunePoint& best = result.best_point();
+  t.set_footnote("best: dw=" + common::AsciiTable::num(best.policy.deadline_weight, 2) +
+                 " fw=" + common::AsciiTable::num(best.policy.fairness_weight, 2) +
+                 " qs=" + common::AsciiTable::num(best.policy.quota_strictness, 2) +
+                 " (score " + common::AsciiTable::num(best.score, 4) + ")");
+  std::printf("%s\n", t.render().c_str());
+
+  // Determinism self-check: the replayed grid must produce the identical
+  // verdict byte for byte (same seeds, same positional sweep).
+  const std::string json = runner::tune_result_json(result);
+  const bool reproducible =
+      result.best == replay.best && json == runner::tune_result_json(replay);
+  std::printf("tuner reproducibility: %s\n", reproducible ? "ok" : "MISMATCH");
+
+  if (std::FILE* f = std::fopen("BENCH_POLICY.json", "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_POLICY.json\n");
+  }
+
+  return reproducible ? 0 : 1;
+}

@@ -217,7 +217,14 @@ int main() {
                    r.nodes, r.jobs, r.mode.c_str(), r.cells, r.rounds_per_s, r.p50_s,
                    r.p99_s, i + 1 < results.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n");
+    // Gate micros keyed by their baseline.json names (CI baseline-drift check).
+    std::fprintf(f, "  \"gate_metrics\": {\n");
+    for (std::size_t i = 0; i < gate_metrics.size(); ++i) {
+      std::fprintf(f, "    \"%s\": %.6f%s\n", gate_metrics[i].name.c_str(),
+                   gate_metrics[i].seconds, i + 1 < gate_metrics.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::printf("wrote BENCH_SCALE.json\n");
   }

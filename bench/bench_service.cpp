@@ -285,13 +285,20 @@ int main(int argc, char** argv) {
                  curve[i].records, curve[i].seconds, curve[i].rounds_per_s,
                  i + 1 < curve.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"event_log\": {\"sorted_view_us_per_round\": %.4f},\n",
+               evlog_round_s * 1e6);
+  // The gate micros under their baseline.json keys, so CI's baseline-drift
+  // check can verify every baseline row is still being measured somewhere.
+  std::fprintf(f, "  \"gate_metrics\": {\n");
+  for (std::size_t i = 0; i < gate_metrics.size(); ++i) {
+    std::fprintf(f, "    \"%s\": %.6f%s\n", gate_metrics[i].name.c_str(),
+                 gate_metrics[i].seconds, i + 1 < gate_metrics.size() ? "," : "");
+  }
   std::fprintf(f,
-               "  ],\n"
-               "  \"event_log\": {\"sorted_view_us_per_round\": %.4f},\n"
+               "  },\n"
                "  \"perf_gate\": {\"calib_seconds\": %.6f, \"baseline_found\": %s, \"failed\": %s}\n"
                "}\n",
-               evlog_round_s * 1e6, calib_s, gate.baseline_found ? "true" : "false",
-               gate.failed ? "true" : "false");
+               calib_s, gate.baseline_found ? "true" : "false", gate.failed ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
 

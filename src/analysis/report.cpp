@@ -13,7 +13,8 @@ const std::vector<std::string> kMetricHeader = {
     "scheduler",     "avg_jct_s",  "median_jct_s",    "p95_jct_s",
     "makespan_s",    "avg_queueing_s", "gpu_utilization", "avg_job_utilization",
     "avg_ftf",       "max_ftf",    "preemptions",     "reallocations",
-    "realloc_round_fraction"};
+    "realloc_round_fraction", "deadline_attainment", "avg_tardiness_s", "max_tardiness_s",
+    "tenants"};
 
 std::vector<std::string> metric_row(const NamedResult& run) {
   if (run.result == nullptr) throw std::invalid_argument("NamedResult: null result");
@@ -30,7 +31,11 @@ std::vector<std::string> metric_row(const NamedResult& run) {
           CsvWriter::field(r.max_ftf),
           CsvWriter::field(static_cast<long long>(r.total_preemptions)),
           CsvWriter::field(static_cast<long long>(r.total_reallocations)),
-          CsvWriter::field(r.realloc_round_fraction)};
+          CsvWriter::field(r.realloc_round_fraction),
+          CsvWriter::field(r.deadline_attainment),
+          CsvWriter::field(r.avg_tardiness),
+          CsvWriter::field(r.max_tardiness),
+          CsvWriter::field(static_cast<long long>(r.tenant_shares.size()))};
 }
 
 }  // namespace
@@ -60,7 +65,7 @@ std::string comparison_markdown(const std::vector<NamedResult>& runs) {
 std::string per_job_csv(const sim::SimResult& result) {
   CsvWriter w({"job", "arrival_s", "first_start_s", "finish_s", "jct_s", "queueing_s",
                "gpu_seconds", "compute_gpu_seconds", "rounds_run", "preemptions",
-               "reallocations", "ftf"});
+               "reallocations", "ftf", "deadline_s", "tardiness_s", "tenant"});
   for (const auto& j : result.jobs) {
     w.add_row({CsvWriter::field(static_cast<long long>(j.id)),
                CsvWriter::field(j.arrival),
@@ -73,7 +78,10 @@ std::string per_job_csv(const sim::SimResult& result) {
                CsvWriter::field(static_cast<long long>(j.rounds_run)),
                CsvWriter::field(static_cast<long long>(j.preemptions)),
                CsvWriter::field(static_cast<long long>(j.reallocations)),
-               CsvWriter::field(j.ftf)});
+               CsvWriter::field(j.ftf),
+               CsvWriter::field(j.deadline),
+               CsvWriter::field(j.tardiness),
+               CsvWriter::field(static_cast<long long>(j.tenant))});
   }
   return w.to_string();
 }

@@ -1,0 +1,107 @@
+#include "core/duration_predictor.hpp"
+
+#include <algorithm>
+
+#include "common/binary.hpp"
+#include "core/utility.hpp"
+
+namespace hadar::core {
+
+namespace {
+// Outlier clamp for one realized stretch sample: a JCT below ideal is
+// estimator noise, and a single starved job must not poison the mean.
+constexpr double kStretchLo = 1.0;
+constexpr double kStretchHi = 100.0;
+}  // namespace
+
+void DurationPredictor::observe(Seconds now, std::span<const sim::JobView> jobs) {
+  present_.clear();
+  for (const sim::JobView& v : jobs) present_.insert(v.spec->id);
+
+  for (auto it = live_.begin(); it != live_.end();) {
+    if (present_.count(it->first) != 0) {
+      ++it;
+      continue;
+    }
+    const Tracked& t = it->second;
+    if (t.ideal > 0.0 && t.ideal != kInfiniteTime && now > t.arrival) {
+      const double sample =
+          std::clamp((now - t.arrival) / t.ideal, kStretchLo, kStretchHi);
+      sum_[t.cls % kClasses] += sample;
+      ++n_[t.cls % kClasses];
+    }
+    it = live_.erase(it);
+  }
+
+  for (const sim::JobView& v : jobs) {
+    if (live_.count(v.spec->id) != 0) continue;
+    Tracked t;
+    t.arrival = v.spec->arrival;
+    t.ideal = ideal_total_runtime(v);
+    t.cls = static_cast<std::uint8_t>(v.spec->size_class);
+    live_.emplace(v.spec->id, t);
+  }
+}
+
+double DurationPredictor::stretch(workload::SizeClass c) const {
+  const std::size_t i = static_cast<std::size_t>(c) % kClasses;
+  if (n_[i] > 0) return sum_[i] / static_cast<double>(n_[i]);
+  double s = 0.0;
+  std::int64_t n = 0;
+  for (std::size_t k = 0; k < kClasses; ++k) {
+    s += sum_[k];
+    n += n_[k];
+  }
+  return n > 0 ? s / static_cast<double>(n) : 1.0;
+}
+
+Seconds DurationPredictor::predict_remaining(const sim::JobView& job) const {
+  const Seconds ideal = ideal_remaining_runtime(job);
+  if (ideal == kInfiniteTime) return kInfiniteTime;
+  return ideal * stretch(job.spec->size_class);
+}
+
+std::int64_t DurationPredictor::samples() const {
+  std::int64_t n = 0;
+  for (std::size_t k = 0; k < kClasses; ++k) n += n_[k];
+  return n;
+}
+
+void DurationPredictor::reset() {
+  live_.clear();
+  sum_.fill(0.0);
+  n_.fill(0);
+}
+
+void DurationPredictor::save(common::BinaryWriter& w) const {
+  for (std::size_t k = 0; k < kClasses; ++k) {
+    w.f64(sum_[k]);
+    w.i64(n_[k]);
+  }
+  w.u32(static_cast<std::uint32_t>(live_.size()));
+  for (const auto& [id, t] : live_) {
+    w.i32(id);
+    w.f64(t.arrival);
+    w.f64(t.ideal);
+    w.u8(t.cls);
+  }
+}
+
+void DurationPredictor::restore(common::BinaryReader& r) {
+  reset();
+  for (std::size_t k = 0; k < kClasses; ++k) {
+    sum_[k] = r.f64();
+    n_[k] = r.i64();
+  }
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const JobId id = r.i32();
+    Tracked t;
+    t.arrival = r.f64();
+    t.ideal = r.f64();
+    t.cls = r.u8();
+    live_.emplace(id, t);
+  }
+}
+
+}  // namespace hadar::core

@@ -1,0 +1,64 @@
+// Luo-style online duration predictor (Prediction-Assisted Online
+// Scheduling, PAPERS.md): a running per-size-class estimate of the stretch
+// factor observed JCT / ideal runtime, learned from jobs as they complete.
+// The deadline stage multiplies a job's ideal remaining runtime by the
+// learned stretch to judge how tight its deadline really is — no oracle
+// durations, just the completions the scheduler has already seen.
+#pragma once
+
+#include <array>
+#include <map>
+#include <span>
+#include <unordered_set>
+
+#include "common/types.hpp"
+#include "sim/scheduler.hpp"
+#include "workload/job.hpp"
+
+namespace hadar::common {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace hadar::common
+
+namespace hadar::core {
+
+/// Completion detector + per-class stretch model. observe() is fed the
+/// runnable job set once per round; a tracked job that vanishes from the set
+/// completed since the last round, and its realized stretch (JCT over ideal
+/// total runtime, clamped to [1, 100]) updates the running mean of its size
+/// class. Deterministic: samples arrive in job-id order within a round.
+class DurationPredictor {
+ public:
+  /// Records completions against the previous round's tracked set, then
+  /// tracks the current one. `now` is the simulation clock of the round.
+  void observe(Seconds now, std::span<const sim::JobView> jobs);
+
+  /// Predicted remaining runtime: ideal_remaining_runtime * stretch(class).
+  Seconds predict_remaining(const sim::JobView& job) const;
+
+  /// Learned stretch for a class; falls back to the all-class mean, then 1.0
+  /// before any completion has been observed.
+  double stretch(workload::SizeClass c) const;
+
+  std::int64_t samples() const;  ///< completions folded into the model
+
+  void reset();
+  void save(common::BinaryWriter& w) const;
+  void restore(common::BinaryReader& r);
+
+ private:
+  static constexpr std::size_t kClasses = 4;
+
+  struct Tracked {
+    Seconds arrival = 0.0;
+    Seconds ideal = 0.0;  ///< ideal total runtime at first sight
+    std::uint8_t cls = 0;
+  };
+
+  std::map<JobId, Tracked> live_;  ///< ordered: deterministic sample order
+  std::array<double, kClasses> sum_{};
+  std::array<std::int64_t, kClasses> n_{};
+  std::unordered_set<JobId> present_;  ///< per-round scratch
+};
+
+}  // namespace hadar::core

@@ -1,0 +1,327 @@
+#include "core/policy_stages.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+#include "common/binary.hpp"
+#include "common/env.hpp"
+#include "obs/trace.hpp"
+
+namespace hadar::core {
+
+double PolicyConfig::weight_of(int tenant) const {
+  if (tenant >= 0 && static_cast<std::size_t>(tenant) < tenant_weights.size()) {
+    return tenant_weights[static_cast<std::size_t>(tenant)];
+  }
+  return 1.0;
+}
+
+void PolicyConfig::validate() const {
+  if (deadline_weight < 0.0) throw std::invalid_argument("PolicyConfig: deadline_weight < 0");
+  if (fairness_weight < 0.0) throw std::invalid_argument("PolicyConfig: fairness_weight < 0");
+  if (quota_gpu_hours < 0.0) throw std::invalid_argument("PolicyConfig: quota_gpu_hours < 0");
+  if (quota_strictness > 1.0) {
+    throw std::invalid_argument("PolicyConfig: quota_strictness > 1");
+  }
+  for (double w : tenant_weights) {
+    if (w <= 0.0) throw std::invalid_argument("PolicyConfig: non-positive tenant weight");
+  }
+}
+
+PolicyConfig PolicyConfig::from_env() {
+  PolicyConfig cfg;
+  cfg.deadline_weight = common::env_double("HADAR_DEADLINE_WEIGHT", cfg.deadline_weight, 0.0,
+                                           std::numeric_limits<double>::max());
+  cfg.fairness_weight = common::env_double("HADAR_FAIRNESS_WEIGHT", cfg.fairness_weight, 0.0,
+                                           std::numeric_limits<double>::max());
+  cfg.quota_gpu_hours = common::env_double("HADAR_QUOTA_GPU_HOURS", cfg.quota_gpu_hours, 0.0,
+                                           std::numeric_limits<double>::max());
+  cfg.quota_strictness =
+      common::env_double("HADAR_QUOTA_STRICTNESS", cfg.quota_strictness, -1.0, 1.0);
+  const std::string raw = common::env_str("HADAR_QUOTA_WEIGHTS", "");
+  if (!raw.empty()) {
+    std::vector<double> weights;
+    std::size_t start = 0;
+    bool ok = true;
+    while (start <= raw.size()) {
+      const std::size_t comma = raw.find(',', start);
+      const std::string tok =
+          raw.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+      try {
+        std::size_t pos = 0;
+        const double w = std::stod(tok, &pos);
+        if (pos != tok.size() || w <= 0.0) throw std::invalid_argument(tok);
+        weights.push_back(w);
+      } catch (const std::exception&) {
+        ok = false;
+        break;
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    if (ok) {
+      cfg.tenant_weights = std::move(weights);
+    } else {
+      std::fprintf(stderr,
+                   "[hadar] warning: HADAR_QUOTA_WEIGHTS='%s' is not a comma-separated "
+                   "list of positive numbers; ignoring\n",
+                   raw.c_str());
+    }
+  }
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// DeadlineUtilityStage
+
+DeadlineUtilityStage::DeadlineUtilityStage(std::shared_ptr<pipeline::IPriorityStage> inner,
+                                           PolicyConfig cfg)
+    : inner_(std::move(inner)), cfg_(std::move(cfg)) {
+  if (inner_ == nullptr) throw std::invalid_argument("DeadlineUtilityStage: null inner stage");
+  cfg_.validate();
+}
+
+double DeadlineUtilityStage::urgency(const sim::JobView& job, Seconds now) const {
+  if (!job.spec->has_deadline()) return 0.0;
+  const Seconds slack = job.spec->deadline - now;
+  if (slack <= 0.0) return 1.0;  // overdue: maximum urgency
+  const Seconds remaining = predictor_.predict_remaining(job);
+  if (remaining == kInfiniteTime) return 1.0;
+  return std::min(1.0, remaining / slack);
+}
+
+void DeadlineUtilityStage::prioritize(pipeline::RoundState& rs) {
+  predictor_.observe(rs.ctx->now, std::span<const sim::JobView>(rs.ctx->jobs));
+  inner_->prioritize(rs);
+
+  const Seconds now = rs.ctx->now;
+  // Blend over the inner order: rank i of n maps to a base score (n-1-i)/
+  // (n-1) in [0, 1], comparable with the urgency term. Stable ties keep the
+  // inner order, so zero deadline weight reproduces the pipeline exactly.
+  auto blend = [&](std::size_t n, auto job_at, auto apply_order) {
+    if (n < 2) return;
+    order_.resize(n);
+    score_.resize(n);
+    const double denom = static_cast<double>(n - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      order_[static_cast<std::size_t>(i)] = static_cast<int>(i);
+      const double base = static_cast<double>(n - 1 - i) / denom;
+      score_[i] = cfg_.fairness_weight * base + cfg_.deadline_weight * urgency(*job_at(i), now);
+    }
+    std::stable_sort(order_.begin(), order_.end(), [&](int a, int b) {
+      const double sa = score_[static_cast<std::size_t>(a)];
+      const double sb = score_[static_cast<std::size_t>(b)];
+      if (sa != sb) return sa > sb;
+      return a < b;
+    });
+    apply_order();
+  };
+
+  if (!rs.queue.empty()) {
+    blend(
+        rs.queue.size(), [&](std::size_t i) { return rs.queue[i]; },
+        [&] {
+          queue_tmp_.assign(rs.queue.begin(), rs.queue.end());
+          for (std::size_t i = 0; i < queue_tmp_.size(); ++i) {
+            rs.queue[i] = queue_tmp_[static_cast<std::size_t>(order_[i])];
+          }
+        });
+  }
+  if (!rs.ranked.empty()) {
+    blend(
+        rs.ranked.size(), [&](std::size_t i) { return rs.ranked[i].job; },
+        [&] {
+          ranked_tmp_.assign(rs.ranked.begin(), rs.ranked.end());
+          for (std::size_t i = 0; i < ranked_tmp_.size(); ++i) {
+            rs.ranked[i] = ranked_tmp_[static_cast<std::size_t>(order_[i])];
+          }
+        });
+  }
+
+  if (obs::TraceSession::current() != nullptr) {
+    obs::gauge_set("policy.predictor_samples", static_cast<double>(predictor_.samples()));
+  }
+}
+
+void DeadlineUtilityStage::reset() {
+  inner_->reset();
+  predictor_.reset();
+}
+
+void DeadlineUtilityStage::save_state(common::BinaryWriter& w) const {
+  inner_->save_state(w);
+  predictor_.save(w);
+}
+
+void DeadlineUtilityStage::restore_state(common::BinaryReader& r) {
+  inner_->restore_state(r);
+  predictor_.restore(r);
+}
+
+// ---------------------------------------------------------------------------
+// TenantQuotaStage
+
+TenantQuotaStage::TenantQuotaStage(std::shared_ptr<pipeline::IAdmissionStage> inner,
+                                   PolicyConfig cfg)
+    : inner_(std::move(inner)), cfg_(std::move(cfg)) {
+  if (inner_ == nullptr) throw std::invalid_argument("TenantQuotaStage: null inner stage");
+  cfg_.validate();
+}
+
+double TenantQuotaStage::usage_gpu_seconds(int tenant) const {
+  const auto it = usage_s_.find(tenant);
+  return it != usage_s_.end() ? it->second : 0.0;
+}
+
+void TenantQuotaStage::update_usage(const pipeline::RoundState& rs) {
+  // Charge each tenant the GPU-seconds its jobs attained since last round.
+  // A job's final partial round goes uncharged (it is gone before the next
+  // admit) — a sub-round error that never accumulates.
+  for (const sim::JobView& v : rs.ctx->jobs) {
+    double& last = last_attained_[v.spec->id];
+    double delta = v.attained_service - last;
+    if (delta < 0.0) delta = v.attained_service;  // watermark from a reused id
+    if (delta > 0.0) usage_s_[v.spec->tenant] += delta;
+    last = v.attained_service;
+  }
+  // Drop watermarks of completed jobs so reused ids start clean.
+  present_.clear();
+  for (const sim::JobView& v : rs.ctx->jobs) present_.insert(v.spec->id);
+  for (auto it = last_attained_.begin(); it != last_attained_.end();) {
+    it = present_.count(it->first) != 0 ? std::next(it) : last_attained_.erase(it);
+  }
+}
+
+void TenantQuotaStage::admit(pipeline::RoundState& rs) {
+  inner_->admit(rs);
+  update_usage(rs);
+  if (!cfg_.quota_enabled() || rs.queue.empty()) return;
+
+  const double quota_unit_s = cfg_.quota_gpu_hours * 3600.0;
+  const auto quota_of = [&](int tenant) { return quota_unit_s * cfg_.weight_of(tenant); };
+  const auto cap_of = [&](int tenant) {
+    if (cfg_.quota_strictness <= 0.0) return std::numeric_limits<double>::infinity();
+    return quota_of(tenant) / cfg_.quota_strictness;
+  };
+
+  // Weighted DRF over the surplus: among over-quota (but not hard-capped)
+  // tenants with queued work, only those at the minimal weighted overage
+  // stay admitted this round.
+  double min_over = std::numeric_limits<double>::infinity();
+  for (const sim::JobView* job : rs.queue) {
+    const int t = job->spec->tenant;
+    const double u = usage_gpu_seconds(t);
+    if (u <= quota_of(t) || u >= cap_of(t)) continue;
+    min_over = std::min(min_over, (u - quota_of(t)) / cfg_.weight_of(t));
+  }
+
+  keep_.clear();
+  deferred_.clear();
+  capped_.clear();
+  for (const sim::JobView* job : rs.queue) {
+    const int t = job->spec->tenant;
+    const double u = usage_gpu_seconds(t);
+    if (u <= quota_of(t)) {
+      keep_.push_back(job);
+    } else if (u >= cap_of(t)) {
+      capped_.push_back(job);
+    } else if ((u - quota_of(t)) / cfg_.weight_of(t) <= min_over) {
+      keep_.push_back(job);
+    } else {
+      deferred_.push_back(job);
+    }
+  }
+
+  // Idle guard: quotas shape sharing, they must never deadlock the run.
+  // When nothing was pinned and the filter emptied the round, let the
+  // DRF-deferred jobs back in; with every queued tenant hard-capped, yield
+  // the cap too (only for the minimal-overage tenant(s)) — a budget with no
+  // competing under-budget work left should not idle the cluster forever.
+  if (keep_.empty() && rs.result.empty()) {
+    if (!deferred_.empty()) {
+      keep_.swap(deferred_);
+    } else if (!capped_.empty()) {
+      double min_capped = std::numeric_limits<double>::infinity();
+      for (const sim::JobView* job : capped_) {
+        const int t = job->spec->tenant;
+        min_capped =
+            std::min(min_capped, (usage_gpu_seconds(t) - quota_of(t)) / cfg_.weight_of(t));
+      }
+      for (const sim::JobView* job : capped_) {
+        const int t = job->spec->tenant;
+        if ((usage_gpu_seconds(t) - quota_of(t)) / cfg_.weight_of(t) <= min_capped) {
+          keep_.push_back(job);
+        }
+      }
+    }
+  }
+
+  if (obs::TraceSession::current() != nullptr) {
+    obs::count("quota.deferred", static_cast<std::uint64_t>(deferred_.size()));
+    obs::count("quota.capped", static_cast<std::uint64_t>(capped_.size()));
+  }
+  rs.queue.assign(keep_.begin(), keep_.end());
+}
+
+void TenantQuotaStage::reset() {
+  inner_->reset();
+  last_attained_.clear();
+  usage_s_.clear();
+}
+
+void TenantQuotaStage::save_state(common::BinaryWriter& w) const {
+  inner_->save_state(w);
+  w.u32(static_cast<std::uint32_t>(last_attained_.size()));
+  for (const auto& [id, v] : last_attained_) {
+    w.i32(id);
+    w.f64(v);
+  }
+  w.u32(static_cast<std::uint32_t>(usage_s_.size()));
+  for (const auto& [t, v] : usage_s_) {
+    w.i32(t);
+    w.f64(v);
+  }
+}
+
+void TenantQuotaStage::restore_state(common::BinaryReader& r) {
+  inner_->restore_state(r);
+  last_attained_.clear();
+  usage_s_.clear();
+  const std::uint32_t nj = r.u32();
+  for (std::uint32_t i = 0; i < nj; ++i) {
+    const JobId id = r.i32();
+    last_attained_[id] = r.f64();
+  }
+  const std::uint32_t nt = r.u32();
+  for (std::uint32_t i = 0; i < nt; ++i) {
+    const int t = r.i32();
+    usage_s_[t] = r.f64();
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+sim::SchedulerPtr with_policy(sim::SchedulerPtr base, const PolicyConfig& cfg) {
+  cfg.validate();
+  if (!cfg.enabled()) return base;
+  auto* staged = dynamic_cast<pipeline::StagedScheduler*>(base.get());
+  if (staged == nullptr) {
+    throw std::invalid_argument("with_policy: '" + base->name() +
+                                "' is not a staged scheduler");
+  }
+  pipeline::StageSet stages = staged->stages();
+  if (cfg.quota_enabled()) {
+    stages.admission = std::make_shared<TenantQuotaStage>(stages.admission, cfg);
+  }
+  if (cfg.deadline_enabled()) {
+    stages.priority = std::make_shared<DeadlineUtilityStage>(stages.priority, cfg);
+  }
+  // The inner scheduler object is released here; its stages (and the policy
+  // core they share) live on through the StageSet's shared_ptrs.
+  return std::make_unique<pipeline::StagedScheduler>(staged->name() + "+policy",
+                                                     std::move(stages));
+}
+
+}  // namespace hadar::core

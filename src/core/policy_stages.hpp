@@ -1,0 +1,131 @@
+// Scenario-diversity policy stages (DESIGN.md §15): deadline-aware
+// prioritization and tenant-quota admission as *decorators* over an existing
+// stage assembly. Neither stage replaces a policy's own logic — the deadline
+// stage re-blends the inner priority order with a predicted-urgency term,
+// and the quota stage filters the inner admission's queue by per-tenant
+// GPU-hour budgets — so any staged scheduler (Hadar or baseline) gains
+// deadlines and quotas with `with_policy()` and zero solver changes. With
+// both knobs at their defaults the decorators are never installed and every
+// schedule stays bit-identical.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/duration_predictor.hpp"
+#include "pipeline/staged_scheduler.hpp"
+
+namespace hadar::core {
+
+/// Knobs for the policy decorators. Defaults disable everything.
+struct PolicyConfig {
+  /// Weight of the deadline-urgency term in the blended priority score.
+  /// 0 disables the DeadlineUtilityStage entirely.
+  double deadline_weight = 0.0;
+  /// Weight of the inner policy's own order in the blend (the "fairness"
+  /// term: it preserves the utility/service order the policy computed).
+  double fairness_weight = 1.0;
+  /// Per-tenant GPU-hour budget per unit of tenant weight. 0 disables the
+  /// TenantQuotaStage entirely.
+  double quota_gpu_hours = 0.0;
+  /// How hard the budget caps a tenant, in (0, 1]: a tenant is hard-blocked
+  /// above quota/strictness GPU-hours (1.0 = blocked right at quota), and
+  /// between quota and that cap it competes DRF-style: only the tenant(s)
+  /// with the smallest weighted overage stay admitted. <= 0 = no hard cap.
+  double quota_strictness = 1.0;
+  /// Weight per tenant id (index = tenant); tenants beyond the vector get
+  /// weight 1.0. Both the budget and the overage are scaled by the weight.
+  std::vector<double> tenant_weights;
+
+  bool deadline_enabled() const { return deadline_weight > 0.0; }
+  bool quota_enabled() const { return quota_gpu_hours > 0.0; }
+  bool enabled() const { return deadline_enabled() || quota_enabled(); }
+
+  double weight_of(int tenant) const;
+
+  /// Throws std::invalid_argument on out-of-range knobs.
+  void validate() const;
+
+  /// Reads HADAR_DEADLINE_WEIGHT, HADAR_FAIRNESS_WEIGHT,
+  /// HADAR_QUOTA_GPU_HOURS, HADAR_QUOTA_STRICTNESS and HADAR_QUOTA_WEIGHTS
+  /// (comma-separated per-tenant weights). Unset variables keep defaults.
+  static PolicyConfig from_env();
+};
+
+/// Priority decorator: runs the inner stage, then re-orders rs.queue and
+/// rs.ranked by fairness_weight * inner_rank_score + deadline_weight *
+/// urgency, where urgency is predicted remaining runtime over the time left
+/// to the job's deadline (1.0 when overdue, 0 for deadline-free jobs). The
+/// predictor learns per-class stretch from completions it watches go by.
+/// Ties preserve the inner order, so deadline_weight -> 0 degenerates to
+/// the undecorated pipeline.
+class DeadlineUtilityStage final : public pipeline::IPriorityStage {
+ public:
+  DeadlineUtilityStage(std::shared_ptr<pipeline::IPriorityStage> inner, PolicyConfig cfg);
+
+  std::string name() const override { return "policy.deadline"; }
+  void prioritize(pipeline::RoundState& rs) override;
+  void reset() override;
+  void save_state(common::BinaryWriter& w) const override;
+  void restore_state(common::BinaryReader& r) override;
+
+  const DurationPredictor& predictor() const { return predictor_; }
+
+ private:
+  double urgency(const sim::JobView& job, Seconds now) const;
+
+  std::shared_ptr<pipeline::IPriorityStage> inner_;
+  PolicyConfig cfg_;
+  DurationPredictor predictor_;
+  // Per-round sort scratch (speed-only).
+  std::vector<int> order_;
+  std::vector<double> score_;
+  std::vector<const sim::JobView*> queue_tmp_;
+  std::vector<pipeline::RoundState::Candidate> ranked_tmp_;
+};
+
+/// Admission decorator: runs the inner stage, charges each tenant the
+/// GPU-seconds its jobs attained since the last round, then filters
+/// rs.queue: under-quota tenants pass, tenants past the hard cap
+/// (quota/strictness) are blocked, and over-quota tenants in between keep
+/// only the minimal weighted-overage tenant(s) — weighted DRF-style surplus
+/// sharing. If the filter would leave the round completely empty the
+/// DRF-deferred jobs are re-admitted — and with every queued tenant past the
+/// hard cap, the minimal-overage capped tenant(s) get in too — so quotas
+/// shape sharing but can never idle (or deadlock) the cluster while work
+/// exists. Usage is tracked per scheduler instance,
+/// so under cell sharding each cell enforces its budget over its own jobs.
+class TenantQuotaStage final : public pipeline::IAdmissionStage {
+ public:
+  TenantQuotaStage(std::shared_ptr<pipeline::IAdmissionStage> inner, PolicyConfig cfg);
+
+  std::string name() const override { return "policy.quota"; }
+  void admit(pipeline::RoundState& rs) override;
+  void reset() override;
+  void save_state(common::BinaryWriter& w) const override;
+  void restore_state(common::BinaryReader& r) override;
+
+  /// GPU-seconds charged to a tenant so far (tests / introspection).
+  double usage_gpu_seconds(int tenant) const;
+
+ private:
+  void update_usage(const pipeline::RoundState& rs);
+
+  std::shared_ptr<pipeline::IAdmissionStage> inner_;
+  PolicyConfig cfg_;
+  std::map<JobId, double> last_attained_;  ///< per-job service watermark
+  std::map<int, double> usage_s_;          ///< per-tenant GPU-seconds
+  // Per-round scratch (speed-only).
+  std::vector<const sim::JobView*> keep_;
+  std::vector<const sim::JobView*> deferred_;
+  std::vector<const sim::JobView*> capped_;
+  std::unordered_set<JobId> present_;
+};
+
+/// Wraps a staged scheduler's admission/priority slots with the decorators
+/// `cfg` enables. Returns `base` unchanged when cfg disables everything;
+/// throws std::invalid_argument when `base` is not a StagedScheduler.
+sim::SchedulerPtr with_policy(sim::SchedulerPtr base, const PolicyConfig& cfg);
+
+}  // namespace hadar::core

@@ -1,5 +1,6 @@
 #include "runner/experiment.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
 #include "baselines/gavel.hpp"
@@ -8,6 +9,7 @@
 #include "baselines/tiresias.hpp"
 #include "baselines/yarn_cs.hpp"
 #include "core/hadar_scheduler.hpp"
+#include "core/policy_stages.hpp"
 #include "obs/trace.hpp"
 
 namespace hadar::runner {
@@ -15,7 +17,26 @@ namespace hadar::runner {
 const std::vector<std::string> kPaperSchedulers = {"hadar", "gavel", "tiresias", "yarn"};
 const std::vector<std::string> kPreemptiveSchedulers = {"hadar", "gavel", "tiresias"};
 
-sim::SchedulerPtr make_flat_scheduler(const std::string& name) {
+namespace {
+
+/// The HADAR_DEADLINE_WEIGHT / HADAR_QUOTA_* environment overlay: wraps
+/// staged schedulers with the policy decorators when any knob is set.
+/// Non-staged schedulers (srtf) pass through with a warning rather than
+/// failing the whole factory.
+sim::SchedulerPtr apply_policy_env(sim::SchedulerPtr s) {
+  const core::PolicyConfig cfg = core::PolicyConfig::from_env();
+  if (!cfg.enabled()) return s;
+  if (dynamic_cast<pipeline::StagedScheduler*>(s.get()) == nullptr) {
+    std::fprintf(stderr,
+                 "[hadar] warning: policy knobs set but '%s' is not a staged "
+                 "scheduler; running it without deadline/quota stages\n",
+                 s->name().c_str());
+    return s;
+  }
+  return core::with_policy(std::move(s), cfg);
+}
+
+sim::SchedulerPtr make_base_scheduler(const std::string& name) {
   using core::HadarConfig;
   using core::HadarScheduler;
   using core::UtilityKind;
@@ -75,6 +96,12 @@ sim::SchedulerPtr make_flat_scheduler(const std::string& name) {
   throw std::invalid_argument("make_scheduler: unknown scheduler '" + name + "'");
 }
 
+}  // namespace
+
+sim::SchedulerPtr make_flat_scheduler(const std::string& name) {
+  return apply_policy_env(make_base_scheduler(name));
+}
+
 sim::SchedulerPtr make_sharded_scheduler(const std::string& name, sim::ShardConfig cfg) {
   // Validate the name eagerly so a typo still throws here, not on the first
   // schedule() inside a worker thread.
@@ -108,7 +135,7 @@ std::vector<SweepResult> sweep(const std::vector<SweepCase>& cases) {
     obs::ScopedSpan span("runner", "runner.case");
     if (span.active()) span.str_arg("case", c.label + "/" + c.scheduler);
     sim::Simulator simulator(c.config.sim);
-    auto sched = make_scheduler(c.scheduler);
+    auto sched = c.factory ? c.factory() : make_scheduler(c.scheduler);
     return SweepResult{c.label, sched->name(),
                        simulator.run(c.config.spec, c.config.trace, *sched)};
   });

@@ -3,6 +3,7 @@
 // same (cluster, trace, sim-config) under several schedulers.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -40,8 +41,11 @@ struct ExperimentConfig {
 /// parallel scheduling from the environment alone.
 sim::SchedulerPtr make_scheduler(const std::string& name);
 
-/// make_scheduler() without the environment overlay: always the flat
-/// (unsharded) policy.
+/// make_scheduler() without the sharding environment overlay: always the
+/// flat (unsharded) policy. Both factories honor the policy overlay
+/// (HADAR_DEADLINE_WEIGHT / HADAR_QUOTA_*, core/policy_stages.hpp): when a
+/// policy knob is set, staged schedulers come back wrapped by with_policy()
+/// — under sharding each cell's scheduler is wrapped individually.
 sim::SchedulerPtr make_flat_scheduler(const std::string& name);
 
 /// The named policy wrapped for cell-sharded scheduling with an explicit
@@ -66,6 +70,12 @@ struct SweepCase {
   std::string label;      ///< caller-chosen key, e.g. "rate=40" or "seed=7"
   std::string scheduler;  ///< make_scheduler() name
   ExperimentConfig config;
+  /// When set, builds this case's scheduler instead of
+  /// make_scheduler(scheduler). Must be callable concurrently with itself
+  /// (each case invokes it once, possibly from a pool worker). This is how
+  /// tune_policy varies PolicyConfig per case without touching the
+  /// process-global environment.
+  std::function<sim::SchedulerPtr()> factory = {};
 };
 
 /// SweepCase outcome; `label`/`scheduler` echo the case for readers.
@@ -76,7 +86,15 @@ struct SweepResult {
 };
 
 /// Runs every case (fresh simulator + scheduler each) across the
-/// HADAR_THREADS pool. Results are positional: result[i] is cases[i].
+/// HADAR_THREADS pool.
+///
+/// Ordering contract (pinned by tests/test_policy.cpp): results are
+/// positional — result[i] is the outcome of cases[i], always. The pool maps
+/// workers to indices, never to completion order, and each case's simulation
+/// is seeded and isolated, so the returned vector is byte-identical at every
+/// HADAR_THREADS value. Grid searches (tune_policy) rely on this to make
+/// "first best in grid order" reproducible across thread counts.
+///
 /// This is the engine behind the fig07/fig08/fig09 benches and the perf
 /// harness — a four-scheduler paper comparison is one sweep.
 std::vector<SweepResult> sweep(const std::vector<SweepCase>& cases);

@@ -42,6 +42,23 @@ ExperimentConfig paper_continuous(double jobs_per_hour, int num_jobs, std::uint6
   return e;
 }
 
+ExperimentConfig slo_static(int num_jobs, std::uint64_t seed, double deadline_fraction,
+                            int num_tenants) {
+  ExperimentConfig e;
+  e.spec = cluster::ClusterSpec::simulation_default();
+  workload::TraceGenConfig t;
+  t.num_jobs = num_jobs;
+  t.arrivals = workload::ArrivalPattern::kStatic;
+  t.seed = seed;
+  t.deadline_fraction = deadline_fraction;
+  t.num_tenants = num_tenants;
+  e.trace = make_trace(e.spec, t);
+  e.sim.round_length = 360.0;
+  e.sim.flat_reallocation_penalty = 10.0;
+  e.sim.seed = seed;
+  return e;
+}
+
 ExperimentConfig resilience(double node_mttf, double node_mttr, double gpu_mttf,
                             double gpu_mttr, int num_jobs, std::uint64_t seed) {
   ExperimentConfig e = paper_static(num_jobs, seed);

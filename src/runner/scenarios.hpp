@@ -21,6 +21,14 @@ ExperimentConfig paper_continuous(double jobs_per_hour, int num_jobs = 480,
 /// checkpoint costs, standing in for the physical testbed.
 ExperimentConfig prototype(bool testbed_noise, std::uint64_t seed = 7);
 
+/// paper_static with deadlines and tenants: `deadline_fraction` of the jobs
+/// carry a deadline at 1.5-4x their ideal runtime, and every job belongs to
+/// one of `num_tenants` tenants (both drawn from salted per-job streams, so
+/// the base job attributes match paper_static(num_jobs, seed) exactly).
+/// This is the fixed-seed scenario the SLO tests and bench_policy pin.
+ExperimentConfig slo_static(int num_jobs = 480, std::uint64_t seed = 42,
+                            double deadline_fraction = 0.5, int num_tenants = 3);
+
 /// paper_static plus fault injection: per-node crashes at the given MTTF
 /// (seconds; 0 disables) with `node_mttr` mean repair time, and optional
 /// single-GPU degrades. The failure seed is fixed per scenario so every

@@ -1,0 +1,127 @@
+#include "runner/tune_policy.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace hadar::runner {
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// Max tenant share relative to its ideal weighted share; 1.0 = perfectly
+/// proportional, higher = some tenant hogging the cluster.
+double imbalance_of(const sim::SimResult& r, const core::PolicyConfig& p) {
+  if (r.tenant_shares.size() < 2) return 1.0;
+  double total_w = 0.0;
+  for (const sim::TenantShare& ts : r.tenant_shares) total_w += p.weight_of(ts.tenant);
+  if (total_w <= 0.0) return 1.0;
+  double imb = 1.0;
+  for (const sim::TenantShare& ts : r.tenant_shares) {
+    const double ideal = p.weight_of(ts.tenant) / total_w;
+    if (ideal > 0.0) imb = std::max(imb, ts.share / ideal);
+  }
+  return imb;
+}
+
+}  // namespace
+
+double tune_score(const TunePoint& p) {
+  const double tardiness_norm = p.makespan > 0.0 ? p.avg_tardiness / p.makespan : 0.0;
+  return p.deadline_attainment - tardiness_norm - 0.25 * std::max(0.0, p.tenant_imbalance - 1.0);
+}
+
+TuneResult tune_policy(const std::string& scheduler, const ExperimentConfig& config,
+                       const TuneGrid& grid) {
+  if (grid.deadline_weights.empty() || grid.fairness_weights.empty() ||
+      grid.quota_strictness.empty()) {
+    throw std::invalid_argument("tune_policy: empty grid axis");
+  }
+
+  // Grid enumeration order IS the tie-break order: deadline-major, then
+  // fairness, then strictness, matching the declaration order above.
+  std::vector<core::PolicyConfig> policies;
+  std::vector<SweepCase> cases;
+  for (double dw : grid.deadline_weights) {
+    for (double fw : grid.fairness_weights) {
+      for (double qs : grid.quota_strictness) {
+        core::PolicyConfig p;
+        p.deadline_weight = dw;
+        p.fairness_weight = fw;
+        p.quota_strictness = qs;
+        p.quota_gpu_hours = grid.quota_gpu_hours;
+        p.validate();
+        SweepCase c;
+        c.label = "dw=" + fmt(dw) + ",fw=" + fmt(fw) + ",qs=" + fmt(qs);
+        c.scheduler = scheduler;
+        c.config = config;
+        // Per-case decoration instead of the process-global env overlay:
+        // the same grid runs concurrently without racing on environment.
+        c.factory = [scheduler, p] {
+          return core::with_policy(make_flat_scheduler(scheduler), p);
+        };
+        policies.push_back(std::move(p));
+        cases.push_back(std::move(c));
+      }
+    }
+  }
+
+  const std::vector<SweepResult> runs = sweep(cases);
+
+  TuneResult out;
+  out.scheduler = scheduler;
+  out.points.reserve(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const sim::SimResult& r = runs[i].result;
+    TunePoint pt;
+    pt.policy = policies[i];
+    pt.deadline_attainment = r.deadline_attainment;
+    pt.avg_tardiness = r.avg_tardiness;
+    pt.tenant_imbalance = imbalance_of(r, policies[i]);
+    pt.avg_jct = r.avg_jct;
+    pt.makespan = r.makespan;
+    pt.score = tune_score(pt);
+    // Strict > keeps the earliest grid point on ties, so the winner is a
+    // pure function of the grid + scenario, independent of HADAR_THREADS.
+    if (out.best < 0 || pt.score > out.points[static_cast<std::size_t>(out.best)].score) {
+      out.best = static_cast<int>(i);
+    }
+    out.points.push_back(std::move(pt));
+  }
+  return out;
+}
+
+std::string tune_result_json(const TuneResult& r) {
+  auto point_json = [](const TunePoint& p) {
+    std::ostringstream os;
+    os << "{\"deadline_weight\": " << fmt(p.policy.deadline_weight)
+       << ", \"fairness_weight\": " << fmt(p.policy.fairness_weight)
+       << ", \"quota_strictness\": " << fmt(p.policy.quota_strictness)
+       << ", \"quota_gpu_hours\": " << fmt(p.policy.quota_gpu_hours)
+       << ", \"score\": " << fmt(p.score)
+       << ", \"deadline_attainment\": " << fmt(p.deadline_attainment)
+       << ", \"avg_tardiness_s\": " << fmt(p.avg_tardiness)
+       << ", \"tenant_imbalance\": " << fmt(p.tenant_imbalance)
+       << ", \"avg_jct_s\": " << fmt(p.avg_jct)
+       << ", \"makespan_s\": " << fmt(p.makespan) << "}";
+    return os.str();
+  };
+
+  std::ostringstream os;
+  os << "{\n  \"scheduler\": \"" << r.scheduler << "\",\n";
+  os << "  \"grid_points\": " << r.points.size() << ",\n";
+  os << "  \"best\": " << (r.best >= 0 ? point_json(r.best_point()) : "null") << ",\n";
+  os << "  \"points\": [\n";
+  for (std::size_t i = 0; i < r.points.size(); ++i) {
+    os << "    " << point_json(r.points[i]) << (i + 1 < r.points.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace hadar::runner

@@ -1,0 +1,62 @@
+// Policy auto-tuner (the HPS exemplar's weight-sweep shape): grid-searches
+// (deadline_weight, fairness_weight, quota_strictness) over runner::sweep
+// and scores each run with a fixed composite of deadline attainment,
+// normalized tardiness, and tenant imbalance. Deterministic end to end: the
+// grid is enumerated in a fixed order, sweep results are positional, and
+// ties pick the earliest grid point — the winning vector is identical at
+// HADAR_THREADS=1 and N.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/policy_stages.hpp"
+#include "runner/experiment.hpp"
+
+namespace hadar::runner {
+
+/// The grid to search. Axes with a single value pin that knob.
+struct TuneGrid {
+  std::vector<double> deadline_weights = {0.0, 0.5, 1.0, 2.0};
+  std::vector<double> fairness_weights = {1.0};
+  std::vector<double> quota_strictness = {0.0, 0.5, 1.0};
+  /// Per-tenant GPU-hour budget used whenever strictness > 0 enables the
+  /// quota stage (0 keeps the quota stage off for the whole grid).
+  double quota_gpu_hours = 0.0;
+};
+
+/// One evaluated grid point.
+struct TunePoint {
+  core::PolicyConfig policy;
+  double score = 0.0;  ///< higher is better (see tune_score)
+  double deadline_attainment = 0.0;
+  double avg_tardiness = 0.0;
+  double tenant_imbalance = 0.0;  ///< max share / ideal weighted share
+  double avg_jct = 0.0;
+  double makespan = 0.0;
+};
+
+/// The tuner's verdict: every point in grid order plus the winner's index
+/// (the earliest point reaching the best score).
+struct TuneResult {
+  std::string scheduler;
+  std::vector<TunePoint> points;
+  int best = -1;
+
+  const TunePoint& best_point() const { return points.at(static_cast<std::size_t>(best)); }
+};
+
+/// The fixed scoring rule: deadline attainment minus tardiness normalized by
+/// makespan minus a tenant-imbalance penalty. Exposed so tests can pin it.
+double tune_score(const TunePoint& p);
+
+/// Runs the full grid for `scheduler` over `config` (one sweep; cases fan
+/// out across HADAR_THREADS). The config's trace should carry deadlines /
+/// tenants (e.g. slo_static()) or the deadline axis cannot differentiate.
+TuneResult tune_policy(const std::string& scheduler, const ExperimentConfig& config,
+                       const TuneGrid& grid = {});
+
+/// Serializes a TuneResult as the BENCH_POLICY.json payload.
+std::string tune_result_json(const TuneResult& r);
+
+}  // namespace hadar::runner

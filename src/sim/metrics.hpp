@@ -24,7 +24,12 @@ struct JobOutcome {
   int failure_kills = 0;    ///< force-preemptions caused by node/GPU failures
   double lost_gpu_seconds = 0.0;  ///< compute rolled back to the last checkpoint
   double ftf = 0.0;         ///< finish-time fairness rho (filled at finalize)
+  Seconds deadline = 0.0;   ///< spec deadline echo; <= 0 = none
+  int tenant = 0;           ///< spec tenant echo
+  Seconds tardiness = 0.0;  ///< max(0, completion - deadline); filled at finalize
 
+  bool has_deadline() const { return deadline > 0.0; }
+  bool met_deadline() const { return has_deadline() && finished() && finish <= deadline; }
   bool finished() const { return finish >= 0.0; }
   Seconds jct() const { return finished() ? finish - arrival : kInfiniteTime; }
   Seconds queueing_delay() const {
@@ -38,6 +43,14 @@ struct JobOutcome {
     const Seconds span = finish - first_start;
     return span > 0.0 ? compute_gpu_seconds / (num_workers * span) : 1.0;
   }
+};
+
+/// Per-tenant slice of a run (SLO / quota accounting, DESIGN.md §15).
+struct TenantShare {
+  int tenant = 0;
+  int jobs = 0;            ///< jobs owned by the tenant
+  double gpu_hours = 0.0;  ///< device-hours held across the run
+  double share = 0.0;      ///< gpu_hours / total gpu_hours of the run
 };
 
 /// Aggregate result of a run. All time quantities in seconds.
@@ -71,6 +84,16 @@ struct SimResult {
   double realloc_round_fraction = 0.0;  ///< fraction of job-rounds with changed allocation
   double scheduler_seconds = 0.0;       ///< wall-clock spent inside schedule()
   long long scheduler_calls = 0;
+
+  /// SLO accounting (jobs with a deadline). Unfinished deadline jobs count
+  /// as missed, with tardiness measured to the end of the run.
+  int num_deadline_jobs = 0;
+  int num_deadline_met = 0;
+  double deadline_attainment = 1.0;  ///< met / deadline jobs; 1.0 when none
+  double avg_tardiness = 0.0;        ///< mean tardiness over deadline jobs
+  double max_tardiness = 0.0;
+  /// One entry per tenant present in the trace, ordered by tenant id.
+  std::vector<TenantShare> tenant_shares;
 
   /// All finished jobs' completion times (for Fig. 3-style CDFs).
   std::vector<double> finish_times() const;

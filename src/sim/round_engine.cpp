@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 
 #include "cluster/cluster_state.hpp"
@@ -74,6 +75,8 @@ void RoundEngine::admit(const workload::JobSpec& job) {
   s.spec = std::make_unique<workload::JobSpec>(job);
   s.out.id = job.id;
   s.out.arrival = job.arrival;
+  s.out.deadline = job.deadline;
+  s.out.tenant = job.tenant;
   s.rounds_on_type.assign(static_cast<std::size_t>(R), 0);
   s.observed_throughput = job.throughput;
   if (config_.observation_noise > 0.0) {
@@ -359,6 +362,9 @@ RoundOutcome RoundEngine::step(IScheduler& scheduler) {
       --unfinished_;
       out.finished.push_back(s.spec->id);
       log_.record(s.out.finish, EventKind::kFinish, s.spec->id);
+      if (s.spec->has_deadline() && obs::TraceSession::current() != nullptr) {
+        obs::count(s.out.finish <= s.spec->deadline ? "slo.deadline_met" : "slo.deadline_miss");
+      }
       s.current = cluster::JobAllocation{};
       progressed = true;
     } else {
@@ -467,6 +473,42 @@ SimResult RoundEngine::finalize(std::size_t ftf_population, bool truncated) cons
     result.realloc_round_fraction =
         static_cast<double>(result.total_reallocations) / static_cast<double>(job_rounds_);
   }
+
+  // SLO accounting: deadline attainment/tardiness and per-tenant shares.
+  // Runs after makespan so unfinished deadline jobs can be charged to the
+  // end of the run.
+  std::map<int, TenantShare> tenants;
+  double tardiness_sum = 0.0;
+  double total_gpu_seconds = 0.0;
+  for (JobOutcome& o : result.jobs) {
+    TenantShare& ts = tenants[o.tenant];
+    ts.tenant = o.tenant;
+    ++ts.jobs;
+    ts.gpu_hours += o.gpu_seconds / 3600.0;
+    total_gpu_seconds += o.gpu_seconds;
+    if (!o.has_deadline()) continue;
+    ++result.num_deadline_jobs;
+    o.tardiness = std::max(0.0, (o.finished() ? o.finish : makespan) - o.deadline);
+    if (o.met_deadline()) ++result.num_deadline_met;
+    tardiness_sum += o.tardiness;
+    result.max_tardiness = std::max(result.max_tardiness, o.tardiness);
+  }
+  if (result.num_deadline_jobs > 0) {
+    result.deadline_attainment = static_cast<double>(result.num_deadline_met) /
+                                 static_cast<double>(result.num_deadline_jobs);
+    result.avg_tardiness = tardiness_sum / result.num_deadline_jobs;
+  }
+  result.tenant_shares.reserve(tenants.size());
+  for (auto& [id, ts] : tenants) {
+    if (total_gpu_seconds > 0.0) ts.share = ts.gpu_hours * 3600.0 / total_gpu_seconds;
+    result.tenant_shares.push_back(ts);
+  }
+  if (obs::TraceSession* ts = obs::TraceSession::current()) {
+    ts->counter("slo.deadline_attainment", result.deadline_attainment);
+    obs::gauge_set("slo.deadline_attainment", result.deadline_attainment);
+    obs::gauge_set("slo.avg_tardiness_s", result.avg_tardiness);
+    obs::gauge_set("slo.tenants", static_cast<double>(result.tenant_shares.size()));
+  }
   return result;
 }
 
@@ -535,6 +577,8 @@ void RoundEngine::restore(common::BinaryReader& r) {
     s.spec = std::make_unique<workload::JobSpec>(workload::JobSpec::restore(r));
     s.out.id = s.spec->id;
     s.out.arrival = s.spec->arrival;
+    s.out.deadline = s.spec->deadline;
+    s.out.tenant = s.spec->tenant;
     s.out.first_start = r.f64();
     s.out.finish = r.f64();
     s.out.gpu_seconds = r.f64();

@@ -65,6 +65,10 @@ void JobSpec::validate(int num_types) const {
     throw std::invalid_argument("JobSpec: negative checkpoint cost");
   }
   if (model_size_mb < 0.0) throw std::invalid_argument("JobSpec: negative model size");
+  if (has_deadline() && deadline < arrival) {
+    throw std::invalid_argument("JobSpec: deadline before arrival");
+  }
+  if (tenant < 0) throw std::invalid_argument("JobSpec: negative tenant id");
 }
 
 void JobSpec::save(common::BinaryWriter& w) const {
@@ -79,6 +83,8 @@ void JobSpec::save(common::BinaryWriter& w) const {
   w.f64(checkpoint_load);
   w.f64(model_size_mb);
   w.u8(static_cast<std::uint8_t>(size_class));
+  w.f64(deadline);
+  w.i32(tenant);
 }
 
 JobSpec JobSpec::restore(common::BinaryReader& r) {
@@ -94,6 +100,8 @@ JobSpec JobSpec::restore(common::BinaryReader& r) {
   j.checkpoint_load = r.f64();
   j.model_size_mb = r.f64();
   j.size_class = static_cast<SizeClass>(r.u8());
+  j.deadline = r.f64();
+  j.tenant = r.i32();
   return j;
 }
 

@@ -35,6 +35,11 @@ struct JobSpec {
   Seconds checkpoint_load = 9.0;     ///< extra cost when the allocation changed
   double model_size_mb = 100.0;      ///< DNN parameter size (network/ckpt models)
   SizeClass size_class = SizeClass::kSmall;
+  Seconds deadline = 0.0;            ///< absolute completion deadline; <= 0 means none
+  int tenant = 0;                    ///< owning tenant id (quota accounting); 0 = default
+
+  /// True when the job carries an SLO deadline.
+  bool has_deadline() const { return deadline > 0.0; }
 
   /// Total work E_j * N_j in iterations.
   double total_iterations() const {

@@ -27,7 +27,19 @@ void validate_config(const TraceGenConfig& cfg) {
   if (cfg.diurnal_amplitude < 0.0 || cfg.diurnal_amplitude >= 1.0) {
     throw std::invalid_argument("TraceGenerator: diurnal_amplitude must be in [0,1)");
   }
+  if (cfg.deadline_fraction < 0.0 || cfg.deadline_fraction > 1.0) {
+    throw std::invalid_argument("TraceGenerator: deadline_fraction must be in [0,1]");
+  }
+  if (cfg.deadline_fraction > 0.0 &&
+      (cfg.deadline_slack_lo <= 0.0 || cfg.deadline_slack_hi < cfg.deadline_slack_lo)) {
+    throw std::invalid_argument("TraceGenerator: bad deadline slack range");
+  }
+  if (cfg.num_tenants < 1) throw std::invalid_argument("TraceGenerator: num_tenants < 1");
 }
+
+/// Stream salt for the deadline/tenant draws: forked separately from the
+/// main per-job stream so enabling the knobs never shifts the base trace.
+constexpr std::uint64_t kSloSalt = 0x510dead114e57a9cULL;
 
 SizeClass pick_class(common::Rng& rng, const TraceGenConfig& cfg) {
   const std::vector<double> w = {cfg.small_weight, cfg.medium_weight, cfg.large_weight,
@@ -117,6 +129,19 @@ JobSpec TraceStream::next() {
   JobSpec job = zoo_->make_job(profile->name, *registry_, workers, ideal_runtime, arrival);
   job.size_class = cls;
   job.id = static_cast<JobId>(index_);
+
+  if (cfg_.deadline_fraction > 0.0 || cfg_.num_tenants > 1) {
+    common::Rng slo(common::mix64(cfg_.seed ^ kSloSalt, static_cast<std::uint64_t>(index_)));
+    if (cfg_.num_tenants > 1) {
+      job.tenant = static_cast<int>(slo.uniform_int(0, cfg_.num_tenants - 1));
+    }
+    if (cfg_.deadline_fraction > 0.0 && slo.uniform() < cfg_.deadline_fraction) {
+      const double slack = slo.uniform(cfg_.deadline_slack_lo, cfg_.deadline_slack_hi);
+      const Seconds base = job.min_runtime();
+      job.deadline = job.arrival + slack * (base == kInfiniteTime ? ideal_runtime : base);
+    }
+  }
+
   ++index_;
   return job;
 }

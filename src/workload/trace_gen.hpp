@@ -64,6 +64,15 @@ struct TraceGenConfig {
 
   /// When set, every job uses this model instead of class-based sampling.
   std::optional<std::string> fixed_model;
+
+  /// Deadline / multi-tenant knobs (scenario diversity, DESIGN.md §15).
+  /// The draws come from a separately salted fork of the per-job stream, so
+  /// with deadline_fraction == 0 and num_tenants <= 1 the generated trace is
+  /// byte-identical to one produced before these knobs existed.
+  double deadline_fraction = 0.0;  ///< fraction of jobs carrying a deadline, in [0, 1]
+  double deadline_slack_lo = 1.5;  ///< min deadline slack, multiple of ideal runtime
+  double deadline_slack_hi = 4.0;  ///< max deadline slack, multiple of ideal runtime
+  int num_tenants = 1;             ///< jobs draw a tenant uniformly from [0, num_tenants)
 };
 
 /// Incremental generator over the same distribution `TraceGenerator::

@@ -46,6 +46,8 @@ std::string trace_to_csv(const Trace& trace, const cluster::GpuTypeRegistry& reg
                                      "epochs", "chunks_per_epoch", "size_class",
                                      "ckpt_save_s", "ckpt_load_s", "model_size_mb"};
   for (int r = 0; r < reg.size(); ++r) header.push_back("x_" + reg.name(r));
+  header.push_back("deadline_s");
+  header.push_back("tenant");
 
   common::CsvWriter w(header);
   for (const auto& j : trace.jobs) {
@@ -63,6 +65,8 @@ std::string trace_to_csv(const Trace& trace, const cluster::GpuTypeRegistry& reg
     for (int r = 0; r < reg.size(); ++r) {
       row.push_back(common::CsvWriter::field(j.throughput_on(r)));
     }
+    row.push_back(common::CsvWriter::field(j.deadline));
+    row.push_back(common::CsvWriter::field(static_cast<long long>(j.tenant)));
     w.add_row(std::move(row));
   }
   return w.to_string();
@@ -87,6 +91,9 @@ Trace trace_from_csv(const std::string& text, const cluster::GpuTypeRegistry& re
   const auto c_msize = col("model_size_mb");
   std::vector<std::size_t> c_x;
   for (int r = 0; r < reg.size(); ++r) c_x.push_back(col("x_" + reg.name(r)));
+  // Optional trailing columns: legacy traces predate deadlines and tenants.
+  const int c_deadline = doc.column("deadline_s");
+  const int c_tenant = doc.column("tenant");
 
   Trace trace;
   for (const auto& row : doc.rows) {
@@ -104,6 +111,12 @@ Trace trace_from_csv(const std::string& text, const cluster::GpuTypeRegistry& re
     for (int r = 0; r < reg.size(); ++r) {
       j.throughput[static_cast<std::size_t>(r)] =
           to_double(row.at(c_x[static_cast<std::size_t>(r)]), "throughput");
+    }
+    if (c_deadline >= 0 && static_cast<std::size_t>(c_deadline) < row.size()) {
+      j.deadline = to_double(row[static_cast<std::size_t>(c_deadline)], "deadline_s");
+    }
+    if (c_tenant >= 0 && static_cast<std::size_t>(c_tenant) < row.size()) {
+      j.tenant = static_cast<int>(to_ll(row[static_cast<std::size_t>(c_tenant)], "tenant"));
     }
     j.validate(reg.size());
     trace.jobs.push_back(std::move(j));

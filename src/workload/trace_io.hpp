@@ -3,7 +3,10 @@
 //
 // Format (one row per job):
 //   id,model,arrival_s,workers,epochs,chunks_per_epoch,size_class,
-//   ckpt_save_s,ckpt_load_s,model_size_mb,x_<TYPE>...   (one x_ column per GPU type)
+//   ckpt_save_s,ckpt_load_s,model_size_mb,x_<TYPE>...,deadline_s,tenant
+// (one x_ column per GPU type). The trailing deadline_s/tenant columns are
+// optional on read: legacy CSVs without them load with no deadline and
+// tenant 0.
 #pragma once
 
 #include <string>

@@ -1,0 +1,411 @@
+// Tests for the scenario-diversity policy layer (DESIGN.md §15): the
+// deadline/quota decorator stages, the duration predictor, SLO accounting in
+// SimResult, the sweep positional-ordering contract, and the tune_policy
+// grid search (including its thread-count reproducibility).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/policy_stages.hpp"
+#include "core/utility.hpp"
+#include "pipeline/staged_scheduler.hpp"
+#include "pipeline/stages.hpp"
+#include "runner/scenarios.hpp"
+#include "runner/tune_policy.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace hadar {
+namespace {
+
+using cluster::ClusterSpec;
+using common::ScopedThreadCount;
+using core::DeadlineUtilityStage;
+using core::DurationPredictor;
+using core::PolicyConfig;
+using core::TenantQuotaStage;
+using core::with_policy;
+using pipeline::RoundState;
+using pipeline::StagedScheduler;
+using test::ContextBuilder;
+
+sim::SimResult run_experiment(const runner::ExperimentConfig& cfg, sim::IScheduler& sched) {
+  sim::Simulator simulator(cfg.sim);
+  return simulator.run(cfg.spec, cfg.trace, sched);
+}
+
+// ---------------------------------------------------------- PolicyConfig ---
+
+TEST(PolicyConfig, ValidateRejectsBadKnobs) {
+  PolicyConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.deadline_weight = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.deadline_weight = 0.0;
+  cfg.fairness_weight = -0.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.fairness_weight = 1.0;
+  cfg.quota_gpu_hours = -2.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.quota_gpu_hours = 0.0;
+  cfg.tenant_weights = {1.0, 0.0};
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(PolicyConfig, WeightOfFallsBackToOne) {
+  PolicyConfig cfg;
+  cfg.tenant_weights = {2.0, 0.5};
+  EXPECT_DOUBLE_EQ(cfg.weight_of(0), 2.0);
+  EXPECT_DOUBLE_EQ(cfg.weight_of(1), 0.5);
+  EXPECT_DOUBLE_EQ(cfg.weight_of(2), 1.0);   // beyond the vector
+  EXPECT_DOUBLE_EQ(cfg.weight_of(-1), 1.0);  // out of range
+}
+
+TEST(PolicyConfig, DisabledByDefault) {
+  const PolicyConfig cfg;
+  EXPECT_FALSE(cfg.deadline_enabled());
+  EXPECT_FALSE(cfg.quota_enabled());
+  EXPECT_FALSE(cfg.enabled());
+}
+
+// ----------------------------------------------------------- with_policy ---
+
+TEST(WithPolicy, DisabledConfigReturnsBaseUnchanged) {
+  auto base = runner::make_flat_scheduler("hadar");
+  sim::IScheduler* raw = base.get();
+  auto wrapped = with_policy(std::move(base), PolicyConfig{});
+  EXPECT_EQ(wrapped.get(), raw);
+}
+
+TEST(WithPolicy, WrapsOnlyEnabledSlots) {
+  PolicyConfig cfg;
+  cfg.deadline_weight = 1.0;
+  auto sched = with_policy(runner::make_flat_scheduler("hadar"), cfg);
+  auto* staged = dynamic_cast<StagedScheduler*>(sched.get());
+  ASSERT_NE(staged, nullptr);
+  EXPECT_EQ(staged->stages().priority->name(), "policy.deadline");
+  EXPECT_NE(staged->stages().admission->name(), "policy.quota");
+
+  cfg = PolicyConfig{};
+  cfg.quota_gpu_hours = 10.0;
+  sched = with_policy(runner::make_flat_scheduler("hadar"), cfg);
+  staged = dynamic_cast<StagedScheduler*>(sched.get());
+  ASSERT_NE(staged, nullptr);
+  EXPECT_EQ(staged->stages().admission->name(), "policy.quota");
+  EXPECT_NE(staged->stages().priority->name(), "policy.deadline");
+}
+
+TEST(WithPolicy, RejectsNonStagedSchedulers) {
+  PolicyConfig cfg;
+  cfg.deadline_weight = 1.0;
+  // srtf is the one remaining monolithic policy.
+  auto base = runner::make_flat_scheduler("srtf");
+  if (dynamic_cast<StagedScheduler*>(base.get()) == nullptr) {
+    EXPECT_THROW(with_policy(std::move(base), cfg), std::invalid_argument);
+  }
+}
+
+// ----------------------------------------------------- DeadlineUtilityStage
+
+TEST(DeadlineUtilityStage, PromotesUrgentJobsOverArrivalOrder) {
+  const auto spec = ClusterSpec::simulation_default();
+  ContextBuilder b(&spec);
+  b.add_job(2, 1e6, {10.0, 5.0, 1.0});  // job 0: no deadline
+  b.add_job(2, 1e6, {10.0, 5.0, 1.0}).with_deadline(60.0);  // job 1: hopeless soon
+  const auto ctx = b.build();
+
+  PolicyConfig cfg;
+  cfg.deadline_weight = 2.0;
+  DeadlineUtilityStage stage(std::make_shared<pipeline::ArrivalOrderPriorityStage>(), cfg);
+  cluster::ClusterState st(&spec);
+  RoundState rs;
+  rs.begin_round(ctx, &st);
+  pipeline::PassThroughAdmissionStage().admit(rs);
+  ASSERT_EQ(rs.queue.size(), 2u);
+  EXPECT_EQ(rs.queue[0]->id(), 0);  // arrival order before the stage
+
+  stage.prioritize(rs);
+  ASSERT_EQ(rs.queue.size(), 2u);
+  EXPECT_EQ(rs.queue[0]->id(), 1);  // deadline job jumps the line
+  ASSERT_FALSE(rs.ranked.empty());
+  EXPECT_EQ(rs.ranked.front().job->id(), 1);
+}
+
+TEST(DeadlineUtilityStage, ZeroWeightBlendPreservesInnerOrder) {
+  // fairness-only blend (deadline_weight counts, but all urgencies equal)
+  const auto spec = ClusterSpec::simulation_default();
+  ContextBuilder b(&spec);
+  for (int i = 0; i < 5; ++i) b.add_job(1, 1000.0, {10.0, 5.0, 1.0});
+  const auto ctx = b.build();
+
+  PolicyConfig cfg;
+  cfg.deadline_weight = 3.0;  // enabled, but no job has a deadline
+  DeadlineUtilityStage stage(std::make_shared<pipeline::ArrivalOrderPriorityStage>(), cfg);
+  cluster::ClusterState st(&spec);
+  RoundState rs;
+  rs.begin_round(ctx, &st);
+  pipeline::PassThroughAdmissionStage().admit(rs);
+  stage.prioritize(rs);
+  ASSERT_EQ(rs.queue.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(rs.queue[static_cast<std::size_t>(i)]->id(), i);
+}
+
+// -------------------------------------------------------- TenantQuotaStage
+
+TEST(TenantQuotaStage, BlocksTenantsPastTheHardCap) {
+  const auto spec = ClusterSpec::simulation_default();
+  ContextBuilder b(&spec);
+  b.add_job(1, 1e6, {10.0, 5.0, 1.0}).with_tenant(0);
+  b.add_job(1, 1e6, {10.0, 5.0, 1.0}).with_tenant(1);
+  auto ctx = b.build();
+  // Tenant 0 already burned 10 GPU-hours; tenant 1 none.
+  ctx.jobs[0].attained_service = 10.0 * 3600.0;
+
+  PolicyConfig cfg;
+  cfg.quota_gpu_hours = 1.0;
+  cfg.quota_strictness = 1.0;  // hard cap right at quota
+  TenantQuotaStage stage(std::make_shared<pipeline::PassThroughAdmissionStage>(), cfg);
+  cluster::ClusterState st(&spec);
+  RoundState rs;
+  rs.begin_round(ctx, &st);
+  stage.admit(rs);
+  ASSERT_EQ(rs.queue.size(), 1u);
+  EXPECT_EQ(rs.queue[0]->id(), 1);
+  EXPECT_DOUBLE_EQ(stage.usage_gpu_seconds(0), 10.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(stage.usage_gpu_seconds(1), 0.0);
+}
+
+TEST(TenantQuotaStage, IdleGuardNeverStarvesTheCluster) {
+  // Every tenant past the hard cap: the guard must still admit someone.
+  const auto spec = ClusterSpec::simulation_default();
+  ContextBuilder b(&spec);
+  b.add_job(1, 1e6, {10.0, 5.0, 1.0}).with_tenant(0);
+  b.add_job(1, 1e6, {10.0, 5.0, 1.0}).with_tenant(1);
+  auto ctx = b.build();
+  ctx.jobs[0].attained_service = 8.0 * 3600.0;  // worse offender
+  ctx.jobs[1].attained_service = 5.0 * 3600.0;
+
+  PolicyConfig cfg;
+  cfg.quota_gpu_hours = 1.0;
+  cfg.quota_strictness = 1.0;
+  TenantQuotaStage stage(std::make_shared<pipeline::PassThroughAdmissionStage>(), cfg);
+  cluster::ClusterState st(&spec);
+  RoundState rs;
+  rs.begin_round(ctx, &st);
+  stage.admit(rs);
+  ASSERT_EQ(rs.queue.size(), 1u);
+  EXPECT_EQ(rs.queue[0]->id(), 1);  // minimal-overage tenant gets in
+}
+
+TEST(TenantQuotaStage, WeightedOverageDecidesDrfSharing) {
+  // Both tenants between quota and cap; the smaller *weighted* overage wins.
+  const auto spec = ClusterSpec::simulation_default();
+  ContextBuilder b(&spec);
+  b.add_job(1, 1e6, {10.0, 5.0, 1.0}).with_tenant(0);
+  b.add_job(1, 1e6, {10.0, 5.0, 1.0}).with_tenant(1);
+  auto ctx = b.build();
+  // Tenant 0: 8 GPUh over a weighted 4 GPUh quota -> overage (8-4)/4 = 1.
+  // Tenant 1: 3 GPUh over a 1 GPUh quota -> overage (3-1)/1 = 2.
+  ctx.jobs[0].attained_service = 8.0 * 3600.0;
+  ctx.jobs[1].attained_service = 3.0 * 3600.0;
+
+  PolicyConfig cfg;
+  cfg.quota_gpu_hours = 1.0;
+  cfg.quota_strictness = 0.1;       // cap at 10x quota: nobody hard-blocked
+  cfg.tenant_weights = {4.0, 1.0};  // tenant 0's overage shrinks 4x
+  TenantQuotaStage stage(std::make_shared<pipeline::PassThroughAdmissionStage>(), cfg);
+  cluster::ClusterState st(&spec);
+  RoundState rs;
+  rs.begin_round(ctx, &st);
+  stage.admit(rs);
+  ASSERT_EQ(rs.queue.size(), 1u);
+  EXPECT_EQ(rs.queue[0]->id(), 0);
+}
+
+// ------------------------------------------------------- DurationPredictor
+
+TEST(DurationPredictor, LearnsStretchFromCompletions) {
+  const auto spec = ClusterSpec::simulation_default();
+  ContextBuilder b(&spec);
+  b.add_job(1, 1000.0, {10.0, 5.0, 1.0});
+  const auto ctx_full = b.build(0.0);
+
+  DurationPredictor pred;
+  EXPECT_EQ(pred.samples(), 0);
+  EXPECT_DOUBLE_EQ(pred.stretch(workload::SizeClass::kSmall), 1.0);
+
+  pred.observe(0.0, ctx_full.jobs);
+  const double ideal = core::ideal_total_runtime(ctx_full.jobs[0]);
+  ASSERT_GT(ideal, 0.0);
+
+  // The job vanishes at t = 2 * ideal: realized stretch 2.0.
+  const sim::SchedulerContext empty = ContextBuilder(&spec).build(2.0 * ideal);
+  pred.observe(2.0 * ideal, empty.jobs);
+  EXPECT_EQ(pred.samples(), 1);
+  const auto cls = ctx_full.jobs[0].spec->size_class;
+  EXPECT_NEAR(pred.stretch(cls), 2.0, 1e-9);
+
+  // predict_remaining scales the ideal remaining runtime by the stretch.
+  ContextBuilder b2(&spec);
+  b2.add_job(1, 1000.0, {10.0, 5.0, 1.0});
+  const auto ctx2 = b2.build();
+  EXPECT_NEAR(pred.predict_remaining(ctx2.jobs[0]),
+              2.0 * core::ideal_remaining_runtime(ctx2.jobs[0]), 1e-6);
+
+  pred.reset();
+  EXPECT_EQ(pred.samples(), 0);
+}
+
+// ------------------------------------------------------------ end to end ---
+
+TEST(PolicyEndToEnd, NoDeadlineTraceIsBitIdenticalUnderDecorators) {
+  // Decorated pipeline over a deadline-free, single-tenant trace must
+  // reproduce the undecorated schedule exactly (the blend is pure fairness
+  // and the quota stage is disabled by cfg).
+  const auto cfg = runner::paper_static(48, 42);
+  auto plain = runner::make_flat_scheduler("hadar");
+  const auto base = run_experiment(cfg, *plain);
+
+  PolicyConfig pc;
+  pc.deadline_weight = 2.0;  // enabled, but no job carries a deadline
+  auto decorated = with_policy(runner::make_flat_scheduler("hadar"), pc);
+  const auto dec = run_experiment(cfg, *decorated);
+
+  EXPECT_EQ(dec.rounds, base.rounds);
+  EXPECT_EQ(dec.total_reallocations, base.total_reallocations);
+  EXPECT_EQ(dec.total_preemptions, base.total_preemptions);
+  EXPECT_DOUBLE_EQ(dec.makespan, base.makespan);
+  EXPECT_DOUBLE_EQ(dec.avg_jct, base.avg_jct);
+  ASSERT_EQ(dec.jobs.size(), base.jobs.size());
+  for (std::size_t i = 0; i < base.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(dec.jobs[i].first_start, base.jobs[i].first_start);
+    EXPECT_DOUBLE_EQ(dec.jobs[i].finish, base.jobs[i].finish);
+  }
+}
+
+TEST(PolicyEndToEnd, FixedSeedSloMetricsArePinned) {
+  // Golden SLO accounting for hadar over slo_static(48, 42). Any change to
+  // the trace forks, the SLO finalize pass, or the base schedule moves these.
+  const auto cfg = runner::slo_static(48, 42);
+  auto sched = runner::make_flat_scheduler("hadar");
+  const auto r = run_experiment(cfg, *sched);
+
+  EXPECT_EQ(r.num_deadline_jobs, 23);
+  EXPECT_EQ(r.num_deadline_met, 20);
+  EXPECT_NEAR(r.deadline_attainment, 0.86956521739130432, 1e-12);
+  EXPECT_NEAR(r.avg_tardiness, 701.44293865664065, 1e-6);
+  EXPECT_NEAR(r.max_tardiness, 11552.919887169599, 1e-6);
+
+  ASSERT_EQ(r.tenant_shares.size(), 3u);
+  EXPECT_EQ(r.tenant_shares[0].tenant, 0);
+  EXPECT_EQ(r.tenant_shares[0].jobs, 17);
+  EXPECT_EQ(r.tenant_shares[1].jobs, 19);
+  EXPECT_EQ(r.tenant_shares[2].jobs, 12);
+  EXPECT_NEAR(r.tenant_shares[0].share, 0.2848972064930077, 1e-12);
+  EXPECT_NEAR(r.tenant_shares[1].share, 0.39222328840824816, 1e-12);
+  EXPECT_NEAR(r.tenant_shares[2].share, 0.32287950509874408, 1e-12);
+  double total = 0.0;
+  for (const auto& t : r.tenant_shares) total += t.share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PolicyEndToEnd, DeadlineWeightImprovesAttainment) {
+  const auto cfg = runner::slo_static(48, 42);
+  auto plain = runner::make_flat_scheduler("hadar");
+  const auto base = run_experiment(cfg, *plain);
+
+  PolicyConfig pc;
+  pc.deadline_weight = 2.0;
+  auto urgent = with_policy(runner::make_flat_scheduler("hadar"), pc);
+  const auto dec = run_experiment(cfg, *urgent);
+
+  EXPECT_GE(dec.deadline_attainment, base.deadline_attainment);
+  EXPECT_LE(dec.avg_tardiness, base.avg_tardiness);
+}
+
+// ------------------------------------------------------- sweep / tuner ----
+
+TEST(SweepOrdering, ResultsArePositionalAtAnyThreadCount) {
+  // The contract tune_policy depends on: result[i] belongs to cases[i],
+  // independent of completion order. Compare a sweep against individually
+  // run cases, then re-run the sweep single-threaded.
+  std::vector<runner::SweepCase> cases;
+  for (const auto& name : {"yarn", "tiresias", "hadar"}) {
+    runner::SweepCase c;
+    c.label = name;
+    c.scheduler = name;
+    c.config = runner::paper_static(24, 7);
+    cases.push_back(std::move(c));
+  }
+
+  std::vector<sim::SimResult> solo;
+  for (const auto& c : cases) {
+    auto sched = runner::make_scheduler(c.scheduler);
+    solo.push_back(run_experiment(c.config, *sched));
+  }
+
+  for (const int threads : {1, 4}) {
+    ScopedThreadCount guard(threads);
+    const auto swept = runner::sweep(cases);
+    ASSERT_EQ(swept.size(), cases.size());
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      EXPECT_EQ(swept[i].label, cases[i].label);
+      EXPECT_DOUBLE_EQ(swept[i].result.makespan, solo[i].makespan);
+      EXPECT_DOUBLE_EQ(swept[i].result.avg_jct, solo[i].avg_jct);
+      EXPECT_EQ(swept[i].result.rounds, solo[i].rounds);
+    }
+  }
+}
+
+TEST(TunePolicy, GridIsEnumeratedInOrderAndScored) {
+  const auto cfg = runner::slo_static(24, 11);
+  runner::TuneGrid grid;
+  grid.deadline_weights = {0.0, 1.0};
+  grid.quota_strictness = {0.0};
+  const auto r = runner::tune_policy("hadar", cfg, grid);
+
+  ASSERT_EQ(r.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.points[0].policy.deadline_weight, 0.0);
+  EXPECT_DOUBLE_EQ(r.points[1].policy.deadline_weight, 1.0);
+  ASSERT_GE(r.best, 0);
+  ASSERT_LT(static_cast<std::size_t>(r.best), r.points.size());
+  for (const auto& p : r.points) {
+    EXPECT_DOUBLE_EQ(p.score, runner::tune_score(p));
+    EXPECT_GE(r.best_point().score, p.score - 1e-12);
+  }
+
+  const std::string json = runner::tune_result_json(r);
+  EXPECT_NE(json.find("\"scheduler\": \"hadar\""), std::string::npos);
+  EXPECT_NE(json.find("\"best\""), std::string::npos);
+}
+
+TEST(TunePolicy, ReproducibleAcrossThreadCounts) {
+  const auto cfg = runner::slo_static(24, 11);
+  runner::TuneGrid grid;
+  grid.deadline_weights = {0.0, 1.0};
+  grid.quota_strictness = {0.0, 1.0};
+  grid.quota_gpu_hours = 50.0;
+
+  std::string json1, jsonN;
+  int best1 = -1, bestN = -1;
+  {
+    ScopedThreadCount guard(1);
+    const auto r = runner::tune_policy("hadar", cfg, grid);
+    json1 = runner::tune_result_json(r);
+    best1 = r.best;
+  }
+  {
+    ScopedThreadCount guard(4);
+    const auto r = runner::tune_policy("hadar", cfg, grid);
+    jsonN = runner::tune_result_json(r);
+    bestN = r.best;
+  }
+  EXPECT_EQ(best1, bestN);
+  EXPECT_EQ(json1, jsonN);
+}
+
+}  // namespace
+}  // namespace hadar

@@ -43,6 +43,18 @@ class ContextBuilder {
     return *this;
   }
 
+  /// Sets the absolute deadline of the most recently added job.
+  ContextBuilder& with_deadline(Seconds deadline) {
+    specs_.back()->deadline = deadline;
+    return *this;
+  }
+
+  /// Sets the tenant of the most recently added job.
+  ContextBuilder& with_tenant(int tenant) {
+    specs_.back()->tenant = tenant;
+    return *this;
+  }
+
   sim::SchedulerContext build(Seconds now = 0.0, Seconds round_length = 360.0) const {
     sim::SchedulerContext ctx;
     ctx.spec = spec_;

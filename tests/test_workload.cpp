@@ -325,6 +325,126 @@ TEST_F(TraceGenTest, CsvRoundTripPreservesEverything) {
   }
 }
 
+TEST_F(TraceGenTest, CsvRoundTripsDeadlinesAndTenants) {
+  TraceGenerator gen(&zoo_, &reg_);
+  TraceGenConfig cfg;
+  cfg.num_jobs = 40;
+  cfg.seed = 5;
+  cfg.deadline_fraction = 0.5;
+  cfg.num_tenants = 4;
+  const Trace a = gen.generate(cfg);
+  int with_deadline = 0, tenants_seen = 0;
+  std::map<int, int> per_tenant;
+  for (const auto& j : a.jobs) {
+    if (j.has_deadline()) ++with_deadline;
+    ++per_tenant[j.tenant];
+  }
+  tenants_seen = static_cast<int>(per_tenant.size());
+  EXPECT_GT(with_deadline, 5);  // ~half the trace
+  EXPECT_LT(with_deadline, 35);
+  EXPECT_EQ(tenants_seen, 4);
+
+  const Trace b = trace_from_csv(trace_to_csv(a, reg_), reg_);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].tenant, b.jobs[i].tenant) << "job " << i;
+    EXPECT_EQ(a.jobs[i].has_deadline(), b.jobs[i].has_deadline()) << "job " << i;
+    EXPECT_NEAR(a.jobs[i].deadline, b.jobs[i].deadline, 1e-3) << "job " << i;
+  }
+}
+
+TEST_F(TraceGenTest, LegacyCsvWithoutSloColumnsLoadsWithDefaults) {
+  // CSVs written before the deadline_s/tenant columns existed must still
+  // load: no deadline, tenant 0.
+  const std::string csv =
+      "id,model,arrival_s,workers,epochs,chunks_per_epoch,size_class,"
+      "ckpt_save_s,ckpt_load_s,model_size_mb,x_V100,x_P100,x_K80\n"
+      "0,LSTM,0,1,1,1,S,1,1,1,10,4,1\n"
+      "1,LSTM,5,2,1,1,S,1,1,1,10,4,1\n";
+  const Trace t = trace_from_csv(csv, reg_);
+  ASSERT_EQ(t.jobs.size(), 2u);
+  for (const auto& j : t.jobs) {
+    EXPECT_FALSE(j.has_deadline());
+    EXPECT_DOUBLE_EQ(j.deadline, 0.0);
+    EXPECT_EQ(j.tenant, 0);
+  }
+}
+
+TEST_F(TraceGenTest, SloKnobsOffKeepTraceByteIdentical) {
+  // The salted per-job SLO streams must not perturb the base trace: with the
+  // knobs at their defaults the generated jobs match a config that never
+  // heard of deadlines, field for field.
+  TraceGenerator gen(&zoo_, &reg_);
+  TraceGenConfig cfg;
+  cfg.num_jobs = 30;
+  cfg.seed = 99;
+  const Trace plain = gen.generate(cfg);
+  TraceGenConfig slo = cfg;
+  slo.deadline_fraction = 0.5;
+  slo.num_tenants = 3;
+  const Trace tagged = gen.generate(slo);
+  ASSERT_EQ(plain.jobs.size(), tagged.jobs.size());
+  for (std::size_t i = 0; i < plain.jobs.size(); ++i) {
+    JobSpec stripped = tagged.jobs[i];
+    stripped.deadline = 0.0;
+    stripped.tenant = 0;
+    EXPECT_EQ(stripped, plain.jobs[i]) << "job " << i;
+  }
+}
+
+TEST_F(TraceGenTest, DeadlinesLandInsideTheSlackBand) {
+  TraceGenerator gen(&zoo_, &reg_);
+  TraceGenConfig cfg;
+  cfg.num_jobs = 60;
+  cfg.seed = 8;
+  cfg.deadline_fraction = 1.0;
+  cfg.deadline_slack_lo = 2.0;
+  cfg.deadline_slack_hi = 3.0;
+  const Trace t = gen.generate(cfg);
+  for (const auto& j : t.jobs) {
+    ASSERT_TRUE(j.has_deadline());
+    const double slack = (j.deadline - j.arrival) / j.min_runtime();
+    EXPECT_GE(slack, 2.0 - 1e-9);
+    EXPECT_LE(slack, 3.0 + 1e-9);
+  }
+}
+
+TEST_F(TraceGenTest, JobSpecBinaryRoundTripsSloFields) {
+  JobSpec a;
+  a.id = 3;
+  a.model = "LSTM";
+  a.arrival = 12.0;
+  a.num_workers = 2;
+  a.epochs = 4;
+  a.chunks_per_epoch = 10;
+  a.throughput = {10.0, 4.0, 1.0};
+  a.deadline = 4321.0;
+  a.tenant = 7;
+  common::BinaryWriter w;
+  a.save(w);
+  const std::string blob = w.take();
+  common::BinaryReader r(blob);
+  const JobSpec b = JobSpec::restore(r);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(TraceGenTest, RejectsBadSloConfig) {
+  TraceGenerator gen(&zoo_, &reg_);
+  TraceGenConfig cfg;
+  cfg.num_jobs = 5;
+  cfg.deadline_fraction = 1.5;
+  EXPECT_THROW(gen.generate(cfg), std::invalid_argument);
+  cfg.deadline_fraction = 0.5;
+  cfg.deadline_slack_lo = 0.0;
+  EXPECT_THROW(gen.generate(cfg), std::invalid_argument);
+  cfg.deadline_slack_lo = 3.0;
+  cfg.deadline_slack_hi = 2.0;  // hi < lo
+  EXPECT_THROW(gen.generate(cfg), std::invalid_argument);
+  cfg.deadline_slack_hi = 4.0;
+  cfg.num_tenants = 0;
+  EXPECT_THROW(gen.generate(cfg), std::invalid_argument);
+}
+
 TEST_F(TraceGenTest, CsvRejectsMissingColumns) {
   EXPECT_THROW(trace_from_csv("id,model\n0,LSTM\n", reg_), std::runtime_error);
 }
